@@ -1,0 +1,33 @@
+package exploitbit
+
+import (
+	"exploitbit/internal/dbscan"
+	"exploitbit/internal/knnjoin"
+)
+
+// The advanced operations of the paper's conclusion ("we plan to extend our
+// caching techniques for advanced operations (e.g., kNN join, density-based
+// clustering)"), built on the cached engine.
+type (
+	// JoinResult is a kNN join's output (per-probe neighbor lists + stats).
+	JoinResult = knnjoin.Result
+	// ClusterResult is a density clustering's output (labels + stats).
+	ClusterResult = dbscan.Result
+)
+
+// NoiseLabel marks unclustered points in ClusterResult.Labels.
+const NoiseLabel = dbscan.Noise
+
+// KNNJoin reports, for every probe, its k nearest points of the engine's
+// dataset. Build the engine with the probe set as the workload so the cache
+// anticipates exactly the distribution the join issues.
+func KNNJoin(eng *Engine, probes [][]float32, k int) (*JoinResult, error) {
+	return knnjoin.Run(eng, probes, k)
+}
+
+// DBSCAN density-clusters the engine's dataset (kNN-graph DBSCAN: core test
+// via the minPts-th neighbor, clusters as core components over ≤eps edges).
+// kProbe >= minPts controls the approximation tightness.
+func DBSCAN(eng *Engine, ds *Dataset, eps float64, minPts, kProbe int) (*ClusterResult, error) {
+	return dbscan.Run(eng, ds, eps, minPts, kProbe)
+}

@@ -1,0 +1,75 @@
+// ebc-bench regenerates the paper's tables and figures (and the ablation
+// studies) on the scaled synthetic fixtures. Examples:
+//
+//	ebc-bench -list
+//	ebc-bench -exp fig11
+//	ebc-bench -all -scale full -out results.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"exploitbit/internal/bench"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment id to run (fig1..fig16, tab3, tab4, abl-*)")
+		all   = flag.Bool("all", false, "run every experiment")
+		list  = flag.Bool("list", false, "list experiments and exit")
+		scale = flag.String("scale", "quick", "fixture scale: quick | full")
+		out   = flag.String("out", "", "write output to file instead of stdout")
+		dir   = flag.String("dir", "", "directory for disk files (default: temp)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, ex := range bench.Experiments() {
+			fmt.Printf("%-14s %s\n", ex.ID, ex.Title)
+		}
+		return
+	}
+
+	var sc bench.Scale
+	switch *scale {
+	case "quick":
+		sc = bench.Quick
+	case "full":
+		sc = bench.Full
+	default:
+		fmt.Fprintf(os.Stderr, "ebc-bench: unknown scale %q (quick|full)\n", *scale)
+		os.Exit(2)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ebc-bench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+
+	env := bench.NewEnv(sc, *dir)
+	defer env.Close()
+
+	var err error
+	switch {
+	case *all:
+		err = bench.RunAll(w, env)
+	case *exp != "":
+		err = bench.Run(w, env, *exp)
+	default:
+		fmt.Fprintln(os.Stderr, "ebc-bench: pass -exp <id>, -all, or -list")
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ebc-bench:", err)
+		os.Exit(1)
+	}
+}

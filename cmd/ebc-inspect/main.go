@@ -1,0 +1,167 @@
+// ebc-inspect prints cache-planning diagnostics for a dataset: the workload
+// profile (candidate frequencies and their skew), the cost model's view of
+// every code length τ at a budget, and the bucket structure the optimal kNN
+// histogram would build. Use it to choose a cache size and τ before
+// deploying, or to understand why a cache is under-performing.
+//
+//	ebc-gen -preset nuswide -n 10000 -o nw.ebds
+//	ebc-inspect -data nw.ebds -cache 4MiB
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"exploitbit"
+	"exploitbit/internal/histogram"
+)
+
+func parseBytes(s string) (int64, error) {
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "GiB"):
+		mult, s = 1<<30, strings.TrimSuffix(s, "GiB")
+	case strings.HasSuffix(s, "MiB"):
+		mult, s = 1<<20, strings.TrimSuffix(s, "MiB")
+	case strings.HasSuffix(s, "KiB"):
+		mult, s = 1<<10, strings.TrimSuffix(s, "KiB")
+	}
+	v, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+	return v * mult, err
+}
+
+func main() {
+	var (
+		data    = flag.String("data", "", "EBDS dataset file (required)")
+		cacheSz = flag.String("cache", "16MiB", "cache budget to analyze")
+		k       = flag.Int("k", 10, "result size to profile at")
+		wlLen   = flag.Int("wl", 2000, "workload length")
+		pool    = flag.Int("pool", 500, "distinct workload queries")
+		seed    = flag.Int64("seed", 7, "log seed")
+	)
+	flag.Parse()
+	if *data == "" {
+		fmt.Fprintln(os.Stderr, "ebc-inspect: -data is required")
+		os.Exit(2)
+	}
+	ds, err := exploitbit.LoadDataset(*data)
+	if err != nil {
+		fail(err)
+	}
+	cs, err := parseBytes(*cacheSz)
+	if err != nil {
+		fail(fmt.Errorf("bad -cache: %w", err))
+	}
+
+	qlog := exploitbit.GenLog(ds, exploitbit.LogConfig{
+		PoolSize: *pool, Length: *wlLen, ZipfS: 1.3, Perturb: 0.005, Seed: *seed,
+	})
+	wl := qlog.Queries()
+	sys, err := exploitbit.Open(ds, wl, exploitbit.Options{WorkloadK: *k})
+	if err != nil {
+		fail(err)
+	}
+	defer sys.Close()
+
+	prof := sys.Profile
+	fileBytes := int64(ds.Len()) * int64(ds.PointSize())
+	fmt.Printf("dataset %q: %d points x %d dims (%.1f MB); cache budget %s (%.1f%% of file)\n\n",
+		ds.Name, ds.Len(), ds.Dim, float64(fileBytes)/(1<<20), *cacheSz, 100*float64(cs)/float64(fileBytes))
+
+	fmt.Printf("workload: %d queries, avg |C(q)| = %.1f, distinct candidates = %d, Dmax ≈ %.3f\n",
+		len(wl), prof.AvgCandSize, len(prof.Ranked), prof.AvgDmax)
+	fs := prof.FreqSorted()
+	var total int64
+	for _, f := range fs {
+		total += int64(f)
+	}
+	fmt.Println("candidate popularity (coverage of lookups by the hottest X% of candidates):")
+	for _, pct := range []int{1, 5, 10, 25, 50} {
+		n := len(fs) * pct / 100
+		var top int64
+		for _, f := range fs[:n] {
+			top += int64(f)
+		}
+		fmt.Printf("  top %2d%% (%6d items): %5.1f%%\n", pct, n, 100*float64(top)/float64(total))
+	}
+
+	in := sys.CostInputs(cs)
+	best, est := in.OptimalTau()
+	fmt.Printf("\ncost model at %s (Section 4):\n", *cacheSz)
+	fmt.Printf("  %-4s %10s %10s %10s %12s\n", "tau", "capacity", "hit_ratio", "rho_ref", "est_Crefine")
+	for tau := 2; tau <= 14; tau += 2 {
+		mark := " "
+		if tau == best {
+			mark = "*"
+		}
+		fmt.Printf("  %-3d%s %10d %10.3f %10.3f %12.1f\n", tau, mark,
+			in.CapacityForTau(tau), in.HitRatioForTau(tau), in.RefineRatioForTau(tau), est[tau-1])
+	}
+	fmt.Printf("  optimal tau = %d\n", best)
+
+	// Algorithm 2's histogram at the chosen τ: bucket-width distribution.
+	qr := prof.QRPoints(nil)
+	fp := histogram.WorkloadFrequency(qr, ds.Domain)
+	histogram.Smooth(fp, histogram.DataFrequency(ds, ds.Domain), 0.01)
+	// Show the bucket structure at the planning τ and, if that saturates
+	// the domain (one value per bucket), also at a scarce τ where the
+	// workload-aware allocation is visible.
+	taus := []int{best}
+	if 1<<best >= ds.Domain.Ndom {
+		taus = append(taus, 6)
+	}
+	for _, tau := range taus {
+		b := histogram.MaxBucketsForCodeLen(tau, ds.Domain.Ndom)
+		h := histogram.KNNOptimal(fp, b)
+		fmt.Printf("\nHC-O histogram at tau=%d: %d buckets over %d domain values\n", tau, h.B(), ds.Domain.Ndom)
+		widths := make([]int, h.B())
+		for i := 0; i < h.B(); i++ {
+			lo, hi := h.Interval(i)
+			widths[i] = hi - lo + 1
+		}
+		fmt.Printf("  bucket widths: min=%d median=%d max=%d\n",
+			minInt(widths), medianInt(widths), maxInt(widths))
+		fmt.Printf("  metric M3 = %.0f (vs equi-width %.0f, equi-depth %.0f)\n",
+			histogram.M3(h, fp),
+			histogram.M3(histogram.EquiWidth(ds.Domain.Ndom, b), fp),
+			histogram.M3(histogram.EquiDepth(histogram.DataFrequency(ds, ds.Domain), b), fp))
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "ebc-inspect:", err)
+	os.Exit(1)
+}
+
+func minInt(xs []int) int {
+	m := xs[0]
+	for _, x := range xs {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+func maxInt(xs []int) int {
+	m := xs[0]
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+func medianInt(xs []int) int {
+	s := append([]int(nil), xs...)
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j-1] > s[j]; j-- {
+			s[j-1], s[j] = s[j], s[j-1]
+		}
+	}
+	return s[len(s)/2]
+}

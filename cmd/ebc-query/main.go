@@ -1,0 +1,108 @@
+// ebc-query answers kNN queries over an EBDS dataset through the cached
+// three-phase engine, printing per-query statistics. Queries are sampled
+// from a generated Zipf workload so that the cache has realistic locality.
+// Example:
+//
+//	ebc-gen -preset nuswide -n 20000 -o nw.ebds
+//	ebc-query -data nw.ebds -method HC-O -cache 16MiB -k 10 -queries 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"exploitbit"
+)
+
+func parseBytes(s string) (int64, error) {
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "GiB"):
+		mult, s = 1<<30, strings.TrimSuffix(s, "GiB")
+	case strings.HasSuffix(s, "MiB"):
+		mult, s = 1<<20, strings.TrimSuffix(s, "MiB")
+	case strings.HasSuffix(s, "KiB"):
+		mult, s = 1<<10, strings.TrimSuffix(s, "KiB")
+	}
+	v, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+	return v * mult, err
+}
+
+func main() {
+	var (
+		data    = flag.String("data", "", "EBDS dataset file (required)")
+		method  = flag.String("method", "HC-O", "caching method (NO-CACHE, EXACT, HC-W, HC-V, HC-D, HC-O, iHC-*, mHC-R, C-VA)")
+		cacheSz = flag.String("cache", "16MiB", "cache size (supports KiB/MiB/GiB suffixes)")
+		k       = flag.Int("k", 10, "result size")
+		queries = flag.Int("queries", 20, "number of test queries")
+		wlLen   = flag.Int("wl", 2000, "workload length for profiling")
+		pool    = flag.Int("pool", 500, "distinct queries in the workload")
+		tau     = flag.Int("tau", 0, "code length (0 = auto-tune via the cost model)")
+		seed    = flag.Int64("seed", 7, "query-log seed")
+	)
+	flag.Parse()
+	if *data == "" {
+		fmt.Fprintln(os.Stderr, "ebc-query: -data is required")
+		os.Exit(2)
+	}
+
+	ds, err := exploitbit.LoadDataset(*data)
+	if err != nil {
+		fail(err)
+	}
+	cs, err := parseBytes(*cacheSz)
+	if err != nil {
+		fail(fmt.Errorf("bad -cache: %w", err))
+	}
+
+	log := exploitbit.GenLog(ds, exploitbit.LogConfig{
+		PoolSize: *pool, Length: *wlLen + *queries, ZipfS: 1.3, Perturb: 0.005, Seed: *seed,
+	})
+	wl, qtest := log.Split(*queries)
+
+	fmt.Printf("dataset %q: %d points x %d dims; building index + workload profile…\n", ds.Name, ds.Len(), ds.Dim)
+	sys, err := exploitbit.Open(ds, wl, exploitbit.Options{WorkloadK: *k})
+	if err != nil {
+		fail(err)
+	}
+	defer sys.Close()
+
+	if *tau == 0 {
+		*tau = sys.OptimalTau(cs)
+		fmt.Printf("cost model selected tau = %d for %s cache\n", *tau, *cacheSz)
+	}
+	eng, err := sys.Engine(exploitbit.Method(*method), cs, *tau)
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("%-6s %-10s %-6s %-7s %-7s %-9s %-12s\n",
+		"query", "cands", "hits", "pruned", "truehit", "IO(pts)", "response")
+	for i, q := range qtest {
+		ids, st, err := eng.Search(q, *k)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%-6d %-10d %-6d %-7d %-7d %-9d %-12v  top: %v\n",
+			i, st.Candidates, st.Hits, st.Pruned, st.TrueHits, st.Fetched,
+			st.ResponseTime().Round(100_000), ids[:min(3, len(ids))])
+	}
+	agg := eng.Aggregate()
+	fmt.Printf("\navg: candidates %.1f  hit ratio %.2f  C_refine %.1f  IO %.1f pts  response %v\n",
+		agg.AvgCandidates(), agg.HitRatio(), agg.AvgRemaining(), agg.AvgIO(), agg.AvgResponse().Round(100_000))
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "ebc-query:", err)
+	os.Exit(1)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,103 @@
+// ebc-serve runs the cached kNN engine as an HTTP service over an EBDS
+// dataset, with optional self-maintenance (automatic cache rebuilds under
+// workload drift). Example:
+//
+//	ebc-gen -preset nuswide -n 20000 -o nw.ebds
+//	ebc-serve -data nw.ebds -method HC-O -cache 16MiB -addr :8080
+//	curl -s localhost:8080/search -d '{"vector":[...150 floats...],"k":10}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+
+	"exploitbit"
+	"exploitbit/internal/core"
+)
+
+func parseBytes(s string) (int64, error) {
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "GiB"):
+		mult, s = 1<<30, strings.TrimSuffix(s, "GiB")
+	case strings.HasSuffix(s, "MiB"):
+		mult, s = 1<<20, strings.TrimSuffix(s, "MiB")
+	case strings.HasSuffix(s, "KiB"):
+		mult, s = 1<<10, strings.TrimSuffix(s, "KiB")
+	}
+	v, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+	return v * mult, err
+}
+
+func main() {
+	var (
+		data     = flag.String("data", "", "EBDS dataset file (required)")
+		logFile  = flag.String("log", "", "EBQL query log for cache construction (default: generated)")
+		method   = flag.String("method", "HC-O", "caching method")
+		cacheSz  = flag.String("cache", "16MiB", "cache size")
+		k        = flag.Int("k", 10, "profiling k")
+		addr     = flag.String("addr", ":8080", "listen address")
+		maintain = flag.Bool("maintain", false, "enable automatic cache rebuilds under workload drift")
+	)
+	flag.Parse()
+	if *data == "" {
+		fmt.Fprintln(os.Stderr, "ebc-serve: -data is required")
+		os.Exit(2)
+	}
+
+	ds, err := exploitbit.LoadDataset(*data)
+	if err != nil {
+		log.Fatal("ebc-serve: ", err)
+	}
+	cs, err := parseBytes(*cacheSz)
+	if err != nil {
+		log.Fatal("ebc-serve: bad -cache: ", err)
+	}
+
+	var wl [][]float32
+	if *logFile != "" {
+		qlog, err := exploitbit.LoadLog(*logFile)
+		if err != nil {
+			log.Fatal("ebc-serve: ", err)
+		}
+		wl = qlog.Queries()
+	} else {
+		qlog := exploitbit.GenLog(ds, exploitbit.LogConfig{
+			PoolSize: 500, Length: 2000, ZipfS: 1.3, Perturb: 0.005, Seed: 7,
+		})
+		wl = qlog.Queries()
+	}
+
+	log.Printf("ebc-serve: dataset %q (%d x %d-d); building index and profiling %d workload queries…",
+		ds.Name, ds.Len(), ds.Dim, len(wl))
+	sys, err := exploitbit.Open(ds, wl, exploitbit.Options{WorkloadK: *k})
+	if err != nil {
+		log.Fatal("ebc-serve: ", err)
+	}
+	defer sys.Close()
+
+	tau := sys.OptimalTau(cs)
+	var handler http.Handler
+	if *maintain {
+		m, err := sys.Maintained(core.Config{Method: exploitbit.Method(*method), CacheBytes: cs, Tau: tau, SmoothEps: 0.01},
+			exploitbit.MaintainOptions{})
+		if err != nil {
+			log.Fatal("ebc-serve: ", err)
+		}
+		handler = exploitbit.ServeMaintained(m, ds.Dim)
+	} else {
+		eng, err := sys.Engine(exploitbit.Method(*method), cs, tau)
+		if err != nil {
+			log.Fatal("ebc-serve: ", err)
+		}
+		handler = exploitbit.Serve(eng, ds.Dim)
+	}
+
+	log.Printf("ebc-serve: %s cache, %s budget, tau=%d; listening on %s", *method, *cacheSz, tau, *addr)
+	log.Fatal(http.ListenAndServe(*addr, handler))
+}

@@ -1,0 +1,61 @@
+package exploitbit_test
+
+import (
+	"fmt"
+
+	"exploitbit"
+)
+
+// Example demonstrates the full pipeline: dataset, workload, system, cached
+// engine, query. Uses a tiny deterministic dataset so the output is stable.
+func Example() {
+	ds := exploitbit.Generate(exploitbit.DatasetConfig{
+		Name: "demo", N: 2000, Dim: 16, Clusters: 4,
+		Std: 0.04, Ndom: 256, Seed: 7, ValueCoherence: 0.5,
+	})
+	qlog := exploitbit.GenLog(ds, exploitbit.LogConfig{
+		PoolSize: 100, Length: 510, ZipfS: 1.3, Perturb: 0.004, Seed: 8,
+	})
+	wl, qtest := qlog.Split(10)
+
+	sys, err := exploitbit.Open(ds, wl, exploitbit.Options{Tio: 0})
+	if err != nil {
+		panic(err)
+	}
+	defer sys.Close()
+
+	eng, err := sys.Engine(exploitbit.HCO, 64<<10, 6)
+	if err != nil {
+		panic(err)
+	}
+	ids, stats, err := eng.Search(qtest[0], 5)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("results: %d neighbors from %d candidates, fetched %d points\n",
+		len(ids), stats.Candidates, stats.Fetched)
+	// Output:
+	// results: 5 neighbors from 105 candidates, fetched 7 points
+}
+
+// ExampleSystem_OptimalTau shows the Section-4 cost model choosing a code
+// length for a budget.
+func ExampleSystem_OptimalTau() {
+	ds := exploitbit.Generate(exploitbit.DatasetConfig{
+		Name: "demo", N: 1000, Dim: 8, Clusters: 4, Ndom: 256, Seed: 9,
+	})
+	qlog := exploitbit.GenLog(ds, exploitbit.LogConfig{
+		PoolSize: 50, Length: 200, Seed: 10, Perturb: 0.01,
+	})
+	wl, _ := qlog.Split(0)
+	sys, err := exploitbit.Open(ds, wl, exploitbit.Options{Tio: 0})
+	if err != nil {
+		panic(err)
+	}
+	defer sys.Close()
+
+	tau := sys.OptimalTau(8 << 10)
+	fmt.Println(tau >= 1 && tau <= 32)
+	// Output:
+	// true
+}

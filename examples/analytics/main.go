@@ -1,0 +1,67 @@
+// Advanced operations over the cached engine (the paper's future-work
+// section, implemented): a kNN self-join for near-duplicate detection and
+// density-based clustering of an image-feature collection, both accelerated
+// by the histogram cache without changing their outputs.
+//
+//	go run ./examples/analytics
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"exploitbit"
+)
+
+func main() {
+	ds := exploitbit.Generate(exploitbit.DatasetConfig{
+		Name: "photos", N: 6000, Dim: 32, Clusters: 12,
+		Std: 0.035, Skew: 1.6, Ndom: 1024, Seed: 61, ValueCoherence: 0.6,
+	})
+
+	// The probe workload for both operations is the dataset itself — known
+	// completely up front, so the offline cache construction is exact.
+	probes := make([][]float32, ds.Len())
+	for i := range probes {
+		probes[i] = ds.Point(i)
+	}
+	sys, err := exploitbit.Open(ds, probes[:2000], exploitbit.Options{WorkloadK: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+	budget := int64(ds.Len()) * int64(ds.PointSize()) / 3
+
+	fmt.Println("== kNN self-join (near-duplicate detection) ==")
+	for _, m := range []exploitbit.Method{exploitbit.NoCache, exploitbit.HCO} {
+		eng, err := sys.Engine(m, budget, sys.OptimalTau(budget))
+		if err != nil {
+			log.Fatal(err)
+		}
+		join, err := exploitbit.KNNJoin(eng, probes[:500], 3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s  %d probes -> %d pairs, %d point fetches, %v total simulated+CPU\n",
+			m, 500, len(join.Pairs()), join.Stats.Fetched,
+			(join.Stats.SimulatedIO + join.Stats.GenTime + join.Stats.ReduceTime + join.Stats.RefineTime).Round(1e6))
+	}
+
+	fmt.Println("\n== density-based clustering (kNN-graph DBSCAN) ==")
+	eng, err := sys.Engine(exploitbit.HCO, budget, sys.OptimalTau(budget))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := exploitbit.DBSCAN(eng, ds, 0.3, 5, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	noise := 0
+	for _, l := range res.Labels {
+		if l == exploitbit.NoiseLabel {
+			noise++
+		}
+	}
+	fmt.Printf("clusters: %d   core points: %d   noise: %d/%d   point fetches: %d (over %d kNN probes)\n",
+		res.Clusters, res.Cores, noise, ds.Len(), res.Stats.Fetched, res.Stats.Queries)
+}

@@ -1,0 +1,82 @@
+// Image-retrieval scenario (the paper's motivating workload): a GIST-like
+// 960-d collection served by disk-based C2LSH, a Flickr-style power-law
+// query log, and a RAM budget to spend on caching. The example sweeps the
+// budget across methods and prints the I/O and response-time curves of
+// Figure 13, then inspects how the cache handled one hot and one cold query.
+//
+//	go run ./examples/imagesearch
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"exploitbit"
+)
+
+func main() {
+	// A scaled-down SOGOU: 4000 web images as 960-d GIST-like descriptors.
+	ds := exploitbit.SogouLike(4000, 11)
+	fileMB := int64(ds.Len()) * int64(ds.PointSize()) >> 20
+	fmt.Printf("collection: %d images x %d-d GIST (%d MB on disk)\n", ds.Len(), ds.Dim, fileMB)
+
+	// The search engine's query log: a few queries are viral.
+	qlog := exploitbit.GenLog(ds, exploitbit.LogConfig{
+		PoolSize: 400, Length: 2540, ZipfS: 1.35, Perturb: 0.004, Seed: 12,
+	})
+	wl, qtest := qlog.Split(40)
+	freqs := qlog.RankFreq()
+	fmt.Printf("query log: %d arrivals, %d distinct; hottest query repeats %d times\n\n",
+		len(qlog.Seq), len(freqs), freqs[0])
+
+	sys, err := exploitbit.Open(ds, wl, exploitbit.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	fileBytes := int64(ds.Len()) * int64(ds.PointSize())
+	methods := []exploitbit.Method{exploitbit.Exact, exploitbit.CVA, exploitbit.HCD, exploitbit.HCO}
+
+	fmt.Println("avg response time (s/query) by cache budget:")
+	fmt.Printf("%-8s", "budget")
+	for _, m := range methods {
+		fmt.Printf("  %8s", m)
+	}
+	fmt.Println()
+	for _, frac := range []float64{0.05, 0.15, 0.30} {
+		budget := int64(float64(fileBytes) * frac)
+		fmt.Printf("%6.0f%% ", frac*100)
+		for _, m := range methods {
+			eng, err := sys.Engine(m, budget, sys.OptimalTau(budget))
+			if err != nil {
+				log.Fatal(err)
+			}
+			for _, q := range qtest {
+				if _, _, err := eng.Search(q, 10); err != nil {
+					log.Fatal(err)
+				}
+			}
+			fmt.Printf("  %8.4f", eng.Aggregate().AvgResponse().Seconds())
+		}
+		fmt.Println()
+	}
+
+	// Zoom in: a hot query (from the head of the log) vs a cold one.
+	budget := fileBytes / 4
+	eng, err := sys.Engine(exploitbit.HCO, budget, sys.OptimalTau(budget))
+	if err != nil {
+		log.Fatal(err)
+	}
+	hot := wl[len(wl)-1] // recent arrivals are overwhelmingly head queries
+	cold := ds.Point(3)  // an arbitrary image nobody searched for
+	for label, q := range map[string][]float32{"hot query": hot, "cold query": cold} {
+		_, st, err := eng.Search(q, 10)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n%s: %d candidates, %d cache hits, %d pruned + %d true hits before I/O, fetched %d",
+			label, st.Candidates, st.Hits, st.Pruned, st.TrueHits, st.Fetched)
+	}
+	fmt.Println()
+}

@@ -1,0 +1,57 @@
+// Cost-model-driven tuning (Section 4 / Figure 12): for a given cache
+// budget, the model estimates the refinement cost at every code length τ and
+// picks the optimum — trading cache hit ratio (few bits → many items)
+// against bound tightness (many bits → strong pruning). The example prints
+// the estimated and measured curves side by side and shows where the model's
+// choice lands.
+//
+//	go run ./examples/tuning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"exploitbit"
+)
+
+func main() {
+	ds := exploitbit.NUSWideLike(8000, 31)
+	qlog := exploitbit.GenLog(ds, exploitbit.LogConfig{
+		PoolSize: 400, Length: 2030, ZipfS: 1.3, Perturb: 0.005, Seed: 32,
+	})
+	wl, qtest := qlog.Split(30)
+
+	sys, err := exploitbit.Open(ds, wl, exploitbit.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	budget := int64(ds.Len()) * int64(ds.PointSize()) / 8 // a tight 12.5% budget
+	in := sys.CostInputs(budget)
+	bestTau, estimates := in.OptimalTau()
+
+	fmt.Printf("budget %d KiB over a %d MB file; avg |C(q)| = %.0f; Dmax = %.3f\n\n",
+		budget>>10, int64(ds.Len())*int64(ds.PointSize())>>20, in.AvgCandSize, in.Dmax)
+	fmt.Printf("%-5s %10s %10s %12s %12s\n", "tau", "capacity", "hit_ratio", "est_Crefine", "meas_IO")
+	for _, tau := range []int{2, 4, 6, 8, 10, 12} {
+		eng, err := sys.Engine(exploitbit.HCW, budget, tau)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, q := range qtest {
+			if _, _, err := eng.Search(q, 10); err != nil {
+				log.Fatal(err)
+			}
+		}
+		mark := " "
+		if tau == bestTau {
+			mark = "*"
+		}
+		fmt.Printf("%-4d%s %10d %10.3f %12.1f %12.1f\n",
+			tau, mark, in.CapacityForTau(tau), in.HitRatioForTau(tau),
+			estimates[tau-1], eng.Aggregate().AvgIO())
+	}
+	fmt.Printf("\ncost model picks tau = %d (marked *); the measured optimum should be nearby\n", bestTau)
+}

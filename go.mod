@@ -1,0 +1,3 @@
+module exploitbit
+
+go 1.22

@@ -1,0 +1,230 @@
+// Package bench regenerates every table and figure of the paper's
+// experimental study (Section 5) on the scaled synthetic stand-ins of the
+// three datasets, plus ablation experiments for the design choices called
+// out in DESIGN.md §5. Each experiment prints rows shaped like the paper's
+// exhibit; EXPERIMENTS.md records paper-vs-measured.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"text/tabwriter"
+	"time"
+
+	"exploitbit"
+	"exploitbit/internal/dataset"
+)
+
+// Scale sizes the experiment fixtures. The paper's datasets are 267K–8.3M
+// points; the harness defaults stay laptop-friendly while preserving every
+// relative comparison.
+type Scale struct {
+	NNusw, NImgn, NSogou int // dataset cardinalities
+	PoolSize, WLLen      int // distinct queries and log length
+	QTest                int // test queries (paper: 50)
+	K                    int // default result size (paper: 10)
+	Tau                  int // default code length (paper: 10; here 8 over Ndom=1024)
+	CacheFrac            float64
+}
+
+// Quick is the scale used by `go test -bench` — every experiment in seconds.
+var Quick = Scale{
+	NNusw: 4000, NImgn: 8000, NSogou: 1500,
+	PoolSize: 300, WLLen: 1200, QTest: 20,
+	K: 10, Tau: 8, CacheFrac: 0.25,
+}
+
+// Full is the cmd/ebc-bench default: larger fixtures, same shapes. The
+// query pool grows with the datasets — a realistic log's distinct-query
+// working set far exceeds the cache, which is what makes EXACT caching miss
+// (the paper's SOGOU log behaves this way).
+var Full = Scale{
+	NNusw: 20000, NImgn: 40000, NSogou: 6000,
+	PoolSize: 4000, WLLen: 12000, QTest: 50,
+	K: 10, Tau: 8, CacheFrac: 0.25,
+}
+
+// Lab is one dataset's full experimental fixture: disk layout, C2LSH index,
+// workload profile and test queries.
+type Lab struct {
+	Name  string
+	DS    *exploitbit.Dataset
+	Sys   *exploitbit.System
+	WL    [][]float32
+	QTest [][]float32
+	// DefaultCS is the default cache size (CacheFrac of the point file).
+	DefaultCS int64
+	// DefaultTau is the cost-model-chosen code length at DefaultCS — the
+	// paper's Section 5.1 protocol ("the default code length is estimated
+	// by using our equations in Section 4").
+	DefaultTau int
+}
+
+// Env lazily builds and caches labs; experiments share them.
+type Env struct {
+	Scale Scale
+	// Tio is the simulated I/O latency used for reported times. It is
+	// accounting-only (never slept), so large values are free.
+	Tio time.Duration
+	Dir string
+
+	mu   sync.Mutex
+	labs map[string]*Lab
+}
+
+// NewEnv creates an experiment environment; dir holds the disk files
+// (empty = temp dir per lab).
+func NewEnv(scale Scale, dir string) *Env {
+	return &Env{Scale: scale, Tio: 5 * time.Millisecond, Dir: dir, labs: make(map[string]*Lab)}
+}
+
+// Lab returns the named dataset fixture, building it on first use.
+// Names: "NUS-WIDE", "IMGNET", "SOGOU".
+func (e *Env) Lab(name string) *Lab {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if lab, ok := e.labs[name]; ok {
+		return lab
+	}
+	lab := e.buildLab(name)
+	e.labs[name] = lab
+	return lab
+}
+
+func (e *Env) buildLab(name string) *Lab {
+	s := e.Scale
+	var ds *exploitbit.Dataset
+	switch name {
+	case "NUS-WIDE":
+		ds = exploitbit.NUSWideLike(s.NNusw, 101)
+	case "IMGNET":
+		ds = exploitbit.ImgNetLike(s.NImgn, 102)
+	case "SOGOU":
+		ds = exploitbit.SogouLike(s.NSogou, 103)
+	default:
+		panic("bench: unknown lab " + name)
+	}
+	log := dataset.GenLog(ds, dataset.LogConfig{
+		PoolSize: s.PoolSize, Length: s.WLLen + s.QTest, ZipfS: 1.3, Perturb: 0.005, Seed: 104,
+	})
+	wl, qtest := log.Split(s.QTest)
+	dir := e.Dir
+	if dir != "" {
+		dir = dir + "/" + name
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			panic(err)
+		}
+	}
+	sys, err := exploitbit.Open(ds, wl, exploitbit.Options{
+		Dir: dir, Tio: e.Tio, WorkloadK: s.K,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fileBytes := int64(ds.Len()) * int64(ds.PointSize())
+	lab := &Lab{
+		Name: name, DS: ds, Sys: sys, WL: wl, QTest: qtest,
+		DefaultCS: int64(float64(fileBytes) * s.CacheFrac),
+	}
+	lab.DefaultTau = sys.OptimalTau(lab.DefaultCS)
+	return lab
+}
+
+// Close releases every built lab.
+func (e *Env) Close() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, lab := range e.labs {
+		lab.Sys.Close()
+	}
+	e.labs = make(map[string]*Lab)
+}
+
+// RunQueries executes every test query at k and returns the aggregate.
+func (l *Lab) RunQueries(eng *exploitbit.Engine, k int) exploitbit.Aggregate {
+	eng.ResetStats()
+	for _, q := range l.QTest {
+		if _, _, err := eng.Search(q, k); err != nil {
+			panic(err)
+		}
+	}
+	return eng.Aggregate()
+}
+
+// Experiment is one reproducible exhibit.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(w io.Writer, env *Env) error
+}
+
+var registry []Experiment
+
+func register(id, title string, run func(w io.Writer, env *Env) error) {
+	registry = append(registry, Experiment{ID: id, Title: title, Run: run})
+}
+
+// Experiments lists all registered experiments in registration order.
+func Experiments() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// Find returns the experiment with the given id.
+func Find(id string) (Experiment, bool) {
+	for _, ex := range registry {
+		if ex.ID == id {
+			return ex, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// Run executes one experiment by id.
+func Run(w io.Writer, env *Env, id string) error {
+	ex, ok := Find(id)
+	if !ok {
+		ids := make([]string, 0, len(registry))
+		for _, e := range registry {
+			ids = append(ids, e.ID)
+		}
+		sort.Strings(ids)
+		return fmt.Errorf("bench: unknown experiment %q (have %v)", id, ids)
+	}
+	fmt.Fprintf(w, "== %s — %s ==\n", ex.ID, ex.Title)
+	return ex.Run(w, env)
+}
+
+// RunAll executes every experiment.
+func RunAll(w io.Writer, env *Env) error {
+	for _, ex := range registry {
+		fmt.Fprintf(w, "\n== %s — %s ==\n", ex.ID, ex.Title)
+		if err := ex.Run(w, env); err != nil {
+			return fmt.Errorf("bench: %s: %w", ex.ID, err)
+		}
+	}
+	return nil
+}
+
+// genLogFor builds a query log over ds with the environment's standard
+// parameters (used by experiments that need their own dataset).
+func genLogFor(ds *exploitbit.Dataset, s Scale) *dataset.Log {
+	return dataset.GenLog(ds, dataset.LogConfig{
+		PoolSize: s.PoolSize, Length: s.WLLen + s.QTest, ZipfS: 1.3, Perturb: 0.005, Seed: 104,
+	})
+}
+
+// table starts a tabwriter for aligned experiment output.
+func table(w io.Writer) *tabwriter.Writer {
+	return tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+}
+
+// secs renders a duration in seconds with fixed precision.
+func secs(d time.Duration) string { return fmt.Sprintf("%.4f", d.Seconds()) }
+
+// mb renders a byte count in MB.
+func mb(b int64) string { return fmt.Sprintf("%.1f", float64(b)/(1<<20)) }

@@ -1,0 +1,116 @@
+package bench
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// tiny keeps harness tests fast; shapes are asserted only where they are
+// robust at this scale.
+var tiny = Scale{
+	NNusw: 800, NImgn: 1000, NSogou: 500,
+	PoolSize: 100, WLLen: 400, QTest: 8,
+	K: 5, Tau: 7, CacheFrac: 0.25,
+}
+
+var (
+	tinyOnce sync.Once
+	tinyEnv  *Env
+)
+
+func sharedTinyEnv(t *testing.T) *Env {
+	t.Helper()
+	tinyOnce.Do(func() {
+		tinyEnv = NewEnv(tiny, "")
+	})
+	return tinyEnv
+}
+
+func TestEveryExperimentRuns(t *testing.T) {
+	env := sharedTinyEnv(t)
+	for _, ex := range Experiments() {
+		ex := ex
+		t.Run(ex.ID, func(t *testing.T) {
+			if testing.Short() && ex.ID == "tab3" {
+				t.Skip("tab3 builds iHC-O (960 per-dimension DPs) — the paper's construction-cost point, but slow")
+			}
+			var buf bytes.Buffer
+			if err := ex.Run(&buf, env); err != nil {
+				t.Fatalf("%s failed: %v", ex.ID, err)
+			}
+			if buf.Len() == 0 {
+				t.Fatalf("%s produced no output", ex.ID)
+			}
+			// Every experiment annotates its expected shape.
+			if !strings.Contains(buf.String(), "#") {
+				t.Fatalf("%s lacks a shape annotation:\n%s", ex.ID, buf.String())
+			}
+		})
+	}
+}
+
+func TestFig6ReproducesPaperExactly(t *testing.T) {
+	env := sharedTinyEnv(t)
+	var buf bytes.Buffer
+	if err := Run(&buf, env, "fig6"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"equi-width", "equi-depth", "ideal"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fig6 output missing %q:\n%s", want, out)
+		}
+	}
+	// The exact paper numbers: 6, 4, 4, 0 remaining.
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		last := fields[len(fields)-1]
+		switch {
+		case strings.HasPrefix(line, "equi-width") && last != "6":
+			t.Fatalf("equi-width remaining = %s, want 6", last)
+		case strings.HasPrefix(line, "equi-depth") && last != "4":
+			t.Fatalf("equi-depth remaining = %s, want 4", last)
+		case strings.HasPrefix(line, "ideal") && last != "0":
+			t.Fatalf("ideal remaining = %s, want 0", last)
+		}
+	}
+}
+
+func TestRegistryLookups(t *testing.T) {
+	if _, ok := Find("fig11"); !ok {
+		t.Fatal("fig11 not registered")
+	}
+	if _, ok := Find("nope"); ok {
+		t.Fatal("bogus id resolved")
+	}
+	if err := Run(io.Discard, sharedTinyEnv(t), "nope"); err == nil {
+		t.Fatal("Run accepted bogus id")
+	}
+	if len(Experiments()) < 19 {
+		t.Fatalf("only %d experiments registered", len(Experiments()))
+	}
+}
+
+func TestLabConstruction(t *testing.T) {
+	env := sharedTinyEnv(t)
+	lab := env.Lab("NUS-WIDE")
+	if lab.DS.Len() != tiny.NNusw || lab.DS.Dim != 150 {
+		t.Fatalf("lab shape %dx%d", lab.DS.Len(), lab.DS.Dim)
+	}
+	if len(lab.QTest) != tiny.QTest || len(lab.WL) != tiny.WLLen {
+		t.Fatalf("workload split %d/%d", len(lab.WL), len(lab.QTest))
+	}
+	if lab.DefaultCS <= 0 || lab.DefaultTau < 1 {
+		t.Fatalf("defaults: CS=%d tau=%d", lab.DefaultCS, lab.DefaultTau)
+	}
+	// Same lab instance on repeat lookups.
+	if env.Lab("NUS-WIDE") != lab {
+		t.Fatal("lab not cached")
+	}
+}

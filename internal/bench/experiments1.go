@@ -1,0 +1,329 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"exploitbit"
+	"exploitbit/internal/cache"
+	"exploitbit/internal/core"
+	"exploitbit/internal/dataset"
+	"exploitbit/internal/histogram"
+	"exploitbit/internal/idistance"
+	"exploitbit/internal/lsh"
+)
+
+func init() {
+	register("fig1", "C2LSH response time: candidate generation vs refinement (refinement dominates)", fig1)
+	register("fig2", "Query-log temporal locality: rank vs frequency power law", fig2)
+	register("fig6", "Worked 1-d example: histogram effectiveness on 2NN at q=17", fig6)
+	register("fig8", "Caching policy: HFF vs LRU under EXACT caching", fig8)
+	register("fig9", "Dataset file ordering: raw vs clustered vs sorted-key", fig9)
+	register("tab3", "Histogram categories: space, construction time, refinement time", tab3)
+	register("fig10", "C-VA vs HC-D across cache sizes", fig10)
+	register("fig11", "Early-pruning power: remaining candidates and I/O per method", fig11)
+}
+
+var labNames = []string{"NUS-WIDE", "IMGNET", "SOGOU"}
+
+func fig1(w io.Writer, env *Env) error {
+	tw := table(w)
+	fmt.Fprintln(tw, "dataset\tgen(s)\trefine(s)\trefine_share")
+	for _, name := range labNames {
+		lab := env.Lab(name)
+		eng, err := lab.Sys.Engine(exploitbit.NoCache, 0, 0)
+		if err != nil {
+			return err
+		}
+		agg := lab.RunQueries(eng, env.Scale.K)
+		gen, ref := agg.AvgGeneration(), agg.AvgRefinement()
+		share := 0.0
+		if tot := gen + ref; tot > 0 {
+			share = ref.Seconds() / tot.Seconds()
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%.3f\n", name, secs(gen), secs(ref), share)
+	}
+	fmt.Fprintln(tw, "# expected shape: refinement dominates (share near 1) on every dataset")
+	return tw.Flush()
+}
+
+func fig2(w io.Writer, env *Env) error {
+	lab := env.Lab("SOGOU")
+	// Rebuild the lab's log distribution for reporting (same parameters).
+	log := dataset.GenLog(lab.DS, dataset.LogConfig{
+		PoolSize: env.Scale.PoolSize, Length: env.Scale.WLLen + env.Scale.QTest,
+		ZipfS: 1.3, Perturb: 0.005, Seed: 104,
+	})
+	freqs := log.RankFreq()
+	tw := table(w)
+	fmt.Fprintln(tw, "rank\tfrequency")
+	for r := 1; r <= len(freqs); r *= 2 {
+		fmt.Fprintf(tw, "%d\t%d\n", r, freqs[r-1])
+	}
+	top := 0
+	cut := len(freqs) / 10
+	if cut < 1 {
+		cut = 1
+	}
+	for _, f := range freqs[:cut] {
+		top += f
+	}
+	fmt.Fprintf(tw, "# top 10%% of distinct queries carry %.0f%% of the log (power law as in Fig 2)\n",
+		100*float64(top)/float64(len(log.Seq)))
+	return tw.Flush()
+}
+
+// fig6 reproduces the paper's worked example exactly, using its integer
+// closed-interval bound convention: dataset {3,4,10,12,22,24,30,31}, query
+// q=17, k=2, τ=2 (B=4 buckets over [0..31]). Expected remaining candidates:
+// equi-width 6, equi-depth 4 (V-optimal likewise), ideal 0.
+func fig6(w io.Writer, env *Env) error {
+	values := []int{3, 4, 10, 12, 22, 24, 30, 31}
+	const q, k, ndom = 17, 2, 32
+
+	remaining := func(uppers []int) int {
+		lb := make([]float64, len(values))
+		ub := make([]float64, len(values))
+		bounds1D := func(v, blo, bhi int) (float64, float64) {
+			l := 0.0
+			if blo > q {
+				l = float64(blo - q)
+			} else if q > bhi {
+				l = float64(q - bhi)
+			}
+			u := float64(q - blo)
+			if float64(bhi-q) > u {
+				u = float64(bhi - q)
+			}
+			return l, u
+		}
+		for i, v := range values {
+			blo, bhi := 0, ndom-1
+			prev := -1
+			for _, up := range uppers {
+				if v <= up {
+					blo, bhi = prev+1, up
+					break
+				}
+				prev = up
+			}
+			lb[i], ub[i] = bounds1D(v, blo, bhi)
+		}
+		lbk := kth(lb, k)
+		ubk := kth(ub, k)
+		rem := 0
+		for i := range values {
+			switch {
+			case lb[i] > ubk: // early pruning (Algorithm 1 line 10)
+			case ub[i] <= lbk: // true result detection (Section 3.4.1, case i: non-strict)
+			default:
+				rem++
+			}
+		}
+		return rem
+	}
+
+	// The paper's histograms.
+	equiWidth := []int{7, 15, 23, 31}
+	freq := make([]float64, ndom)
+	for _, v := range values {
+		freq[v]++
+	}
+	hd := histogramUppers("equi-depth", freq, 4)
+	hv := histogramUppers("v-optimal", freq, 4)
+
+	// Ideal: brute-force minimization of the remaining count — the metric M1
+	// optimum of Definition 9 (feasible here: C(31,3) partitions).
+	best, bestRem := []int(nil), 1<<30
+	for u1 := 0; u1 < ndom-3; u1++ {
+		for u2 := u1 + 1; u2 < ndom-2; u2++ {
+			for u3 := u2 + 1; u3 < ndom-1; u3++ {
+				up := []int{u1, u2, u3, ndom - 1}
+				if r := remaining(up); r < bestRem {
+					bestRem, best = r, append([]int(nil), up...)
+				}
+			}
+		}
+	}
+
+	tw := table(w)
+	fmt.Fprintln(tw, "histogram\tbucket_uppers\tremaining")
+	fmt.Fprintf(tw, "equi-width\t%v\t%d\n", equiWidth, remaining(equiWidth))
+	fmt.Fprintf(tw, "equi-depth\t%v\t%d\n", hd, remaining(hd))
+	fmt.Fprintf(tw, "v-optimal\t%v\t%d\n", hv, remaining(hv))
+	fmt.Fprintf(tw, "ideal (M1 optimum)\t%v\t%d\n", best, bestRem)
+	fmt.Fprintln(tw, "# paper: equi-width 6, equi-depth/V-optimal 4, ideal 0")
+	return tw.Flush()
+}
+
+// histogramUppers builds a histogram of the given kind over freq and
+// returns its bucket upper bounds.
+func histogramUppers(kind string, freq []float64, b int) []int {
+	var h *histogram.Histogram
+	switch kind {
+	case "equi-depth":
+		h = histogram.EquiDepth(freq, b)
+	case "v-optimal":
+		h = histogram.VOptimal(freq, b)
+	default:
+		panic("bench: unknown histogram kind " + kind)
+	}
+	return h.Uppers()
+}
+
+func kth(xs []float64, k int) float64 {
+	s := append([]float64(nil), xs...)
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j-1] > s[j]; j-- {
+			s[j-1], s[j] = s[j], s[j-1]
+		}
+	}
+	return s[k-1]
+}
+
+func fig8(w io.Writer, env *Env) error {
+	lab := env.Lab("SOGOU")
+	tw := table(w)
+	fmt.Fprintln(tw, "k\tHFF_refine(s)\tLRU_refine(s)")
+	hff, err := lab.Sys.EngineWith(core.Config{Method: exploitbit.Exact, CacheBytes: lab.DefaultCS, Policy: cache.HFF})
+	if err != nil {
+		return err
+	}
+	lru, err := lab.Sys.EngineWith(core.Config{Method: exploitbit.Exact, CacheBytes: lab.DefaultCS, Policy: cache.LRU})
+	if err != nil {
+		return err
+	}
+	// Warm the dynamic cache by replaying (a slice of) the workload.
+	warm := lab.WL
+	if len(warm) > 400 {
+		warm = warm[len(warm)-400:]
+	}
+	for _, q := range warm {
+		if _, _, err := lru.Search(q, env.Scale.K); err != nil {
+			return err
+		}
+	}
+	for _, k := range []int{10, 40, 70, 100} {
+		aggH := lab.RunQueries(hff, k)
+		aggL := lab.RunQueries(lru, k)
+		fmt.Fprintf(tw, "%d\t%s\t%s\n", k, secs(aggH.AvgRefinement()), secs(aggL.AvgRefinement()))
+	}
+	fmt.Fprintln(tw, "# expected shape: HFF at or below LRU for every k (Fig 8)")
+	return tw.Flush()
+}
+
+func fig9(w io.Writer, env *Env) error {
+	s := env.Scale
+	ds := exploitbit.SogouLike(s.NSogou, 103)
+	log := dataset.GenLog(ds, dataset.LogConfig{
+		PoolSize: s.PoolSize, Length: s.WLLen + s.QTest, ZipfS: 1.3, Perturb: 0.005, Seed: 104,
+	})
+	wl, qtest := log.Split(s.QTest)
+
+	clustered := idistance.Build(ds, idistance.Params{Refs: 8, Seed: 9}).Ordering(ds.Len())
+	sorted := lsh.Build(ds, lsh.Params{MaxM: 8, Seed: 9}).SortedKeyOrdering()
+
+	orderings := []struct {
+		name string
+		perm []int
+	}{{"Raw", nil}, {"Clustered", clustered}, {"SortedKey", sorted}}
+
+	tw := table(w)
+	fmt.Fprintln(tw, "ordering\tk=10 refine(s)\tk=100 refine(s)")
+	for _, o := range orderings {
+		sys, err := exploitbit.Open(ds, wl, exploitbit.Options{Tio: env.Tio, WorkloadK: s.K, Ordering: o.perm})
+		if err != nil {
+			return err
+		}
+		eng, err := sys.Engine(exploitbit.Exact, int64(float64(ds.Len()*ds.PointSize())*s.CacheFrac), 0)
+		if err != nil {
+			sys.Close()
+			return err
+		}
+		var r10, r100 string
+		for _, k := range []int{10, 100} {
+			eng.ResetStats()
+			for _, q := range qtest {
+				if _, _, err := eng.Search(q, k); err != nil {
+					sys.Close()
+					return err
+				}
+			}
+			if k == 10 {
+				r10 = secs(eng.Aggregate().AvgRefinement())
+			} else {
+				r100 = secs(eng.Aggregate().AvgRefinement())
+			}
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\n", o.name, r10, r100)
+		sys.Close()
+	}
+	fmt.Fprintln(tw, "# expected shape: all three orderings within noise of each other under HFF (Fig 9)")
+	return tw.Flush()
+}
+
+func tab3(w io.Writer, env *Env) error {
+	lab := env.Lab("SOGOU")
+	methods := []exploitbit.Method{
+		exploitbit.HCW, exploitbit.IHCW, exploitbit.HCD, exploitbit.IHCD,
+		exploitbit.HCO, exploitbit.IHCO, exploitbit.MHCR,
+	}
+	tw := table(w)
+	fmt.Fprintln(tw, "method\tspace(KB)\tconstruction(s)\tavg_Trefine(s)")
+	for _, m := range methods {
+		eng, err := lab.Sys.Engine(m, lab.DefaultCS, lab.DefaultTau)
+		if err != nil {
+			return err
+		}
+		agg := lab.RunQueries(eng, env.Scale.K)
+		fmt.Fprintf(tw, "%s\t%.1f\t%s\t%s\n", m,
+			float64(eng.HistogramSpaceBytes())/1024,
+			secs(eng.HistogramBuildTime()),
+			secs(agg.AvgRefinement()))
+	}
+	fmt.Fprintln(tw, "# expected shape: iHC-* ≈ HC-* quality at d× the space and far higher build time; mHC-R badly worse (Table 3)")
+	return tw.Flush()
+}
+
+func fig10(w io.Writer, env *Env) error {
+	lab := env.Lab("SOGOU")
+	fileBytes := int64(lab.DS.Len()) * int64(lab.DS.PointSize())
+	tw := table(w)
+	fmt.Fprintln(tw, "cache_MB\tcache_frac\tC-VA_resp(s)\tHC-D_resp(s)")
+	for _, frac := range []float64{0.034, 0.07, 0.12, 0.20} {
+		cs := int64(float64(fileBytes) * frac)
+		cva, err := lab.Sys.Engine(exploitbit.CVA, cs, 0)
+		if err != nil {
+			return err
+		}
+		hcd, err := lab.Sys.Engine(exploitbit.HCD, cs, lab.Sys.OptimalTau(cs))
+		if err != nil {
+			return err
+		}
+		aggC := lab.RunQueries(cva, env.Scale.K)
+		aggD := lab.RunQueries(hcd, env.Scale.K)
+		fmt.Fprintf(tw, "%s\t%.3f\t%s\t%s\n", mb(cs), frac, secs(aggC.AvgResponse()), secs(aggD.AvgResponse()))
+	}
+	fmt.Fprintln(tw, "# expected shape: C-VA worse at small caches (too few bits/point), converging at large caches (Fig 10)")
+	return tw.Flush()
+}
+
+func fig11(w io.Writer, env *Env) error {
+	lab := env.Lab("SOGOU")
+	methods := []exploitbit.Method{
+		exploitbit.Exact, exploitbit.MHCR, exploitbit.HCW,
+		exploitbit.HCV, exploitbit.HCD, exploitbit.HCO,
+	}
+	tw := table(w)
+	fmt.Fprintln(tw, "method\tavg_query_IO\tremaining_candidates")
+	for _, m := range methods {
+		eng, err := lab.Sys.Engine(m, lab.DefaultCS, lab.DefaultTau)
+		if err != nil {
+			return err
+		}
+		agg := lab.RunQueries(eng, env.Scale.K)
+		fmt.Fprintf(tw, "%s\t%.1f\t%.1f\n", m, agg.AvgIO(), agg.AvgRemaining())
+	}
+	fmt.Fprintln(tw, "# expected shape: HC-O lowest I/O; HC-O below HC-D by ~50%; mHC-R worst (Fig 11)")
+	return tw.Flush()
+}

@@ -1,0 +1,250 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"exploitbit"
+)
+
+func init() {
+	register("fig12", "Cost model accuracy: estimated vs measured I/O of HC-W across τ", fig12)
+	register("tab4", "Refinement time at default τ and at optimal τ*", tab4)
+	register("fig13", "Response time vs cache size", fig13)
+	register("fig14", "Response time vs result size k", fig14)
+	register("fig15", "Effect of code length τ (SOGOU): hit·prune, I/O, refinement time", fig15)
+	register("fig16", "Exact kNN indexes (iDistance, VA-file, VP-tree): EXACT vs HC-O", fig16)
+}
+
+var tauSweep = []int{4, 5, 6, 7, 8, 9, 10, 12}
+
+func fig12(w io.Writer, env *Env) error {
+	tw := table(w)
+	fmt.Fprintln(tw, "dataset\ttau\testimated_IO\tmeasured_IO")
+	for _, name := range labNames {
+		lab := env.Lab(name)
+		in := lab.Sys.CostInputs(lab.DefaultCS)
+		for _, tau := range tauSweep {
+			eng, err := lab.Sys.Engine(exploitbit.HCW, lab.DefaultCS, tau)
+			if err != nil {
+				return err
+			}
+			agg := lab.RunQueries(eng, env.Scale.K)
+			fmt.Fprintf(tw, "%s\t%d\t%.1f\t%.1f\n", name, tau, in.EstimatedCrefine(tau), agg.AvgIO())
+		}
+	}
+	fmt.Fprintln(tw, "# expected shape: estimated curve tracks measured; model's best τ near the measured optimum (Fig 12)")
+	return tw.Flush()
+}
+
+func tab4(w io.Writer, env *Env) error {
+	methods := []exploitbit.Method{
+		exploitbit.Exact, exploitbit.HCW, exploitbit.HCV, exploitbit.HCD, exploitbit.HCO,
+	}
+	tw := table(w)
+	fmt.Fprintln(tw, "dataset\tmethod\tdefault_Trefine(s)\toptimal_Trefine(s)\ttau*")
+	for _, name := range labNames {
+		lab := env.Lab(name)
+		for _, m := range methods {
+			def, err := lab.Sys.Engine(m, lab.DefaultCS, lab.DefaultTau)
+			if err != nil {
+				return err
+			}
+			defAgg := lab.RunQueries(def, env.Scale.K)
+			bestT, bestTau := defAgg.AvgRefinement(), lab.DefaultTau
+			if m != exploitbit.Exact { // EXACT has no τ
+				for _, tau := range tauSweep {
+					if tau == lab.DefaultTau {
+						continue
+					}
+					eng, err := lab.Sys.Engine(m, lab.DefaultCS, tau)
+					if err != nil {
+						return err
+					}
+					agg := lab.RunQueries(eng, env.Scale.K)
+					if r := agg.AvgRefinement(); r < bestT {
+						bestT, bestTau = r, tau
+					}
+				}
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%d\n", name, m, secs(defAgg.AvgRefinement()), secs(bestT), bestTau)
+		}
+	}
+	fmt.Fprintln(tw, "# expected shape: HC-O < HC-D < HC-V/HC-W << EXACT; HC-O vs EXACT ≈ an order of magnitude (Table 4)")
+	return tw.Flush()
+}
+
+func fig13(w io.Writer, env *Env) error {
+	methods := []exploitbit.Method{
+		exploitbit.NoCache, exploitbit.Exact, exploitbit.CVA,
+		exploitbit.HCW, exploitbit.HCD, exploitbit.HCO,
+	}
+	tw := table(w)
+	header := "dataset\tcache_frac"
+	for _, m := range methods {
+		header += "\t" + string(m)
+	}
+	fmt.Fprintln(tw, header+"\t(avg response s)")
+	for _, name := range labNames {
+		lab := env.Lab(name)
+		fileBytes := int64(lab.DS.Len()) * int64(lab.DS.PointSize())
+		for _, frac := range []float64{0.05, 0.1, 0.2, 0.33, 0.45} {
+			cs := int64(float64(fileBytes) * frac)
+			row := fmt.Sprintf("%s\t%.2f", name, frac)
+			for _, m := range methods {
+				eng, err := lab.Sys.Engine(m, cs, lab.Sys.OptimalTau(cs))
+				if err != nil {
+					return err
+				}
+				agg := lab.RunQueries(eng, env.Scale.K)
+				row += fmt.Sprintf("\t%s", secs(agg.AvgResponse()))
+			}
+			fmt.Fprintln(tw, row)
+		}
+	}
+	fmt.Fprintln(tw, "# expected shape: HC-* reach their floor near 1/3 of the file size; HC-O best throughout (Fig 13)")
+	return tw.Flush()
+}
+
+func fig14(w io.Writer, env *Env) error {
+	methods := []exploitbit.Method{
+		exploitbit.CVA, exploitbit.HCW, exploitbit.HCD, exploitbit.HCO,
+	}
+	tw := table(w)
+	header := "dataset\tk"
+	for _, m := range methods {
+		header += "\t" + string(m)
+	}
+	fmt.Fprintln(tw, header+"\t(avg response s)")
+	for _, name := range labNames {
+		lab := env.Lab(name)
+		engines := make([]*exploitbit.Engine, len(methods))
+		for i, m := range methods {
+			eng, err := lab.Sys.Engine(m, lab.DefaultCS, lab.DefaultTau)
+			if err != nil {
+				return err
+			}
+			engines[i] = eng
+		}
+		for _, k := range []int{1, 10, 25, 50, 100} {
+			row := fmt.Sprintf("%s\t%d", name, k)
+			for _, eng := range engines {
+				agg := lab.RunQueries(eng, k)
+				row += fmt.Sprintf("\t%s", secs(agg.AvgResponse()))
+			}
+			fmt.Fprintln(tw, row)
+		}
+	}
+	fmt.Fprintln(tw, "# expected shape: time rises with k; HC-O best, then HC-D, then HC-W (Fig 14)")
+	return tw.Flush()
+}
+
+func fig15(w io.Writer, env *Env) error {
+	lab := env.Lab("SOGOU")
+	methods := []exploitbit.Method{exploitbit.HCW, exploitbit.HCD, exploitbit.HCO}
+	tw := table(w)
+	fmt.Fprintln(tw, "method\ttau\thit_x_prune\tavg_Crefine\trefine(s)")
+	for _, m := range methods {
+		for _, tau := range tauSweep {
+			eng, err := lab.Sys.Engine(m, lab.DefaultCS, tau)
+			if err != nil {
+				return err
+			}
+			agg := lab.RunQueries(eng, env.Scale.K)
+			fmt.Fprintf(tw, "%s\t%d\t%.3f\t%.1f\t%s\n", m, tau,
+				agg.HitRatio()*agg.PruneRatio(), agg.AvgRemaining(), secs(agg.AvgRefinement()))
+		}
+	}
+	fmt.Fprintln(tw, "# expected shape: interior optimum in τ; HC-O most robust at small τ (Fig 15)")
+	return tw.Flush()
+}
+
+func fig16(w io.Writer, env *Env) error {
+	s := env.Scale
+	ds := exploitbit.ImgNetLike(s.NImgn/2, 102)
+	log := genLogFor(ds, s)
+	wl, qtest := log.Split(s.QTest)
+	budget := int64(float64(ds.Len()*ds.PointSize()) * s.CacheFrac)
+	ks := []int{10, 50, 100}
+
+	tw := table(w)
+	fmt.Fprintln(tw, "index\tk\tEXACT_resp(s)\tHC-O_resp(s)\tspeedup")
+
+	run := func(index string, search func(m exploitbit.Method) (func(q []float32, k int) (time.Duration, error), error)) error {
+		exact, err := search(exploitbit.Exact)
+		if err != nil {
+			return err
+		}
+		hco, err := search(exploitbit.HCO)
+		if err != nil {
+			return err
+		}
+		for _, k := range ks {
+			var tE, tO time.Duration
+			for _, q := range qtest {
+				d, err := exact(q, k)
+				if err != nil {
+					return err
+				}
+				tE += d
+				d, err = hco(q, k)
+				if err != nil {
+					return err
+				}
+				tO += d
+			}
+			n := time.Duration(len(qtest))
+			sp := 0.0
+			if tO > 0 {
+				sp = tE.Seconds() / tO.Seconds()
+			}
+			fmt.Fprintf(tw, "%s\t%d\t%s\t%s\t%.1fx\n", index, k, secs(tE/n), secs(tO/n), sp)
+		}
+		return nil
+	}
+
+	// iDistance and VP-tree: the Section 3.6.1 leaf-cache adaptation.
+	for _, kind := range []exploitbit.TreeKind{exploitbit.IDistance, exploitbit.VPTree} {
+		ts, err := exploitbit.OpenTree(ds, kind, wl, exploitbit.TreeOptions{Tio: env.Tio, WorkloadK: s.K, Seed: 7})
+		if err != nil {
+			return err
+		}
+		err = run(string(kind), func(m exploitbit.Method) (func(q []float32, k int) (time.Duration, error), error) {
+			eng, err := ts.Engine(m, budget, s.Tau)
+			if err != nil {
+				return nil, err
+			}
+			return func(q []float32, k int) (time.Duration, error) {
+				_, st, err := eng.Search(q, k)
+				return st.ResponseTime(), err
+			}, nil
+		})
+		ts.Close()
+		if err != nil {
+			return err
+		}
+	}
+
+	// VA-file: a candidate-generating index; caching applies to point fetches.
+	sys, err := exploitbit.Open(ds, wl, exploitbit.Options{Index: exploitbit.VAFile, Tio: env.Tio, WorkloadK: s.K})
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+	err = run("va-file", func(m exploitbit.Method) (func(q []float32, k int) (time.Duration, error), error) {
+		eng, err := sys.Engine(m, budget, s.Tau)
+		if err != nil {
+			return nil, err
+		}
+		return func(q []float32, k int) (time.Duration, error) {
+			_, st, err := eng.Search(q, k)
+			return st.ResponseTime(), err
+		}, nil
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(tw, "# expected shape: HC-O at or below EXACT on every index, widening with k (Fig 16)")
+	return tw.Flush()
+}

@@ -1,0 +1,166 @@
+// Package bounds derives the conservative lower and upper distance bounds of
+// Section 3.2 from encoded (approximate) points: every bucket code pins the
+// original coordinate inside a real interval, so the code array pins the
+// point inside a bounding rectangle, and
+//
+//	dist⁻_q(p′) ≤ dist_q(p) ≤ dist⁺_q(p′)
+//
+// always holds. Those bounds power the early-pruning and true-result
+// detection of Algorithm 1.
+package bounds
+
+import (
+	"math"
+
+	"exploitbit/internal/encoding"
+	"exploitbit/internal/histogram"
+	"exploitbit/internal/vec"
+)
+
+// Table precomputes, once per histogram, the real-valued edges of every
+// bucket so per-candidate bound computation is a couple of array lookups per
+// dimension. It serves both global histograms (one shared edge table) and
+// per-dimension histograms (one edge table per dimension).
+type Table struct {
+	dim    int
+	shared bool
+	loEdge [][]float64 // [1][B] when shared, else [dim][B]
+	hiEdge [][]float64
+}
+
+// NewTable builds the edge table for a global histogram over domain dom,
+// for dim-dimensional points.
+func NewTable(h *histogram.Histogram, dom vec.Domain, dim int) *Table {
+	lo, hi := edges(h, dom)
+	return &Table{dim: dim, shared: true, loEdge: [][]float64{lo}, hiEdge: [][]float64{hi}}
+}
+
+// NewTablePerDim builds edge tables for an individual-dimension histogram.
+func NewTablePerDim(p *histogram.PerDim, dom vec.Domain) *Table {
+	t := &Table{dim: p.Dim(), loEdge: make([][]float64, p.Dim()), hiEdge: make([][]float64, p.Dim())}
+	for j, h := range p.H {
+		t.loEdge[j], t.hiEdge[j] = edges(h, dom)
+	}
+	return t
+}
+
+func edges(h *histogram.Histogram, dom vec.Domain) (lo, hi []float64) {
+	lo = make([]float64, h.B())
+	hi = make([]float64, h.B())
+	for b := 0; b < h.B(); b++ {
+		l, u := h.Interval(b)
+		lo[b] = dom.BinLo(l)
+		hi[b] = dom.BinHi(u)
+	}
+	return lo, hi
+}
+
+// Dim returns the dimensionality the table serves.
+func (t *Table) Dim() int { return t.dim }
+
+func (t *Table) edgesFor(j int) (lo, hi []float64) {
+	if t.shared {
+		return t.loEdge[0], t.hiEdge[0]
+	}
+	return t.loEdge[j], t.hiEdge[j]
+}
+
+// Bounds computes (dist⁻, dist⁺) of the encoded point codes from query q.
+func (t *Table) Bounds(q []float32, codes []int) (lb, ub float64) {
+	var sLo, sUp float64
+	for j, code := range codes {
+		loE, hiE := t.edgesFor(j)
+		l, u := loE[code], hiE[code]
+		qj := float64(q[j])
+		dl, du := qj-l, u-qj // distances to the near edges (sign-aware)
+		// Upper bound: distance to the farther corner.
+		a, b := math.Abs(dl), math.Abs(du)
+		far := a
+		if b > far {
+			far = b
+		}
+		sUp += far * far
+		// Lower bound: zero if q inside the interval, else nearest edge.
+		if dl < 0 { // q left of interval
+			sLo += dl * dl
+		} else if du < 0 { // q right of interval
+			sLo += du * du
+		}
+	}
+	return math.Sqrt(sLo), math.Sqrt(sUp)
+}
+
+// BoundsPacked computes bounds directly from a packed word array, avoiding
+// an intermediate decode.
+func (t *Table) BoundsPacked(q []float32, words []uint64, c encoding.Codec) (lb, ub float64) {
+	var sLo, sUp float64
+	for j := 0; j < t.dim; j++ {
+		code := c.At(words, j)
+		loE, hiE := t.edgesFor(j)
+		l, u := loE[code], hiE[code]
+		qj := float64(q[j])
+		dl, du := qj-l, u-qj
+		a, b := math.Abs(dl), math.Abs(du)
+		far := a
+		if b > far {
+			far = b
+		}
+		sUp += far * far
+		if dl < 0 {
+			sLo += dl * dl
+		} else if du < 0 {
+			sLo += du * du
+		}
+	}
+	return math.Sqrt(sLo), math.Sqrt(sUp)
+}
+
+// ErrNorm returns ‖ε(c)‖, the Euclidean norm of the error vector of
+// Definition 10 (per-dimension real bucket widths) for an encoded point.
+// Theorem 2's refinement-ratio estimate consumes it.
+func (t *Table) ErrNorm(codes []int) float64 {
+	var s float64
+	for j, code := range codes {
+		loE, hiE := t.edgesFor(j)
+		w := hiE[code] - loE[code]
+		s += w * w
+	}
+	return math.Sqrt(s)
+}
+
+// Rect computes (dist⁻, dist⁺) between q and an explicit rectangle
+// [lo, hi] — the bound computation for mHC-R buckets and R-tree MBRs.
+func Rect(q, lo, hi []float32) (lb, ub float64) {
+	var sLo, sUp float64
+	for j := range q {
+		qj := float64(q[j])
+		dl, du := qj-float64(lo[j]), float64(hi[j])-qj
+		a, b := math.Abs(dl), math.Abs(du)
+		far := a
+		if b > far {
+			far = b
+		}
+		sUp += far * far
+		if dl < 0 {
+			sLo += dl * dl
+		} else if du < 0 {
+			sLo += du * du
+		}
+	}
+	return math.Sqrt(sLo), math.Sqrt(sUp)
+}
+
+// RectMin computes only dist⁻ to a rectangle (the MINDIST used by R-tree
+// and other tree traversals).
+func RectMin(q, lo, hi []float32) float64 {
+	var s float64
+	for j := range q {
+		qj := float64(q[j])
+		if dl := float64(lo[j]) - qj; dl > 0 {
+			s += dl * dl
+		} else if du := qj - float64(hi[j]); du > 0 {
+			s += du * du
+		}
+	}
+	return math.Sqrt(s)
+}

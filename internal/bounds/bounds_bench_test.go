@@ -1,0 +1,65 @@
+package bounds
+
+import (
+	"math/rand"
+	"testing"
+
+	"exploitbit/internal/encoding"
+	"exploitbit/internal/histogram"
+	"exploitbit/internal/vec"
+)
+
+func benchSetup(dim, tau int) (*Table, []float32, []uint64, encoding.Codec) {
+	rng := rand.New(rand.NewSource(1))
+	dom := vec.NewDomain(0, 1, 1024)
+	h := histogram.EquiWidth(1024, 1<<tau)
+	tab := NewTable(h, dom, dim)
+	codec := encoding.NewCodec(dim, tau)
+	q := make([]float32, dim)
+	codes := make([]int, dim)
+	for j := range q {
+		q[j] = rng.Float32()
+		codes[j] = rng.Intn(1 << tau)
+	}
+	return tab, q, codec.Encode(codes, nil), codec
+}
+
+// BenchmarkBoundsPacked150d is the per-candidate cost of Phase 2: one
+// lower/upper bound pair from a packed 150-d code array.
+func BenchmarkBoundsPacked150d(b *testing.B) {
+	tab, q, words, codec := benchSetup(150, 10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab.BoundsPacked(q, words, codec)
+	}
+}
+
+func BenchmarkBoundsPacked960d(b *testing.B) {
+	tab, q, words, codec := benchSetup(960, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab.BoundsPacked(q, words, codec)
+	}
+}
+
+func BenchmarkRect960d(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	dim := 960
+	q := make([]float32, dim)
+	lo := make([]float32, dim)
+	hi := make([]float32, dim)
+	for j := 0; j < dim; j++ {
+		q[j] = rng.Float32()
+		a, c := rng.Float32(), rng.Float32()
+		if a > c {
+			a, c = c, a
+		}
+		lo[j], hi[j] = a, c
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Rect(q, lo, hi)
+	}
+}

@@ -1,0 +1,288 @@
+// Package btree implements the B+-tree underlying iDistance (Jagadish et
+// al.: "an adaptive B+-tree based indexing method"): an ordered map from
+// float64 keys to int32 values with duplicate keys allowed, supporting bulk
+// loading, inserts, and the bidirectional range scans that iDistance's
+// radius-expansion search issues around each reference point's key.
+//
+// Only the in-memory structure is provided — in the paper's architecture
+// (Section 3.6.1) the non-leaf levels live in RAM while the data pages the
+// leaves point at are the disk-resident leafstore.
+package btree
+
+import "fmt"
+
+// Order is the fan-out: internal nodes hold up to Order children, leaves up
+// to Order entries.
+const Order = 32
+
+type leaf struct {
+	keys []float64
+	vals []int32
+	next *leaf // right-sibling chain for range scans
+	prev *leaf
+}
+
+type internalNode struct {
+	// keys[i] is the smallest key reachable under children[i+1].
+	keys     []float64
+	children []any // *internalNode or *leaf
+}
+
+// Tree is a B+-tree. The zero value is an empty tree ready for use.
+type Tree struct {
+	root any // *internalNode, *leaf, or nil
+	size int
+}
+
+// Len returns the number of stored entries.
+func (t *Tree) Len() int { return t.size }
+
+// BulkLoad builds a tree from entries sorted ascending by key. It panics on
+// unsorted input (a programming error). Duplicate keys are allowed.
+func BulkLoad(keys []float64, vals []int32) *Tree {
+	if len(keys) != len(vals) {
+		panic(fmt.Sprintf("btree: %d keys but %d values", len(keys), len(vals)))
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i] < keys[i-1] {
+			panic("btree: BulkLoad input not sorted")
+		}
+	}
+	t := &Tree{size: len(keys)}
+	if len(keys) == 0 {
+		return t
+	}
+	// Build the leaf level: chunks of up to Order entries.
+	var leaves []*leaf
+	for start := 0; start < len(keys); start += Order {
+		end := start + Order
+		if end > len(keys) {
+			end = len(keys)
+		}
+		l := &leaf{
+			keys: append([]float64(nil), keys[start:end]...),
+			vals: append([]int32(nil), vals[start:end]...),
+		}
+		if len(leaves) > 0 {
+			leaves[len(leaves)-1].next = l
+			l.prev = leaves[len(leaves)-1]
+		}
+		leaves = append(leaves, l)
+	}
+	// Build internal levels bottom-up.
+	level := make([]any, len(leaves))
+	firstKey := make([]float64, len(leaves))
+	for i, l := range leaves {
+		level[i] = l
+		firstKey[i] = l.keys[0]
+	}
+	for len(level) > 1 {
+		var next []any
+		var nextFirst []float64
+		for start := 0; start < len(level); start += Order {
+			end := start + Order
+			if end > len(level) {
+				end = len(level)
+			}
+			n := &internalNode{
+				children: append([]any(nil), level[start:end]...),
+				keys:     append([]float64(nil), firstKey[start+1:end]...),
+			}
+			next = append(next, n)
+			nextFirst = append(nextFirst, firstKey[start])
+		}
+		level, firstKey = next, nextFirst
+	}
+	t.root = level[0]
+	return t
+}
+
+// Insert adds one entry.
+func (t *Tree) Insert(key float64, val int32) {
+	t.size++
+	if t.root == nil {
+		t.root = &leaf{keys: []float64{key}, vals: []int32{val}}
+		return
+	}
+	newChild, splitKey := t.insert(t.root, key, val)
+	if newChild != nil {
+		t.root = &internalNode{keys: []float64{splitKey}, children: []any{t.root, newChild}}
+	}
+}
+
+// insert descends, returning a new right sibling and its separator key when
+// the child split.
+func (t *Tree) insert(node any, key float64, val int32) (any, float64) {
+	switch n := node.(type) {
+	case *leaf:
+		i := lowerBound(n.keys, key)
+		n.keys = append(n.keys, 0)
+		n.vals = append(n.vals, 0)
+		copy(n.keys[i+1:], n.keys[i:])
+		copy(n.vals[i+1:], n.vals[i:])
+		n.keys[i], n.vals[i] = key, val
+		if len(n.keys) <= Order {
+			return nil, 0
+		}
+		mid := len(n.keys) / 2
+		right := &leaf{
+			keys: append([]float64(nil), n.keys[mid:]...),
+			vals: append([]int32(nil), n.vals[mid:]...),
+			next: n.next,
+			prev: n,
+		}
+		if n.next != nil {
+			n.next.prev = right
+		}
+		n.keys = n.keys[:mid]
+		n.vals = n.vals[:mid]
+		n.next = right
+		return right, right.keys[0]
+
+	case *internalNode:
+		ci := upperBound(n.keys, key)
+		newChild, splitKey := t.insert(n.children[ci], key, val)
+		if newChild == nil {
+			return nil, 0
+		}
+		n.keys = append(n.keys, 0)
+		n.children = append(n.children, nil)
+		copy(n.keys[ci+1:], n.keys[ci:])
+		copy(n.children[ci+2:], n.children[ci+1:])
+		n.keys[ci] = splitKey
+		n.children[ci+1] = newChild
+		if len(n.children) <= Order {
+			return nil, 0
+		}
+		mid := len(n.children) / 2
+		right := &internalNode{
+			keys:     append([]float64(nil), n.keys[mid:]...),
+			children: append([]any(nil), n.children[mid:]...),
+		}
+		sep := n.keys[mid-1]
+		n.keys = n.keys[:mid-1]
+		n.children = n.children[:mid]
+		return right, sep
+
+	default:
+		panic("btree: corrupt node")
+	}
+}
+
+// lowerBound returns the first index with keys[i] >= key.
+func lowerBound(keys []float64, key float64) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if keys[mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// upperBound returns the child index to descend for key: the number of
+// separator keys <= key.
+func upperBound(keys []float64, key float64) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if keys[mid] <= key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// findLeaf descends to the LEFTMOST leaf that can contain key (duplicates
+// may span node boundaries), returning it and the entry index of the first
+// key >= key (possibly len(keys) → continue at the next leaf).
+func (t *Tree) findLeaf(key float64) (*leaf, int) {
+	node := t.root
+	for {
+		switch n := node.(type) {
+		case *leaf:
+			return n, lowerBound(n.keys, key)
+		case *internalNode:
+			// Descend the first child whose range can hold key: separator
+			// keys equal to key still allow duplicates in the child to the
+			// left, so use the lower bound, not the upper.
+			node = n.children[lowerBound(n.keys, key)]
+		default:
+			return nil, 0
+		}
+	}
+}
+
+// Range calls fn for every entry with lo <= key <= hi, ascending. fn
+// returning false stops the scan.
+func (t *Tree) Range(lo, hi float64, fn func(key float64, val int32) bool) {
+	if t.root == nil {
+		return
+	}
+	l, i := t.findLeaf(lo)
+	for l != nil {
+		for ; i < len(l.keys); i++ {
+			if l.keys[i] > hi {
+				return
+			}
+			if !fn(l.keys[i], l.vals[i]) {
+				return
+			}
+		}
+		l = l.next
+		i = 0
+	}
+}
+
+// Ascend calls fn for entries with key >= from, ascending, until fn returns
+// false.
+func (t *Tree) Ascend(from float64, fn func(key float64, val int32) bool) {
+	if t.root == nil {
+		return
+	}
+	l, i := t.findLeaf(from)
+	for l != nil {
+		for ; i < len(l.keys); i++ {
+			if !fn(l.keys[i], l.vals[i]) {
+				return
+			}
+		}
+		l = l.next
+		i = 0
+	}
+}
+
+// Descend calls fn for entries with key < from, descending, until fn
+// returns false. Together with Ascend it provides iDistance's outward
+// bidirectional expansion from a starting key.
+func (t *Tree) Descend(from float64, fn func(key float64, val int32) bool) {
+	if t.root == nil {
+		return
+	}
+	l, i := t.findLeaf(from)
+	// Step back one entry: i currently points at the first key >= from.
+	i--
+	for l != nil {
+		if i < 0 {
+			l = l.prev
+			if l == nil {
+				return
+			}
+			i = len(l.keys) - 1
+		}
+		for ; i >= 0; i-- {
+			if !fn(l.keys[i], l.vals[i]) {
+				return
+			}
+		}
+		l = l.prev
+		if l != nil {
+			i = len(l.keys) - 1
+		}
+	}
+}

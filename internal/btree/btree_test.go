@@ -1,0 +1,199 @@
+package btree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// refEntries builds sorted reference entries.
+type refEntry struct {
+	k float64
+	v int32
+}
+
+func buildBoth(t *testing.T, rng *rand.Rand, n int, bulk bool) (*Tree, []refEntry) {
+	t.Helper()
+	ref := make([]refEntry, n)
+	for i := range ref {
+		ref[i] = refEntry{k: float64(rng.Intn(n)) + rng.Float64(), v: int32(i)}
+	}
+	var tr *Tree
+	if bulk {
+		sorted := append([]refEntry(nil), ref...)
+		sort.Slice(sorted, func(a, b int) bool { return sorted[a].k < sorted[b].k })
+		keys := make([]float64, n)
+		vals := make([]int32, n)
+		for i, e := range sorted {
+			keys[i], vals[i] = e.k, e.v
+		}
+		tr = BulkLoad(keys, vals)
+	} else {
+		tr = &Tree{}
+		for _, e := range ref {
+			tr.Insert(e.k, e.v)
+		}
+	}
+	sort.Slice(ref, func(a, b int) bool { return ref[a].k < ref[b].k })
+	return tr, ref
+}
+
+func collectRange(tr *Tree, lo, hi float64) []refEntry {
+	var out []refEntry
+	tr.Range(lo, hi, func(k float64, v int32) bool {
+		out = append(out, refEntry{k, v})
+		return true
+	})
+	return out
+}
+
+func TestRangeMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, bulk := range []bool{true, false} {
+		for trial := 0; trial < 20; trial++ {
+			n := 1 + rng.Intn(2000)
+			tr, ref := buildBoth(t, rng, n, bulk)
+			if tr.Len() != n {
+				t.Fatalf("Len = %d, want %d", tr.Len(), n)
+			}
+			for rep := 0; rep < 10; rep++ {
+				lo := rng.Float64() * float64(n)
+				hi := lo + rng.Float64()*float64(n)/4
+				got := collectRange(tr, lo, hi)
+				var want []refEntry
+				for _, e := range ref {
+					if e.k >= lo && e.k <= hi {
+						want = append(want, e)
+					}
+				}
+				if len(got) != len(want) {
+					t.Fatalf("bulk=%v n=%d [%v,%v]: %d entries, want %d", bulk, n, lo, hi, len(got), len(want))
+				}
+				for i := range want {
+					if got[i].k != want[i].k {
+						t.Fatalf("range keys diverge at %d", i)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestAscendDescendCoverEverything(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tr, ref := buildBoth(t, rng, 1500, false)
+	from := ref[len(ref)/2].k
+
+	var up []float64
+	tr.Ascend(from, func(k float64, v int32) bool {
+		up = append(up, k)
+		return true
+	})
+	var down []float64
+	tr.Descend(from, func(k float64, v int32) bool {
+		down = append(down, k)
+		return true
+	})
+	if len(up)+len(down) != len(ref) {
+		t.Fatalf("ascend %d + descend %d != %d", len(up), len(down), len(ref))
+	}
+	if !sort.Float64sAreSorted(up) {
+		t.Fatal("ascend not ascending")
+	}
+	for i := 1; i < len(down); i++ {
+		if down[i] > down[i-1] {
+			t.Fatal("descend not descending")
+		}
+	}
+	for _, k := range up {
+		if k < from {
+			t.Fatal("ascend returned key below from")
+		}
+	}
+	for _, k := range down {
+		if k >= from {
+			t.Fatal("descend returned key >= from")
+		}
+	}
+}
+
+func TestEarlyTermination(t *testing.T) {
+	tr, _ := buildBoth(t, rand.New(rand.NewSource(3)), 500, true)
+	count := 0
+	tr.Ascend(0, func(k float64, v int32) bool {
+		count++
+		return count < 7
+	})
+	if count != 7 {
+		t.Fatalf("ascend visited %d, want 7", count)
+	}
+	count = 0
+	tr.Range(0, 1e18, func(k float64, v int32) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Fatalf("range visited %d, want 3", count)
+	}
+}
+
+func TestEmptyAndTiny(t *testing.T) {
+	var tr Tree
+	tr.Range(0, 100, func(float64, int32) bool { t.Fatal("empty range yielded"); return false })
+	tr.Ascend(0, func(float64, int32) bool { t.Fatal("empty ascend yielded"); return false })
+	tr.Descend(0, func(float64, int32) bool { t.Fatal("empty descend yielded"); return false })
+	tr.Insert(5, 1)
+	if got := collectRange(&tr, 0, 10); len(got) != 1 || got[0].v != 1 {
+		t.Fatalf("singleton range = %v", got)
+	}
+	empty := BulkLoad(nil, nil)
+	if empty.Len() != 0 {
+		t.Fatal("empty bulk load non-empty")
+	}
+}
+
+func TestDuplicateKeys(t *testing.T) {
+	tr := &Tree{}
+	for i := 0; i < 300; i++ {
+		tr.Insert(42, int32(i))
+	}
+	got := collectRange(tr, 42, 42)
+	if len(got) != 300 {
+		t.Fatalf("%d duplicates stored, want 300", len(got))
+	}
+}
+
+func TestBulkLoadPanicsOnUnsorted(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	BulkLoad([]float64{2, 1}, []int32{0, 1})
+}
+
+func TestQuickInsertEqualsBulk(t *testing.T) {
+	f := func(seed int64, nRaw uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + int(nRaw)%800
+		a, _ := buildBoth(t, rng, n, true)
+		rng = rand.New(rand.NewSource(seed))
+		b, _ := buildBoth(t, rng, n, false)
+		ga := collectRange(a, -1e18, 1e18)
+		gb := collectRange(b, -1e18, 1e18)
+		if len(ga) != len(gb) {
+			return false
+		}
+		for i := range ga {
+			if ga[i].k != gb[i].k {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 25, Rand: rand.New(rand.NewSource(4))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

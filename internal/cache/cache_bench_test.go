@@ -1,0 +1,35 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkHFFGet(b *testing.B) {
+	c := New[[]uint64](10000, HFF)
+	payload := make([]uint64, 24)
+	for i := 0; i < 10000; i++ {
+		c.Put(i, payload)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Get(i % 20000) // ~50% hits
+	}
+}
+
+func BenchmarkLRUMixed(b *testing.B) {
+	c := New[[]uint64](4096, LRU)
+	payload := make([]uint64, 24)
+	rng := rand.New(rand.NewSource(1))
+	keys := make([]int, 1<<16)
+	for i := range keys {
+		keys[i] = rng.Intn(16384)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := keys[i&(1<<16-1)]
+		if _, ok := c.Get(k); !ok {
+			c.Put(k, payload)
+		}
+	}
+}

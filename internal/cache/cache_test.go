@@ -1,0 +1,218 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestCapacityForBudget(t *testing.T) {
+	// 150-d points, τ=10 → 24 words = 1536 bits per item (paper footnote 5).
+	if got := CapacityForBudget(40<<20, 1536); got != 40<<20*8/1536 {
+		t.Fatalf("got %d", got)
+	}
+	if got := CapacityForBudget(0, 64); got != 0 {
+		t.Fatalf("zero budget capacity %d", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on zero item bits")
+		}
+	}()
+	CapacityForBudget(1, 0)
+}
+
+func TestHFFStaticBehaviour(t *testing.T) {
+	c := New[string](2, HFF)
+	c.Put(1, "a")
+	c.Put(2, "b")
+	c.Put(3, "c") // beyond capacity: ignored under HFF
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	if _, ok := c.Get(3); ok {
+		t.Fatal("HFF admitted item beyond capacity")
+	}
+	if v, ok := c.Get(1); !ok || v != "a" {
+		t.Fatal("lost item 1")
+	}
+	// Updating an existing key is allowed.
+	c.Put(1, "a2")
+	if v, _ := c.Get(1); v != "a2" {
+		t.Fatal("update failed")
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if got := st.HitRatio(); got < 0.66 || got > 0.67 {
+		t.Fatalf("hit ratio = %v", got)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New[int](3, LRU)
+	c.Put(1, 10)
+	c.Put(2, 20)
+	c.Put(3, 30)
+	c.Get(1) // 1 becomes most recent; LRU order now 1,3,2
+	c.Put(4, 40)
+	if c.Contains(2) {
+		t.Fatal("LRU should have evicted 2")
+	}
+	for _, id := range []int{1, 3, 4} {
+		if !c.Contains(id) {
+			t.Fatalf("item %d missing", id)
+		}
+	}
+	// Touch 3, insert 5: should evict 1.
+	c.Get(3)
+	c.Put(5, 50)
+	if c.Contains(1) {
+		t.Fatal("LRU should have evicted 1")
+	}
+}
+
+func TestLRUPutRefreshesRecency(t *testing.T) {
+	c := New[int](2, LRU)
+	c.Put(1, 1)
+	c.Put(2, 2)
+	c.Put(1, 11) // refresh
+	c.Put(3, 3)  // evicts 2, not 1
+	if !c.Contains(1) || c.Contains(2) {
+		t.Fatal("Put did not refresh recency")
+	}
+	if v, _ := c.Get(1); v != 11 {
+		t.Fatal("Put did not update value")
+	}
+}
+
+func TestZeroCapacityIsNoCache(t *testing.T) {
+	c := New[int](0, LRU)
+	c.Put(1, 1)
+	if c.Len() != 0 {
+		t.Fatal("zero-capacity cache stored an item")
+	}
+	if _, ok := c.Get(1); ok {
+		t.Fatal("zero-capacity cache hit")
+	}
+	if c.Stats().Misses != 1 {
+		t.Fatal("miss not counted")
+	}
+}
+
+func TestContainsDoesNotCount(t *testing.T) {
+	c := New[int](1, HFF)
+	c.Put(1, 1)
+	c.Contains(1)
+	c.Contains(2)
+	if st := c.Stats(); st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("Contains affected stats: %+v", st)
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	c := New[int](1, HFF)
+	c.Put(1, 1)
+	c.Get(1)
+	c.Get(2)
+	c.ResetStats()
+	if st := c.Stats(); st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("stats not reset: %+v", st)
+	}
+	if st := (Stats{}); st.HitRatio() != 0 {
+		t.Fatal("idle hit ratio should be 0")
+	}
+}
+
+func TestRankByFrequency(t *testing.T) {
+	freq := map[int]int{5: 10, 2: 30, 9: 30, 1: 5}
+	got := RankByFrequency(freq)
+	want := []int{2, 9, 5, 1} // ties broken by ascending id
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("rank = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFillHFF(t *testing.T) {
+	c := New[int](3, HFF)
+	ranked := []int{7, 3, 9, 4, 5}
+	n := c.FillHFF(ranked, func(id int) int { return id * 10 })
+	if n != 3 || c.Len() != 3 {
+		t.Fatalf("admitted %d, len %d", n, c.Len())
+	}
+	for _, id := range ranked[:3] {
+		v, ok := c.Get(id)
+		if !ok || v != id*10 {
+			t.Fatalf("item %d wrong: %v %v", id, v, ok)
+		}
+	}
+	if c.Contains(4) {
+		t.Fatal("over-capacity item admitted")
+	}
+	// Duplicate ids in ranking are skipped, not double-counted.
+	c2 := New[int](2, HFF)
+	if n := c2.FillHFF([]int{1, 1, 2}, func(id int) int { return id }); n != 2 {
+		t.Fatalf("dup fill admitted %d", n)
+	}
+}
+
+func TestLRUStress(t *testing.T) {
+	// Randomized consistency check against a reference implementation.
+	rng := rand.New(rand.NewSource(11))
+	c := New[int](8, LRU)
+	type refEntry struct {
+		id, seq int
+	}
+	ref := map[int]refEntry{}
+	seq := 0
+	for op := 0; op < 5000; op++ {
+		id := rng.Intn(32)
+		seq++
+		if rng.Intn(2) == 0 {
+			c.Put(id, id)
+			if _, ok := ref[id]; !ok && len(ref) == 8 {
+				// evict oldest
+				oldest, oldestSeq := -1, 1<<62
+				for k, e := range ref {
+					if e.seq < oldestSeq {
+						oldest, oldestSeq = k, e.seq
+					}
+				}
+				delete(ref, oldest)
+			}
+			ref[id] = refEntry{id, seq}
+		} else {
+			_, got := c.Get(id)
+			_, want := ref[id]
+			if got != want {
+				t.Fatalf("op %d: Get(%d) = %v, want %v", op, id, got, want)
+			}
+			if want {
+				ref[id] = refEntry{id, seq}
+			}
+		}
+		if c.Len() != len(ref) {
+			t.Fatalf("op %d: len %d vs ref %d", op, c.Len(), len(ref))
+		}
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if HFF.String() != "HFF" || LRU.String() != "LRU" {
+		t.Fatal("policy names wrong")
+	}
+	if Policy(9).String() == "" {
+		t.Fatal("unknown policy should still print")
+	}
+}
+
+func TestNegativeCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New[int](-1, HFF)
+}

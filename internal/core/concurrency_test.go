@@ -1,0 +1,89 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"exploitbit/internal/cache"
+)
+
+// TestConcurrentSearches runs many goroutines through one engine and checks
+// (under -race in CI) that results match the sequential run and statistics
+// add up.
+func TestConcurrentSearches(t *testing.T) {
+	w := buildWorld(t, 1200, 10, 95)
+	for _, cfg := range []Config{
+		{Method: HCO, CacheBytes: 64 << 10, Tau: 7},
+		{Method: Exact, CacheBytes: 64 << 10},
+		{Method: Exact, CacheBytes: 64 << 10, Policy: cache.LRU},
+		{Method: NoCache},
+	} {
+		cfg := cfg
+		t.Run(string(cfg.Method)+"/"+cfg.Policy.String(), func(t *testing.T) {
+			eng, err := NewEngine(w.pf, w.prof, candFunc(w.ix), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Sequential reference (skip for LRU whose state evolves).
+			ref := make([][]int, len(w.qtest))
+			if cfg.Policy == cache.HFF {
+				for i, q := range w.qtest {
+					ids, _, err := eng.Search(q, 5)
+					if err != nil {
+						t.Fatal(err)
+					}
+					ref[i] = ids
+				}
+				eng.ResetStats()
+			}
+
+			const workers = 8
+			var wg sync.WaitGroup
+			errs := make(chan error, workers)
+			for g := 0; g < workers; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for i, q := range w.qtest {
+						ids, _, err := eng.Search(q, 5)
+						if err != nil {
+							errs <- err
+							return
+						}
+						if cfg.Policy == cache.HFF {
+							if len(ids) != len(ref[i]) {
+								errs <- errMismatch
+								return
+							}
+							want := map[int]bool{}
+							for _, id := range ref[i] {
+								want[id] = true
+							}
+							for _, id := range ids {
+								if !want[id] {
+									errs <- errMismatch
+									return
+								}
+							}
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Fatal(err)
+			}
+			agg := eng.Aggregate()
+			if cfg.Policy == cache.HFF && agg.Queries != workers*len(w.qtest) {
+				t.Fatalf("aggregate recorded %d queries, want %d", agg.Queries, workers*len(w.qtest))
+			}
+		})
+	}
+}
+
+var errMismatch = errConst("concurrent result mismatch")
+
+type errConst string
+
+func (e errConst) Error() string { return string(e) }

@@ -1,0 +1,446 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"exploitbit/internal/bounds"
+	"exploitbit/internal/cache"
+	"exploitbit/internal/dataset"
+	"exploitbit/internal/disk"
+	"exploitbit/internal/encoding"
+	"exploitbit/internal/histogram"
+	"exploitbit/internal/multistep"
+	"exploitbit/internal/rtree"
+	"exploitbit/internal/vec"
+)
+
+// Config selects a caching method and its knobs.
+type Config struct {
+	Method Method
+	// CacheBytes is the cache size CS.
+	CacheBytes int64
+	// Tau is the code length τ (bits per dimension). Ignored by NoCache and
+	// Exact. Default 8. Use costmodel.OptimalTau to auto-tune (Section 4.2).
+	Tau int
+	// Policy is the replacement policy (default HFF; Figure 8).
+	Policy cache.Policy
+	// SmoothEps blends a sliver of the data distribution into F′ before
+	// Algorithm 2 so buckets stay sane where the workload is silent
+	// (default 0.01; 0 disables).
+	SmoothEps float64
+	// STRSortDims controls mHC-R's R-tree tiling depth (default 2).
+	STRSortDims int
+	// NoTrueHitDetection disables Algorithm 1's true-result detection
+	// (Case ii), for the ablation bench.
+	NoTrueHitDetection bool
+	// EagerFetchMisses implements footnote 6: fetch cache misses from disk
+	// immediately during candidate reduction so they tighten lb_k and ub_k.
+	// The paper argues this rarely pays off; the ablation bench measures it.
+	EagerFetchMisses bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Tau < 1 {
+		c.Tau = 8
+	}
+	if c.SmoothEps < 0 {
+		c.SmoothEps = 0
+	}
+	if c.STRSortDims < 1 {
+		c.STRSortDims = 2
+	}
+	return c
+}
+
+// Engine executes Algorithm 1 over one dataset, point file, candidate index
+// and cache configuration.
+type Engine struct {
+	ds    *dataset.Dataset
+	pf    *disk.PointFile
+	cands CandidateFunc
+	cfg   Config
+
+	// Approximate-point machinery (HC-*, iHC-*, C-VA).
+	codec  encoding.Codec
+	table  *bounds.Table
+	approx *cache.Cache[[]uint64]
+	ghist  *histogram.Histogram
+	phist  *histogram.PerDim
+
+	// EXACT baseline.
+	exact *cache.Cache[[]float32]
+
+	// mHC-R.
+	md      *histogram.MD
+	mdCache *cache.Cache[int32]
+
+	// Table 3 bookkeeping.
+	histSpaceBytes int
+	histBuildTime  time.Duration
+
+	aggMu sync.Mutex
+	agg   Aggregate
+}
+
+// NewEngine builds an engine: it selects HFF cache content from the profile,
+// constructs the method's histogram, and encodes the cached points.
+func NewEngine(pf *disk.PointFile, prof *Profile, cands CandidateFunc, cfg Config) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Method.Validate(); err != nil {
+		return nil, err
+	}
+	ds := prof.DS
+	e := &Engine{ds: ds, pf: pf, cands: cands, cfg: cfg}
+	dom := ds.Domain
+
+	switch cfg.Method {
+	case NoCache:
+		// Nothing to build.
+
+	case Exact:
+		itemBits := 32 * ds.Dim
+		capacity := cache.CapacityForBudget(cfg.CacheBytes, itemBits)
+		e.exact = cache.New[[]float32](capacity, cfg.Policy)
+		if cfg.Policy == cache.HFF {
+			e.exact.FillHFF(prof.HFFContent(capacity), func(id int) []float32 {
+				return append([]float32(nil), ds.Point(id)...)
+			})
+		}
+
+	case MHCR:
+		numLeaves := 1 << cfg.Tau
+		if numLeaves > ds.Len() {
+			numLeaves = ds.Len()
+		}
+		start := time.Now()
+		rt := rtree.BuildSTR(ds, numLeaves, cfg.STRSortDims)
+		lo, hi := rt.MBRs()
+		md, err := histogram.NewMD(lo, hi, rt.Assignment(ds.Len()))
+		if err != nil {
+			return nil, fmt.Errorf("core: building mHC-R: %w", err)
+		}
+		e.histBuildTime = time.Since(start)
+		e.md = md
+		e.histSpaceBytes = md.SpaceBytes()
+		capacity := cache.CapacityForBudget(cfg.CacheBytes, md.CodeLen())
+		e.mdCache = cache.New[int32](capacity, cfg.Policy)
+		if cfg.Policy == cache.HFF {
+			e.mdCache.FillHFF(prof.HFFContent(capacity), func(id int) int32 {
+				return int32(md.BucketOf(id))
+			})
+		}
+
+	case CVA:
+		// Fit the whole dataset: largest τ whose total footprint fits the
+		// budget; fall back to τ=1 with partial coverage if even that is
+		// too large.
+		tau := 0
+		for t := 16; t >= 1; t-- {
+			total := int64(ds.Len()) * int64(encoding.NewCodec(ds.Dim, t).ItemBits()) / 8
+			if total <= cfg.CacheBytes {
+				tau = t
+				break
+			}
+		}
+		partial := tau == 0
+		if partial {
+			tau = 1
+		}
+		e.cfg.Tau = tau // record the budget-derived τ (snapshots rely on it)
+		e.codec = encoding.NewCodec(ds.Dim, tau)
+		b := histogram.MaxBucketsForCodeLen(tau, dom.Ndom)
+		start := time.Now()
+		freqs := histogram.DataFrequencyPerDim(ds, ds.Dim, dom)
+		e.phist = histogram.BuildPerDim(freqs, b, func(f []float64, b int) *histogram.Histogram {
+			return histogram.EquiDepth(f, b)
+		})
+		e.histBuildTime = time.Since(start)
+		e.histSpaceBytes = e.phist.SpaceBytes()
+		e.table = bounds.NewTablePerDim(e.phist, dom)
+		capacity := ds.Len()
+		if partial {
+			capacity = cache.CapacityForBudget(cfg.CacheBytes, e.codec.ItemBits())
+		}
+		e.approx = cache.New[[]uint64](capacity, cfg.Policy)
+		content := prof.HFFContent(capacity)
+		if !partial {
+			content = allIDs(ds.Len())
+		}
+		e.approx.FillHFF(content, e.encodedPoint)
+
+	default:
+		// The HC-* and iHC-* family.
+		e.codec = encoding.NewCodec(ds.Dim, cfg.Tau)
+		capacity := cache.CapacityForBudget(cfg.CacheBytes, e.codec.ItemBits())
+		content := prof.HFFContent(capacity)
+		b := histogram.MaxBucketsForCodeLen(cfg.Tau, dom.Ndom)
+
+		start := time.Now()
+		switch cfg.Method {
+		case HCW:
+			e.ghist = histogram.EquiWidth(dom.Ndom, b)
+		case HCD:
+			e.ghist = histogram.EquiDepth(histogram.DataFrequency(ds, dom), b)
+		case HCV:
+			e.ghist = histogram.VOptimal(histogram.DataFrequency(ds, dom), b)
+		case HCO:
+			fp := histogram.WorkloadFrequency(prof.QRPoints(CachedSet(content)), dom)
+			histogram.Smooth(fp, histogram.DataFrequency(ds, dom), cfg.SmoothEps)
+			e.ghist = histogram.KNNOptimal(fp, b)
+		case IHCW:
+			freqs := make([][]float64, ds.Dim)
+			for j := range freqs {
+				freqs[j] = make([]float64, dom.Ndom)
+			}
+			e.phist = histogram.BuildPerDim(freqs, b, histogram.EquiWidthBuilder)
+		case IHCD:
+			e.phist = histogram.BuildPerDim(histogram.DataFrequencyPerDim(ds, ds.Dim, dom), b,
+				func(f []float64, b int) *histogram.Histogram { return histogram.EquiDepth(f, b) })
+		case IHCO:
+			fps := histogram.WorkloadFrequencyPerDim(prof.QRPoints(CachedSet(content)), ds.Dim, dom)
+			base := histogram.DataFrequencyPerDim(ds, ds.Dim, dom)
+			for j := range fps {
+				histogram.Smooth(fps[j], base[j], cfg.SmoothEps)
+			}
+			e.phist = histogram.BuildPerDim(fps, b,
+				func(f []float64, b int) *histogram.Histogram { return histogram.KNNOptimal(f, b) })
+		}
+		e.histBuildTime = time.Since(start)
+
+		if e.ghist != nil {
+			e.histSpaceBytes = e.ghist.SpaceBytes()
+			e.table = bounds.NewTable(e.ghist, dom, ds.Dim)
+		} else {
+			e.histSpaceBytes = e.phist.SpaceBytes()
+			e.table = bounds.NewTablePerDim(e.phist, dom)
+		}
+		e.approx = cache.New[[]uint64](capacity, cfg.Policy)
+		if cfg.Policy == cache.HFF {
+			e.approx.FillHFF(content, e.encodedPoint)
+		}
+	}
+	return e, nil
+}
+
+func allIDs(n int) []int {
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	return ids
+}
+
+// encodedPoint encodes dataset point id under the engine's histogram(s).
+func (e *Engine) encodedPoint(id int) []uint64 {
+	return e.encodeVector(e.ds.Point(id), make([]int, e.ds.Dim), nil)
+}
+
+// encodeVector quantizes p through the histogram(s) into codes (scratch,
+// len Dim) and packs it into dst (nil allocates).
+func (e *Engine) encodeVector(p []float32, codes []int, dst []uint64) []uint64 {
+	dom := e.ds.Domain
+	for j, v := range p {
+		bin := dom.Bin(float64(v))
+		if e.ghist != nil {
+			codes[j] = e.ghist.Bucket(bin)
+		} else {
+			codes[j] = e.phist.H[j].Bucket(bin)
+		}
+	}
+	return e.codec.Encode(codes, dst)
+}
+
+// HistogramSpaceBytes reports the histogram footprint (Table 3).
+func (e *Engine) HistogramSpaceBytes() int { return e.histSpaceBytes }
+
+// HistogramBuildTime reports the histogram construction time (Table 3).
+func (e *Engine) HistogramBuildTime() time.Duration { return e.histBuildTime }
+
+// CacheCapacity returns the item capacity of the active cache.
+func (e *Engine) CacheCapacity() int {
+	switch {
+	case e.approx != nil:
+		return e.approx.Capacity()
+	case e.exact != nil:
+		return e.exact.Capacity()
+	case e.mdCache != nil:
+		return e.mdCache.Capacity()
+	}
+	return 0
+}
+
+// CacheLen returns the number of cached items.
+func (e *Engine) CacheLen() int {
+	switch {
+	case e.approx != nil:
+		return e.approx.Len()
+	case e.exact != nil:
+		return e.exact.Len()
+	case e.mdCache != nil:
+		return e.mdCache.Len()
+	}
+	return 0
+}
+
+// Aggregate returns the accumulated statistics since the last Reset.
+func (e *Engine) Aggregate() Aggregate {
+	e.aggMu.Lock()
+	defer e.aggMu.Unlock()
+	return e.agg
+}
+
+// ResetStats clears accumulated statistics.
+func (e *Engine) ResetStats() {
+	e.aggMu.Lock()
+	defer e.aggMu.Unlock()
+	e.agg = Aggregate{}
+}
+
+// candState is Phase 2's per-candidate bookkeeping.
+type candState struct {
+	id      int32
+	lb, ub  float64
+	exactPt []float32 // non-nil for EXACT cache hits
+	hit     bool
+}
+
+// Search runs Algorithm 1 and returns the identifiers of the k nearest
+// candidates of q (the paper returns identifiers, not vectors) plus the
+// query statistics.
+//
+// Search is safe for concurrent use: the HFF cache is immutable after
+// construction, the LRU cache locks internally, disk counters are atomic,
+// and all per-query scratch is local. Reported per-phase timings are CPU
+// time of this goroutine's query only.
+func (e *Engine) Search(q []float32, k int) ([]int, QueryStats, error) {
+	var st QueryStats
+	fetchBuf := make([]float32, e.ds.Dim)
+
+	// Phase 1: candidate generation.
+	t0 := time.Now()
+	ids, dmax := e.cands(q, k)
+	st.GenTime = time.Since(t0)
+	st.Candidates = len(ids)
+	st.Dmax = dmax
+
+	// Phase 2: candidate reduction — no I/O by construction.
+	t1 := time.Now()
+	cs := make([]candState, len(ids))
+	lbs := make([]float64, len(ids))
+	ubs := make([]float64, len(ids))
+	for i, id := range ids {
+		c := candState{id: int32(id), lb: 0, ub: math.Inf(1)}
+		switch {
+		case e.approx != nil:
+			if words, ok := e.approx.Get(id); ok {
+				c.lb, c.ub = e.table.BoundsPacked(q, words, e.codec)
+				c.hit = true
+			}
+		case e.exact != nil:
+			if p, ok := e.exact.Get(id); ok {
+				d := vec.Dist(q, p)
+				c.lb, c.ub = d, d
+				c.exactPt = p
+				c.hit = true
+			}
+		case e.mdCache != nil:
+			if b, ok := e.mdCache.Get(id); ok {
+				lo, hi := e.md.Rect(int(b))
+				c.lb, c.ub = bounds.Rect(q, lo, hi)
+				c.hit = true
+			}
+		}
+		if c.hit {
+			st.Hits++
+		} else if e.cfg.EagerFetchMisses {
+			p, err := e.pf.Fetch(id, fetchBuf)
+			if err != nil {
+				return nil, st, err
+			}
+			st.Fetched++
+			st.PageReads += int64(e.pf.PagesPerPoint())
+			d := vec.Dist(q, p)
+			c.lb, c.ub = d, d
+			c.exactPt = append([]float32(nil), p...)
+		}
+		cs[i] = c
+		lbs[i] = c.lb
+		ubs[i] = c.ub
+	}
+	lbk := multistep.KthSmallest(lbs, k)
+	ubk := multistep.KthSmallest(ubs, k)
+
+	var results []int // true results detected without I/O
+	remaining := cs[:0]
+	for _, c := range cs {
+		switch {
+		case c.lb > ubk:
+			st.Pruned++ // early pruning: cannot be among the k nearest
+		case !e.cfg.NoTrueHitDetection && c.ub < lbk:
+			st.TrueHits++ // must be a result; no fetch needed
+			results = append(results, int(c.id))
+		default:
+			remaining = append(remaining, c)
+		}
+	}
+	st.Remaining = len(remaining)
+	st.ReduceTime = time.Since(t1)
+
+	// Phase 3: multi-step refinement of the remaining candidates.
+	t2 := time.Now()
+	kNeed := k - len(results)
+	if kNeed > 0 && len(remaining) > 0 {
+		cands := make([]multistep.Candidate, len(remaining))
+		exactByID := make(map[int][]float32)
+		for i, c := range remaining {
+			cands[i] = multistep.Candidate{ID: int(c.id), LB: c.lb, UB: c.ub}
+			if c.exactPt != nil {
+				exactByID[int(c.id)] = c.exactPt
+			}
+		}
+		fetch := func(id int) ([]float32, error) {
+			if p, ok := exactByID[id]; ok {
+				return p, nil // EXACT cache hit: RAM, no I/O
+			}
+			p, err := e.pf.Fetch(id, fetchBuf)
+			if err != nil {
+				return nil, err
+			}
+			st.Fetched++
+			st.PageReads += int64(e.pf.PagesPerPoint())
+			if e.cfg.Policy == cache.LRU {
+				e.admitLRU(id, p)
+			}
+			return p, nil
+		}
+		refined, _, err := multistep.Search(q, cands, kNeed, fetch)
+		if err != nil {
+			return nil, st, err
+		}
+		for _, r := range refined {
+			results = append(results, r.ID)
+		}
+	}
+	st.RefineTime = time.Since(t2)
+	st.SimulatedIO = time.Duration(st.PageReads) * e.pf.Tio()
+
+	e.aggMu.Lock()
+	e.agg.Add(st)
+	e.aggMu.Unlock()
+	return results, st, nil
+}
+
+// admitLRU inserts a freshly fetched point into a dynamic cache.
+func (e *Engine) admitLRU(id int, p []float32) {
+	switch {
+	case e.approx != nil:
+		e.approx.Put(id, e.encodeVector(p, make([]int, e.ds.Dim), nil))
+	case e.exact != nil:
+		e.exact.Put(id, append([]float32(nil), p...))
+	case e.mdCache != nil:
+		e.mdCache.Put(id, int32(e.md.BucketOf(id)))
+	}
+}

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"testing"
+)
+
+// BenchmarkSearch measures one full Algorithm-1 query (generation +
+// reduction + refinement, zero simulated latency) per caching method.
+func BenchmarkSearch(b *testing.B) {
+	w := buildWorld(b, 4000, 32, 201)
+	for _, m := range []Method{NoCache, Exact, HCD, HCO} {
+		m := m
+		b.Run(string(m), func(b *testing.B) {
+			eng, err := NewEngine(w.pf, w.prof, candFunc(w.ix), Config{
+				Method: m, CacheBytes: 1 << 20, Tau: 8,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := eng.Search(w.qtest[i%len(w.qtest)], 10); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEngineBuild measures the offline construction cost per method
+// (histogram + cache fill) once the profile exists.
+func BenchmarkEngineBuild(b *testing.B) {
+	w := buildWorld(b, 4000, 32, 202)
+	for _, m := range []Method{Exact, HCD, HCO, IHCO} {
+		m := m
+		b.Run(string(m), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := NewEngine(w.pf, w.prof, candFunc(w.ix), Config{
+					Method: m, CacheBytes: 1 << 20, Tau: 8,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkProfile measures workload profiling throughput (queries/sec of
+// the offline pipeline's dominant step).
+func BenchmarkProfile(b *testing.B) {
+	w := buildWorld(b, 4000, 32, 203)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BuildProfile(w.ds, candFunc(w.ix), w.wl[:100], 10)
+	}
+	b.ReportMetric(float64(100), "queries/op")
+}

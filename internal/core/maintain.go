@@ -1,0 +1,185 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"exploitbit/internal/dataset"
+	"exploitbit/internal/disk"
+)
+
+// Maintainer implements Section 3.5's histogram maintenance: "we expect that
+// the distribution of queries in the workload does not change rapidly …
+// perform updates and rebuild the cache periodically". It serves queries
+// through a current engine, remembers a sliding window of recent queries,
+// and rebuilds the cache (HFF content, F′, Algorithm 2) from that window
+// when the observed hit ratio degrades against the post-build baseline —
+// the signature of workload drift.
+type Maintainer struct {
+	pf    *disk.PointFile
+	ds    *dataset.Dataset
+	cands CandidateFunc
+	cfg   Config
+	opt   MaintainOptions
+
+	mu       sync.Mutex
+	eng      *Engine
+	window   [][]float32 // ring of recent queries
+	nextW    int
+	filled   bool
+	rebuilds int
+
+	// Hit-ratio bookkeeping (candidate-weighted, like ρ_hit).
+	baseHits, baseCands     int64 // first window after a rebuild
+	recentHits, recentCands int64 // sliding estimate since baseline froze
+	sinceRebuild            int
+}
+
+// MaintainOptions tunes the drift detector.
+type MaintainOptions struct {
+	// WindowSize is the number of recent queries kept for rebuilds and used
+	// as the baseline/measurement period (default 256).
+	WindowSize int
+	// DegradeFactor triggers a rebuild when the recent hit ratio falls
+	// below DegradeFactor × the post-build baseline (default 0.8).
+	DegradeFactor float64
+	// MinQueriesBetweenRebuilds prevents thrashing (default WindowSize).
+	MinQueriesBetweenRebuilds int
+}
+
+func (o MaintainOptions) withDefaults() MaintainOptions {
+	if o.WindowSize < 8 {
+		o.WindowSize = 256
+	}
+	if o.DegradeFactor <= 0 || o.DegradeFactor >= 1 {
+		o.DegradeFactor = 0.8
+	}
+	if o.MinQueriesBetweenRebuilds < 1 {
+		o.MinQueriesBetweenRebuilds = o.WindowSize
+	}
+	return o
+}
+
+// NewMaintainer wraps an initial workload into a self-maintaining engine.
+func NewMaintainer(pf *disk.PointFile, ds *dataset.Dataset, cands CandidateFunc, initialWL [][]float32, k int, cfg Config, opt MaintainOptions) (*Maintainer, error) {
+	opt = opt.withDefaults()
+	prof := BuildProfile(ds, cands, initialWL, k)
+	eng, err := NewEngine(pf, prof, cands, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: initial maintained engine: %w", err)
+	}
+	return &Maintainer{
+		pf: pf, ds: ds, cands: cands, cfg: cfg, opt: opt,
+		eng:    eng,
+		window: make([][]float32, opt.WindowSize),
+	}, nil
+}
+
+// Engine returns the currently serving engine (for inspection).
+func (m *Maintainer) Engine() *Engine {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.eng
+}
+
+// Rebuilds reports how many automatic rebuilds have occurred.
+func (m *Maintainer) Rebuilds() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.rebuilds
+}
+
+// Search serves one query, records it in the drift window, and rebuilds the
+// cache when drift is detected. Safe for concurrent use (queries serialize
+// only around the bookkeeping, not the engine search itself).
+func (m *Maintainer) Search(q []float32, k int) ([]int, QueryStats, error) {
+	m.mu.Lock()
+	eng := m.eng
+	m.mu.Unlock()
+
+	ids, st, err := eng.Search(q, k)
+	if err != nil {
+		return nil, st, err
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	// Record the query (copying: callers may reuse buffers).
+	m.window[m.nextW] = append([]float32(nil), q...)
+	m.nextW = (m.nextW + 1) % len(m.window)
+	if m.nextW == 0 {
+		m.filled = true
+	}
+	m.sinceRebuild++
+
+	// Baseline: the first window after a (re)build defines "healthy".
+	if m.sinceRebuild <= m.opt.WindowSize {
+		m.baseHits += int64(st.Hits)
+		m.baseCands += int64(st.Candidates)
+		return ids, st, nil
+	}
+	// Exponentially decayed recent window keeps the estimate moving.
+	m.recentHits += int64(st.Hits)
+	m.recentCands += int64(st.Candidates)
+	if m.recentCands > m.baseCands && m.baseCands > 0 {
+		m.recentHits /= 2
+		m.recentCands /= 2
+	}
+
+	if m.sinceRebuild >= m.opt.MinQueriesBetweenRebuilds+m.opt.WindowSize &&
+		m.baseCands > 0 && m.recentCands > 0 {
+		base := float64(m.baseHits) / float64(m.baseCands)
+		recent := float64(m.recentHits) / float64(m.recentCands)
+		if recent < base*m.opt.DegradeFactor {
+			if err := m.rebuildLocked(k); err != nil {
+				return ids, st, fmt.Errorf("core: cache rebuild failed: %w", err)
+			}
+		}
+	}
+	return ids, st, nil
+}
+
+// ForceRebuild rebuilds immediately from the current window (the paper's
+// "e.g., daily" scheduled variant; call it from a timer if preferred).
+func (m *Maintainer) ForceRebuild(k int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.rebuildLocked(k)
+}
+
+func (m *Maintainer) rebuildLocked(k int) error {
+	wl := m.windowQueriesLocked()
+	if len(wl) == 0 {
+		return fmt.Errorf("core: no recorded queries to rebuild from")
+	}
+	prof := BuildProfile(m.ds, m.cands, wl, k)
+	eng, err := NewEngine(m.pf, prof, m.cands, m.cfg)
+	if err != nil {
+		return err
+	}
+	m.eng = eng
+	m.rebuilds++
+	m.sinceRebuild = 0
+	m.baseHits, m.baseCands = 0, 0
+	m.recentHits, m.recentCands = 0, 0
+	return nil
+}
+
+func (m *Maintainer) windowQueriesLocked() [][]float32 {
+	if m.filled {
+		out := make([][]float32, 0, len(m.window))
+		for _, q := range m.window {
+			if q != nil {
+				out = append(out, q)
+			}
+		}
+		return out
+	}
+	out := make([][]float32, 0, m.nextW)
+	for _, q := range m.window[:m.nextW] {
+		if q != nil {
+			out = append(out, q)
+		}
+	}
+	return out
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"path/filepath"
+	"testing"
+
+	"exploitbit/internal/dataset"
+	"exploitbit/internal/disk"
+	"exploitbit/internal/lsh"
+)
+
+// driftWorld builds a dataset with two disjoint query populations: pool A
+// (sampled from the first half of the points) and pool B (second half).
+func driftWorld(t testing.TB) (*dataset.Dataset, *disk.PointFile, CandidateFunc, [][]float32, [][]float32) {
+	t.Helper()
+	ds := dataset.Generate(dataset.Config{
+		Name: "drift", N: 3000, Dim: 12, Clusters: 10, Std: 0.03,
+		Ndom: 256, Seed: 97, ValueCoherence: 0.7,
+	})
+	pf, err := disk.BuildPointFile(filepath.Join(t.TempDir(), "pf"), ds, nil, 4096, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { pf.Close() })
+	ix := lsh.Build(ds, lsh.Params{Seed: 98, MaxM: 48})
+	cands := candFunc(ix)
+
+	mkPool := func(lo, hi int, n int) [][]float32 {
+		out := make([][]float32, 0, n)
+		for i := 0; len(out) < n; i++ {
+			out = append(out, ds.Point(lo+(i*37)%(hi-lo)))
+		}
+		return out
+	}
+	poolA := mkPool(0, ds.Len()/2, 300)
+	poolB := mkPool(ds.Len()/2, ds.Len(), 300)
+	return ds, pf, cands, poolA, poolB
+}
+
+func TestMaintainerDetectsDriftAndRecovers(t *testing.T) {
+	ds, pf, cands, poolA, poolB := driftWorld(t)
+	m, err := NewMaintainer(pf, ds, cands, poolA, 5, Config{
+		Method: Exact, CacheBytes: int64(ds.Len()) * int64(ds.PointSize()) / 5,
+	}, MaintainOptions{WindowSize: 64, DegradeFactor: 0.8, MinQueriesBetweenRebuilds: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(pool [][]float32, n int) (hits, cands int64) {
+		for i := 0; i < n; i++ {
+			_, st, err := m.Search(pool[i%len(pool)], 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hits += int64(st.Hits)
+			cands += int64(st.Candidates)
+		}
+		return
+	}
+
+	// Phase 1: the trained workload — healthy hit ratio, no rebuilds.
+	h, c := run(poolA, 128)
+	healthy := float64(h) / float64(c)
+	if healthy < 0.3 {
+		t.Fatalf("trained hit ratio only %.2f", healthy)
+	}
+	if m.Rebuilds() != 0 {
+		t.Fatalf("rebuilt on the trained workload (%d times)", m.Rebuilds())
+	}
+
+	// Phase 2: drift to the disjoint pool; the maintainer must rebuild.
+	run(poolB, 400)
+	if m.Rebuilds() == 0 {
+		t.Fatal("drift never triggered a rebuild")
+	}
+
+	// Phase 3: after rebuilding from the new window, pool B is healthy.
+	h, c = run(poolB, 128)
+	if recovered := float64(h) / float64(c); recovered < healthy*0.6 {
+		t.Fatalf("post-rebuild hit ratio %.2f did not recover (healthy was %.2f)", recovered, healthy)
+	}
+}
+
+func TestMaintainerForceRebuild(t *testing.T) {
+	ds, pf, cands, poolA, _ := driftWorld(t)
+	m, err := NewMaintainer(pf, ds, cands, poolA[:50], 5, Config{Method: HCO, CacheBytes: 1 << 18, Tau: 6}, MaintainOptions{WindowSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No recorded queries yet.
+	if err := m.ForceRebuild(5); err == nil {
+		t.Fatal("expected error rebuilding from an empty window")
+	}
+	for i := 0; i < 20; i++ {
+		if _, _, err := m.Search(poolA[i], 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.ForceRebuild(5); err != nil {
+		t.Fatal(err)
+	}
+	if m.Rebuilds() != 1 {
+		t.Fatalf("Rebuilds = %d", m.Rebuilds())
+	}
+	if m.Engine() == nil {
+		t.Fatal("no serving engine after rebuild")
+	}
+}

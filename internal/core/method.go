@@ -1,0 +1,63 @@
+package core
+
+import "fmt"
+
+// Method names a caching method from the experimental study (Section 5.1).
+type Method string
+
+// The baselines and HC-* family evaluated in the paper.
+const (
+	// NoCache is the no-caching baseline: every candidate is fetched.
+	NoCache Method = "NO-CACHE"
+	// Exact caches raw points (the EXACT baseline).
+	Exact Method = "EXACT"
+	// HCW / HCV / HCD / HCO are global histograms: equi-width, V-optimal,
+	// equi-depth and the paper's optimal kNN histogram (Algorithm 2).
+	HCW Method = "HC-W"
+	HCV Method = "HC-V"
+	HCD Method = "HC-D"
+	HCO Method = "HC-O"
+	// IHCW / IHCD / IHCO are the individual-dimension variants.
+	IHCW Method = "iHC-W"
+	IHCD Method = "iHC-D"
+	IHCO Method = "iHC-O"
+	// MHCR is the R-tree multi-dimensional histogram.
+	MHCR Method = "mHC-R"
+	// CVA caches the whole VA-file: every point approximated with however
+	// few bits fit the budget, per-dimension equi-depth grid.
+	CVA Method = "C-VA"
+)
+
+// usesGlobalHistogram reports whether the method encodes points through one
+// shared histogram.
+func (m Method) usesGlobalHistogram() bool {
+	switch m {
+	case HCW, HCV, HCD, HCO:
+		return true
+	}
+	return false
+}
+
+// usesPerDimHistogram reports whether the method encodes through
+// per-dimension histograms.
+func (m Method) usesPerDimHistogram() bool {
+	switch m {
+	case IHCW, IHCD, IHCO, CVA:
+		return true
+	}
+	return false
+}
+
+// Validate rejects unknown method names early.
+func (m Method) Validate() error {
+	switch m {
+	case NoCache, Exact, HCW, HCV, HCD, HCO, IHCW, IHCD, IHCO, MHCR, CVA:
+		return nil
+	}
+	return fmt.Errorf("core: unknown method %q", string(m))
+}
+
+// AllMethods lists every method, in the paper's presentation order.
+func AllMethods() []Method {
+	return []Method{NoCache, Exact, CVA, MHCR, HCW, HCV, HCD, HCO, IHCW, IHCD, IHCO}
+}

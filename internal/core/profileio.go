@@ -1,0 +1,134 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"exploitbit/internal/cache"
+	"exploitbit/internal/dataset"
+)
+
+// Profile persistence ("EBPR"): running every workload query through the
+// index is the dominant offline cost, so a saved profile lets experiment
+// sweeps (many methods × many budgets over one workload) and process
+// restarts skip it.
+const (
+	profMagic   = 0x45425052 // "EBPR"
+	profVersion = 1
+)
+
+// WriteTo serializes the profile (queries, candidate sets, frequencies are
+// reconstructed from the candidate sets on load).
+func (p *Profile) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	le := binary.LittleEndian
+	var n int64
+	write := func(vs ...any) error {
+		for _, v := range vs {
+			if err := binary.Write(bw, le, v); err != nil {
+				return err
+			}
+			n += int64(binary.Size(v))
+		}
+		return nil
+	}
+	dim := 0
+	if len(p.WL) > 0 {
+		dim = len(p.WL[0])
+	}
+	if err := write(uint32(profMagic), uint32(profVersion), uint32(p.K),
+		uint32(len(p.WL)), uint32(dim), p.AvgDmax); err != nil {
+		return n, err
+	}
+	for qi, q := range p.WL {
+		if len(q) != dim {
+			return n, fmt.Errorf("core: ragged workload at %d", qi)
+		}
+		for _, v := range q {
+			if err := write(math.Float32bits(v)); err != nil {
+				return n, err
+			}
+		}
+		set := p.CandSets[qi]
+		if err := write(uint32(len(set))); err != nil {
+			return n, err
+		}
+		for _, id := range set {
+			if err := write(uint32(id)); err != nil {
+				return n, err
+			}
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ReadProfile parses a profile against its dataset.
+func ReadProfile(ds *dataset.Dataset, r io.Reader) (*Profile, error) {
+	br := bufio.NewReader(r)
+	le := binary.LittleEndian
+	read := func(vs ...any) error {
+		for _, v := range vs {
+			if err := binary.Read(br, le, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var magic, version, k, nwl, dim uint32
+	var avgDmax float64
+	if err := read(&magic, &version, &k, &nwl, &dim, &avgDmax); err != nil {
+		return nil, fmt.Errorf("core: reading profile header: %w", err)
+	}
+	if magic != profMagic {
+		return nil, fmt.Errorf("core: not a profile (magic %#x)", magic)
+	}
+	if version != profVersion {
+		return nil, fmt.Errorf("core: unsupported profile version %d", version)
+	}
+	if int(dim) != ds.Dim {
+		return nil, fmt.Errorf("core: profile dimensionality %d != dataset %d", dim, ds.Dim)
+	}
+	if k == 0 || nwl == 0 || nwl > 1<<26 {
+		return nil, fmt.Errorf("core: implausible profile header k=%d |WL|=%d", k, nwl)
+	}
+	p := &Profile{K: int(k), DS: ds, Freq: make(map[int]int), AvgDmax: avgDmax}
+	var sumCands float64
+	for qi := 0; qi < int(nwl); qi++ {
+		q := make([]float32, dim)
+		for j := range q {
+			var bits uint32
+			if err := read(&bits); err != nil {
+				return nil, fmt.Errorf("core: reading workload query %d: %w", qi, err)
+			}
+			q[j] = math.Float32frombits(bits)
+		}
+		p.WL = append(p.WL, q)
+		var setLen uint32
+		if err := read(&setLen); err != nil {
+			return nil, err
+		}
+		if int(setLen) > ds.Len() {
+			return nil, fmt.Errorf("core: candidate set %d larger than dataset", qi)
+		}
+		set := make([]int32, setLen)
+		for i := range set {
+			var id uint32
+			if err := read(&id); err != nil {
+				return nil, err
+			}
+			if int(id) >= ds.Len() {
+				return nil, fmt.Errorf("core: candidate id %d beyond dataset", id)
+			}
+			set[i] = int32(id)
+			p.Freq[int(id)]++
+		}
+		p.CandSets = append(p.CandSets, set)
+		sumCands += float64(setLen)
+	}
+	p.AvgCandSize = sumCands / float64(nwl)
+	p.Ranked = cache.RankByFrequency(p.Freq)
+	return p, nil
+}

@@ -1,0 +1,290 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"exploitbit/internal/bounds"
+	"exploitbit/internal/cache"
+	"exploitbit/internal/dataset"
+	"exploitbit/internal/disk"
+	"exploitbit/internal/encoding"
+	"exploitbit/internal/histogram"
+)
+
+// Engine snapshots persist everything the offline pipeline produced — the
+// histogram(s), the HFF cache content, the configuration — so a restarted
+// process can serve queries immediately without re-profiling the workload or
+// re-running Algorithm 2 (Section 3.5's "rebuild the cache periodically"
+// maintenance model: build once per period, reload everywhere else).
+//
+// The snapshot stores point identifiers, not vectors: the dataset file is
+// the source of truth and cached representations are re-encoded on load.
+const (
+	snapMagic   = 0x4542534e // "EBSN"
+	snapVersion = 1
+
+	histNone   = 0
+	histGlobal = 1
+	histPerDim = 2
+	histMD     = 3
+)
+
+// WriteSnapshot serializes the engine's cache state.
+func (e *Engine) WriteSnapshot(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	le := binary.LittleEndian
+	write := func(vs ...any) error {
+		for _, v := range vs {
+			if err := binary.Write(bw, le, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	method := []byte(string(e.cfg.Method))
+	if err := write(uint32(snapMagic), uint32(snapVersion), uint32(len(method))); err != nil {
+		return err
+	}
+	if _, err := bw.Write(method); err != nil {
+		return err
+	}
+	if err := write(int32(e.cfg.Tau), e.cfg.CacheBytes, int32(e.cfg.Policy), e.cfg.SmoothEps); err != nil {
+		return err
+	}
+
+	// Histogram payload.
+	switch {
+	case e.ghist != nil:
+		if err := write(uint8(histGlobal)); err != nil {
+			return err
+		}
+		if _, err := e.ghist.WriteTo(bw); err != nil {
+			return err
+		}
+	case e.phist != nil:
+		if err := write(uint8(histPerDim)); err != nil {
+			return err
+		}
+		if _, err := e.phist.WriteTo(bw); err != nil {
+			return err
+		}
+	case e.md != nil:
+		if err := write(uint8(histMD), uint32(e.md.B()), uint32(e.md.Dim())); err != nil {
+			return err
+		}
+		for b := 0; b < e.md.B(); b++ {
+			lo, hi := e.md.Rect(b)
+			for _, v := range lo {
+				if err := write(math.Float32bits(v)); err != nil {
+					return err
+				}
+			}
+			for _, v := range hi {
+				if err := write(math.Float32bits(v)); err != nil {
+					return err
+				}
+			}
+		}
+		if err := write(uint32(e.ds.Len())); err != nil {
+			return err
+		}
+		for id := 0; id < e.ds.Len(); id++ {
+			if err := write(uint32(e.md.BucketOf(id))); err != nil {
+				return err
+			}
+		}
+	default:
+		if err := write(uint8(histNone)); err != nil {
+			return err
+		}
+	}
+
+	// Cache content: capacity + ids.
+	var keys []int
+	capacity := 0
+	switch {
+	case e.approx != nil:
+		keys, capacity = e.approx.Keys(), e.approx.Capacity()
+	case e.exact != nil:
+		keys, capacity = e.exact.Keys(), e.exact.Capacity()
+	case e.mdCache != nil:
+		keys, capacity = e.mdCache.Keys(), e.mdCache.Capacity()
+	}
+	if err := write(uint32(capacity), uint32(len(keys))); err != nil {
+		return err
+	}
+	for _, id := range keys {
+		if err := write(uint32(id)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadEngine reconstructs an engine from a snapshot, the dataset, its point
+// file and a candidate index — no workload needed.
+func LoadEngine(pf *disk.PointFile, ds *dataset.Dataset, cands CandidateFunc, r io.Reader) (*Engine, error) {
+	br := bufio.NewReader(r)
+	le := binary.LittleEndian
+	read := func(vs ...any) error {
+		for _, v := range vs {
+			if err := binary.Read(br, le, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var magic, version, mlen uint32
+	if err := read(&magic, &version, &mlen); err != nil {
+		return nil, fmt.Errorf("core: reading snapshot header: %w", err)
+	}
+	if magic != snapMagic {
+		return nil, fmt.Errorf("core: not an engine snapshot (magic %#x)", magic)
+	}
+	if version != snapVersion {
+		return nil, fmt.Errorf("core: unsupported snapshot version %d", version)
+	}
+	if mlen > 64 {
+		return nil, fmt.Errorf("core: implausible method name length %d", mlen)
+	}
+	mbytes := make([]byte, mlen)
+	if _, err := io.ReadFull(br, mbytes); err != nil {
+		return nil, err
+	}
+	var tau, policy int32
+	var cacheBytes int64
+	var smooth float64
+	if err := read(&tau, &cacheBytes, &policy, &smooth); err != nil {
+		return nil, fmt.Errorf("core: reading snapshot config: %w", err)
+	}
+	cfg := Config{
+		Method: Method(mbytes), Tau: int(tau), CacheBytes: cacheBytes,
+		Policy: cache.Policy(policy), SmoothEps: smooth,
+	}
+	if err := cfg.Method.Validate(); err != nil {
+		return nil, err
+	}
+
+	e := &Engine{ds: ds, pf: pf, cands: cands, cfg: cfg}
+
+	var kind uint8
+	if err := read(&kind); err != nil {
+		return nil, fmt.Errorf("core: reading histogram kind: %w", err)
+	}
+	switch kind {
+	case histNone:
+	case histGlobal:
+		h, err := histogram.Read(br)
+		if err != nil {
+			return nil, err
+		}
+		e.ghist = h
+		e.histSpaceBytes = h.SpaceBytes()
+		e.table = bounds.NewTable(h, ds.Domain, ds.Dim)
+	case histPerDim:
+		p, err := histogram.ReadPerDim(br)
+		if err != nil {
+			return nil, err
+		}
+		if p.Dim() != ds.Dim {
+			return nil, fmt.Errorf("core: snapshot has %d dimensions, dataset %d", p.Dim(), ds.Dim)
+		}
+		e.phist = p
+		e.histSpaceBytes = p.SpaceBytes()
+		e.table = bounds.NewTablePerDim(p, ds.Domain)
+	case histMD:
+		var b, dim uint32
+		if err := read(&b, &dim); err != nil {
+			return nil, err
+		}
+		if int(dim) != ds.Dim || b == 0 || b > uint32(ds.Len()) {
+			return nil, fmt.Errorf("core: implausible MD snapshot (B=%d dim=%d)", b, dim)
+		}
+		lo := make([][]float32, b)
+		hi := make([][]float32, b)
+		for i := range lo {
+			lo[i] = make([]float32, dim)
+			hi[i] = make([]float32, dim)
+			for j := range lo[i] {
+				var bits uint32
+				if err := read(&bits); err != nil {
+					return nil, err
+				}
+				lo[i][j] = math.Float32frombits(bits)
+			}
+			for j := range hi[i] {
+				var bits uint32
+				if err := read(&bits); err != nil {
+					return nil, err
+				}
+				hi[i][j] = math.Float32frombits(bits)
+			}
+		}
+		var n uint32
+		if err := read(&n); err != nil {
+			return nil, err
+		}
+		if int(n) != ds.Len() {
+			return nil, fmt.Errorf("core: snapshot assignment covers %d points, dataset has %d", n, ds.Len())
+		}
+		assign := make([]int, n)
+		for i := range assign {
+			var a uint32
+			if err := read(&a); err != nil {
+				return nil, err
+			}
+			assign[i] = int(a)
+		}
+		md, err := histogram.NewMD(lo, hi, assign)
+		if err != nil {
+			return nil, err
+		}
+		e.md = md
+		e.histSpaceBytes = md.SpaceBytes()
+	default:
+		return nil, fmt.Errorf("core: unknown histogram kind %d", kind)
+	}
+
+	var capacity, nkeys uint32
+	if err := read(&capacity, &nkeys); err != nil {
+		return nil, fmt.Errorf("core: reading cache content header: %w", err)
+	}
+	if nkeys > capacity || int(capacity) > 1<<30 {
+		return nil, fmt.Errorf("core: implausible cache content (%d keys, capacity %d)", nkeys, capacity)
+	}
+	keys := make([]int, nkeys)
+	for i := range keys {
+		var id uint32
+		if err := read(&id); err != nil {
+			return nil, err
+		}
+		if int(id) >= ds.Len() {
+			return nil, fmt.Errorf("core: cached id %d beyond dataset", id)
+		}
+		keys[i] = int(id)
+	}
+
+	switch {
+	case e.md != nil:
+		e.mdCache = cache.New[int32](int(capacity), cfg.Policy)
+		e.mdCache.FillHFF(keys, func(id int) int32 { return int32(e.md.BucketOf(id)) })
+	case cfg.Method == Exact:
+		e.exact = cache.New[[]float32](int(capacity), cfg.Policy)
+		e.exact.FillHFF(keys, func(id int) []float32 {
+			return append([]float32(nil), ds.Point(id)...)
+		})
+	case cfg.Method == NoCache:
+	default:
+		if e.table == nil {
+			return nil, fmt.Errorf("core: snapshot for %s lacks a histogram", cfg.Method)
+		}
+		e.codec = encoding.NewCodec(ds.Dim, cfg.Tau)
+		e.approx = cache.New[[]uint64](int(capacity), cfg.Policy)
+		e.approx.FillHFF(keys, e.encodedPoint)
+	}
+	return e, nil
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSnapshotRoundTripAllMethods(t *testing.T) {
+	w := buildWorld(t, 1000, 10, 71)
+	for _, m := range AllMethods() {
+		m := m
+		t.Run(string(m), func(t *testing.T) {
+			orig, err := NewEngine(w.pf, w.prof, candFunc(w.ix), Config{
+				Method: m, CacheBytes: 48 << 10, Tau: 6,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := orig.WriteSnapshot(&buf); err != nil {
+				t.Fatal(err)
+			}
+			loaded, err := LoadEngine(w.pf, w.ds, candFunc(w.ix), &buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if loaded.CacheCapacity() != orig.CacheCapacity() || loaded.CacheLen() != orig.CacheLen() {
+				t.Fatalf("cache shape changed: %d/%d vs %d/%d",
+					loaded.CacheLen(), loaded.CacheCapacity(), orig.CacheLen(), orig.CacheCapacity())
+			}
+			// Identical behaviour on identical queries: same results, same
+			// hit/prune/fetch counts.
+			for _, q := range w.qtest[:5] {
+				idsO, stO, err := orig.Search(q, 7)
+				if err != nil {
+					t.Fatal(err)
+				}
+				idsL, stL, err := loaded.Search(q, 7)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(idsO) != len(idsL) {
+					t.Fatalf("result sizes differ: %d vs %d", len(idsO), len(idsL))
+				}
+				setO := map[int]bool{}
+				for _, id := range idsO {
+					setO[id] = true
+				}
+				for _, id := range idsL {
+					if !setO[id] {
+						t.Fatalf("loaded engine returned %d, original did not", id)
+					}
+				}
+				if stO.Hits != stL.Hits || stO.Pruned != stL.Pruned || stO.Fetched != stL.Fetched {
+					t.Fatalf("execution diverged: orig %+v loaded %+v", stO, stL)
+				}
+			}
+		})
+	}
+}
+
+func TestSnapshotRejectsGarbage(t *testing.T) {
+	w := buildWorld(t, 200, 6, 72)
+	if _, err := LoadEngine(w.pf, w.ds, candFunc(w.ix), bytes.NewReader([]byte("junk snapshot bytes"))); err == nil {
+		t.Fatal("expected error on bad magic")
+	}
+	if _, err := LoadEngine(w.pf, w.ds, candFunc(w.ix), bytes.NewReader(nil)); err == nil {
+		t.Fatal("expected error on empty input")
+	}
+	// Truncated valid snapshot.
+	eng, err := NewEngine(w.pf, w.prof, candFunc(w.ix), Config{Method: HCO, CacheBytes: 1 << 16, Tau: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := eng.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := LoadEngine(w.pf, w.ds, candFunc(w.ix), bytes.NewReader(trunc)); err == nil {
+		t.Fatal("expected error on truncated snapshot")
+	}
+}
+
+func TestProfileRoundTrip(t *testing.T) {
+	w := buildWorld(t, 600, 8, 73)
+	var buf bytes.Buffer
+	if _, err := w.prof.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadProfile(w.ds, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.K != w.prof.K || len(got.WL) != len(w.prof.WL) {
+		t.Fatalf("header changed: k=%d |WL|=%d", got.K, len(got.WL))
+	}
+	if got.AvgCandSize != w.prof.AvgCandSize || got.AvgDmax != w.prof.AvgDmax {
+		t.Fatalf("averages changed: %v/%v vs %v/%v", got.AvgCandSize, got.AvgDmax, w.prof.AvgCandSize, w.prof.AvgDmax)
+	}
+	// Frequencies and ranking identical.
+	if len(got.Ranked) != len(w.prof.Ranked) {
+		t.Fatal("ranking length changed")
+	}
+	for i := range got.Ranked {
+		if got.Ranked[i] != w.prof.Ranked[i] {
+			t.Fatalf("ranking diverged at %d", i)
+		}
+	}
+	// Engines built from the two profiles behave identically.
+	a, err := NewEngine(w.pf, w.prof, candFunc(w.ix), Config{Method: HCO, CacheBytes: 32 << 10, Tau: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewEngine(w.pf, got, candFunc(w.ix), Config{Method: HCO, CacheBytes: 32 << 10, Tau: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range w.qtest[:5] {
+		_, sa, err := a.Search(q, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, sb, err := b.Search(q, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sa.Hits != sb.Hits || sa.Fetched != sb.Fetched {
+			t.Fatalf("profiles diverge: %+v vs %+v", sa, sb)
+		}
+	}
+	// Garbage rejection.
+	if _, err := ReadProfile(w.ds, bytes.NewReader([]byte("garbage data"))); err == nil {
+		t.Fatal("expected error on bad magic")
+	}
+	var buf2 bytes.Buffer
+	w.prof.WriteTo(&buf2)
+	if _, err := ReadProfile(w.ds, bytes.NewReader(buf2.Bytes()[:buf2.Len()/3])); err == nil {
+		t.Fatal("expected error on truncation")
+	}
+}

@@ -1,0 +1,133 @@
+// Package core is the paper's primary contribution: the three-phase kNN
+// search of Algorithm 1 (candidate generation → cache-based candidate
+// reduction → multi-step refinement) over a histogram cache of compact
+// approximate points, together with the offline construction pipeline
+// (workload profiling, HFF content selection, F′ extraction, histogram
+// building) and the leaf-node adaptation for tree-based indexes of
+// Section 3.6.1.
+package core
+
+import "time"
+
+// QueryStats records one query's execution, in the vocabulary of Section 2.2.
+type QueryStats struct {
+	Candidates int // |C(q)| from Phase 1
+	Hits       int // cache hits during reduction (ρ_hit numerator)
+	Pruned     int // candidates removed by early pruning (lb > ub_k)
+	TrueHits   int // candidates detected as results without I/O (ub < lb_k)
+	Remaining  int // C_refine: candidates entering Phase 3
+	Fetched    int // points actually fetched by multi-step refinement
+
+	PageReads   int64         // physical page reads charged during Phase 3
+	SimulatedIO time.Duration // PageReads × Tio
+
+	GenTime    time.Duration // Phase 1 CPU
+	ReduceTime time.Duration // Phase 2 CPU (never any I/O)
+	RefineTime time.Duration // Phase 3 CPU (excluding SimulatedIO)
+
+	Dmax float64 // index's distance guarantee for this query (c·R·w for C2LSH)
+}
+
+// ResponseTime is the modeled wall-clock of the query: measured CPU plus
+// simulated I/O latency.
+func (s QueryStats) ResponseTime() time.Duration {
+	return s.GenTime + s.ReduceTime + s.RefineTime + s.SimulatedIO
+}
+
+// RefinementTime is the paper's T_refine: everything after candidate
+// generation that involves the candidate fetch path.
+func (s QueryStats) RefinementTime() time.Duration {
+	return s.ReduceTime + s.RefineTime + s.SimulatedIO
+}
+
+// Aggregate accumulates per-query statistics across a test query set.
+type Aggregate struct {
+	Queries     int
+	Candidates  int64
+	Hits        int64
+	Pruned      int64
+	TrueHits    int64
+	Remaining   int64
+	Fetched     int64
+	PageReads   int64
+	SimulatedIO time.Duration
+	GenTime     time.Duration
+	ReduceTime  time.Duration
+	RefineTime  time.Duration
+}
+
+// Add folds one query's stats into the aggregate.
+func (a *Aggregate) Add(s QueryStats) {
+	a.Queries++
+	a.Candidates += int64(s.Candidates)
+	a.Hits += int64(s.Hits)
+	a.Pruned += int64(s.Pruned)
+	a.TrueHits += int64(s.TrueHits)
+	a.Remaining += int64(s.Remaining)
+	a.Fetched += int64(s.Fetched)
+	a.PageReads += s.PageReads
+	a.SimulatedIO += s.SimulatedIO
+	a.GenTime += s.GenTime
+	a.ReduceTime += s.ReduceTime
+	a.RefineTime += s.RefineTime
+}
+
+func (a Aggregate) per(v int64) float64 {
+	if a.Queries == 0 {
+		return 0
+	}
+	return float64(v) / float64(a.Queries)
+}
+
+// AvgCandidates returns the mean |C(q)|.
+func (a Aggregate) AvgCandidates() float64 { return a.per(a.Candidates) }
+
+// AvgRemaining returns the mean C_refine (the paper's key cost driver).
+func (a Aggregate) AvgRemaining() float64 { return a.per(a.Remaining) }
+
+// AvgIO returns the mean refinement I/O in fetched points per query.
+func (a Aggregate) AvgIO() float64 { return a.per(a.Fetched) }
+
+// AvgPageReads returns the mean physical page reads per query.
+func (a Aggregate) AvgPageReads() float64 { return a.per(a.PageReads) }
+
+// HitRatio returns ρ_hit over the whole run.
+func (a Aggregate) HitRatio() float64 {
+	if a.Candidates == 0 {
+		return 0
+	}
+	return float64(a.Hits) / float64(a.Candidates)
+}
+
+// PruneRatio returns ρ_prune: pruned or detected candidates per cache hit
+// (Eqn 1's "ratio of pruned candidates to cache hits").
+func (a Aggregate) PruneRatio() float64 {
+	if a.Hits == 0 {
+		return 0
+	}
+	return float64(a.Pruned+a.TrueHits) / float64(a.Hits)
+}
+
+// AvgResponse returns the mean modeled response time per query.
+func (a Aggregate) AvgResponse() time.Duration {
+	if a.Queries == 0 {
+		return 0
+	}
+	return (a.GenTime + a.ReduceTime + a.RefineTime + a.SimulatedIO) / time.Duration(a.Queries)
+}
+
+// AvgRefinement returns the mean T_refine per query.
+func (a Aggregate) AvgRefinement() time.Duration {
+	if a.Queries == 0 {
+		return 0
+	}
+	return (a.ReduceTime + a.RefineTime + a.SimulatedIO) / time.Duration(a.Queries)
+}
+
+// AvgGeneration returns the mean T_gen per query.
+func (a Aggregate) AvgGeneration() time.Duration {
+	if a.Queries == 0 {
+		return 0
+	}
+	return a.GenTime / time.Duration(a.Queries)
+}

@@ -1,0 +1,405 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"exploitbit/internal/bounds"
+	"exploitbit/internal/cache"
+	"exploitbit/internal/dataset"
+	"exploitbit/internal/encoding"
+	"exploitbit/internal/histogram"
+	"exploitbit/internal/leafstore"
+	"exploitbit/internal/multistep"
+	"exploitbit/internal/vec"
+)
+
+// LeafIndex is the in-memory part of a tree-based index (Section 3.6.1):
+// the leaf partition (point ids per leaf) and, per query, a conservative
+// lower bound on the distance to any point of each leaf. iDistance, VP-tree
+// and the STR R-tree all satisfy it.
+type LeafIndex interface {
+	Leaves() [][]int32
+	LeafLowerBounds(q []float32) []float64
+}
+
+// TreeConfig selects how leaf nodes are cached.
+type TreeConfig struct {
+	// Method: Exact caches raw leaf vectors; HCO (or any HC-*) caches
+	// approximate representations of the leaf's points; NoCache disables
+	// caching.
+	Method Method
+	// CacheBytes is the cache budget CS.
+	CacheBytes int64
+	// Tau is the code length for approximate leaf caching (default 8).
+	Tau int
+	// SmoothEps as in Config.
+	SmoothEps float64
+}
+
+// exactLeaf is the payload of the EXACT leaf cache.
+type exactLeaf struct {
+	pts [][]float32 // same order as the leaf directory's ids
+}
+
+// approxLeaf is the payload of the histogram leaf cache: packed codes per
+// point, same order as the directory.
+type approxLeaf struct {
+	words []uint64 // count × codec.Words()
+}
+
+// TreeEngine runs cached kNN search over a tree index per Section 3.6.1:
+// leaf nodes are visited in ascending lower-bound order; cached leaves are
+// examined in RAM (exact distances, or per-point bounds that tighten ub_k
+// and defer fetching), uncached leaves are loaded from disk.
+type TreeEngine struct {
+	ds    *dataset.Dataset
+	ix    LeafIndex
+	store *leafstore.Store
+	cfg   TreeConfig
+
+	codec  encoding.Codec
+	table  *bounds.Table
+	ghist  *histogram.Histogram
+	exactC *cache.Cache[exactLeaf]
+	apprxC *cache.Cache[approxLeaf]
+
+	aggMu sync.Mutex
+	agg   Aggregate
+}
+
+// NewTreeEngine builds the cached tree engine. Leaf access frequencies are
+// collected by replaying the workload wl through uncached searches (the
+// construction procedure of Section 3.6.1), and the HC-O histogram is built
+// from the workload's k nearest neighbors.
+func NewTreeEngine(ds *dataset.Dataset, ix LeafIndex, store *leafstore.Store, wl [][]float32, k int, cfg TreeConfig) (*TreeEngine, error) {
+	if err := cfg.Method.Validate(); err != nil {
+		return nil, err
+	}
+	switch cfg.Method {
+	case NoCache, Exact, HCW, HCD, HCV, HCO:
+	default:
+		return nil, fmt.Errorf("core: tree caching does not support method %s", cfg.Method)
+	}
+	if cfg.Tau < 1 {
+		cfg.Tau = 8
+	}
+	if cfg.SmoothEps == 0 {
+		cfg.SmoothEps = 0.01
+	}
+	e := &TreeEngine{ds: ds, ix: ix, store: store, cfg: cfg}
+
+	if cfg.Method == NoCache {
+		return e, nil
+	}
+
+	// Replay the workload in memory: count leaf accesses (HFF frequency)
+	// and collect each query's k nearest points (the QR multiset for HC-O).
+	leafFreq := make(map[int]int)
+	var qr [][]float32
+	for _, q := range wl {
+		visited, nn := e.replay(q, k)
+		for _, li := range visited {
+			leafFreq[li]++
+		}
+		qr = append(qr, nn...)
+	}
+	ranked := cache.RankByFrequency(leafFreq)
+
+	leaves := ix.Leaves()
+	switch cfg.Method {
+	case Exact:
+		// Capacity in leaves: raw vectors, budget split by average leaf bits.
+		itemBits := e.avgLeafBits(32 * ds.Dim)
+		capacity := cache.CapacityForBudget(cfg.CacheBytes, itemBits)
+		e.exactC = cache.New[exactLeaf](capacity, cache.HFF)
+		e.exactC.FillHFF(ranked, func(li int) exactLeaf {
+			ids := leaves[li]
+			pts := make([][]float32, len(ids))
+			for i, id := range ids {
+				pts[i] = ds.Point(int(id))
+			}
+			return exactLeaf{pts: pts}
+		})
+	default: // HC-* approximate leaf caching
+		dom := ds.Domain
+		b := histogram.MaxBucketsForCodeLen(cfg.Tau, dom.Ndom)
+		switch cfg.Method {
+		case HCW:
+			e.ghist = histogram.EquiWidth(dom.Ndom, b)
+		case HCD:
+			e.ghist = histogram.EquiDepth(histogram.DataFrequency(ds, dom), b)
+		case HCV:
+			e.ghist = histogram.VOptimal(histogram.DataFrequency(ds, dom), b)
+		case HCO:
+			fp := histogram.WorkloadFrequency(qr, dom)
+			histogram.Smooth(fp, histogram.DataFrequency(ds, dom), cfg.SmoothEps)
+			e.ghist = histogram.KNNOptimal(fp, b)
+		}
+		e.codec = encoding.NewCodec(ds.Dim, cfg.Tau)
+		e.table = bounds.NewTable(e.ghist, dom, ds.Dim)
+		itemBits := e.avgLeafBits(e.codec.ItemBits() / 1) // per-point packed bits
+		capacity := cache.CapacityForBudget(cfg.CacheBytes, itemBits)
+		e.apprxC = cache.New[approxLeaf](capacity, cache.HFF)
+		codes := make([]int, ds.Dim)
+		e.apprxC.FillHFF(ranked, func(li int) approxLeaf {
+			ids := leaves[li]
+			words := make([]uint64, len(ids)*e.codec.Words())
+			for i, id := range ids {
+				p := ds.Point(int(id))
+				for j, v := range p {
+					codes[j] = e.ghist.Bucket(dom.Bin(float64(v)))
+				}
+				e.codec.Encode(codes, words[i*e.codec.Words():(i+1)*e.codec.Words()])
+			}
+			return approxLeaf{words: words}
+		})
+	}
+	return e, nil
+}
+
+// avgLeafBits estimates the cache cost of one leaf at perPointBits.
+func (e *TreeEngine) avgLeafBits(perPointBits int) int {
+	leaves := e.ix.Leaves()
+	if len(leaves) == 0 {
+		return perPointBits
+	}
+	total := 0
+	for _, l := range leaves {
+		total += len(l)
+	}
+	avg := (total*perPointBits + len(leaves) - 1) / len(leaves)
+	if avg < 1 {
+		avg = 1
+	}
+	return avg
+}
+
+// replay performs an in-memory exact search, returning the visited leaves
+// and the k nearest points (used only during construction).
+func (e *TreeEngine) replay(q []float32, k int) (visited []int, nn [][]float32) {
+	lbs := e.ix.LeafLowerBounds(q)
+	order := argsortByValue(lbs)
+	top := vec.NewTopK(k)
+	for _, li := range order {
+		if top.Full() && lbs[li] >= top.Root() {
+			break
+		}
+		visited = append(visited, li)
+		for _, id := range e.ix.Leaves()[li] {
+			top.Push(vec.Dist(q, e.ds.Point(int(id))), int(id))
+		}
+	}
+	ids, _ := top.Results()
+	for _, id := range ids {
+		nn = append(nn, e.ds.Point(id))
+	}
+	return visited, nn
+}
+
+func argsortByValue(v []float64) []int {
+	order := make([]int, len(v))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if v[order[a]] != v[order[b]] {
+			return v[order[a]] < v[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	return order
+}
+
+// Aggregate returns accumulated statistics.
+func (e *TreeEngine) Aggregate() Aggregate {
+	e.aggMu.Lock()
+	defer e.aggMu.Unlock()
+	return e.agg
+}
+
+// ResetStats clears accumulated statistics.
+func (e *TreeEngine) ResetStats() {
+	e.aggMu.Lock()
+	defer e.aggMu.Unlock()
+	e.agg = Aggregate{}
+}
+
+// pendingCand is a cached approximate point awaiting possible refinement.
+type pendingCand struct {
+	id     int32
+	leaf   int32
+	lb, ub float64
+}
+
+// knownCand is a candidate whose exact distance is already in hand (from an
+// exact-cached or disk-loaded leaf).
+type knownCand struct {
+	id int32
+	d  float64
+}
+
+// Search runs the cached tree kNN search of Section 3.6.1 and returns the
+// identifiers of the exact k nearest points. Like Algorithm 1, approximate
+// candidates whose upper bound beats the k-th lower bound are declared
+// results without ever fetching their leaf — the identifiers are the answer,
+// per Definition 3's remark.
+func (e *TreeEngine) Search(q []float32, k int) ([]int, QueryStats, error) {
+	var st QueryStats
+	t0 := time.Now()
+	lbs := e.ix.LeafLowerBounds(q)
+	order := argsortByValue(lbs)
+	st.GenTime = time.Since(t0)
+
+	t1 := time.Now()
+	io0 := e.store.Stats().PageReads
+	ubTop := vec.NewTopK(k)   // k-th smallest known upper bound, for node cutoff
+	var known []knownCand     // candidates with exact distances
+	var pending []pendingCand // cached points deferred on bounds
+	leaves := e.ix.Leaves()
+
+	loadLeaf := func(li int) ([]int32, [][]float32, error) {
+		ids, pts, err := e.store.Load(li)
+		if err != nil {
+			return nil, nil, err
+		}
+		st.Fetched += len(ids)
+		return ids, pts, nil
+	}
+
+	for _, li := range order {
+		if ubTop.Full() && lbs[li] >= ubTop.Root() {
+			// No remaining leaf can contain one of the k nearest: stop
+			// generating candidates.
+			break
+		}
+		st.Candidates += len(leaves[li])
+		examined := false
+		if e.exactC != nil {
+			if leafPts, ok := e.exactC.Get(li); ok {
+				st.Hits += len(leafPts.pts)
+				for i, id := range leaves[li] {
+					d := vec.Dist(q, leafPts.pts[i])
+					known = append(known, knownCand{id: id, d: d})
+					ubTop.Push(d, int(id))
+				}
+				examined = true
+			}
+		} else if e.apprxC != nil {
+			if al, ok := e.apprxC.Get(li); ok {
+				st.Hits += len(leaves[li])
+				w := e.codec.Words()
+				for i, id := range leaves[li] {
+					lb, ub := e.table.BoundsPacked(q, al.words[i*w:(i+1)*w], e.codec)
+					if lb < lbs[li] {
+						lb = lbs[li] // node bound can be tighter
+					}
+					ubTop.Push(ub, int(id))
+					pending = append(pending, pendingCand{id: id, leaf: int32(li), lb: lb, ub: ub})
+				}
+				examined = true
+			}
+		}
+		if !examined {
+			ids, pts, err := loadLeaf(li)
+			if err != nil {
+				return nil, st, err
+			}
+			for i, id := range ids {
+				d := vec.Dist(q, pts[i])
+				known = append(known, knownCand{id: id, d: d})
+				ubTop.Push(d, int(id))
+			}
+		}
+	}
+
+	// Candidate reduction (Algorithm 1 lines 7–13) over known ∪ pending.
+	allLB := make([]float64, 0, len(known)+len(pending))
+	allUB := make([]float64, 0, len(known)+len(pending))
+	for _, c := range known {
+		allLB = append(allLB, c.d)
+		allUB = append(allUB, c.d)
+	}
+	for _, c := range pending {
+		allLB = append(allLB, c.lb)
+		allUB = append(allUB, c.ub)
+	}
+	lbk := multistep.KthSmallest(allLB, k)
+	ubk := multistep.KthSmallest(allUB, k)
+
+	var results []int
+	resultSet := make(map[int32]bool)
+	liveKnown := known[:0]
+	for _, c := range known {
+		if c.d > ubk {
+			st.Pruned++
+		} else {
+			liveKnown = append(liveKnown, c)
+		}
+	}
+	livePending := pending[:0]
+	for _, c := range pending {
+		switch {
+		case c.lb > ubk:
+			st.Pruned++
+		case c.ub < lbk:
+			st.TrueHits++ // a guaranteed result: never fetch its leaf
+			results = append(results, int(c.id))
+			resultSet[c.id] = true
+		default:
+			livePending = append(livePending, c)
+		}
+	}
+	st.Remaining = len(livePending)
+	st.ReduceTime = time.Since(t1)
+
+	// Refinement: known candidates compete for the open slots at no cost;
+	// pending ones are resolved in ascending lower-bound order, loading a
+	// leaf at most once and consuming all its exact distances (the
+	// node-level tightening of Section 3.6.1).
+	t2 := time.Now()
+	kNeed := k - len(results)
+	if kNeed > 0 {
+		top := vec.NewTopK(kNeed)
+		for _, c := range liveKnown {
+			top.Push(c.d, int(c.id))
+		}
+		sort.Slice(livePending, func(a, b int) bool {
+			if livePending[a].lb != livePending[b].lb {
+				return livePending[a].lb < livePending[b].lb
+			}
+			return livePending[a].id < livePending[b].id
+		})
+		loaded := make(map[int32]bool)
+		for _, pc := range livePending {
+			if loaded[pc.leaf] {
+				continue
+			}
+			if top.Full() && pc.lb >= top.Root() {
+				break // sorted by lb: nothing later can improve
+			}
+			ids, pts, err := loadLeaf(int(pc.leaf))
+			if err != nil {
+				return nil, st, err
+			}
+			loaded[pc.leaf] = true
+			for i, id := range ids {
+				if !resultSet[id] {
+					top.Push(vec.Dist(q, pts[i]), int(id))
+				}
+			}
+		}
+		ids, _ := top.Results()
+		results = append(results, ids...)
+	}
+	st.RefineTime = time.Since(t2)
+	st.PageReads = e.store.Stats().PageReads - io0
+	st.SimulatedIO = time.Duration(st.PageReads) * e.store.Tio()
+
+	e.aggMu.Lock()
+	e.agg.Add(st)
+	e.aggMu.Unlock()
+	return results, st, nil
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"math"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"exploitbit/internal/dataset"
+	"exploitbit/internal/idistance"
+	"exploitbit/internal/leafstore"
+	"exploitbit/internal/rtree"
+	"exploitbit/internal/vec"
+	"exploitbit/internal/vptree"
+)
+
+// treeWorld bundles a dataset, one of the tree indexes, and its leaf store.
+type treeWorld struct {
+	ds    *dataset.Dataset
+	ix    LeafIndex
+	store *leafstore.Store
+	wl    [][]float32
+	qtest [][]float32
+}
+
+func buildTreeWorld(t testing.TB, kind string, n, dim int, seed int64) *treeWorld {
+	t.Helper()
+	ds := dataset.Generate(dataset.Config{Name: "t", N: n, Dim: dim, Clusters: 6, Std: 0.05, Ndom: 256, Seed: seed})
+	var ix LeafIndex
+	switch kind {
+	case "idistance":
+		ix = idistance.Build(ds, idistance.Params{Refs: 8, LeafCapacity: 16, Seed: seed})
+	case "vptree":
+		ix = vptree.Build(ds, vptree.Params{LeafCapacity: 16, Seed: seed})
+	case "rtree":
+		ix = rtree.BuildSTR(ds, (n+15)/16, 2)
+	default:
+		t.Fatalf("unknown tree kind %s", kind)
+	}
+	store, err := leafstore.Build(filepath.Join(t.TempDir(), "leaves"), ds, ix.Leaves(), 4096, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+	log := dataset.GenLog(ds, dataset.LogConfig{PoolSize: 200, Length: 600, ZipfS: 1.3, Perturb: 0.005, Seed: seed + 1})
+	wl, qtest := log.Split(15)
+	return &treeWorld{ds: ds, ix: ix, store: store, wl: wl, qtest: qtest}
+}
+
+func bruteDists(ds *dataset.Dataset, q []float32, k int) []float64 {
+	top := vec.NewTopK(k)
+	for i := 0; i < ds.Len(); i++ {
+		top.Push(vec.Dist(q, ds.Point(i)), i)
+	}
+	_, dists := top.Results()
+	return dists
+}
+
+func TestTreeSearchExactAllIndexesAllMethods(t *testing.T) {
+	for _, kind := range []string{"idistance", "vptree", "rtree"} {
+		kind := kind
+		t.Run(kind, func(t *testing.T) {
+			w := buildTreeWorld(t, kind, 1200, 10, 21)
+			for _, m := range []Method{NoCache, Exact, HCO} {
+				eng, err := NewTreeEngine(w.ds, w.ix, w.store, w.wl, 10, TreeConfig{
+					Method: m, CacheBytes: 256 << 10, Tau: 7,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for qi, q := range w.qtest {
+					ids, _, err := eng.Search(q, 5)
+					if err != nil {
+						t.Fatal(err)
+					}
+					want := bruteDists(w.ds, q, 5)
+					got := make([]float64, len(ids))
+					for i, id := range ids {
+						got[i] = vec.Dist(q, w.ds.Point(id))
+					}
+					sort.Float64s(got)
+					if len(got) != len(want) {
+						t.Fatalf("%s/%s query %d: %d results", kind, m, qi, len(got))
+					}
+					for i := range want {
+						if math.Abs(got[i]-want[i]) > 1e-9 {
+							t.Fatalf("%s/%s query %d rank %d: %v want %v", kind, m, qi, i, got[i], want[i])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestTreeCachingReducesIO(t *testing.T) {
+	w := buildTreeWorld(t, "idistance", 2000, 12, 22)
+	run := func(m Method, budget int64) Aggregate {
+		eng, err := NewTreeEngine(w.ds, w.ix, w.store, w.wl, 10, TreeConfig{Method: m, CacheBytes: budget, Tau: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range w.qtest {
+			if _, _, err := eng.Search(q, 10); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return eng.Aggregate()
+	}
+	// ~25% of the dataset's bytes, as in the paper's default setting.
+	budget := int64(w.ds.Len()) * int64(w.ds.PointSize()) / 4
+	none := run(NoCache, 0)
+	exact := run(Exact, budget)
+	hco := run(HCO, budget)
+	if exact.PageReads >= none.PageReads {
+		t.Fatalf("EXACT leaf cache did not reduce I/O: %d vs %d", exact.PageReads, none.PageReads)
+	}
+	if hco.PageReads >= none.PageReads {
+		t.Fatalf("HC-O leaf cache did not reduce I/O: %d vs %d", hco.PageReads, none.PageReads)
+	}
+	// Figure 16's claim at scarce budget: approximate leaf caching beats
+	// exact leaf caching because 32/τ times more leaves fit.
+	if hco.PageReads > exact.PageReads {
+		t.Fatalf("HC-O leaf cache (%d reads) worse than EXACT (%d reads)", hco.PageReads, exact.PageReads)
+	}
+}
+
+func TestTreeEngineRejectsBadMethod(t *testing.T) {
+	w := buildTreeWorld(t, "vptree", 200, 6, 23)
+	if _, err := NewTreeEngine(w.ds, w.ix, w.store, w.wl, 5, TreeConfig{Method: MHCR}); err == nil {
+		t.Fatal("expected rejection of mHC-R for tree engines")
+	}
+	if _, err := NewTreeEngine(w.ds, w.ix, w.store, w.wl, 5, TreeConfig{Method: Method("junk")}); err == nil {
+		t.Fatal("expected rejection of unknown method")
+	}
+}
+
+func TestTreeEngineStats(t *testing.T) {
+	w := buildTreeWorld(t, "vptree", 800, 8, 24)
+	eng, err := NewTreeEngine(w.ds, w.ix, w.store, w.wl, 5, TreeConfig{Method: HCO, CacheBytes: 64 << 10, Tau: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st, err := eng.Search(w.qtest[0], 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Candidates <= 0 {
+		t.Fatal("no candidates examined")
+	}
+	if st.PageReads < 0 || st.Fetched < 0 {
+		t.Fatalf("negative I/O: %+v", st)
+	}
+	eng.ResetStats()
+	if eng.Aggregate().Queries != 0 {
+		t.Fatal("reset failed")
+	}
+}

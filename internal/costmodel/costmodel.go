@@ -1,0 +1,135 @@
+// Package costmodel implements Section 4: estimating the refinement I/O
+// cost of a histogram cache as a function of the cache size CS and the code
+// length τ, and auto-tuning the optimal τ.
+//
+// The model combines
+//
+//	C_refine = (1 − ρ_hit · ρ_prune) · |C(q)|            (Eqn 1)
+//
+// with two estimates: the HFF hit ratio from the workload frequency
+// distribution (Theorem 1's mechanism — τ trades per-item size against item
+// count), and the refinement ratio upper bound of Theorems 2–3
+// (ρ_refine ≤ ‖ε(b_k)‖ / Dmax, which for an equi-width histogram has the
+// closed form √d·w / Dmax with bucket width w).
+package costmodel
+
+import (
+	"math"
+
+	"exploitbit/internal/encoding"
+)
+
+// Inputs bundles everything the model needs; all quantities come from the
+// workload profile and the dataset geometry.
+type Inputs struct {
+	// AvgCandSize is the mean candidate-set size |C(q)|.
+	AvgCandSize float64
+	// FreqSorted is the descending candidate-frequency sequence f_1 ≥ f_2 ≥ …
+	// from the workload (Profile.FreqSorted).
+	FreqSorted []int
+	// BudgetBytes is the cache size CS.
+	BudgetBytes int64
+	// Dim is the dimensionality d.
+	Dim int
+	// DomainWidth is the real width Hi−Lo of the value domain.
+	DomainWidth float64
+	// Ndom is the discrete domain size.
+	Ndom int
+	// Dmax is the largest candidate distance from q, calculated from the
+	// index's (R,c)-guarantee (Theorem 3: Dmax = c·R for C2LSH).
+	Dmax float64
+	// Lvalue is the bits per raw coordinate (32 for float32 points).
+	Lvalue int
+}
+
+// HitRatio estimates the HFF cache hit ratio for a given item capacity:
+// the fraction of workload candidate lookups landing on the capacity most
+// frequent items (the ρ_hit definition inside Theorem 1's proof).
+func HitRatio(freqSorted []int, capacity int) float64 {
+	var total, top int64
+	for i, f := range freqSorted {
+		total += int64(f)
+		if i < capacity {
+			top += int64(f)
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	if capacity >= len(freqSorted) {
+		return 1
+	}
+	return float64(top) / float64(total)
+}
+
+// CapacityForTau returns how many τ-bit-encoded points fit the budget,
+// using the word-packed item size of footnote 5.
+func (in Inputs) CapacityForTau(tau int) int {
+	itemBits := encoding.NewCodec(in.Dim, tau).ItemBits()
+	c := in.BudgetBytes * 8 / int64(itemBits)
+	if c < 0 {
+		return 0
+	}
+	return int(c)
+}
+
+// HitRatioForTau estimates ρ_hit at code length τ.
+func (in Inputs) HitRatioForTau(tau int) float64 {
+	return HitRatio(in.FreqSorted, in.CapacityForTau(tau))
+}
+
+// BucketWidthForTau returns the real-valued equi-width bucket width w at
+// code length τ (the paper's w = 2^(Lvalue−τ), expressed in our domain:
+// B = min(2^τ, Ndom) buckets over DomainWidth).
+func (in Inputs) BucketWidthForTau(tau int) float64 {
+	b := 1 << tau
+	if b > in.Ndom {
+		b = in.Ndom
+	}
+	return in.DomainWidth / float64(b)
+}
+
+// RefineRatioForTau is Theorem 3's upper bound on ρ^q_refine for the
+// equi-width histogram: min(√d·w / Dmax, 1).
+func (in Inputs) RefineRatioForTau(tau int) float64 {
+	if in.Dmax <= 0 {
+		return 1
+	}
+	r := math.Sqrt(float64(in.Dim)) * in.BucketWidthForTau(tau) / in.Dmax
+	if r > 1 {
+		return 1
+	}
+	return r
+}
+
+// EstimatedCrefine is the model's remaining candidate count (≈ refinement
+// I/O in points) at code length τ:
+//
+//	C_refine = (1 − ρ_hit · (1 − ρ_refine)) · |C(q)|
+func (in Inputs) EstimatedCrefine(tau int) float64 {
+	hit := in.HitRatioForTau(tau)
+	prune := 1 - in.RefineRatioForTau(tau)
+	return (1 - hit*prune) * in.AvgCandSize
+}
+
+// OptimalTau sweeps τ ∈ [1, Lvalue] (Section 4.2.2) and returns the τ with
+// the lowest estimated C_refine, together with the per-τ estimates (indexed
+// τ−1) for Figure 12-style comparisons.
+func (in Inputs) OptimalTau() (int, []float64) {
+	lv := in.Lvalue
+	if lv < 1 {
+		lv = 32
+	}
+	if lv > 32 {
+		lv = 32
+	}
+	best, bestTau := -1.0, 1
+	est := make([]float64, lv)
+	for tau := 1; tau <= lv; tau++ {
+		est[tau-1] = in.EstimatedCrefine(tau)
+		if best < 0 || est[tau-1] < best {
+			best, bestTau = est[tau-1], tau
+		}
+	}
+	return bestTau, est
+}

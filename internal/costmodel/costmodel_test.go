@@ -1,0 +1,174 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func zipfFreqs(n int) []int {
+	f := make([]int, n)
+	for i := range f {
+		f[i] = 1 + 1000/(i+1)
+	}
+	return f
+}
+
+func TestHitRatio(t *testing.T) {
+	fs := []int{10, 5, 3, 2}
+	if got := HitRatio(fs, 0); got != 0 {
+		t.Fatalf("capacity 0: %v", got)
+	}
+	if got := HitRatio(fs, 1); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("capacity 1: %v", got)
+	}
+	if got := HitRatio(fs, 4); got != 1 {
+		t.Fatalf("full capacity: %v", got)
+	}
+	if got := HitRatio(fs, 100); got != 1 {
+		t.Fatalf("over capacity: %v", got)
+	}
+	if got := HitRatio(nil, 5); got != 0 {
+		t.Fatalf("empty workload: %v", got)
+	}
+	// Monotone in capacity.
+	prev := 0.0
+	for c := 0; c <= 4; c++ {
+		h := HitRatio(fs, c)
+		if h < prev {
+			t.Fatalf("hit ratio not monotone at %d", c)
+		}
+		prev = h
+	}
+}
+
+func testInputs() Inputs {
+	return Inputs{
+		AvgCandSize: 200,
+		FreqSorted:  zipfFreqs(5000),
+		BudgetBytes: 64 << 10,
+		Dim:         150,
+		DomainWidth: 1,
+		Ndom:        1024,
+		Dmax:        2.5,
+		Lvalue:      32,
+	}
+}
+
+func TestHitRatioDecreasesWithTau(t *testing.T) {
+	in := testInputs()
+	prev := 1.1
+	for tau := 1; tau <= 16; tau++ {
+		h := in.HitRatioForTau(tau)
+		if h > prev+1e-12 {
+			t.Fatalf("hit ratio rose at tau=%d: %v > %v", tau, h, prev)
+		}
+		if h < 0 || h > 1 {
+			t.Fatalf("hit ratio out of range at tau=%d: %v", tau, h)
+		}
+		prev = h
+	}
+}
+
+func TestRefineRatioDecreasesWithTau(t *testing.T) {
+	in := testInputs()
+	prev := 2.0
+	for tau := 1; tau <= 10; tau++ {
+		r := in.RefineRatioForTau(tau)
+		if r > prev+1e-12 {
+			t.Fatalf("refine ratio rose at tau=%d", tau)
+		}
+		if r < 0 || r > 1 {
+			t.Fatalf("refine ratio out of range: %v", r)
+		}
+		prev = r
+	}
+	// Beyond log2(Ndom) the bucket width bottoms out.
+	if in.RefineRatioForTau(10) != in.RefineRatioForTau(12) {
+		t.Fatal("refine ratio should saturate once B = Ndom")
+	}
+	// Degenerate Dmax.
+	bad := in
+	bad.Dmax = 0
+	if bad.RefineRatioForTau(8) != 1 {
+		t.Fatal("zero Dmax should give ratio 1")
+	}
+}
+
+func TestOptimalTauIsInterior(t *testing.T) {
+	// The tension of Section 1.1's challenge 2: tiny τ → high hit ratio but
+	// useless bounds; huge τ → tight bounds but empty cache. The optimum
+	// must be strictly between.
+	in := testInputs()
+	tau, est := in.OptimalTau()
+	if tau <= 1 || tau >= 32 {
+		t.Fatalf("optimal tau %d not interior", tau)
+	}
+	if len(est) != 32 {
+		t.Fatalf("estimate vector length %d", len(est))
+	}
+	// The estimate at the optimum is no worse than the extremes.
+	if est[tau-1] > est[0] || est[tau-1] > est[31] {
+		t.Fatalf("optimum %d (%v) worse than extremes (%v, %v)", tau, est[tau-1], est[0], est[31])
+	}
+	// Every estimate lies in [0, |C(q)|].
+	for i, e := range est {
+		if e < 0 || e > in.AvgCandSize {
+			t.Fatalf("estimate %d out of range: %v", i+1, e)
+		}
+	}
+}
+
+func TestEstimatedCrefineEndpoints(t *testing.T) {
+	in := testInputs()
+	// With zero budget nothing is cached: C_refine = |C(q)|.
+	broke := in
+	broke.BudgetBytes = 0
+	if got := broke.EstimatedCrefine(8); got != in.AvgCandSize {
+		t.Fatalf("zero budget: %v", got)
+	}
+	// With an enormous budget and max tau, C_refine approaches the
+	// irreducible refine-ratio floor.
+	rich := in
+	rich.BudgetBytes = 1 << 40
+	got := rich.EstimatedCrefine(10)
+	want := rich.RefineRatioForTau(10) * rich.AvgCandSize
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("rich budget: %v want %v", got, want)
+	}
+}
+
+func TestCapacityForTau(t *testing.T) {
+	in := testInputs()
+	// d=150, τ=10 → 1500 bits → 24 words → 1536 bits.
+	want := int(in.BudgetBytes * 8 / 1536)
+	if got := in.CapacityForTau(10); got != want {
+		t.Fatalf("capacity = %d, want %d", got, want)
+	}
+	// Capacity shrinks as tau grows.
+	if in.CapacityForTau(4) <= in.CapacityForTau(16) {
+		t.Fatal("capacity not decreasing in tau")
+	}
+}
+
+func TestBucketWidth(t *testing.T) {
+	in := testInputs()
+	if got := in.BucketWidthForTau(10); got != 1.0/1024 {
+		t.Fatalf("width at tau=10: %v", got)
+	}
+	// Clamped at Ndom buckets.
+	if in.BucketWidthForTau(11) != in.BucketWidthForTau(10) {
+		t.Fatal("width should clamp at Ndom")
+	}
+	if got := in.BucketWidthForTau(1); got != 0.5 {
+		t.Fatalf("width at tau=1: %v", got)
+	}
+}
+
+func TestOptimalTauDefaultsLvalue(t *testing.T) {
+	in := testInputs()
+	in.Lvalue = 0
+	tau, est := in.OptimalTau()
+	if len(est) != 32 || tau < 1 {
+		t.Fatalf("defaulted Lvalue broken: %d %d", tau, len(est))
+	}
+}

@@ -1,0 +1,265 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"exploitbit/internal/vec"
+)
+
+func TestGenerateShape(t *testing.T) {
+	ds := Generate(Config{Name: "t", N: 100, Dim: 8, Clusters: 4, Std: 0.05, Skew: 2, Ndom: 64, Seed: 1})
+	if ds.Len() != 100 || ds.Dim != 8 {
+		t.Fatalf("shape = %dx%d", ds.Len(), ds.Dim)
+	}
+	for i := 0; i < ds.Len(); i++ {
+		p := ds.Point(i)
+		if len(p) != 8 {
+			t.Fatalf("point %d has %d dims", i, len(p))
+		}
+		for j, v := range p {
+			if v < 0 || v > 1 || math.IsNaN(float64(v)) {
+				t.Fatalf("point %d dim %d out of range: %v", i, j, v)
+			}
+		}
+	}
+	if ds.PointSize() != 32 {
+		t.Fatalf("PointSize = %d, want 32", ds.PointSize())
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{Name: "t", N: 50, Dim: 4, Clusters: 3, Seed: 42}
+	a, b := Generate(cfg), Generate(cfg)
+	for i := range a.Data() {
+		if a.Data()[i] != b.Data()[i] {
+			t.Fatal("same seed produced different data")
+		}
+	}
+	cfg.Seed = 43
+	c := Generate(cfg)
+	same := true
+	for i := range a.Data() {
+		if a.Data()[i] != c.Data()[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestGenerateIsClustered(t *testing.T) {
+	// Points from the generator should be far closer to their nearest
+	// neighbor than uniform random points would be; verify clustering by
+	// comparing mean NN distance to mean pairwise distance.
+	ds := Generate(Config{Name: "t", N: 200, Dim: 16, Clusters: 5, Std: 0.02, Seed: 3})
+	var nnSum, pairSum float64
+	var pairs int
+	for i := 0; i < ds.Len(); i++ {
+		best := math.Inf(1)
+		for j := 0; j < ds.Len(); j++ {
+			if i == j {
+				continue
+			}
+			d := vec.Dist(ds.Point(i), ds.Point(j))
+			if d < best {
+				best = d
+			}
+			pairSum += d
+			pairs++
+		}
+		nnSum += best
+	}
+	meanNN := nnSum / float64(ds.Len())
+	meanPair := pairSum / float64(pairs)
+	if meanNN > meanPair/3 {
+		t.Fatalf("data does not look clustered: meanNN=%v meanPair=%v", meanNN, meanPair)
+	}
+}
+
+func TestPresets(t *testing.T) {
+	for _, tc := range []struct {
+		ds   *Dataset
+		dim  int
+		name string
+	}{
+		{NUSWideLike(20, 1), 150, "NUS-WIDE"},
+		{ImgNetLike(20, 1), 150, "IMGNET"},
+		{SogouLike(5, 1), 960, "SOGOU"},
+	} {
+		if tc.ds.Dim != tc.dim || tc.ds.Name != tc.name {
+			t.Errorf("preset %s: dim=%d name=%q", tc.name, tc.ds.Dim, tc.ds.Name)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	dom := vec.NewDomain(0, 1, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-multiple data length")
+		}
+	}()
+	New("bad", 3, make([]float32, 4), dom)
+}
+
+func TestGenLogSkewAndSplit(t *testing.T) {
+	ds := Generate(Config{Name: "t", N: 500, Dim: 8, Clusters: 4, Seed: 5})
+	log := GenLog(ds, LogConfig{PoolSize: 100, Length: 5000, ZipfS: 1.5, Perturb: 0.01, Seed: 6})
+	if len(log.Pool) != 100 || len(log.Seq) != 5000 {
+		t.Fatalf("log shape %d/%d", len(log.Pool), len(log.Seq))
+	}
+	freqs := log.RankFreq()
+	if len(freqs) == 0 {
+		t.Fatal("no frequencies")
+	}
+	// Power-law check: top 10% of distinct queries should carry well over
+	// half the log (Figure 2's temporal locality).
+	top := 0
+	cut := len(freqs) / 10
+	if cut == 0 {
+		cut = 1
+	}
+	for _, f := range freqs[:cut] {
+		top += f
+	}
+	if float64(top) < 0.5*float64(len(log.Seq)) {
+		t.Fatalf("log not skewed enough: top 10%% carries %d of %d", top, len(log.Seq))
+	}
+	// Frequencies must be sorted descending and sum to the log length.
+	sum := 0
+	for i, f := range freqs {
+		sum += f
+		if i > 0 && freqs[i-1] < f {
+			t.Fatal("RankFreq not descending")
+		}
+	}
+	if sum != len(log.Seq) {
+		t.Fatalf("freq sum %d != log length %d", sum, len(log.Seq))
+	}
+
+	wl, qt := log.Split(50)
+	if len(wl) != 4950 || len(qt) != 50 {
+		t.Fatalf("split = %d/%d", len(wl), len(qt))
+	}
+}
+
+func TestGenLogQueriesInDomain(t *testing.T) {
+	ds := Generate(Config{Name: "t", N: 100, Dim: 6, Seed: 7})
+	log := GenLog(ds, LogConfig{PoolSize: 20, Length: 100, Perturb: 0.5, Seed: 8})
+	for _, q := range log.Pool {
+		for _, v := range q {
+			if float64(v) < ds.Domain.Lo || float64(v) > ds.Domain.Hi {
+				t.Fatalf("query coordinate %v escapes domain", v)
+			}
+		}
+	}
+}
+
+func TestRoundTripIO(t *testing.T) {
+	ds := Generate(Config{Name: "roundtrip", N: 37, Dim: 5, Seed: 9, Ndom: 128})
+	var buf bytes.Buffer
+	if _, err := ds.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != ds.Name || got.Dim != ds.Dim || got.Len() != ds.Len() {
+		t.Fatalf("header mismatch: %q %d %d", got.Name, got.Dim, got.Len())
+	}
+	if got.Domain != ds.Domain {
+		t.Fatalf("domain mismatch: %+v vs %+v", got.Domain, ds.Domain)
+	}
+	for i := range ds.Data() {
+		if got.Data()[i] != ds.Data()[i] {
+			t.Fatalf("data mismatch at %d", i)
+		}
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	ds := Generate(Config{Name: "file", N: 10, Dim: 3, Seed: 10})
+	path := filepath.Join(t.TempDir(), "ds.ebds")
+	if err := ds.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 10 || got.Dim != 3 {
+		t.Fatalf("loaded shape %dx%d", got.Len(), got.Dim)
+	}
+}
+
+func TestReadFromRejectsGarbage(t *testing.T) {
+	if _, err := ReadFrom(bytes.NewReader([]byte("not a dataset file"))); err == nil {
+		t.Fatal("expected error on bad magic")
+	}
+	if _, err := ReadFrom(bytes.NewReader(nil)); err == nil {
+		t.Fatal("expected error on empty input")
+	}
+	// Truncated data section.
+	ds := Generate(Config{Name: "x", N: 4, Dim: 2, Seed: 1})
+	var buf bytes.Buffer
+	if _, err := ds.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-5]
+	if _, err := ReadFrom(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("expected error on truncated input")
+	}
+}
+
+func TestLogRoundTrip(t *testing.T) {
+	ds := Generate(Config{Name: "t", N: 200, Dim: 6, Seed: 21})
+	log := GenLog(ds, LogConfig{PoolSize: 30, Length: 150, ZipfS: 1.4, Perturb: 0.01, Seed: 22})
+	var buf bytes.Buffer
+	if _, err := log.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadLog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Pool) != len(log.Pool) || len(got.Seq) != len(log.Seq) {
+		t.Fatalf("shape changed: %d/%d", len(got.Pool), len(got.Seq))
+	}
+	for i := range log.Seq {
+		if got.Seq[i] != log.Seq[i] {
+			t.Fatalf("sequence diverged at %d", i)
+		}
+	}
+	for i := range log.Pool {
+		for j := range log.Pool[i] {
+			if got.Pool[i][j] != log.Pool[i][j] {
+				t.Fatalf("pool point %d diverged", i)
+			}
+		}
+	}
+	// File round trip.
+	path := filepath.Join(t.TempDir(), "log.ebql")
+	if err := log.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadLog(path); err != nil {
+		t.Fatal(err)
+	}
+	// Garbage rejection.
+	if _, err := ReadLog(bytes.NewReader([]byte("garbage"))); err == nil {
+		t.Fatal("expected error on bad magic")
+	}
+	trunc := buf.Bytes() // buf already drained; rebuild
+	var buf2 bytes.Buffer
+	log.WriteTo(&buf2)
+	trunc = buf2.Bytes()[:buf2.Len()-5]
+	if _, err := ReadLog(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("expected error on truncation")
+	}
+}

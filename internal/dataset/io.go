@@ -1,0 +1,128 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"exploitbit/internal/vec"
+)
+
+// Binary dataset file format ("EBDS"):
+//
+//	magic   [4]byte  "EBDS"
+//	version uint32   (1)
+//	dim     uint32
+//	n       uint32
+//	ndom    uint32
+//	lo, hi  float64
+//	nameLen uint32, name bytes
+//	data    n*dim float32, little endian
+const (
+	magic   = "EBDS"
+	version = 1
+)
+
+// WriteTo serializes the dataset in EBDS format.
+func (ds *Dataset) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	write := func(v any) error {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+		n += int64(binary.Size(v))
+		return nil
+	}
+	if _, err := bw.WriteString(magic); err != nil {
+		return n, err
+	}
+	n += 4
+	hdr := []any{
+		uint32(version), uint32(ds.Dim), uint32(ds.n),
+		uint32(ds.Domain.Ndom), ds.Domain.Lo, ds.Domain.Hi,
+		uint32(len(ds.Name)),
+	}
+	for _, v := range hdr {
+		if err := write(v); err != nil {
+			return n, err
+		}
+	}
+	if _, err := bw.WriteString(ds.Name); err != nil {
+		return n, err
+	}
+	n += int64(len(ds.Name))
+	buf := make([]byte, 4)
+	for _, f := range ds.data {
+		binary.LittleEndian.PutUint32(buf, math.Float32bits(f))
+		if _, err := bw.Write(buf); err != nil {
+			return n, err
+		}
+		n += 4
+	}
+	return n, bw.Flush()
+}
+
+// ReadFrom parses an EBDS stream into a fresh Dataset.
+func ReadFrom(r io.Reader) (*Dataset, error) {
+	br := bufio.NewReader(r)
+	m := make([]byte, 4)
+	if _, err := io.ReadFull(br, m); err != nil {
+		return nil, fmt.Errorf("dataset: reading magic: %w", err)
+	}
+	if string(m) != magic {
+		return nil, fmt.Errorf("dataset: bad magic %q", m)
+	}
+	var ver, dim, n, ndom, nameLen uint32
+	var lo, hi float64
+	for _, p := range []any{&ver, &dim, &n, &ndom, &lo, &hi, &nameLen} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return nil, fmt.Errorf("dataset: reading header: %w", err)
+		}
+	}
+	if ver != version {
+		return nil, fmt.Errorf("dataset: unsupported version %d", ver)
+	}
+	if dim == 0 || n == 0 || ndom < 2 || nameLen > 1<<20 {
+		return nil, fmt.Errorf("dataset: implausible header dim=%d n=%d ndom=%d", dim, n, ndom)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, fmt.Errorf("dataset: reading name: %w", err)
+	}
+	data := make([]float32, int(n)*int(dim))
+	raw := make([]byte, 4)
+	for i := range data {
+		if _, err := io.ReadFull(br, raw); err != nil {
+			return nil, fmt.Errorf("dataset: reading point data: %w", err)
+		}
+		data[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw))
+	}
+	return New(string(name), int(dim), data, vec.NewDomain(lo, hi, int(ndom))), nil
+}
+
+// Save writes the dataset to path in EBDS format.
+func (ds *Dataset) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := ds.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads an EBDS dataset from path.
+func Load(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadFrom(f)
+}

@@ -1,0 +1,130 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// Binary query-log format ("EBQL"): the pool of distinct query points and
+// the arrival sequence. Persisting logs lets experiments run against the
+// exact same workload across processes — the role the real SOGOU query log
+// plays in the paper.
+const (
+	logMagic   = "EBQL"
+	logVersion = 1
+)
+
+// WriteTo serializes the log.
+func (l *Log) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	if _, err := bw.WriteString(logMagic); err != nil {
+		return n, err
+	}
+	n += 4
+	dim := 0
+	if len(l.Pool) > 0 {
+		dim = len(l.Pool[0])
+	}
+	for _, v := range []uint32{logVersion, uint32(len(l.Pool)), uint32(dim), uint32(len(l.Seq))} {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return n, err
+		}
+		n += 4
+	}
+	buf := make([]byte, 4)
+	for _, q := range l.Pool {
+		if len(q) != dim {
+			return n, fmt.Errorf("dataset: ragged query pool (%d vs %d dims)", len(q), dim)
+		}
+		for _, v := range q {
+			binary.LittleEndian.PutUint32(buf, math.Float32bits(v))
+			if _, err := bw.Write(buf); err != nil {
+				return n, err
+			}
+			n += 4
+		}
+	}
+	for _, id := range l.Seq {
+		binary.LittleEndian.PutUint32(buf, uint32(id))
+		if _, err := bw.Write(buf); err != nil {
+			return n, err
+		}
+		n += 4
+	}
+	return n, bw.Flush()
+}
+
+// ReadLog parses a log serialized by WriteTo.
+func ReadLog(r io.Reader) (*Log, error) {
+	br := bufio.NewReader(r)
+	m := make([]byte, 4)
+	if _, err := io.ReadFull(br, m); err != nil {
+		return nil, fmt.Errorf("dataset: reading log magic: %w", err)
+	}
+	if string(m) != logMagic {
+		return nil, fmt.Errorf("dataset: bad log magic %q", m)
+	}
+	var ver, pool, dim, seqLen uint32
+	for _, p := range []*uint32{&ver, &pool, &dim, &seqLen} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return nil, fmt.Errorf("dataset: reading log header: %w", err)
+		}
+	}
+	if ver != logVersion {
+		return nil, fmt.Errorf("dataset: unsupported log version %d", ver)
+	}
+	if pool == 0 || dim == 0 || pool > 1<<26 || dim > 1<<20 {
+		return nil, fmt.Errorf("dataset: implausible log header pool=%d dim=%d", pool, dim)
+	}
+	l := &Log{Pool: make([][]float32, pool), Seq: make([]int, seqLen)}
+	raw := make([]byte, 4)
+	for i := range l.Pool {
+		q := make([]float32, dim)
+		for j := range q {
+			if _, err := io.ReadFull(br, raw); err != nil {
+				return nil, fmt.Errorf("dataset: reading pool: %w", err)
+			}
+			q[j] = math.Float32frombits(binary.LittleEndian.Uint32(raw))
+		}
+		l.Pool[i] = q
+	}
+	for i := range l.Seq {
+		if _, err := io.ReadFull(br, raw); err != nil {
+			return nil, fmt.Errorf("dataset: reading sequence: %w", err)
+		}
+		id := binary.LittleEndian.Uint32(raw)
+		if id >= pool {
+			return nil, fmt.Errorf("dataset: sequence entry %d beyond pool %d", id, pool)
+		}
+		l.Seq[i] = int(id)
+	}
+	return l, nil
+}
+
+// SaveLog writes the log to path.
+func (l *Log) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := l.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadLog reads an EBQL log from path.
+func LoadLog(path string) (*Log, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadLog(f)
+}

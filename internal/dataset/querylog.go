@@ -1,0 +1,102 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Log is a query log: a pool of distinct query points and a temporally
+// ordered sequence of references into the pool. Popularity across the pool
+// follows a power law, reproducing the temporal locality that caching
+// exploits (Section 1, Figure 2: "a small fraction of photos receive most of
+// the views").
+type Log struct {
+	Pool [][]float32 // distinct query points
+	Seq  []int       // the log itself: indices into Pool, in arrival order
+}
+
+// LogConfig drives query-log generation.
+type LogConfig struct {
+	PoolSize int     // number of distinct queries
+	Length   int     // total log length (with repetitions)
+	ZipfS    float64 // Zipf exponent (> 1); larger = more skew
+	Perturb  float64 // Gaussian noise added to the sampled data point
+	Seed     int64
+}
+
+// GenLog derives a query log from a dataset. Distinct queries are data
+// points plus small Gaussian perturbation — the protocol of the paper's
+// footnote 9 (following C2LSH and Tao et al.: pick random points from P) —
+// and the sequence is sampled with Zipf popularity over the pool.
+func GenLog(ds *Dataset, cfg LogConfig) *Log {
+	if cfg.PoolSize < 1 || cfg.Length < 1 {
+		panic(fmt.Sprintf("dataset: invalid log config %+v", cfg))
+	}
+	if cfg.ZipfS <= 1 {
+		cfg.ZipfS = 1.2
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	pool := make([][]float32, cfg.PoolSize)
+	for i := range pool {
+		src := ds.Point(rng.Intn(ds.Len()))
+		q := make([]float32, ds.Dim)
+		for j := range q {
+			v := float64(src[j]) + rng.NormFloat64()*cfg.Perturb
+			if v < ds.Domain.Lo {
+				v = ds.Domain.Lo
+			} else if v > ds.Domain.Hi {
+				v = ds.Domain.Hi
+			}
+			q[j] = float32(v)
+		}
+		pool[i] = q
+	}
+
+	zipf := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.PoolSize-1))
+	// Shuffle ranks so popularity is not correlated with pool index order.
+	rankOf := rng.Perm(cfg.PoolSize)
+	seq := make([]int, cfg.Length)
+	for i := range seq {
+		seq[i] = rankOf[int(zipf.Uint64())]
+	}
+	return &Log{Pool: pool, Seq: seq}
+}
+
+// Queries materializes the log as query points in arrival order. Entries
+// alias the pool.
+func (l *Log) Queries() [][]float32 {
+	out := make([][]float32, len(l.Seq))
+	for i, id := range l.Seq {
+		out[i] = l.Pool[id]
+	}
+	return out
+}
+
+// Split partitions the log into a historical workload WL (everything except
+// the tail) and a test set Qtest of the last testN arrivals, mirroring the
+// experimental setup of Section 5.1. Both follow the same popularity
+// distribution, which is assumption (i) of the cost model (Section 4).
+func (l *Log) Split(testN int) (wl, qtest [][]float32) {
+	if testN < 0 || testN > len(l.Seq) {
+		panic(fmt.Sprintf("dataset: bad testN %d for log of %d", testN, len(l.Seq)))
+	}
+	all := l.Queries()
+	return all[:len(all)-testN], all[len(all)-testN:]
+}
+
+// RankFreq returns per-distinct-query frequencies sorted descending —
+// the rank/frequency series plotted in Figure 2.
+func (l *Log) RankFreq() []int {
+	counts := make(map[int]int)
+	for _, id := range l.Seq {
+		counts[id]++
+	}
+	freqs := make([]int, 0, len(counts))
+	for _, c := range counts {
+		freqs = append(freqs, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(freqs)))
+	return freqs
+}

@@ -1,0 +1,243 @@
+package disk
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"exploitbit/internal/dataset"
+)
+
+func testDataset(t *testing.T, n, dim int) *dataset.Dataset {
+	t.Helper()
+	return dataset.Generate(dataset.Config{Name: "t", N: n, Dim: dim, Clusters: 3, Seed: 11})
+}
+
+func TestDeviceReadWrite(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dev")
+	d, err := Create(path, 128, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	page := make([]byte, 128)
+	for i := range page {
+		page[i] = byte(i)
+	}
+	if err := d.WritePage(3, page); err != nil {
+		t.Fatal(err)
+	}
+	if d.NumPages() != 4 {
+		t.Fatalf("NumPages = %d, want 4", d.NumPages())
+	}
+	got := make([]byte, 128)
+	if err := d.ReadPage(3, got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != page[i] {
+			t.Fatalf("byte %d mismatch", i)
+		}
+	}
+	st := d.Stats()
+	if st.PageReads != 1 || st.PageWrites != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.SimulatedIO(d.Tio()) != time.Millisecond {
+		t.Fatalf("simulated IO = %v", st.SimulatedIO(d.Tio()))
+	}
+	d.ResetStats()
+	if d.Stats().PageReads != 0 {
+		t.Fatal("ResetStats did not zero")
+	}
+}
+
+func TestDeviceErrors(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dev")
+	d, err := Create(path, 128, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if err := d.ReadPage(0, make([]byte, 128)); err == nil {
+		t.Fatal("expected out-of-range read error")
+	}
+	if err := d.ReadPage(-1, make([]byte, 128)); err == nil {
+		t.Fatal("expected negative page error")
+	}
+	if err := d.WritePage(0, make([]byte, 64)); err == nil {
+		t.Fatal("expected short buffer write error")
+	}
+	if err := d.WritePage(0, make([]byte, 128)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ReadPage(0, make([]byte, 64)); err == nil {
+		t.Fatal("expected short buffer read error")
+	}
+	if _, err := Create(path, 8, 0); err == nil {
+		t.Fatal("expected tiny page size rejection")
+	}
+}
+
+func TestPointFileRoundTrip(t *testing.T) {
+	ds := testDataset(t, 100, 10) // 40-byte points, many per page
+	path := filepath.Join(t.TempDir(), "pf")
+	pf, err := BuildPointFile(path, ds, nil, 256, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pf.Close()
+	if pf.Len() != 100 || pf.Dim() != 10 {
+		t.Fatalf("shape %dx%d", pf.Len(), pf.Dim())
+	}
+	for i := 0; i < ds.Len(); i++ {
+		got, err := pf.Fetch(i, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := ds.Point(i)
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("point %d dim %d: got %v want %v", i, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+func TestPointFileIOAccounting(t *testing.T) {
+	ds := testDataset(t, 64, 16) // 64-byte points, 4 per 256-byte page
+	path := filepath.Join(t.TempDir(), "pf")
+	pf, err := BuildPointFile(path, ds, nil, 256, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pf.Close()
+	if pf.Stats().PageReads != 0 {
+		t.Fatal("build should not leave read counts")
+	}
+	if _, err := pf.Fetch(0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := pf.Stats().PageReads; got != 1 {
+		t.Fatalf("one fetch cost %d reads, want 1", got)
+	}
+	pf.ResetStats()
+	for i := 0; i < 10; i++ {
+		if _, err := pf.Fetch(i, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := pf.Stats().PageReads; got != 10 {
+		t.Fatalf("10 fetches cost %d reads", got)
+	}
+}
+
+func TestPointFileMultiPagePoints(t *testing.T) {
+	// 128-dim points = 512 bytes > 256-byte pages: 2 pages per point.
+	ds := testDataset(t, 20, 128)
+	path := filepath.Join(t.TempDir(), "pf")
+	pf, err := BuildPointFile(path, ds, nil, 256, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pf.Close()
+	got, err := pf.Fetch(7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ds.Point(7)
+	for j := range want {
+		if got[j] != want[j] {
+			t.Fatalf("dim %d mismatch", j)
+		}
+	}
+	if reads := pf.Stats().PageReads; reads != 2 {
+		t.Fatalf("multi-page fetch cost %d reads, want 2", reads)
+	}
+}
+
+func TestPointFilePermutation(t *testing.T) {
+	ds := testDataset(t, 50, 8)
+	perm := rand.New(rand.NewSource(13)).Perm(50)
+	path := filepath.Join(t.TempDir(), "pf")
+	pf, err := BuildPointFile(path, ds, perm, 256, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pf.Close()
+	for i := 0; i < 50; i++ {
+		got, err := pf.Fetch(i, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := ds.Point(i)
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("permuted point %d dim %d mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestPointFileBadPerm(t *testing.T) {
+	ds := testDataset(t, 10, 4)
+	dir := t.TempDir()
+	if _, err := BuildPointFile(filepath.Join(dir, "a"), ds, []int{0, 0, 1, 2, 3, 4, 5, 6, 7, 8}, 256, 0); err == nil {
+		t.Fatal("expected duplicate-slot rejection")
+	}
+	if _, err := BuildPointFile(filepath.Join(dir, "b"), ds, []int{0, 1}, 256, 0); err == nil {
+		t.Fatal("expected length mismatch rejection")
+	}
+}
+
+func TestPointFileOpen(t *testing.T) {
+	ds := testDataset(t, 30, 8)
+	perm := rand.New(rand.NewSource(17)).Perm(30)
+	path := filepath.Join(t.TempDir(), "pf")
+	pf, err := BuildPointFile(path, ds, perm, 256, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf.Close()
+
+	re, err := OpenPointFile(path, 256, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Len() != 30 || re.Dim() != 8 {
+		t.Fatalf("reopened shape %dx%d", re.Len(), re.Dim())
+	}
+	for i := 0; i < 30; i++ {
+		got, err := re.Fetch(i, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := ds.Point(i)
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("reopened point %d mismatch", i)
+			}
+		}
+	}
+}
+
+func TestPointFileFetchErrors(t *testing.T) {
+	ds := testDataset(t, 10, 4)
+	pf, err := BuildPointFile(filepath.Join(t.TempDir(), "pf"), ds, nil, 256, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pf.Close()
+	if _, err := pf.Fetch(-1, nil); err == nil {
+		t.Fatal("expected negative id error")
+	}
+	if _, err := pf.Fetch(10, nil); err == nil {
+		t.Fatal("expected out-of-range id error")
+	}
+	if _, err := pf.Fetch(0, make([]float32, 3)); err == nil {
+		t.Fatal("expected dst length error")
+	}
+}

@@ -1,0 +1,293 @@
+package disk
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"time"
+
+	"exploitbit/internal/dataset"
+)
+
+// PointFile is the sequential file storing the point set P (Section 2.1):
+// fixed-size float32 records addressable by point identifier. It supports an
+// arbitrary physical ordering (a permutation of point id → slot) so that the
+// file-ordering experiment of Figure 9 (raw / clustered / sorted-key) can be
+// reproduced, and charges one page read per fetched page like the paper's
+// candidate refinement phase.
+//
+// Layout: page 0 is a header; pages [1, 1+permPages) hold the permutation
+// when one is present; data pages follow. If a point is larger than a page
+// (SOGOU's 3,840-byte points would fit, but arbitrary dims may not), it
+// spans ceil(pointSize/pageSize) consecutive pages and a fetch costs that
+// many reads.
+type PointFile struct {
+	dev *Device
+
+	dim       int
+	n         int
+	pointSize int
+	perPage   int // points per page (0 when multi-page points)
+	pagesPer  int // pages per point (1 when perPage > 0)
+	dataStart int // first data page
+	perm      []int32
+	inv       []int32 // slot → id inverse of perm, built lazily during writes
+}
+
+const pfMagic = 0x45425046 // "EBPF"
+
+// BuildPointFile writes dataset ds to path under permutation perm
+// (perm[i] = physical slot of point i; nil = identity/raw order) and returns
+// an open PointFile. Writes are not counted toward read statistics.
+func BuildPointFile(path string, ds *dataset.Dataset, perm []int, pageSize int, tio time.Duration) (*PointFile, error) {
+	if perm != nil && len(perm) != ds.Len() {
+		return nil, fmt.Errorf("disk: perm length %d != dataset size %d", len(perm), ds.Len())
+	}
+	dev, err := Create(path, pageSize, tio)
+	if err != nil {
+		return nil, err
+	}
+	pf := &PointFile{dev: dev, dim: ds.Dim, n: ds.Len(), pointSize: 4 * ds.Dim}
+	pf.computeGeometry()
+
+	// Header page.
+	hdr := make([]byte, pageSize)
+	le := binary.LittleEndian
+	le.PutUint32(hdr[0:], pfMagic)
+	le.PutUint32(hdr[4:], uint32(pf.dim))
+	le.PutUint32(hdr[8:], uint32(pf.n))
+	hasPerm := uint32(0)
+	if perm != nil {
+		hasPerm = 1
+	}
+	le.PutUint32(hdr[12:], hasPerm)
+	if err := dev.WritePage(0, hdr); err != nil {
+		dev.Close()
+		return nil, err
+	}
+
+	// Permutation pages.
+	if perm != nil {
+		pf.perm = make([]int32, pf.n)
+		seen := make([]bool, pf.n)
+		for i, s := range perm {
+			if s < 0 || s >= pf.n || seen[s] {
+				dev.Close()
+				return nil, fmt.Errorf("disk: perm is not a permutation (slot %d at %d)", s, i)
+			}
+			seen[s] = true
+			pf.perm[i] = int32(s)
+		}
+		if err := pf.writePerm(); err != nil {
+			dev.Close()
+			return nil, err
+		}
+	}
+	pf.dataStart = 1 + pf.permPages()
+
+	// Data pages: place each point at its slot.
+	if pf.perPage > 0 {
+		nPages := (pf.n + pf.perPage - 1) / pf.perPage
+		page := make([]byte, pageSize)
+		for p := 0; p < nPages; p++ {
+			for i := range page {
+				page[i] = 0
+			}
+			for s := p * pf.perPage; s < (p+1)*pf.perPage && s < pf.n; s++ {
+				id := pf.idAtSlot(s)
+				encodePoint(page[(s%pf.perPage)*pf.pointSize:], ds.Point(id))
+			}
+			if err := dev.WritePage(pf.dataStart+p, page); err != nil {
+				dev.Close()
+				return nil, err
+			}
+		}
+	} else {
+		rec := make([]byte, pf.pagesPer*pageSize)
+		for s := 0; s < pf.n; s++ {
+			for i := range rec {
+				rec[i] = 0
+			}
+			encodePoint(rec, ds.Point(pf.idAtSlot(s)))
+			for q := 0; q < pf.pagesPer; q++ {
+				if err := dev.WritePage(pf.dataStart+s*pf.pagesPer+q, rec[q*pageSize:(q+1)*pageSize]); err != nil {
+					dev.Close()
+					return nil, err
+				}
+			}
+		}
+	}
+	dev.ResetStats()
+	return pf, nil
+}
+
+// OpenPointFile opens a previously built point file.
+func OpenPointFile(path string, pageSize int, tio time.Duration) (*PointFile, error) {
+	dev, err := Open(path, pageSize, tio)
+	if err != nil {
+		return nil, err
+	}
+	hdr := make([]byte, pageSize)
+	if err := dev.ReadPage(0, hdr); err != nil {
+		dev.Close()
+		return nil, err
+	}
+	le := binary.LittleEndian
+	if le.Uint32(hdr[0:]) != pfMagic {
+		dev.Close()
+		return nil, fmt.Errorf("disk: %s is not a point file", path)
+	}
+	pf := &PointFile{
+		dev: dev,
+		dim: int(le.Uint32(hdr[4:])),
+		n:   int(le.Uint32(hdr[8:])),
+	}
+	pf.pointSize = 4 * pf.dim
+	pf.computeGeometry()
+	if le.Uint32(hdr[12:]) == 1 {
+		if err := pf.readPerm(); err != nil {
+			dev.Close()
+			return nil, err
+		}
+	}
+	pf.dataStart = 1 + pf.permPages()
+	dev.ResetStats()
+	return pf, nil
+}
+
+func (pf *PointFile) computeGeometry() {
+	ps := pf.dev.PageSize()
+	if pf.pointSize <= ps {
+		pf.perPage = ps / pf.pointSize
+		pf.pagesPer = 1
+	} else {
+		pf.perPage = 0
+		pf.pagesPer = (pf.pointSize + ps - 1) / ps
+	}
+}
+
+func (pf *PointFile) permPages() int {
+	if pf.perm == nil {
+		return 0
+	}
+	ps := pf.dev.PageSize()
+	return (4*pf.n + ps - 1) / ps
+}
+
+func (pf *PointFile) writePerm() error {
+	ps := pf.dev.PageSize()
+	buf := make([]byte, pf.permPages()*ps)
+	for i, s := range pf.perm {
+		binary.LittleEndian.PutUint32(buf[4*i:], uint32(s))
+	}
+	for p := 0; p < pf.permPages(); p++ {
+		if err := pf.dev.WritePage(1+p, buf[p*ps:(p+1)*ps]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (pf *PointFile) readPerm() error {
+	pf.perm = make([]int32, pf.n)
+	ps := pf.dev.PageSize()
+	np := pf.permPages()
+	buf := make([]byte, np*ps)
+	for p := 0; p < np; p++ {
+		if err := pf.dev.ReadPage(1+p, buf[p*ps:(p+1)*ps]); err != nil {
+			return err
+		}
+	}
+	for i := range pf.perm {
+		pf.perm[i] = int32(binary.LittleEndian.Uint32(buf[4*i:]))
+	}
+	return nil
+}
+
+// idAtSlot inverts the permutation during the build scan. O(n) total via a
+// lazily built inverse.
+func (pf *PointFile) idAtSlot(s int) int {
+	if pf.perm == nil {
+		return s
+	}
+	if pf.inv == nil {
+		pf.inv = make([]int32, pf.n)
+		for id, slot := range pf.perm {
+			pf.inv[slot] = int32(id)
+		}
+	}
+	return int(pf.inv[s])
+}
+
+// Dim returns the dimensionality of stored points.
+func (pf *PointFile) Dim() int { return pf.dim }
+
+// PagesPerPoint returns how many physical pages one Fetch reads — 1 when
+// points fit a page, ceil(pointSize/pageSize) otherwise. Callers use it to
+// attribute I/O deterministically in concurrent settings.
+func (pf *PointFile) PagesPerPoint() int { return pf.pagesPer }
+
+// Len returns the number of stored points.
+func (pf *PointFile) Len() int { return pf.n }
+
+// Fetch reads point id from disk into dst (len Dim; nil allocates), charging
+// one page read per page touched. This is the operation whose count the
+// whole paper is about minimizing.
+func (pf *PointFile) Fetch(id int, dst []float32) ([]float32, error) {
+	if id < 0 || id >= pf.n {
+		return nil, fmt.Errorf("disk: point id %d out of range [0,%d)", id, pf.n)
+	}
+	if dst == nil {
+		dst = make([]float32, pf.dim)
+	}
+	if len(dst) != pf.dim {
+		return nil, fmt.Errorf("disk: dst length %d != dim %d", len(dst), pf.dim)
+	}
+	slot := id
+	if pf.perm != nil {
+		slot = int(pf.perm[id])
+	}
+	ps := pf.dev.PageSize()
+	if pf.perPage > 0 {
+		page := pf.pageBuf()
+		if err := pf.dev.ReadPage(pf.dataStart+slot/pf.perPage, page); err != nil {
+			return nil, err
+		}
+		decodePoint(dst, page[(slot%pf.perPage)*pf.pointSize:])
+		return dst, nil
+	}
+	rec := make([]byte, pf.pagesPer*ps)
+	for q := 0; q < pf.pagesPer; q++ {
+		if err := pf.dev.ReadPage(pf.dataStart+slot*pf.pagesPer+q, rec[q*ps:(q+1)*ps]); err != nil {
+			return nil, err
+		}
+	}
+	decodePoint(dst, rec)
+	return dst, nil
+}
+
+func (pf *PointFile) pageBuf() []byte { return make([]byte, pf.dev.PageSize()) }
+
+// Stats exposes the underlying device counters.
+func (pf *PointFile) Stats() Stats { return pf.dev.Stats() }
+
+// ResetStats zeroes the underlying device counters.
+func (pf *PointFile) ResetStats() { pf.dev.ResetStats() }
+
+// Tio returns the simulated per-read latency of the backing device.
+func (pf *PointFile) Tio() time.Duration { return pf.dev.Tio() }
+
+// Close closes the backing device.
+func (pf *PointFile) Close() error { return pf.dev.Close() }
+
+func encodePoint(dst []byte, p []float32) {
+	for i, v := range p {
+		binary.LittleEndian.PutUint32(dst[4*i:], math.Float32bits(v))
+	}
+}
+
+func decodePoint(dst []float32, src []byte) {
+	for i := range dst {
+		dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(src[4*i:]))
+	}
+}

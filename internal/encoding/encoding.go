@@ -1,0 +1,104 @@
+// Package encoding packs per-dimension bucket codes into machine words —
+// the "exploit every bit" of the title. Per Section 3.1 (footnote 5), an
+// approximate point with d dimensions and code length τ occupies
+// ceil(d·τ / Lword) consecutive words in the cache, and codes are extracted
+// with bitwise operations during search.
+package encoding
+
+import "fmt"
+
+// WordBits is Lword, the memory word size in bits.
+const WordBits = 64
+
+// Codec packs and unpacks fixed-width code arrays.
+type Codec struct {
+	dim int
+	tau int
+}
+
+// NewCodec returns a codec for d-dimensional points with τ-bit codes.
+func NewCodec(dim, tau int) Codec {
+	if dim < 1 {
+		panic(fmt.Sprintf("encoding: dim %d < 1", dim))
+	}
+	if tau < 1 || tau > 32 {
+		panic(fmt.Sprintf("encoding: tau %d outside [1,32]", tau))
+	}
+	return Codec{dim: dim, tau: tau}
+}
+
+// Dim returns the number of codes per point.
+func (c Codec) Dim() int { return c.dim }
+
+// Tau returns the per-code bit width.
+func (c Codec) Tau() int { return c.tau }
+
+// Words returns the number of 64-bit words per encoded point,
+// ceil(d·τ / Lword) — footnote 5's cache item size.
+func (c Codec) Words() int {
+	return (c.dim*c.tau + WordBits - 1) / WordBits
+}
+
+// ItemBits returns the cache footprint of one encoded point in bits. Whole
+// words are charged, matching the paper's packing model.
+func (c Codec) ItemBits() int { return c.Words() * WordBits }
+
+// MaxCode returns the largest encodable code value, 2^τ - 1.
+func (c Codec) MaxCode() int { return (1 << c.tau) - 1 }
+
+// Encode packs codes (len Dim, each in [0, MaxCode]) into dst
+// (len >= Words; nil allocates) and returns dst.
+func (c Codec) Encode(codes []int, dst []uint64) []uint64 {
+	if len(codes) != c.dim {
+		panic(fmt.Sprintf("encoding: %d codes for dim %d", len(codes), c.dim))
+	}
+	if dst == nil {
+		dst = make([]uint64, c.Words())
+	}
+	if len(dst) < c.Words() {
+		panic("encoding: dst too short")
+	}
+	for i := range dst[:c.Words()] {
+		dst[i] = 0
+	}
+	maxCode := uint64(c.MaxCode())
+	for j, code := range codes {
+		v := uint64(code)
+		if v > maxCode {
+			panic(fmt.Sprintf("encoding: code %d exceeds %d bits", code, c.tau))
+		}
+		bit := j * c.tau
+		w, off := bit/WordBits, uint(bit%WordBits)
+		dst[w] |= v << off
+		if off+uint(c.tau) > WordBits {
+			dst[w+1] |= v >> (WordBits - off)
+		}
+	}
+	return dst
+}
+
+// Decode unpacks an encoded point into dst (len >= Dim; nil allocates).
+func (c Codec) Decode(src []uint64, dst []int) []int {
+	if dst == nil {
+		dst = make([]int, c.dim)
+	}
+	if len(dst) < c.dim {
+		panic("encoding: decode dst too short")
+	}
+	for j := 0; j < c.dim; j++ {
+		dst[j] = c.At(src, j)
+	}
+	return dst[:c.dim]
+}
+
+// At extracts the code of dimension j without unpacking the whole point.
+func (c Codec) At(src []uint64, j int) int {
+	bit := j * c.tau
+	w, off := bit/WordBits, uint(bit%WordBits)
+	mask := uint64(c.MaxCode())
+	v := src[w] >> off
+	if off+uint(c.tau) > WordBits {
+		v |= src[w+1] << (WordBits - off)
+	}
+	return int(v & mask)
+}

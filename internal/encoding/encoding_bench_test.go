@@ -1,0 +1,47 @@
+package encoding
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchCodes(dim, tau int) []int {
+	rng := rand.New(rand.NewSource(1))
+	codes := make([]int, dim)
+	maxCode := (1 << tau) - 1
+	for i := range codes {
+		codes[i] = rng.Intn(maxCode + 1)
+	}
+	return codes
+}
+
+func BenchmarkEncode150d10b(b *testing.B) {
+	c := NewCodec(150, 10)
+	codes := benchCodes(150, 10)
+	dst := make([]uint64, c.Words())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Encode(codes, dst)
+	}
+}
+
+func BenchmarkDecode150d10b(b *testing.B) {
+	c := NewCodec(150, 10)
+	words := c.Encode(benchCodes(150, 10), nil)
+	dst := make([]int, 150)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Decode(words, dst)
+	}
+}
+
+func BenchmarkAt960d8b(b *testing.B) {
+	c := NewCodec(960, 8)
+	words := c.Encode(benchCodes(960, 8), nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = c.At(words, i%960)
+	}
+}

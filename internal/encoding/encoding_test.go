@@ -1,0 +1,131 @@
+package encoding
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCodecGeometry(t *testing.T) {
+	cases := []struct {
+		dim, tau, words, itemBits int
+	}{
+		{2, 2, 1, 64},       // Figure 5: 4-bit point fits one word
+		{150, 10, 24, 1536}, // NUS-WIDE default: 1500 bits → 24 words
+		{960, 8, 120, 7680},
+		{64, 1, 1, 64},
+		{65, 1, 2, 128},
+	}
+	for _, c := range cases {
+		cd := NewCodec(c.dim, c.tau)
+		if cd.Words() != c.words || cd.ItemBits() != c.itemBits {
+			t.Errorf("dim=%d tau=%d: Words=%d ItemBits=%d, want %d/%d",
+				c.dim, c.tau, cd.Words(), cd.ItemBits(), c.words, c.itemBits)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		dim := 1 + rng.Intn(50)
+		tau := 1 + rng.Intn(32)
+		c := NewCodec(dim, tau)
+		codes := make([]int, dim)
+		for i := range codes {
+			codes[i] = rng.Intn(c.MaxCode() + 1)
+		}
+		words := c.Encode(codes, nil)
+		if len(words) != c.Words() {
+			t.Fatalf("encoded length %d != %d", len(words), c.Words())
+		}
+		back := c.Decode(words, nil)
+		for i := range codes {
+			if back[i] != codes[i] {
+				t.Fatalf("dim=%d tau=%d: code %d roundtripped %d→%d", dim, tau, i, codes[i], back[i])
+			}
+			if got := c.At(words, i); got != codes[i] {
+				t.Fatalf("At(%d) = %d, want %d", i, got, codes[i])
+			}
+		}
+	}
+}
+
+func TestEncodeRoundTripQuick(t *testing.T) {
+	c := NewCodec(13, 7) // straddles word boundaries often
+	f := func(raw [13]uint16) bool {
+		codes := make([]int, 13)
+		for i, v := range raw {
+			codes[i] = int(v) % (c.MaxCode() + 1)
+		}
+		back := c.Decode(c.Encode(codes, nil), nil)
+		for i := range codes {
+			if back[i] != codes[i] {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(2))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPaperExampleEncoding(t *testing.T) {
+	// Figure 5c: p1=(2,20) with the equi-width histogram over [0..31], τ=2
+	// becomes codes (0, 2) = bit-string 00|10.
+	c := NewCodec(2, 2)
+	words := c.Encode([]int{0, 2}, nil)
+	if c.At(words, 0) != 0 || c.At(words, 1) != 2 {
+		t.Fatalf("p1 encoding wrong: %v", words)
+	}
+	// Both codes fit in the low 4 bits of one word: 0b1000 = 8.
+	if words[0] != 8 {
+		t.Fatalf("packed word = %d, want 8", words[0])
+	}
+}
+
+func TestEncodeReuseBuffers(t *testing.T) {
+	c := NewCodec(4, 5)
+	buf := make([]uint64, c.Words())
+	codes := []int{1, 2, 3, 4}
+	out := c.Encode(codes, buf)
+	if &out[0] != &buf[0] {
+		t.Fatal("Encode did not reuse dst")
+	}
+	// Re-encode different codes into a dirty buffer: stale bits must clear.
+	out = c.Encode([]int{31, 31, 31, 31}, buf)
+	out = c.Encode([]int{0, 0, 0, 0}, buf)
+	for _, w := range out {
+		if w != 0 {
+			t.Fatalf("stale bits survived: %x", w)
+		}
+	}
+	dst := make([]int, 4)
+	got := c.Decode(out, dst)
+	if &got[0] != &dst[0] {
+		t.Fatal("Decode did not reuse dst")
+	}
+}
+
+func TestCodecPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"dim0":     func() { NewCodec(0, 4) },
+		"tau0":     func() { NewCodec(4, 0) },
+		"tau33":    func() { NewCodec(4, 33) },
+		"badLen":   func() { NewCodec(3, 4).Encode([]int{1}, nil) },
+		"overflow": func() { NewCodec(2, 2).Encode([]int{5, 0}, nil) },
+		"shortDst": func() { NewCodec(64, 8).Encode(make([]int, 64), make([]uint64, 1)) },
+		"shortDec": func() { c := NewCodec(4, 4); c.Decode(c.Encode(make([]int, 4), nil), make([]int, 2)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,107 @@
+package histogram
+
+import (
+	"exploitbit/internal/vec"
+)
+
+// DataFrequency builds the classical frequency array F over the discrete
+// value domain: F[x] counts how many coordinates (over all points and all
+// dimensions) discretize to value x. Equi-depth and V-optimal histograms are
+// built over this array, matching their use in Section 3.3.1 where the
+// "table column" holds the dimension values of the dataset.
+type pointSource interface {
+	Len() int
+	Point(i int) []float32
+}
+
+// DataFrequency computes F for every point in src under domain dom.
+func DataFrequency(src pointSource, dom vec.Domain) []float64 {
+	f := make([]float64, dom.Ndom)
+	for i := 0; i < src.Len(); i++ {
+		for _, v := range src.Point(i) {
+			f[dom.Bin(float64(v))]++
+		}
+	}
+	return f
+}
+
+// DataFrequencyPerDim computes the per-dimension arrays F_j used by the
+// individual-dimension histograms (iHC-D, iHC-V build on data distribution).
+func DataFrequencyPerDim(src pointSource, dim int, dom vec.Domain) [][]float64 {
+	fs := make([][]float64, dim)
+	for j := range fs {
+		fs[j] = make([]float64, dom.Ndom)
+	}
+	for i := 0; i < src.Len(); i++ {
+		p := src.Point(i)
+		for j, v := range p {
+			fs[j][dom.Bin(float64(v))]++
+		}
+	}
+	return fs
+}
+
+// WorkloadFrequency builds the paper's F′ array (Eqn 3): the frequency of
+// each discrete value among the coordinates of the multiset QR — for each
+// workload query, its k upper-bound-defining candidates b^q_1..b^q_k
+// (Eqn 2). The caller supplies QR as the list of those candidate points
+// (with multiplicity); typically the k nearest cached candidates of each
+// workload query, computed offline.
+func WorkloadFrequency(qr [][]float32, dom vec.Domain) []float64 {
+	f := make([]float64, dom.Ndom)
+	for _, p := range qr {
+		for _, v := range p {
+			f[dom.Bin(float64(v))]++
+		}
+	}
+	return f
+}
+
+// WorkloadFrequencyPerDim decomposes F′ into per-dimension arrays F′_j
+// (Section 3.6.2): F′_j[x] counts only dimension j's coordinates. The
+// section shows M3 decomposes across dimensions, so each F′_j feeds an
+// independent Algorithm 2 run (iHC-O).
+func WorkloadFrequencyPerDim(qr [][]float32, dim int, dom vec.Domain) [][]float64 {
+	fs := make([][]float64, dim)
+	for j := range fs {
+		fs[j] = make([]float64, dom.Ndom)
+	}
+	for _, p := range qr {
+		for j, v := range p {
+			fs[j][dom.Bin(float64(v))]++
+		}
+	}
+	return fs
+}
+
+// Smooth adds eps times the base distribution to f (in place) and returns f.
+// A pure F′ is zero wherever the workload never touched a value; smoothing
+// with a sliver of the data distribution keeps buckets sane for unseen
+// queries while preserving the workload-driven shape. The engine applies it
+// with a small eps before running Algorithm 2.
+func Smooth(f, base []float64, eps float64) []float64 {
+	if len(f) != len(base) {
+		panic("histogram: Smooth length mismatch")
+	}
+	if eps <= 0 {
+		return f
+	}
+	var fTot, bTot float64
+	for i := range f {
+		fTot += f[i]
+		bTot += base[i]
+	}
+	if bTot == 0 {
+		return f
+	}
+	// Scale so the smoothing mass is eps of the workload mass (or, for an
+	// empty workload, simply the base distribution).
+	scale := eps
+	if fTot > 0 {
+		scale = eps * fTot / bTot
+	}
+	for i := range f {
+		f[i] += scale * base[i]
+	}
+	return f
+}

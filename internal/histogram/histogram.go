@@ -1,0 +1,244 @@
+// Package histogram implements every histogram the paper builds caches from
+// (Sections 3.3–3.6): the heuristic equi-width and equi-depth histograms, the
+// V-optimal histogram of Jagadish et al. (SSE metric), and the paper's
+// contribution — the optimal kNN histogram constructed by the dynamic program
+// of Algorithm 2 under the workload-aware metric M3, with the Lemma 3
+// monotonicity cutoff. It also provides the per-dimension (iHC-*)
+// decomposition of Section 3.6.2 and the R-tree-leaf multi-dimensional
+// histogram (mHC-R) used as a strawman.
+//
+// A histogram partitions the discrete value domain [0 .. Ndom-1] (produced by
+// vec.Domain) into B contiguous buckets. Each bucket position is a code of
+// τ = ceil(log2 B) bits; encoding a d-dimensional point therefore costs d·τ
+// bits in the cache (Definition 8).
+package histogram
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Histogram is Definition 6: an ordered array of B buckets with intervals
+// [Lo[i] .. Hi[i]] that partition [0 .. Ndom-1]. Frequencies are not stored;
+// as Section 3.1 notes, only positions and intervals matter for kNN caching.
+type Histogram struct {
+	lo, hi []int32
+	lookup []int32 // value -> bucket position, len Ndom
+}
+
+// FromUppers builds a histogram over [0..ndom-1] from ascending bucket upper
+// bounds; uppers[len-1] must equal ndom-1. It returns an error on malformed
+// input rather than panicking since uppers often come from files or DPs.
+func FromUppers(ndom int, uppers []int) (*Histogram, error) {
+	if ndom < 1 {
+		return nil, fmt.Errorf("histogram: ndom %d < 1", ndom)
+	}
+	if len(uppers) == 0 {
+		return nil, fmt.Errorf("histogram: no buckets")
+	}
+	if uppers[len(uppers)-1] != ndom-1 {
+		return nil, fmt.Errorf("histogram: last upper %d != ndom-1 %d", uppers[len(uppers)-1], ndom-1)
+	}
+	h := &Histogram{
+		lo:     make([]int32, len(uppers)),
+		hi:     make([]int32, len(uppers)),
+		lookup: make([]int32, ndom),
+	}
+	prev := -1
+	for i, u := range uppers {
+		if u <= prev {
+			return nil, fmt.Errorf("histogram: uppers not strictly ascending at %d", i)
+		}
+		h.lo[i], h.hi[i] = int32(prev+1), int32(u)
+		for v := prev + 1; v <= u; v++ {
+			h.lookup[v] = int32(i)
+		}
+		prev = u
+	}
+	return h, nil
+}
+
+// B returns the number of buckets.
+func (h *Histogram) B() int { return len(h.lo) }
+
+// Ndom returns the domain size the histogram covers.
+func (h *Histogram) Ndom() int { return len(h.lookup) }
+
+// CodeLen returns τ = ceil(log2 B), the bits needed per bucket position.
+func (h *Histogram) CodeLen() int {
+	if h.B() <= 1 {
+		return 1
+	}
+	return bits.Len(uint(h.B() - 1))
+}
+
+// Bucket is Definition 7: the position of the bucket whose interval covers
+// discrete value v. Values are clamped to the domain.
+func (h *Histogram) Bucket(v int) int {
+	if v < 0 {
+		v = 0
+	} else if v >= len(h.lookup) {
+		v = len(h.lookup) - 1
+	}
+	return int(h.lookup[v])
+}
+
+// Interval returns the discrete interval [lo..hi] of bucket i.
+func (h *Histogram) Interval(i int) (lo, hi int) {
+	return int(h.lo[i]), int(h.hi[i])
+}
+
+// Uppers returns the bucket upper bounds (useful for serialization).
+func (h *Histogram) Uppers() []int {
+	out := make([]int, len(h.hi))
+	for i, u := range h.hi {
+		out[i] = int(u)
+	}
+	return out
+}
+
+// SpaceBytes returns the in-memory footprint of the bucket table — the
+// "Space (KB)" column of Table 3. Each bucket needs one boundary value.
+func (h *Histogram) SpaceBytes() int { return 8 * h.B() }
+
+// EquiWidth builds the equi-width histogram: all buckets as equal in width
+// as the domain allows (HC-W).
+func EquiWidth(ndom, b int) *Histogram {
+	if b > ndom {
+		b = ndom
+	}
+	if b < 1 {
+		b = 1
+	}
+	uppers := make([]int, b)
+	for i := 0; i < b; i++ {
+		uppers[i] = (i+1)*ndom/b - 1
+	}
+	uppers[b-1] = ndom - 1
+	h, err := FromUppers(ndom, uppers)
+	if err != nil {
+		panic("histogram: internal equi-width error: " + err.Error())
+	}
+	return h
+}
+
+// EquiDepth builds the equi-depth histogram over frequency array freq
+// (len Ndom): buckets with approximately equal total frequency (HC-D). The
+// VA-file's per-dimension grid uses the same scheme (Section 5.1, method
+// C-VA: "the encoding scheme of VA-file is the same as Equi-Depth").
+func EquiDepth(freq []float64, b int) *Histogram {
+	ndom := len(freq)
+	if b > ndom {
+		b = ndom
+	}
+	if b < 1 {
+		b = 1
+	}
+	var total float64
+	for _, f := range freq {
+		total += f
+	}
+	uppers := make([]int, 0, b)
+	var cum float64
+	bucket := 1
+	for v := 0; v < ndom; v++ {
+		cum += freq[v]
+		// Close the bucket once we pass its share of the mass, but keep
+		// enough values for the remaining buckets.
+		remainingValues := ndom - v - 1
+		remainingBuckets := b - bucket
+		if bucket < b && (cum >= total*float64(bucket)/float64(b) || remainingValues == remainingBuckets) {
+			uppers = append(uppers, v)
+			bucket++
+		}
+	}
+	uppers = append(uppers, ndom-1)
+	h, err := FromUppers(ndom, uppers)
+	if err != nil {
+		panic("histogram: internal equi-depth error: " + err.Error())
+	}
+	return h
+}
+
+// widthOf returns hi-lo (the ui−li of the paper's metric; note the metric
+// uses bucket width, not value count).
+func widthOf(lo, hi int) float64 { return float64(hi - lo) }
+
+// MSSE is the traditional V-optimal histogram metric (Section 3.3.1):
+// the sum over buckets of squared deviation of per-value frequencies from
+// the bucket average.
+func MSSE(h *Histogram, freq []float64) float64 {
+	var total float64
+	for i := 0; i < h.B(); i++ {
+		lo, hi := h.Interval(i)
+		var sum float64
+		for v := lo; v <= hi; v++ {
+			sum += freq[v]
+		}
+		avg := sum / float64(hi-lo+1)
+		for v := lo; v <= hi; v++ {
+			d := freq[v] - avg
+			total += d * d
+		}
+	}
+	return total
+}
+
+// M3 is the paper's simplified kNN histogram metric (Metric M3 / Lemma 2):
+// Σ_buckets Σ_{x∈bucket} F′[x] · (u−l)², where F′ is the workload frequency
+// array of Eqn 3.
+func M3(h *Histogram, fprime []float64) float64 {
+	var total float64
+	for i := 0; i < h.B(); i++ {
+		lo, hi := h.Interval(i)
+		w2 := widthOf(lo, hi) * widthOf(lo, hi)
+		for v := lo; v <= hi; v++ {
+			total += fprime[v] * w2
+		}
+	}
+	return total
+}
+
+// MaxBucketsForCodeLen returns B = 2^τ, clamped to the domain size.
+func MaxBucketsForCodeLen(tau, ndom int) int {
+	if tau < 1 {
+		tau = 1
+	}
+	if tau > 30 {
+		tau = 30
+	}
+	b := 1 << tau
+	if b > ndom {
+		b = ndom
+	}
+	return b
+}
+
+// Validate checks the structural invariants (contiguous cover of the domain)
+// and is used by property tests.
+func (h *Histogram) Validate() error {
+	if h.B() == 0 {
+		return fmt.Errorf("histogram: empty")
+	}
+	if h.lo[0] != 0 {
+		return fmt.Errorf("histogram: first bucket starts at %d", h.lo[0])
+	}
+	for i := 0; i < h.B(); i++ {
+		if h.lo[i] > h.hi[i] {
+			return fmt.Errorf("histogram: bucket %d inverted [%d,%d]", i, h.lo[i], h.hi[i])
+		}
+		if i > 0 && h.lo[i] != h.hi[i-1]+1 {
+			return fmt.Errorf("histogram: gap before bucket %d", i)
+		}
+	}
+	if int(h.hi[h.B()-1]) != h.Ndom()-1 {
+		return fmt.Errorf("histogram: last bucket ends at %d, domain is %d", h.hi[h.B()-1], h.Ndom())
+	}
+	for v := 0; v < h.Ndom(); v++ {
+		i := h.Bucket(v)
+		if int(h.lo[i]) > v || v > int(h.hi[i]) {
+			return fmt.Errorf("histogram: lookup of %d inconsistent", v)
+		}
+	}
+	return nil
+}

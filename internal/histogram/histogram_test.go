@@ -1,0 +1,478 @@
+package histogram
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"exploitbit/internal/vec"
+)
+
+func TestFromUppersValidation(t *testing.T) {
+	if _, err := FromUppers(8, []int{3, 7}); err != nil {
+		t.Fatal(err)
+	}
+	bad := [][]int{
+		nil,       // empty
+		{3, 6},    // last != ndom-1
+		{3, 3, 7}, // not ascending
+		{7, 3},    // descending
+		{-1, 7},   // negative width start handled via prev
+	}
+	for i, uppers := range bad {
+		if _, err := FromUppers(8, uppers); err == nil {
+			t.Errorf("case %d: expected error for %v", i, uppers)
+		}
+	}
+}
+
+func TestEquiWidthMatchesPaperExample(t *testing.T) {
+	// Figure 5b: domain [0..31], τ=2 → B=4 buckets [0..7][8..15][16..23][24..31].
+	h := EquiWidth(32, 4)
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	want := [][2]int{{0, 7}, {8, 15}, {16, 23}, {24, 31}}
+	for i, w := range want {
+		lo, hi := h.Interval(i)
+		if lo != w[0] || hi != w[1] {
+			t.Fatalf("bucket %d = [%d,%d], want %v", i, lo, hi, w)
+		}
+	}
+	if h.CodeLen() != 2 {
+		t.Fatalf("CodeLen = %d, want 2", h.CodeLen())
+	}
+	// The paper's encodings: value 2 → 00, 20 → 10 (Figure 5).
+	if h.Bucket(2) != 0 || h.Bucket(20) != 2 {
+		t.Fatalf("Bucket(2)=%d Bucket(20)=%d", h.Bucket(2), h.Bucket(20))
+	}
+}
+
+func TestEquiWidthOddDivision(t *testing.T) {
+	h := EquiWidth(10, 3)
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if h.B() != 3 {
+		t.Fatalf("B = %d", h.B())
+	}
+	// Widths must differ by at most 1 value.
+	minW, maxW := 1<<30, 0
+	for i := 0; i < h.B(); i++ {
+		lo, hi := h.Interval(i)
+		w := hi - lo + 1
+		if w < minW {
+			minW = w
+		}
+		if w > maxW {
+			maxW = w
+		}
+	}
+	if maxW-minW > 1 {
+		t.Fatalf("widths spread %d..%d", minW, maxW)
+	}
+}
+
+func TestEquiDepthBalancesMass(t *testing.T) {
+	freq := make([]float64, 100)
+	rng := rand.New(rand.NewSource(3))
+	var total float64
+	for i := range freq {
+		freq[i] = float64(rng.Intn(20))
+		total += freq[i]
+	}
+	h := EquiDepth(freq, 8)
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if h.B() != 8 {
+		t.Fatalf("B = %d, want 8", h.B())
+	}
+	// No bucket should hold more than ~2.5x its fair share of mass
+	// (equi-depth is approximate; it cannot split a single heavy value).
+	fair := total / 8
+	for i := 0; i < h.B(); i++ {
+		lo, hi := h.Interval(i)
+		var sum float64
+		for v := lo; v <= hi; v++ {
+			sum += freq[v]
+		}
+		if sum > 2.5*fair+20 {
+			t.Fatalf("bucket %d mass %v vs fair %v", i, sum, fair)
+		}
+	}
+}
+
+func TestEquiDepthDegenerate(t *testing.T) {
+	// All mass on one value: must still produce a valid cover.
+	freq := make([]float64, 16)
+	freq[7] = 100
+	h := EquiDepth(freq, 4)
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Zero frequencies entirely.
+	h = EquiDepth(make([]float64, 16), 4)
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// More buckets than values.
+	h = EquiDepth(make([]float64, 3), 8)
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if h.B() != 3 {
+		t.Fatalf("B = %d, want clamp to 3", h.B())
+	}
+}
+
+// bruteForceBest enumerates every partition of [0..ndom-1] into exactly <= b
+// buckets and returns the minimal total cost. Exponential; small inputs only.
+func bruteForceBest(ndom, b int, cost intervalCost) float64 {
+	best := math.Inf(1)
+	var rec func(start, used int, acc float64)
+	rec = func(start, used int, acc float64) {
+		if acc >= best {
+			return
+		}
+		if start == ndom {
+			if acc < best {
+				best = acc
+			}
+			return
+		}
+		if used == b {
+			return
+		}
+		for end := start; end < ndom; end++ {
+			rec(end+1, used+1, acc+cost(start, end))
+		}
+	}
+	rec(0, 0, 0)
+	return best
+}
+
+func TestKNNOptimalMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		ndom := 4 + rng.Intn(8)
+		b := 1 + rng.Intn(4)
+		f := make([]float64, ndom)
+		for i := range f {
+			f[i] = float64(rng.Intn(5))
+		}
+		h := KNNOptimal(f, b)
+		if err := h.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if h.B() > b {
+			t.Fatalf("trial %d: B=%d > budget %d", trial, h.B(), b)
+		}
+		got := M3(h, f)
+		s := prefixSums(f)
+		want := bruteForceBest(ndom, b, func(lo, hi int) float64 {
+			w := float64(hi - lo)
+			return (s[hi+1] - s[lo]) * w * w
+		})
+		if math.Abs(got-want) > 1e-9*(1+want) {
+			t.Fatalf("trial %d (ndom=%d b=%d f=%v): DP=%v brute=%v", trial, ndom, b, f, got, want)
+		}
+	}
+}
+
+func TestVOptimalMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 20; trial++ {
+		ndom := 4 + rng.Intn(7)
+		b := 1 + rng.Intn(3)
+		f := make([]float64, ndom)
+		for i := range f {
+			f[i] = float64(rng.Intn(10))
+		}
+		h := VOptimal(f, b)
+		if err := h.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		got := MSSE(h, f)
+		sseCost := func(lo, hi int) float64 {
+			var sum float64
+			for v := lo; v <= hi; v++ {
+				sum += f[v]
+			}
+			avg := sum / float64(hi-lo+1)
+			var sse float64
+			for v := lo; v <= hi; v++ {
+				d := f[v] - avg
+				sse += d * d
+			}
+			return sse
+		}
+		want := bruteForceBest(ndom, b, sseCost)
+		if math.Abs(got-want) > 1e-9*(1+want) {
+			t.Fatalf("trial %d: DP=%v brute=%v f=%v b=%d", trial, got, want, f, b)
+		}
+	}
+}
+
+func TestCutoffDoesNotChangeResult(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		ndom := 10 + rng.Intn(40)
+		b := 2 + rng.Intn(6)
+		f := make([]float64, ndom)
+		for i := range f {
+			f[i] = rng.Float64() * 10
+		}
+		with := KNNOptimalWith(f, b, KNNOptimalOptions{})
+		without := KNNOptimalWith(f, b, KNNOptimalOptions{DisableCutoff: true})
+		if gv, wv := M3(with, f), M3(without, f); math.Abs(gv-wv) > 1e-9*(1+wv) {
+			t.Fatalf("trial %d: cutoff changed metric %v vs %v", trial, gv, wv)
+		}
+	}
+}
+
+func TestNaiveUpsilonAgrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	f := make([]float64, 30)
+	for i := range f {
+		f[i] = rng.Float64()
+	}
+	a := KNNOptimalWith(f, 5, KNNOptimalOptions{})
+	b := KNNOptimalWith(f, 5, KNNOptimalOptions{NaiveUpsilon: true})
+	if M3(a, f) != M3(b, f) {
+		t.Fatalf("naive Υ disagrees: %v vs %v", M3(a, f), M3(b, f))
+	}
+}
+
+func TestKNNOptimalBeatsHeuristicsOnSkewedWorkload(t *testing.T) {
+	// Workload mass concentrated in a narrow region: HC-O should carve tight
+	// buckets there and leave the rest loose, beating equi-width and
+	// equi-depth (the Figure 6 story) on the M3 metric.
+	ndom := 256
+	f := make([]float64, ndom)
+	for v := 100; v < 110; v++ {
+		f[v] = 50
+	}
+	for v := 0; v < ndom; v++ {
+		f[v] += 0.1
+	}
+	b := 16
+	hO := KNNOptimal(f, b)
+	hW := EquiWidth(ndom, b)
+	hD := EquiDepth(f, b)
+	mO, mW, mD := M3(hO, f), M3(hW, f), M3(hD, f)
+	if mO > mD || mO > mW {
+		t.Fatalf("HC-O M3=%v not best (W=%v D=%v)", mO, mW, mD)
+	}
+	if mO >= mW/2 {
+		t.Fatalf("expected HC-O to clearly beat equi-width: %v vs %v", mO, mW)
+	}
+}
+
+func TestKNNOptimalTightensAroundWorkload(t *testing.T) {
+	// Buckets covering the high-F′ region must be narrower than the average
+	// bucket elsewhere.
+	ndom := 128
+	f := make([]float64, ndom)
+	for v := 60; v < 68; v++ {
+		f[v] = 10
+	}
+	h := KNNOptimal(f, 8)
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	hot := h.Bucket(63)
+	lo, hi := h.Interval(hot)
+	if hi-lo > 16 {
+		t.Fatalf("hot bucket [%d,%d] too wide", lo, hi)
+	}
+}
+
+func TestMetricLemma2Identity(t *testing.T) {
+	// Lemma 2: Σ_q Σ_r ||ε(b)||² computed pointwise equals M3 computed
+	// bucketwise. Build random points and verify both sides.
+	rng := rand.New(rand.NewSource(9))
+	dom := vec.NewDomain(0, 1, 64)
+	h := EquiDepthFromRandom(rng, 64, 8)
+	var qr [][]float32
+	for i := 0; i < 40; i++ {
+		p := make([]float32, 5)
+		for j := range p {
+			p[j] = rng.Float32()
+		}
+		qr = append(qr, p)
+	}
+	// Left side: sum of squared error-vector norms (Def 10).
+	var left float64
+	for _, p := range qr {
+		for _, v := range p {
+			b := h.Bucket(dom.Bin(float64(v)))
+			lo, hi := h.Interval(b)
+			w := float64(hi - lo)
+			left += w * w
+		}
+	}
+	// Right side: M3 over F′.
+	f := WorkloadFrequency(qr, dom)
+	right := M3(h, f)
+	if math.Abs(left-right) > 1e-6*(1+right) {
+		t.Fatalf("Lemma 2 identity broken: %v vs %v", left, right)
+	}
+}
+
+// EquiDepthFromRandom builds an arbitrary valid histogram for identity tests.
+func EquiDepthFromRandom(rng *rand.Rand, ndom, b int) *Histogram {
+	f := make([]float64, ndom)
+	for i := range f {
+		f[i] = rng.Float64()
+	}
+	return EquiDepth(f, b)
+}
+
+func TestHistogramPropertyAllValuesCovered(t *testing.T) {
+	check := func(seed int64, bRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ndom := 8 + rng.Intn(100)
+		b := 1 + int(bRaw)%16
+		f := make([]float64, ndom)
+		for i := range f {
+			f[i] = rng.Float64() * float64(rng.Intn(3))
+		}
+		for _, h := range []*Histogram{
+			EquiWidth(ndom, b), EquiDepth(f, b), VOptimal(f, b), KNNOptimal(f, b),
+		} {
+			if h.Validate() != nil {
+				return false
+			}
+			if h.CodeLen() > 5 && b <= 16 {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(10))}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCodeLen(t *testing.T) {
+	cases := []struct{ b, want int }{{1, 1}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {1024, 10}}
+	for _, c := range cases {
+		h := EquiWidth(2048, c.b)
+		if got := h.CodeLen(); got != c.want {
+			t.Errorf("B=%d CodeLen=%d, want %d", c.b, got, c.want)
+		}
+	}
+}
+
+func TestMaxBucketsForCodeLen(t *testing.T) {
+	if got := MaxBucketsForCodeLen(10, 4096); got != 1024 {
+		t.Fatalf("got %d, want 1024", got)
+	}
+	if got := MaxBucketsForCodeLen(10, 100); got != 100 {
+		t.Fatalf("clamped got %d, want 100", got)
+	}
+	if got := MaxBucketsForCodeLen(0, 100); got != 2 {
+		t.Fatalf("floor got %d, want 2", got)
+	}
+}
+
+func TestSmooth(t *testing.T) {
+	f := []float64{0, 10, 0, 0}
+	base := []float64{1, 1, 1, 1}
+	out := Smooth(append([]float64(nil), f...), base, 0.04)
+	if out[0] == 0 {
+		t.Fatal("smoothing did not lift zero cells")
+	}
+	// Workload mass must still dominate.
+	if out[1] < 100*out[0] {
+		t.Fatalf("smoothing overwhelmed workload: %v", out)
+	}
+	// eps=0 is a no-op.
+	same := Smooth(append([]float64(nil), f...), base, 0)
+	for i := range f {
+		if same[i] != f[i] {
+			t.Fatal("eps=0 changed values")
+		}
+	}
+	// Empty workload adopts base shape.
+	empty := Smooth(make([]float64, 4), base, 1)
+	if empty[0] != 1 {
+		t.Fatalf("empty workload smoothing = %v", empty)
+	}
+}
+
+func TestFrequencyArrays(t *testing.T) {
+	dom := vec.NewDomain(0, 1, 4)
+	pts := [][]float32{{0.1, 0.9}, {0.3, 0.6}}
+	f := WorkloadFrequency(pts, dom)
+	// bins: 0.1→0, 0.9→3, 0.3→1, 0.6→2
+	want := []float64{1, 1, 1, 1}
+	for i := range want {
+		if f[i] != want[i] {
+			t.Fatalf("F' = %v", f)
+		}
+	}
+	fd := WorkloadFrequencyPerDim(pts, 2, dom)
+	if fd[0][0] != 1 || fd[0][1] != 1 || fd[1][3] != 1 || fd[1][2] != 1 {
+		t.Fatalf("per-dim F' = %v", fd)
+	}
+}
+
+func TestPerDim(t *testing.T) {
+	freqs := [][]float64{
+		{5, 0, 0, 0, 0, 0, 0, 1},
+		{1, 0, 0, 0, 0, 0, 0, 5},
+	}
+	p := BuildPerDim(freqs, 2, func(f []float64, b int) *Histogram { return KNNOptimal(f, b) })
+	if p.Dim() != 2 || p.CodeLen() != 1 {
+		t.Fatalf("Dim=%d CodeLen=%d", p.Dim(), p.CodeLen())
+	}
+	if p.SpaceBytes() != 2*p.H[0].SpaceBytes() {
+		t.Fatal("SpaceBytes should sum dimensions")
+	}
+	// Each dimension should adapt to its own mass: dim 0 splits near 0,
+	// dim 1 near the top.
+	lo0, hi0 := p.H[0].Interval(p.H[0].Bucket(0))
+	if hi0-lo0 > 3 {
+		t.Fatalf("dim0 hot bucket [%d,%d]", lo0, hi0)
+	}
+	lo1, hi1 := p.H[1].Interval(p.H[1].Bucket(7))
+	if hi1-lo1 > 3 {
+		t.Fatalf("dim1 hot bucket [%d,%d]", lo1, hi1)
+	}
+}
+
+func TestMD(t *testing.T) {
+	lo := [][]float32{{0, 0}, {0.5, 0.5}}
+	hi := [][]float32{{0.5, 0.5}, {1, 1}}
+	m, err := NewMD(lo, hi, []int{0, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.B() != 2 || m.Dim() != 2 || m.CodeLen() != 1 {
+		t.Fatalf("B=%d Dim=%d CodeLen=%d", m.B(), m.Dim(), m.CodeLen())
+	}
+	if m.BucketOf(0) != 0 || m.BucketOf(2) != 1 {
+		t.Fatal("assignment broken")
+	}
+	rlo, rhi := m.Rect(1)
+	if rlo[0] != 0.5 || rhi[1] != 1 {
+		t.Fatal("Rect broken")
+	}
+	if m.SpaceBytes() != 2*2*8 {
+		t.Fatalf("SpaceBytes = %d", m.SpaceBytes())
+	}
+	// Validation failures.
+	if _, err := NewMD(nil, nil, nil); err == nil {
+		t.Fatal("expected empty rejection")
+	}
+	if _, err := NewMD(lo, hi, []int{0, 5}); err == nil {
+		t.Fatal("expected out-of-range assignment rejection")
+	}
+	if _, err := NewMD([][]float32{{1, 1}}, [][]float32{{0, 0}}, nil); err == nil {
+		t.Fatal("expected inverted rectangle rejection")
+	}
+}

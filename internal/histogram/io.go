@@ -1,0 +1,93 @@
+package histogram
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary histogram format ("EBHG"): magic, ndom, B, bucket upper bounds.
+const hgMagic = 0x45424847
+
+// WriteTo serializes the histogram.
+func (h *Histogram) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	for _, v := range []uint32{hgMagic, uint32(h.Ndom()), uint32(h.B())} {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return n, err
+		}
+		n += 4
+	}
+	for i := 0; i < h.B(); i++ {
+		_, u := h.Interval(i)
+		if err := binary.Write(bw, binary.LittleEndian, uint32(u)); err != nil {
+			return n, err
+		}
+		n += 4
+	}
+	return n, bw.Flush()
+}
+
+// Read parses a histogram serialized by WriteTo.
+func Read(r io.Reader) (*Histogram, error) {
+	var magic, ndom, b uint32
+	for _, p := range []*uint32{&magic, &ndom, &b} {
+		if err := binary.Read(r, binary.LittleEndian, p); err != nil {
+			return nil, fmt.Errorf("histogram: reading header: %w", err)
+		}
+	}
+	if magic != hgMagic {
+		return nil, fmt.Errorf("histogram: bad magic %#x", magic)
+	}
+	if ndom == 0 || b == 0 || b > ndom || ndom > 1<<28 {
+		return nil, fmt.Errorf("histogram: implausible header ndom=%d B=%d", ndom, b)
+	}
+	uppers := make([]int, b)
+	for i := range uppers {
+		var u uint32
+		if err := binary.Read(r, binary.LittleEndian, &u); err != nil {
+			return nil, fmt.Errorf("histogram: reading uppers: %w", err)
+		}
+		uppers[i] = int(u)
+	}
+	return FromUppers(int(ndom), uppers)
+}
+
+// WritePerDim serializes a per-dimension histogram set.
+func (p *PerDim) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	if err := binary.Write(w, binary.LittleEndian, uint32(p.Dim())); err != nil {
+		return n, err
+	}
+	n += 4
+	for _, h := range p.H {
+		m, err := h.WriteTo(w)
+		n += m
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// ReadPerDim parses a per-dimension histogram set.
+func ReadPerDim(r io.Reader) (*PerDim, error) {
+	var dim uint32
+	if err := binary.Read(r, binary.LittleEndian, &dim); err != nil {
+		return nil, fmt.Errorf("histogram: reading dim: %w", err)
+	}
+	if dim == 0 || dim > 1<<20 {
+		return nil, fmt.Errorf("histogram: implausible dim %d", dim)
+	}
+	p := &PerDim{H: make([]*Histogram, dim)}
+	for j := range p.H {
+		h, err := Read(r)
+		if err != nil {
+			return nil, fmt.Errorf("histogram: dimension %d: %w", j, err)
+		}
+		p.H[j] = h
+	}
+	return p, nil
+}

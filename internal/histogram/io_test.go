@@ -1,0 +1,90 @@
+package histogram
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestHistogramIORoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 30; trial++ {
+		ndom := 8 + rng.Intn(200)
+		b := 1 + rng.Intn(16)
+		f := make([]float64, ndom)
+		for i := range f {
+			f[i] = rng.Float64()
+		}
+		h := KNNOptimal(f, b)
+		var buf bytes.Buffer
+		if _, err := h.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.B() != h.B() || got.Ndom() != h.Ndom() {
+			t.Fatalf("shape changed: %d/%d vs %d/%d", got.B(), got.Ndom(), h.B(), h.Ndom())
+		}
+		for i := 0; i < h.B(); i++ {
+			gl, gu := got.Interval(i)
+			wl, wu := h.Interval(i)
+			if gl != wl || gu != wu {
+				t.Fatalf("bucket %d changed: [%d,%d] vs [%d,%d]", i, gl, gu, wl, wu)
+			}
+		}
+	}
+}
+
+func TestPerDimIORoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	freqs := make([][]float64, 5)
+	for j := range freqs {
+		freqs[j] = make([]float64, 64)
+		for i := range freqs[j] {
+			freqs[j][i] = rng.Float64()
+		}
+	}
+	p := BuildPerDim(freqs, 8, func(f []float64, b int) *Histogram { return EquiDepth(f, b) })
+	var buf bytes.Buffer
+	if _, err := p.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPerDim(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Dim() != 5 {
+		t.Fatalf("Dim = %d", got.Dim())
+	}
+	for j := range got.H {
+		for v := 0; v < 64; v++ {
+			if got.H[j].Bucket(v) != p.H[j].Bucket(v) {
+				t.Fatalf("dim %d value %d bucket changed", j, v)
+			}
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("nope"))); err == nil {
+		t.Fatal("expected error on short input")
+	}
+	if _, err := Read(bytes.NewReader(make([]byte, 64))); err == nil {
+		t.Fatal("expected error on zero magic")
+	}
+	// Truncated uppers.
+	h := EquiWidth(64, 8)
+	var buf bytes.Buffer
+	if _, err := h.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-3]
+	if _, err := Read(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("expected error on truncation")
+	}
+	if _, err := ReadPerDim(bytes.NewReader(nil)); err == nil {
+		t.Fatal("expected per-dim error on empty input")
+	}
+}

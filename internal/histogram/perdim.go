@@ -1,0 +1,86 @@
+package histogram
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// PerDim is the individual-dimension histogram of Section 3.6.2 (iHC-*):
+// one histogram per dimension, all with the same bucket count so that every
+// dimension's code is the same τ bits wide.
+type PerDim struct {
+	H []*Histogram
+}
+
+// Builder constructs a histogram from a frequency array; EquiDepth,
+// VOptimal and KNNOptimal (curried over options) all fit. EquiWidth ignores
+// the frequencies.
+type Builder func(freq []float64, b int) *Histogram
+
+// EquiWidthBuilder adapts EquiWidth to the Builder signature.
+func EquiWidthBuilder(freq []float64, b int) *Histogram {
+	return EquiWidth(len(freq), b)
+}
+
+// BuildPerDim builds one histogram per dimension from per-dimension
+// frequency arrays. All arrays must share a domain size. Dimensions are
+// independent, so construction fans out across CPUs — the result is
+// deterministic regardless.
+func BuildPerDim(freqs [][]float64, b int, build Builder) *PerDim {
+	if len(freqs) == 0 {
+		panic("histogram: BuildPerDim with no dimensions")
+	}
+	for j, f := range freqs {
+		if len(f) != len(freqs[0]) {
+			panic(fmt.Sprintf("histogram: dimension %d domain size %d != %d", j, len(f), len(freqs[0])))
+		}
+	}
+	hs := make([]*Histogram, len(freqs))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(freqs) {
+		workers = len(freqs)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				j := int(next.Add(1)) - 1
+				if j >= len(freqs) {
+					return
+				}
+				hs[j] = build(freqs[j], b)
+			}
+		}()
+	}
+	wg.Wait()
+	return &PerDim{H: hs}
+}
+
+// Dim returns the number of per-dimension histograms.
+func (p *PerDim) Dim() int { return len(p.H) }
+
+// CodeLen returns the (common) per-dimension code length.
+func (p *PerDim) CodeLen() int {
+	max := 1
+	for _, h := range p.H {
+		if c := h.CodeLen(); c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// SpaceBytes sums the bucket tables of all dimensions — why Table 3 reports
+// iHC-* space as d times larger than the global histograms.
+func (p *PerDim) SpaceBytes() int {
+	total := 0
+	for _, h := range p.H {
+		total += h.SpaceBytes()
+	}
+	return total
+}

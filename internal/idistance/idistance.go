@@ -1,0 +1,160 @@
+// Package idistance implements the iDistance index (Jagadish, Ooi, Tan, Yu,
+// Zhang — TODS 2005): every point is keyed by the one-dimensional value
+// refID·C + dist(p, ref) of its nearest reference point, keys are kept
+// sorted (the paper's B+-tree; here the in-memory directory over sorted leaf
+// nodes, with leaves on disk via leafstore), and kNN search expands a radius
+// around the query, visiting only leaves whose key ring can intersect the
+// query ball.
+//
+// It exposes the LeafIndex shape the engine's tree search consumes: a leaf
+// partition plus per-query leaf lower bounds (from the triangle inequality
+// through each leaf's reference point).
+package idistance
+
+import (
+	"math"
+	"sort"
+
+	"exploitbit/internal/dataset"
+	"exploitbit/internal/kmeans"
+	"exploitbit/internal/vec"
+)
+
+// Params configures index construction.
+type Params struct {
+	// Refs is the number of reference points (default 16), chosen by
+	// k-means as the paper's "cluster-based" strategy recommends.
+	Refs int
+	// LeafCapacity is the number of points per leaf node (default: as many
+	// 4-byte-coordinate points as fit a 4 KB page).
+	LeafCapacity int
+	// KMeansIters bounds Lloyd iterations (default 8).
+	KMeansIters int
+	Seed        int64
+}
+
+func (p Params) withDefaults(dim int) Params {
+	if p.Refs < 1 {
+		p.Refs = 16
+	}
+	if p.LeafCapacity < 1 {
+		p.LeafCapacity = 4096 / (4 * dim)
+		if p.LeafCapacity < 1 {
+			p.LeafCapacity = 1
+		}
+	}
+	if p.KMeansIters < 1 {
+		p.KMeansIters = 8
+	}
+	return p
+}
+
+// Index is a built iDistance index. The leaf directory (reference, ring
+// radii, point ids) is the in-memory part; leaf contents live in a
+// leafstore.Store built from Leaves().
+type Index struct {
+	refs   [][]float32
+	leaves [][]int32
+	ref    []int32      // leaf → reference point
+	ring   [][2]float64 // leaf → [min,max] distance to its reference
+}
+
+// Build constructs the index over ds.
+func Build(ds *dataset.Dataset, p Params) *Index {
+	p = p.withDefaults(ds.Dim)
+	km := kmeans.Run(ds, p.Refs, p.KMeansIters, p.Seed)
+
+	type keyed struct {
+		id   int32
+		ref  int32
+		dist float64
+	}
+	pts := make([]keyed, ds.Len())
+	for i := 0; i < ds.Len(); i++ {
+		c := km.Assign[i]
+		pts[i] = keyed{id: int32(i), ref: c, dist: vec.Dist(ds.Point(i), km.Centers[c])}
+	}
+	// iDistance ordering: by reference, then by distance to reference.
+	sort.Slice(pts, func(a, b int) bool {
+		if pts[a].ref != pts[b].ref {
+			return pts[a].ref < pts[b].ref
+		}
+		if pts[a].dist != pts[b].dist {
+			return pts[a].dist < pts[b].dist
+		}
+		return pts[a].id < pts[b].id
+	})
+
+	ix := &Index{refs: km.Centers}
+	for start := 0; start < len(pts); {
+		end := start + p.LeafCapacity
+		if end > len(pts) {
+			end = len(pts)
+		}
+		// Leaves never span references (a B+-tree range per reference).
+		for e := start + 1; e < end; e++ {
+			if pts[e].ref != pts[start].ref {
+				end = e
+				break
+			}
+		}
+		ids := make([]int32, 0, end-start)
+		rmin, rmax := math.Inf(1), 0.0
+		for _, kp := range pts[start:end] {
+			ids = append(ids, kp.id)
+			if kp.dist < rmin {
+				rmin = kp.dist
+			}
+			if kp.dist > rmax {
+				rmax = kp.dist
+			}
+		}
+		ix.leaves = append(ix.leaves, ids)
+		ix.ref = append(ix.ref, pts[start].ref)
+		ix.ring = append(ix.ring, [2]float64{rmin, rmax})
+		start = end
+	}
+	return ix
+}
+
+// Leaves returns the leaf partition (point ids per leaf).
+func (ix *Index) Leaves() [][]int32 { return ix.leaves }
+
+// Ordering returns the iDistance physical ordering of all points — the
+// "clustered" file layout of the Figure 9 experiment — as a permutation
+// suitable for disk.BuildPointFile (perm[id] = slot).
+func (ix *Index) Ordering(n int) []int {
+	perm := make([]int, n)
+	slot := 0
+	for _, leaf := range ix.leaves {
+		for _, id := range leaf {
+			perm[id] = slot
+			slot++
+		}
+	}
+	return perm
+}
+
+// LeafLowerBounds returns, for each leaf, a lower bound on the distance
+// from q to any point in the leaf: points in a leaf have distance to the
+// leaf's reference inside [rmin, rmax], so by the triangle inequality
+// dist(q,p) ≥ max(0, dist(q,ref) − rmax, rmin − dist(q,ref)).
+func (ix *Index) LeafLowerBounds(q []float32) []float64 {
+	dref := make([]float64, len(ix.refs))
+	for c, r := range ix.refs {
+		dref[c] = vec.Dist(q, r)
+	}
+	lbs := make([]float64, len(ix.leaves))
+	for li := range ix.leaves {
+		d := dref[ix.ref[li]]
+		lb := d - ix.ring[li][1]
+		if alt := ix.ring[li][0] - d; alt > lb {
+			lb = alt
+		}
+		if lb < 0 {
+			lb = 0
+		}
+		lbs[li] = lb
+	}
+	return lbs
+}

@@ -1,0 +1,208 @@
+package idistance
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"exploitbit/internal/dataset"
+	"exploitbit/internal/vec"
+)
+
+func testDS(n, dim int, seed int64) *dataset.Dataset {
+	return dataset.Generate(dataset.Config{Name: "t", N: n, Dim: dim, Clusters: 6, Std: 0.04, Seed: seed})
+}
+
+func TestBuildPartition(t *testing.T) {
+	ds := testDS(500, 12, 1)
+	ix := Build(ds, Params{Refs: 8, LeafCapacity: 10, Seed: 2})
+	seen := make([]bool, ds.Len())
+	for li, leaf := range ix.Leaves() {
+		if len(leaf) == 0 || len(leaf) > 10 {
+			t.Fatalf("leaf %d size %d", li, len(leaf))
+		}
+		for _, id := range leaf {
+			if seen[id] {
+				t.Fatalf("point %d in two leaves", id)
+			}
+			seen[id] = true
+		}
+	}
+	for id, ok := range seen {
+		if !ok {
+			t.Fatalf("point %d missing from partition", id)
+		}
+	}
+}
+
+func TestLeafLowerBoundsAreValid(t *testing.T) {
+	ds := testDS(400, 10, 3)
+	ix := Build(ds, Params{Refs: 8, LeafCapacity: 16, Seed: 4})
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		q := ds.Point(rng.Intn(ds.Len()))
+		lbs := ix.LeafLowerBounds(q)
+		if len(lbs) != len(ix.Leaves()) {
+			t.Fatal("lbs length mismatch")
+		}
+		for li, leaf := range ix.Leaves() {
+			for _, id := range leaf {
+				if d := vec.Dist(q, ds.Point(int(id))); d < lbs[li]-1e-9 {
+					t.Fatalf("leaf %d lb %v exceeds true dist %v of member %d", li, lbs[li], d, id)
+				}
+			}
+		}
+	}
+}
+
+// exactViaLeaves runs the plain leaf-at-a-time exact kNN over the index (no
+// cache), which must return the true kNN.
+func exactViaLeaves(ds *dataset.Dataset, ix *Index, q []float32, k int) []int {
+	lbs := ix.LeafLowerBounds(q)
+	order := make([]int, len(lbs))
+	for i := range order {
+		order[i] = i
+	}
+	// Selection sort by lb (few leaves).
+	for i := range order {
+		m := i
+		for j := i + 1; j < len(order); j++ {
+			if lbs[order[j]] < lbs[order[m]] {
+				m = j
+			}
+		}
+		order[i], order[m] = order[m], order[i]
+	}
+	top := vec.NewTopK(k)
+	for _, li := range order {
+		if top.Full() && lbs[li] >= top.Root() {
+			break
+		}
+		for _, id := range ix.Leaves()[li] {
+			top.Push(vec.Dist(q, ds.Point(int(id))), int(id))
+		}
+	}
+	ids, _ := top.Results()
+	return ids
+}
+
+func TestExactKNNThroughIndex(t *testing.T) {
+	ds := testDS(600, 8, 6)
+	ix := Build(ds, Params{Refs: 10, LeafCapacity: 12, Seed: 7})
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 15; trial++ {
+		q := ds.Point(rng.Intn(ds.Len()))
+		got := exactViaLeaves(ds, ix, q, 5)
+		want := bruteKNN(ds, q, 5)
+		for i := range want {
+			dg := vec.Dist(q, ds.Point(got[i]))
+			dw := vec.Dist(q, ds.Point(want[i]))
+			if math.Abs(dg-dw) > 1e-9 {
+				t.Fatalf("trial %d: rank %d dist %v, want %v", trial, i, dg, dw)
+			}
+		}
+	}
+}
+
+func bruteKNN(ds *dataset.Dataset, q []float32, k int) []int {
+	top := vec.NewTopK(k)
+	for i := 0; i < ds.Len(); i++ {
+		top.Push(vec.Dist(q, ds.Point(i)), i)
+	}
+	ids, _ := top.Results()
+	return ids
+}
+
+func TestOrderingIsPermutation(t *testing.T) {
+	ds := testDS(200, 6, 9)
+	ix := Build(ds, Params{Refs: 4, Seed: 10})
+	perm := ix.Ordering(ds.Len())
+	seen := make([]bool, len(perm))
+	for _, s := range perm {
+		if s < 0 || s >= len(perm) || seen[s] {
+			t.Fatalf("bad slot %d", s)
+		}
+		seen[s] = true
+	}
+	// Points of the same leaf occupy consecutive slots.
+	leaf0 := ix.Leaves()[0]
+	base := perm[leaf0[0]]
+	for i, id := range leaf0 {
+		if perm[id] != base+i {
+			t.Fatal("leaf not contiguous in ordering")
+		}
+	}
+}
+
+func TestLeavesDoNotSpanReferences(t *testing.T) {
+	ds := testDS(300, 6, 11)
+	ix := Build(ds, Params{Refs: 5, LeafCapacity: 7, Seed: 12})
+	if len(ix.ref) != len(ix.leaves) {
+		t.Fatal("metadata length mismatch")
+	}
+	for li := range ix.leaves {
+		if ix.ring[li][0] > ix.ring[li][1] {
+			t.Fatalf("leaf %d ring inverted", li)
+		}
+	}
+}
+
+func TestDefaultLeafCapacityFromPage(t *testing.T) {
+	ds := testDS(100, 150, 13) // 600-byte points → 6 per 4 KB page
+	ix := Build(ds, Params{Refs: 2, Seed: 14})
+	for li, leaf := range ix.Leaves() {
+		if len(leaf) > 6 {
+			t.Fatalf("leaf %d has %d points, page fits 6", li, len(leaf))
+		}
+	}
+}
+
+func TestPointIndexExactKNN(t *testing.T) {
+	ds := testDS(1200, 10, 15)
+	ix := BuildPointIndex(ds, Params{Refs: 12, Seed: 16})
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 30; trial++ {
+		var q []float32
+		if trial%2 == 0 {
+			q = ds.Point(rng.Intn(ds.Len()))
+		} else {
+			q = make([]float32, 10)
+			for j := range q {
+				q[j] = rng.Float32()
+			}
+		}
+		k := 1 + rng.Intn(15)
+		got := ix.Search(q, k)
+		want := bruteKNN(ds, q, k)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d results, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			dg := vec.Dist(q, ds.Point(got[i]))
+			dw := vec.Dist(q, ds.Point(want[i]))
+			if math.Abs(dg-dw) > 1e-9 {
+				t.Fatalf("trial %d rank %d: %v want %v", trial, i, dg, dw)
+			}
+		}
+	}
+}
+
+func TestPointIndexEdgeCases(t *testing.T) {
+	ds := testDS(50, 4, 18)
+	ix := BuildPointIndex(ds, Params{Refs: 4, Seed: 19})
+	if got := ix.Search(ds.Point(0), 0); got != nil {
+		t.Fatal("k=0 should return nil")
+	}
+	// k larger than the dataset returns everything.
+	got := ix.Search(ds.Point(0), 100)
+	if len(got) != 50 {
+		t.Fatalf("k>n returned %d of 50", len(got))
+	}
+	seen := map[int]bool{}
+	for _, id := range got {
+		if seen[id] {
+			t.Fatalf("duplicate id %d", id)
+		}
+		seen[id] = true
+	}
+}

@@ -1,0 +1,149 @@
+package idistance
+
+import (
+	"math"
+	"sort"
+
+	"exploitbit/internal/btree"
+	"exploitbit/internal/dataset"
+	"exploitbit/internal/kmeans"
+	"exploitbit/internal/vec"
+)
+
+// PointIndex is the classic iDistance structure of Jagadish et al.: every
+// point keyed by refID·C + dist(p, ref) in a B+-tree, searched by expanding
+// a radius around the query and range-scanning the key intervals each
+// reference's ring contributes. This is the in-memory exact search path; the
+// leaf-based Index + core.TreeEngine pairing is the disk/caching path.
+type PointIndex struct {
+	ds      *dataset.Dataset
+	refs    [][]float32
+	tree    *btree.Tree
+	c       float64   // key spacing constant, > max distance to any ref
+	maxDist []float64 // per-reference ring radius
+}
+
+// BuildPointIndex constructs the B+-tree-backed index.
+func BuildPointIndex(ds *dataset.Dataset, p Params) *PointIndex {
+	p = p.withDefaults(ds.Dim)
+	km := kmeans.Run(ds, p.Refs, p.KMeansIters, p.Seed)
+
+	ix := &PointIndex{ds: ds, refs: km.Centers, maxDist: make([]float64, len(km.Centers))}
+	dists := make([]float64, ds.Len())
+	for i := 0; i < ds.Len(); i++ {
+		c := km.Assign[i]
+		d := vec.Dist(ds.Point(i), km.Centers[c])
+		dists[i] = d
+		if d > ix.maxDist[c] {
+			ix.maxDist[c] = d
+		}
+	}
+	// Key spacing: strictly larger than any ring radius.
+	for _, d := range ix.maxDist {
+		if d >= ix.c {
+			ix.c = d
+		}
+	}
+	ix.c = ix.c*2 + 1
+
+	// Bulk load sorted (key, id) pairs.
+	type kv struct {
+		k  float64
+		id int32
+	}
+	pairs := make([]kv, ds.Len())
+	for i := range pairs {
+		pairs[i] = kv{k: float64(km.Assign[i])*ix.c + dists[i], id: int32(i)}
+	}
+	sort.Slice(pairs, func(a, b int) bool {
+		if pairs[a].k != pairs[b].k {
+			return pairs[a].k < pairs[b].k
+		}
+		return pairs[a].id < pairs[b].id
+	})
+	keys := make([]float64, len(pairs))
+	vals := make([]int32, len(pairs))
+	for i, e := range pairs {
+		keys[i], vals[i] = e.k, e.id
+	}
+	ix.tree = btree.BulkLoad(keys, vals)
+	return ix
+}
+
+// Search returns the exact k nearest neighbors of q by radius expansion:
+// starting from a small search radius r, it scans for every reference the
+// newly uncovered key interval [dq−r, dq+r] ∩ [0, maxDist], doubling r until
+// the k-th best distance is within r (then no unscanned point can improve).
+func (ix *PointIndex) Search(q []float32, k int) []int {
+	if k < 1 {
+		return nil
+	}
+	nref := len(ix.refs)
+	dq := make([]float64, nref)
+	minDq := math.Inf(1)
+	for i, ref := range ix.refs {
+		dq[i] = vec.Dist(q, ref)
+		if dq[i] < minDq {
+			minDq = dq[i]
+		}
+	}
+	// Explored key window per reference, closed [lo, hi] in ring-distance
+	// space; empty until the first scan.
+	lo := make([]float64, nref)
+	hi := make([]float64, nref)
+	explored := make([]bool, nref)
+
+	top := vec.NewTopK(k)
+	scan := func(ref int, from, to float64) {
+		if from > to {
+			return
+		}
+		base := float64(ref) * ix.c
+		ix.tree.Range(base+from, base+to, func(key float64, id int32) bool {
+			top.Push(vec.Dist(q, ix.ds.Point(int(id))), int(id))
+			return true
+		})
+	}
+
+	r := minDq/8 + 1e-9
+	for {
+		for i := 0; i < nref; i++ {
+			newLo := math.Max(0, dq[i]-r)
+			newHi := math.Min(ix.maxDist[i], dq[i]+r)
+			if newLo > newHi {
+				continue // ring does not intersect the search annulus
+			}
+			if !explored[i] {
+				scan(i, newLo, newHi)
+				lo[i], hi[i] = newLo, newHi
+				explored[i] = true
+				continue
+			}
+			if newLo < lo[i] {
+				scan(i, newLo, math.Nextafter(lo[i], math.Inf(-1)))
+				lo[i] = newLo
+			}
+			if newHi > hi[i] {
+				scan(i, math.Nextafter(hi[i], math.Inf(1)), newHi)
+				hi[i] = newHi
+			}
+		}
+		if top.Full() && top.Root() <= r {
+			break
+		}
+		// All rings fully explored: nothing left to scan.
+		done := true
+		for i := 0; i < nref; i++ {
+			if !explored[i] || lo[i] > 0 || hi[i] < ix.maxDist[i] {
+				done = false
+				break
+			}
+		}
+		if done {
+			break
+		}
+		r *= 2
+	}
+	ids, _ := top.Results()
+	return ids
+}

@@ -1,0 +1,185 @@
+// Package klt implements the Karhunen–Loève Transform: the data's covariance
+// matrix is diagonalized with a cyclic Jacobi eigensolver and points are
+// rotated into the eigenbasis, decorrelating dimensions and concentrating
+// variance in the leading ones. The VA+-file (Ferhatosmanoglu et al., CIKM
+// 2000) — which the paper skips because "KLT is not scalable for huge
+// matrices" (footnote 10) — applies it before allocating approximation bits
+// per dimension; this package makes that comparator available as an
+// extension at dimensionalities where O(d³) is acceptable.
+package klt
+
+import (
+	"fmt"
+	"math"
+)
+
+// pointSource abstracts the dataset.
+type pointSource interface {
+	Len() int
+	Point(i int) []float32
+}
+
+// Transform is a fitted KLT: the data mean and the orthonormal eigenbasis,
+// ordered by descending eigenvalue (variance).
+type Transform struct {
+	Mean   []float64
+	Basis  [][]float64 // Basis[j] is the j-th eigenvector (row)
+	Lambda []float64   // eigenvalues (variances along Basis[j]), descending
+}
+
+// Fit computes the covariance of src and diagonalizes it. It panics on an
+// empty source and errors if Jacobi fails to converge (practically
+// impossible for symmetric input).
+func Fit(src pointSource) (*Transform, error) {
+	n := src.Len()
+	if n == 0 {
+		return nil, fmt.Errorf("klt: empty source")
+	}
+	d := len(src.Point(0))
+
+	mean := make([]float64, d)
+	for i := 0; i < n; i++ {
+		for j, v := range src.Point(i) {
+			mean[j] += float64(v)
+		}
+	}
+	for j := range mean {
+		mean[j] /= float64(n)
+	}
+
+	// Covariance (dense, symmetric).
+	cov := make([][]float64, d)
+	for i := range cov {
+		cov[i] = make([]float64, d)
+	}
+	row := make([]float64, d)
+	for i := 0; i < n; i++ {
+		p := src.Point(i)
+		for j := range row {
+			row[j] = float64(p[j]) - mean[j]
+		}
+		for a := 0; a < d; a++ {
+			ra := row[a]
+			cva := cov[a]
+			for b := a; b < d; b++ {
+				cva[b] += ra * row[b]
+			}
+		}
+	}
+	for a := 0; a < d; a++ {
+		for b := a; b < d; b++ {
+			cov[a][b] /= float64(n)
+			cov[b][a] = cov[a][b]
+		}
+	}
+
+	vals, vecs, err := Jacobi(cov, 64)
+	if err != nil {
+		return nil, err
+	}
+	// Order by descending eigenvalue.
+	order := make([]int, d)
+	for i := range order {
+		order[i] = i
+	}
+	for i := 0; i < d; i++ {
+		m := i
+		for j := i + 1; j < d; j++ {
+			if vals[order[j]] > vals[order[m]] {
+				m = j
+			}
+		}
+		order[i], order[m] = order[m], order[i]
+	}
+	t := &Transform{Mean: mean, Basis: make([][]float64, d), Lambda: make([]float64, d)}
+	for i, oi := range order {
+		t.Lambda[i] = vals[oi]
+		// Eigenvector oi is column oi of vecs.
+		v := make([]float64, d)
+		for r := 0; r < d; r++ {
+			v[r] = vecs[r][oi]
+		}
+		t.Basis[i] = v
+	}
+	return t, nil
+}
+
+// Jacobi diagonalizes symmetric matrix a (destructively) with cyclic Jacobi
+// rotations, returning eigenvalues and the matrix of eigenvectors (columns).
+// maxSweeps bounds the outer iterations.
+func Jacobi(a [][]float64, maxSweeps int) ([]float64, [][]float64, error) {
+	d := len(a)
+	v := make([][]float64, d)
+	for i := range v {
+		v[i] = make([]float64, d)
+		v[i][i] = 1
+	}
+	if d == 1 {
+		return []float64{a[0][0]}, v, nil
+	}
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		var off float64
+		for p := 0; p < d; p++ {
+			for q := p + 1; q < d; q++ {
+				off += a[p][q] * a[p][q]
+			}
+		}
+		if off < 1e-22*float64(d*d) {
+			vals := make([]float64, d)
+			for i := range vals {
+				vals[i] = a[i][i]
+			}
+			return vals, v, nil
+		}
+		for p := 0; p < d; p++ {
+			for q := p + 1; q < d; q++ {
+				apq := a[p][q]
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				theta := (a[q][q] - a[p][p]) / (2 * apq)
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				// Rotate rows/columns p and q.
+				for i := 0; i < d; i++ {
+					aip, aiq := a[i][p], a[i][q]
+					a[i][p] = c*aip - s*aiq
+					a[i][q] = s*aip + c*aiq
+				}
+				for i := 0; i < d; i++ {
+					api, aqi := a[p][i], a[q][i]
+					a[p][i] = c*api - s*aqi
+					a[q][i] = s*api + c*aqi
+				}
+				for i := 0; i < d; i++ {
+					vip, viq := v[i][p], v[i][q]
+					v[i][p] = c*vip - s*viq
+					v[i][q] = s*vip + c*viq
+				}
+			}
+		}
+	}
+	return nil, nil, fmt.Errorf("klt: Jacobi did not converge in %d sweeps", maxSweeps)
+}
+
+// Apply rotates point p into the eigenbasis (mean-centered), writing into
+// dst (len d; nil allocates).
+func (t *Transform) Apply(p []float32, dst []float32) []float32 {
+	d := len(t.Mean)
+	if len(p) != d {
+		panic(fmt.Sprintf("klt: point dim %d != transform dim %d", len(p), d))
+	}
+	if dst == nil {
+		dst = make([]float32, d)
+	}
+	for j := 0; j < d; j++ {
+		var s float64
+		bj := t.Basis[j]
+		for i := 0; i < d; i++ {
+			s += bj[i] * (float64(p[i]) - t.Mean[i])
+		}
+		dst[j] = float32(s)
+	}
+	return dst
+}

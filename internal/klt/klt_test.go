@@ -1,0 +1,135 @@
+package klt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"exploitbit/internal/dataset"
+	"exploitbit/internal/vec"
+)
+
+func TestJacobiKnownMatrix(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1.
+	a := [][]float64{{2, 1}, {1, 2}}
+	vals, vecs, err := Jacobi(a, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := []float64{vals[0], vals[1]}
+	if got[0] > got[1] {
+		got[0], got[1] = got[1], got[0]
+	}
+	if math.Abs(got[0]-1) > 1e-10 || math.Abs(got[1]-3) > 1e-10 {
+		t.Fatalf("eigenvalues %v, want [1 3]", got)
+	}
+	// Eigenvector columns must be orthonormal.
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			var dot float64
+			for r := 0; r < 2; r++ {
+				dot += vecs[r][i] * vecs[r][j]
+			}
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(dot-want) > 1e-10 {
+				t.Fatalf("columns %d,%d dot = %v", i, j, dot)
+			}
+		}
+	}
+}
+
+func TestJacobiReconstruction(t *testing.T) {
+	// A = V Λ Vᵀ must reconstruct the original matrix.
+	rng := rand.New(rand.NewSource(1))
+	d := 12
+	orig := make([][]float64, d)
+	work := make([][]float64, d)
+	for i := range orig {
+		orig[i] = make([]float64, d)
+		work[i] = make([]float64, d)
+	}
+	for i := 0; i < d; i++ {
+		for j := i; j < d; j++ {
+			v := rng.NormFloat64()
+			orig[i][j], orig[j][i] = v, v
+		}
+	}
+	for i := range orig {
+		copy(work[i], orig[i])
+	}
+	vals, vecs, err := Jacobi(work, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < d; i++ {
+		for j := 0; j < d; j++ {
+			var s float64
+			for r := 0; r < d; r++ {
+				s += vecs[i][r] * vals[r] * vecs[j][r]
+			}
+			if math.Abs(s-orig[i][j]) > 1e-8 {
+				t.Fatalf("reconstruction (%d,%d): %v vs %v", i, j, s, orig[i][j])
+			}
+		}
+	}
+}
+
+func TestFitPreservesDistances(t *testing.T) {
+	// KLT is a rigid rotation (+ translation): pairwise distances must be
+	// preserved exactly (up to float rounding).
+	ds := dataset.Generate(dataset.Config{Name: "t", N: 300, Dim: 20, Clusters: 5, Std: 0.05, Seed: 2})
+	tr, err := Fit(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		a := ds.Point(rng.Intn(ds.Len()))
+		b := ds.Point(rng.Intn(ds.Len()))
+		ra := tr.Apply(a, nil)
+		rb := tr.Apply(b, nil)
+		dOrig := vec.Dist(a, b)
+		dRot := vec.Dist(ra, rb)
+		if math.Abs(dOrig-dRot) > 1e-4*(1+dOrig) {
+			t.Fatalf("distance changed: %v vs %v", dOrig, dRot)
+		}
+	}
+}
+
+func TestFitConcentratesVariance(t *testing.T) {
+	// Build strongly anisotropic data: dim 0 has 100x the spread. After
+	// KLT the first eigen-dimension must carry the bulk of the variance.
+	rng := rand.New(rand.NewSource(4))
+	n, d := 500, 8
+	data := make([]float32, n*d)
+	for i := 0; i < n; i++ {
+		for j := 0; j < d; j++ {
+			scale := 0.01
+			if j == 0 {
+				scale = 1.0
+			}
+			data[i*d+j] = float32(0.5 + rng.NormFloat64()*scale)
+		}
+	}
+	ds := dataset.New("aniso", d, data, vec.NewDomain(-10, 10, 256))
+	tr, err := Fit(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, l := range tr.Lambda {
+		total += l
+	}
+	if tr.Lambda[0]/total < 0.95 {
+		t.Fatalf("leading eigenvalue carries only %.2f of variance", tr.Lambda[0]/total)
+	}
+	// Eigenvalues descending.
+	for i := 1; i < d; i++ {
+		if tr.Lambda[i] > tr.Lambda[i-1]+1e-12 {
+			t.Fatal("eigenvalues not descending")
+		}
+	}
+}

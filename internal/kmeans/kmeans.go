@@ -1,0 +1,139 @@
+// Package kmeans provides the small Lloyd's-iteration clustering used to
+// pick iDistance reference points and to produce the "clustered" dataset
+// file ordering of the Figure 9 experiment.
+package kmeans
+
+import (
+	"math"
+	"math/rand"
+
+	"exploitbit/internal/vec"
+)
+
+// source abstracts point access so both datasets and samples work.
+type source interface {
+	Len() int
+	Point(i int) []float32
+}
+
+// Result holds cluster centers and per-point assignments.
+type Result struct {
+	Centers [][]float32
+	Assign  []int32
+}
+
+// Run clusters src into k clusters with at most iters Lloyd iterations,
+// seeded deterministically. k is clamped to the number of points.
+func Run(src source, k, iters int, seed int64) Result {
+	n := src.Len()
+	if n == 0 {
+		return Result{}
+	}
+	if k > n {
+		k = n
+	}
+	if k < 1 {
+		k = 1
+	}
+	if iters < 1 {
+		iters = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	dim := len(src.Point(0))
+
+	// k-means++ style seeding, capped probe count for speed.
+	centers := make([][]float32, k)
+	first := rng.Intn(n)
+	centers[0] = append([]float32(nil), src.Point(first)...)
+	minDist := make([]float64, n)
+	for i := range minDist {
+		minDist[i] = vec.SqDist(src.Point(i), centers[0])
+	}
+	for c := 1; c < k; c++ {
+		var total float64
+		for _, d := range minDist {
+			total += d
+		}
+		var pick int
+		if total <= 0 {
+			pick = rng.Intn(n)
+		} else {
+			r := rng.Float64() * total
+			for i, d := range minDist {
+				r -= d
+				if r <= 0 {
+					pick = i
+					break
+				}
+			}
+		}
+		centers[c] = append([]float32(nil), src.Point(pick)...)
+		for i := range minDist {
+			if d := vec.SqDist(src.Point(i), centers[c]); d < minDist[i] {
+				minDist[i] = d
+			}
+		}
+	}
+
+	assign := make([]int32, n)
+	sums := make([][]float64, k)
+	counts := make([]int, k)
+	for c := range sums {
+		sums[c] = make([]float64, dim)
+	}
+	for it := 0; it < iters; it++ {
+		changed := false
+		for i := 0; i < n; i++ {
+			best, bestD := int32(0), math.Inf(1)
+			p := src.Point(i)
+			for c := 0; c < k; c++ {
+				if d := vec.SqDist(p, centers[c]); d < bestD {
+					best, bestD = int32(c), d
+				}
+			}
+			if assign[i] != best {
+				changed = true
+			}
+			assign[i] = best
+		}
+		if !changed && it > 0 {
+			break
+		}
+		for c := range sums {
+			counts[c] = 0
+			for j := range sums[c] {
+				sums[c][j] = 0
+			}
+		}
+		for i := 0; i < n; i++ {
+			c := assign[i]
+			counts[c]++
+			p := src.Point(i)
+			for j := range p {
+				sums[c][j] += float64(p[j])
+			}
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster at a random point.
+				centers[c] = append(centers[c][:0], src.Point(rng.Intn(n))...)
+				continue
+			}
+			for j := 0; j < dim; j++ {
+				centers[c][j] = float32(sums[c][j] / float64(counts[c]))
+			}
+		}
+	}
+	// Final assignment against the last centers.
+	for i := 0; i < n; i++ {
+		best, bestD := int32(0), math.Inf(1)
+		p := src.Point(i)
+		for c := 0; c < k; c++ {
+			if d := vec.SqDist(p, centers[c]); d < bestD {
+				best, bestD = int32(c), d
+			}
+		}
+		assign[i] = best
+	}
+	return Result{Centers: centers, Assign: assign}
+}

@@ -1,0 +1,81 @@
+package kmeans
+
+import (
+	"testing"
+
+	"exploitbit/internal/dataset"
+	"exploitbit/internal/vec"
+)
+
+func TestRunBasics(t *testing.T) {
+	ds := dataset.Generate(dataset.Config{Name: "t", N: 300, Dim: 8, Clusters: 4, Std: 0.02, Seed: 1})
+	res := Run(ds, 4, 10, 2)
+	if len(res.Centers) != 4 || len(res.Assign) != 300 {
+		t.Fatalf("shape: %d centers, %d assigns", len(res.Centers), len(res.Assign))
+	}
+	// Every point must be assigned to its nearest center.
+	for i := 0; i < ds.Len(); i++ {
+		c := res.Assign[i]
+		d := vec.SqDist(ds.Point(i), res.Centers[c])
+		for j := range res.Centers {
+			if vec.SqDist(ds.Point(i), res.Centers[j]) < d-1e-9 {
+				t.Fatalf("point %d assigned to %d but %d is closer", i, c, j)
+			}
+		}
+	}
+}
+
+func TestRunReducesWithinClusterVariance(t *testing.T) {
+	ds := dataset.Generate(dataset.Config{Name: "t", N: 400, Dim: 6, Clusters: 5, Std: 0.02, Seed: 3})
+	res := Run(ds, 5, 12, 4)
+	// Mean distance to assigned center must be far below mean pairwise-ish
+	// distance (use distance to a fixed point as a cheap proxy for scale).
+	var within, scale float64
+	ref := ds.Point(0)
+	for i := 0; i < ds.Len(); i++ {
+		within += vec.Dist(ds.Point(i), res.Centers[res.Assign[i]])
+		scale += vec.Dist(ds.Point(i), ref)
+	}
+	if within > scale/3 {
+		t.Fatalf("clustering weak: within=%v scale=%v", within, scale)
+	}
+}
+
+func TestRunEdgeCases(t *testing.T) {
+	ds := dataset.Generate(dataset.Config{Name: "t", N: 5, Dim: 3, Seed: 5})
+	// k > n clamps.
+	res := Run(ds, 10, 3, 6)
+	if len(res.Centers) != 5 {
+		t.Fatalf("k not clamped: %d", len(res.Centers))
+	}
+	// k < 1 clamps to 1.
+	res = Run(ds, 0, 3, 7)
+	if len(res.Centers) != 1 {
+		t.Fatalf("k floor: %d", len(res.Centers))
+	}
+	for _, a := range res.Assign {
+		if a != 0 {
+			t.Fatal("single-cluster assignment broken")
+		}
+	}
+	// Deterministic under a fixed seed.
+	a := Run(ds, 2, 5, 8)
+	b := Run(ds, 2, 5, 8)
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatal("nondeterministic")
+		}
+	}
+}
+
+type emptySource struct{}
+
+func (emptySource) Len() int            { return 0 }
+func (emptySource) Point(int) []float32 { return nil }
+
+func TestRunEmpty(t *testing.T) {
+	res := Run(emptySource{}, 3, 3, 1)
+	if res.Centers != nil || res.Assign != nil {
+		t.Fatal("empty input should produce empty result")
+	}
+}

@@ -1,0 +1,130 @@
+// Package leafstore stores the leaf nodes of tree-based indexes on disk.
+// Section 3.6.1 splits a tree into in-memory non-leaf structure (the index
+// I) and disk-resident leaf nodes (the dataset P); fetching a leaf node by
+// block identifier is the I/O unit of tree-based kNN search, and the paper's
+// cache intercepts exactly those fetches.
+package leafstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"time"
+
+	"exploitbit/internal/dataset"
+	"exploitbit/internal/disk"
+)
+
+// Store is a disk file of serialized leaf nodes. Each leaf occupies whole
+// pages; loading a leaf charges its page count.
+type Store struct {
+	dev *disk.Device
+	dim int
+
+	startPage []int32   // first page of each leaf
+	numPages  []int32   // pages per leaf
+	leafIDs   [][]int32 // point ids per leaf (in-memory directory)
+}
+
+// Build serializes leaves (point-id lists into ds) to path. Leaf record
+// layout: count uint32, then count × (id uint32, dim float32 coordinates).
+func Build(path string, ds *dataset.Dataset, leaves [][]int32, pageSize int, tio time.Duration) (*Store, error) {
+	dev, err := disk.Create(path, pageSize, tio)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{
+		dev:       dev,
+		dim:       ds.Dim,
+		startPage: make([]int32, len(leaves)),
+		numPages:  make([]int32, len(leaves)),
+		leafIDs:   make([][]int32, len(leaves)),
+	}
+	rec := 4 + 4*ds.Dim // per-point bytes
+	page := 0
+	for li, ids := range leaves {
+		s.leafIDs[li] = append([]int32(nil), ids...)
+		bytes := 4 + rec*len(ids)
+		np := (bytes + pageSize - 1) / pageSize
+		buf := make([]byte, np*pageSize)
+		le := binary.LittleEndian
+		le.PutUint32(buf, uint32(len(ids)))
+		off := 4
+		for _, id := range ids {
+			le.PutUint32(buf[off:], uint32(id))
+			off += 4
+			for _, v := range ds.Point(int(id)) {
+				le.PutUint32(buf[off:], math.Float32bits(v))
+				off += 4
+			}
+		}
+		for p := 0; p < np; p++ {
+			if err := dev.WritePage(page+p, buf[p*pageSize:(p+1)*pageSize]); err != nil {
+				dev.Close()
+				return nil, err
+			}
+		}
+		s.startPage[li] = int32(page)
+		s.numPages[li] = int32(np)
+		page += np
+	}
+	dev.ResetStats()
+	return s, nil
+}
+
+// NumLeaves returns the number of stored leaf nodes.
+func (s *Store) NumLeaves() int { return len(s.startPage) }
+
+// Dim returns the point dimensionality.
+func (s *Store) Dim() int { return s.dim }
+
+// LeafIDs returns the point identifiers of leaf li from the in-memory
+// directory (no I/O). The slice must not be modified.
+func (s *Store) LeafIDs(li int) []int32 { return s.leafIDs[li] }
+
+// LeafPages returns how many disk pages leaf li occupies (its fetch cost).
+func (s *Store) LeafPages(li int) int { return int(s.numPages[li]) }
+
+// Load reads leaf li from disk, charging its pages, and returns the point
+// ids and vectors.
+func (s *Store) Load(li int) (ids []int32, pts [][]float32, err error) {
+	if li < 0 || li >= len(s.startPage) {
+		return nil, nil, fmt.Errorf("leafstore: leaf %d out of range [0,%d)", li, len(s.startPage))
+	}
+	ps := s.dev.PageSize()
+	np := int(s.numPages[li])
+	buf := make([]byte, np*ps)
+	for p := 0; p < np; p++ {
+		if err := s.dev.ReadPage(int(s.startPage[li])+p, buf[p*ps:(p+1)*ps]); err != nil {
+			return nil, nil, err
+		}
+	}
+	le := binary.LittleEndian
+	count := int(le.Uint32(buf))
+	ids = make([]int32, count)
+	pts = make([][]float32, count)
+	off := 4
+	for i := 0; i < count; i++ {
+		ids[i] = int32(le.Uint32(buf[off:]))
+		off += 4
+		p := make([]float32, s.dim)
+		for j := range p {
+			p[j] = math.Float32frombits(le.Uint32(buf[off:]))
+			off += 4
+		}
+		pts[i] = p
+	}
+	return ids, pts, nil
+}
+
+// Stats exposes the device counters.
+func (s *Store) Stats() disk.Stats { return s.dev.Stats() }
+
+// ResetStats zeroes the device counters.
+func (s *Store) ResetStats() { s.dev.ResetStats() }
+
+// Tio returns the simulated per-page latency.
+func (s *Store) Tio() time.Duration { return s.dev.Tio() }
+
+// Close closes the backing device.
+func (s *Store) Close() error { return s.dev.Close() }

@@ -1,0 +1,105 @@
+package leafstore
+
+import (
+	"path/filepath"
+	"testing"
+
+	"exploitbit/internal/dataset"
+)
+
+func TestBuildAndLoad(t *testing.T) {
+	ds := dataset.Generate(dataset.Config{Name: "t", N: 50, Dim: 10, Seed: 1})
+	leaves := [][]int32{
+		{0, 5, 10, 15},
+		{1, 2, 3},
+		{49},
+	}
+	s, err := Build(filepath.Join(t.TempDir(), "leaves"), ds, leaves, 256, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	if s.NumLeaves() != 3 || s.Dim() != 10 {
+		t.Fatalf("shape: %d leaves dim %d", s.NumLeaves(), s.Dim())
+	}
+	for li, want := range leaves {
+		ids, pts, err := s.Load(li)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ids) != len(want) {
+			t.Fatalf("leaf %d: %d ids, want %d", li, len(ids), len(want))
+		}
+		for i, id := range ids {
+			if id != want[i] {
+				t.Fatalf("leaf %d id %d: got %d want %d", li, i, id, want[i])
+			}
+			orig := ds.Point(int(id))
+			for j := range orig {
+				if pts[i][j] != orig[j] {
+					t.Fatalf("leaf %d point %d dim %d mismatch", li, i, j)
+				}
+			}
+		}
+		// Directory access without I/O.
+		dir := s.LeafIDs(li)
+		for i := range want {
+			if dir[i] != want[i] {
+				t.Fatal("directory mismatch")
+			}
+		}
+	}
+}
+
+func TestLoadChargesPages(t *testing.T) {
+	ds := dataset.Generate(dataset.Config{Name: "t", N: 40, Dim: 10, Seed: 2})
+	// One point = 44 bytes; 20 points + 4-byte header = 884 bytes → 4 pages
+	// of 256 bytes.
+	big := make([]int32, 20)
+	for i := range big {
+		big[i] = int32(i)
+	}
+	s, err := Build(filepath.Join(t.TempDir(), "leaves"), ds, [][]int32{big, {30}}, 256, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Stats().PageReads != 0 {
+		t.Fatal("build leaked reads")
+	}
+	if got := s.LeafPages(0); got != 4 {
+		t.Fatalf("big leaf pages = %d, want 4", got)
+	}
+	if got := s.LeafPages(1); got != 1 {
+		t.Fatalf("small leaf pages = %d, want 1", got)
+	}
+	if _, _, err := s.Load(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats().PageReads; got != 4 {
+		t.Fatalf("big leaf load cost %d reads, want 4", got)
+	}
+	s.ResetStats()
+	if _, _, err := s.Load(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats().PageReads; got != 1 {
+		t.Fatalf("small leaf load cost %d reads", got)
+	}
+}
+
+func TestLoadOutOfRange(t *testing.T) {
+	ds := dataset.Generate(dataset.Config{Name: "t", N: 4, Dim: 2, Seed: 3})
+	s, err := Build(filepath.Join(t.TempDir(), "leaves"), ds, [][]int32{{0, 1}}, 128, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, _, err := s.Load(-1); err == nil {
+		t.Fatal("expected error for leaf -1")
+	}
+	if _, _, err := s.Load(1); err == nil {
+		t.Fatal("expected error for leaf 1")
+	}
+}

@@ -1,0 +1,26 @@
+package lsh
+
+import (
+	"testing"
+
+	"exploitbit/internal/dataset"
+)
+
+func BenchmarkBuild5000x150(b *testing.B) {
+	ds := dataset.Generate(dataset.Config{Name: "b", N: 5000, Dim: 150, Clusters: 20, Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(ds, Params{Seed: 2})
+	}
+}
+
+// BenchmarkCandidates measures Phase 1 cost per query (collision counting
+// with virtual rehashing).
+func BenchmarkCandidates5000x150(b *testing.B) {
+	ds := dataset.Generate(dataset.Config{Name: "b", N: 5000, Dim: 150, Clusters: 20, Seed: 1})
+	ix := Build(ds, Params{Seed: 2})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Candidates(ds.Point(i%ds.Len()), 10)
+	}
+}

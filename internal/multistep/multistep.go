@@ -1,0 +1,89 @@
+// Package multistep implements optimal multi-step kNN refinement
+// (Seidl–Kriegel, SIGMOD 1998; generalized with upper bounds by Kriegel et
+// al., SSTD 2007) — Phase 3 of the paper's Algorithm 1 and the procedure
+// sketched in its Section 2.3 / Figure 4.
+//
+// Given candidates with conservative lower/upper distance bounds, it fetches
+// exact points in ascending lower-bound order and stops as soon as the
+// current k-th exact distance is below every unfetched lower bound. That
+// fetch schedule is optimal: no correct algorithm restricted to the same
+// bounds can fetch fewer candidates.
+package multistep
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"exploitbit/internal/vec"
+)
+
+// Candidate is a refinement candidate: a point identifier with the distance
+// bounds known so far. Uncached candidates carry LB=0, UB=+Inf (Algorithm 1
+// line 4).
+type Candidate struct {
+	ID     int
+	LB, UB float64
+}
+
+// Fetch retrieves the exact vector of a point (typically disk.PointFile's
+// Fetch bound to a reusable buffer); every call is one unit of refinement
+// I/O.
+type Fetch func(id int) ([]float32, error)
+
+// Result is one refined neighbor.
+type Result struct {
+	ID   int
+	Dist float64
+}
+
+// Search refines cands to the k nearest of q, returning them in ascending
+// distance order along with the number of Fetch calls performed.
+//
+// Candidates already known to be true results (Algorithm 1's early
+// detection) must NOT be passed here; reduce k instead.
+func Search(q []float32, cands []Candidate, k int, fetch Fetch) ([]Result, int, error) {
+	if k < 1 {
+		return nil, 0, nil
+	}
+	order := make([]Candidate, len(cands))
+	copy(order, cands)
+	sort.Slice(order, func(i, j int) bool { return order[i].LB < order[j].LB })
+
+	top := vec.NewTopK(k)
+	fetched := 0
+	for _, c := range order {
+		// Optimal stop: every remaining candidate has LB >= this one's, so
+		// none can improve the current k-th distance.
+		if top.Full() && c.LB >= top.Root() {
+			break
+		}
+		p, err := fetch(c.ID)
+		if err != nil {
+			return nil, fetched, fmt.Errorf("multistep: fetching candidate %d: %w", c.ID, err)
+		}
+		fetched++
+		top.Push(vec.Dist(q, p), c.ID)
+	}
+	ids, dists := top.Results()
+	out := make([]Result, len(ids))
+	for i := range ids {
+		out[i] = Result{ID: ids[i], Dist: dists[i]}
+	}
+	return out, fetched, nil
+}
+
+// KthSmallest returns the k-th smallest value of xs (1-based), or +Inf when
+// fewer than k values exist. Algorithm 1 uses it for lb_k and ub_k (lines
+// 7–8); it is exported here because both the engine and the cost model need
+// it.
+func KthSmallest(xs []float64, k int) float64 {
+	if k < 1 || len(xs) < k {
+		return math.Inf(1)
+	}
+	top := vec.NewTopK(k)
+	for i, x := range xs {
+		top.Push(x, i)
+	}
+	return top.Root()
+}

@@ -1,0 +1,40 @@
+package multistep
+
+import (
+	"math/rand"
+	"testing"
+
+	"exploitbit/internal/vec"
+)
+
+// BenchmarkSearchTightBounds measures the refinement scheduler when bounds
+// are informative (the HC-O regime): it should fetch barely more than k.
+func BenchmarkSearchTightBounds(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	const n, dim, k = 500, 32, 10
+	pts := make([][]float32, n)
+	for i := range pts {
+		p := make([]float32, dim)
+		for j := range p {
+			p[j] = rng.Float32()
+		}
+		pts[i] = p
+	}
+	q := make([]float32, dim)
+	for j := range q {
+		q[j] = rng.Float32()
+	}
+	cands := make([]Candidate, n)
+	for i := range cands {
+		d := vec.Dist(q, pts[i])
+		cands[i] = Candidate{ID: i, LB: d * 0.95, UB: d * 1.05}
+	}
+	fetch := func(id int) ([]float32, error) { return pts[id], nil }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Search(q, cands, k, fetch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

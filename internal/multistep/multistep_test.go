@@ -1,0 +1,205 @@
+package multistep
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"exploitbit/internal/vec"
+)
+
+// testWorld builds a random point set and a fetcher over it.
+func testWorld(rng *rand.Rand, n, dim int) ([][]float32, Fetch, *int) {
+	pts := make([][]float32, n)
+	for i := range pts {
+		p := make([]float32, dim)
+		for j := range p {
+			p[j] = rng.Float32()
+		}
+		pts[i] = p
+	}
+	fetches := 0
+	fetch := func(id int) ([]float32, error) {
+		fetches++
+		return pts[id], nil
+	}
+	return pts, fetch, &fetches
+}
+
+// looseBounds builds candidates with random-but-valid bounds around the true
+// distances.
+func looseBounds(rng *rand.Rand, q []float32, pts [][]float32, ids []int) []Candidate {
+	cands := make([]Candidate, len(ids))
+	for i, id := range ids {
+		d := vec.Dist(q, pts[id])
+		slack := rng.Float64() * 0.3
+		cands[i] = Candidate{ID: id, LB: math.Max(0, d-slack), UB: d + rng.Float64()*0.3}
+	}
+	return cands
+}
+
+func TestSearchExactWithinCandidates(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 30; trial++ {
+		n := 5 + rng.Intn(100)
+		k := 1 + rng.Intn(10)
+		pts, fetch, _ := testWorld(rng, n, 6)
+		q := make([]float32, 6)
+		for j := range q {
+			q[j] = rng.Float32()
+		}
+		ids := rng.Perm(n)[:1+rng.Intn(n)]
+		cands := looseBounds(rng, q, pts, ids)
+
+		got, _, err := Search(q, cands, k, fetch)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Brute-force reference over the candidate set.
+		type dd struct {
+			id int
+			d  float64
+		}
+		ref := make([]dd, len(ids))
+		for i, id := range ids {
+			ref[i] = dd{id, vec.Dist(q, pts[id])}
+		}
+		sort.Slice(ref, func(a, b int) bool { return ref[a].d < ref[b].d })
+		want := k
+		if len(ref) < k {
+			want = len(ref)
+		}
+		if len(got) != want {
+			t.Fatalf("trial %d: got %d results, want %d", trial, len(got), want)
+		}
+		for i := 0; i < want; i++ {
+			if math.Abs(got[i].Dist-ref[i].d) > 1e-9 {
+				t.Fatalf("trial %d: result %d dist %v, want %v", trial, i, got[i].Dist, ref[i].d)
+			}
+		}
+	}
+}
+
+func TestSearchFetchesFewerWithTighterBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pts, fetch, fetches := testWorld(rng, 500, 8)
+	q := make([]float32, 8)
+	for j := range q {
+		q[j] = rng.Float32()
+	}
+	ids := make([]int, 500)
+	for i := range ids {
+		ids[i] = i
+	}
+
+	// No bounds: every candidate must be fetched.
+	loose := make([]Candidate, len(ids))
+	for i, id := range ids {
+		loose[i] = Candidate{ID: id, LB: 0, UB: math.Inf(1)}
+	}
+	*fetches = 0
+	if _, n, err := Search(q, loose, 5, fetch); err != nil || n != 500 {
+		t.Fatalf("unbounded search fetched %d (err %v), want all 500", n, err)
+	}
+
+	// Tight bounds (exact distances): fetches collapse to ~k.
+	tight := make([]Candidate, len(ids))
+	for i, id := range ids {
+		d := vec.Dist(q, pts[id])
+		tight[i] = Candidate{ID: id, LB: d, UB: d}
+	}
+	*fetches = 0
+	res, n, err := Search(q, tight, 5, fetch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n > 6 {
+		t.Fatalf("tight-bound search fetched %d, want <= 6", n)
+	}
+	if len(res) != 5 {
+		t.Fatalf("got %d results", len(res))
+	}
+}
+
+func TestSearchStopsOptimally(t *testing.T) {
+	// Candidates in two groups: k with tiny lb/dist, the rest with lb far
+	// above; only the close group may be fetched.
+	q := []float32{0, 0}
+	pts := [][]float32{{0.1, 0}, {0, 0.1}, {5, 5}, {6, 6}, {7, 7}}
+	fetches := 0
+	fetch := func(id int) ([]float32, error) {
+		fetches++
+		return pts[id], nil
+	}
+	cands := []Candidate{
+		{ID: 0, LB: 0.05, UB: 0.2},
+		{ID: 1, LB: 0.05, UB: 0.2},
+		{ID: 2, LB: 7, UB: 8},
+		{ID: 3, LB: 8, UB: 9},
+		{ID: 4, LB: 9, UB: 10},
+	}
+	res, n, err := Search(q, cands, 2, fetch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("fetched %d, want 2", n)
+	}
+	if res[0].ID != 0 && res[0].ID != 1 {
+		t.Fatalf("wrong results: %+v", res)
+	}
+}
+
+func TestSearchEdgeCases(t *testing.T) {
+	fetch := func(id int) ([]float32, error) { return []float32{0}, nil }
+	// k < 1 returns nothing.
+	if res, n, err := Search([]float32{0}, []Candidate{{ID: 1}}, 0, fetch); err != nil || n != 0 || res != nil {
+		t.Fatalf("k=0: %v %d %v", res, n, err)
+	}
+	// Empty candidates.
+	if res, n, err := Search([]float32{0}, nil, 3, fetch); err != nil || n != 0 || len(res) != 0 {
+		t.Fatalf("empty: %v %d %v", res, n, err)
+	}
+	// Fetch error propagates.
+	boom := errors.New("boom")
+	bad := func(id int) ([]float32, error) { return nil, boom }
+	if _, _, err := Search([]float32{0}, []Candidate{{ID: 1}}, 1, bad); !errors.Is(err, boom) {
+		t.Fatalf("error not propagated: %v", err)
+	}
+}
+
+func TestSearchDoesNotMutateInput(t *testing.T) {
+	cands := []Candidate{{ID: 2, LB: 3}, {ID: 1, LB: 1}, {ID: 0, LB: 2}}
+	orig := append([]Candidate(nil), cands...)
+	fetch := func(id int) ([]float32, error) { return []float32{float32(id)}, nil }
+	if _, _, err := Search([]float32{0}, cands, 1, fetch); err != nil {
+		t.Fatal(err)
+	}
+	for i := range cands {
+		if cands[i] != orig[i] {
+			t.Fatal("input candidates reordered")
+		}
+	}
+}
+
+func TestKthSmallest(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	if got := KthSmallest(xs, 2); got != 2 {
+		t.Fatalf("got %v", got)
+	}
+	if got := KthSmallest(xs, 5); got != 5 {
+		t.Fatalf("got %v", got)
+	}
+	if !math.IsInf(KthSmallest(xs, 6), 1) {
+		t.Fatal("k beyond len should be +Inf")
+	}
+	if !math.IsInf(KthSmallest(nil, 1), 1) {
+		t.Fatal("empty should be +Inf")
+	}
+	if !math.IsInf(KthSmallest(xs, 0), 1) {
+		t.Fatal("k=0 should be +Inf")
+	}
+}

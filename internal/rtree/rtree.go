@@ -1,0 +1,141 @@
+// Package rtree provides an STR (sort-tile-recursive) bulk-loaded R-tree
+// leaf partition. The paper uses it in two places: the mHC-R
+// multi-dimensional histogram of Section 3.6.2 ("build an R-tree with 2^τ
+// leaf nodes, then map the MBR of each leaf node to a bucket") and, via the
+// LeafIndex shape, as another tree index the cache can serve.
+//
+// In hundreds of dimensions R-tree MBRs degenerate — Appendix B quantifies
+// why — which is exactly the behaviour the mHC-R baseline must reproduce.
+package rtree
+
+import (
+	"math"
+	"sort"
+
+	"exploitbit/internal/bounds"
+	"exploitbit/internal/dataset"
+)
+
+// Index is a bulk-loaded leaf partition with MBRs. (No internal levels are
+// materialized: the paper keeps the non-leaf structure in memory, and for
+// search the flat MBR directory yields the same leaf visit order.)
+type Index struct {
+	leaves [][]int32
+	lo, hi [][]float32
+}
+
+// BuildSTR tiles ds into approximately numLeaves leaves with sort-tile
+// recursion over the first sortDims dimensions (default 2; high-dimensional
+// STR cannot meaningfully tile more). The final slicing always packs
+// consecutive points, so every leaf gets ceil(n/numLeaves) points.
+func BuildSTR(ds *dataset.Dataset, numLeaves, sortDims int) *Index {
+	n := ds.Len()
+	if numLeaves < 1 {
+		numLeaves = 1
+	}
+	if numLeaves > n {
+		numLeaves = n
+	}
+	if sortDims < 1 {
+		sortDims = 2
+	}
+	if sortDims > ds.Dim {
+		sortDims = ds.Dim
+	}
+	ids := make([]int32, n)
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	// Recursive tiling: split into s groups on dimension d, recurse.
+	var tile func(ids []int32, dim, leavesWanted int)
+	var ordered []int32
+	tile = func(ids []int32, dim, leavesWanted int) {
+		if leavesWanted <= 1 || dim >= sortDims {
+			ordered = append(ordered, ids...)
+			return
+		}
+		sort.Slice(ids, func(a, b int) bool {
+			va := ds.Point(int(ids[a]))[dim]
+			vb := ds.Point(int(ids[b]))[dim]
+			if va != vb {
+				return va < vb
+			}
+			return ids[a] < ids[b]
+		})
+		// Number of slices on this dimension: the (sortDims-dim)-th root.
+		s := int(math.Ceil(math.Pow(float64(leavesWanted), 1/float64(sortDims-dim))))
+		if s < 1 {
+			s = 1
+		}
+		per := (len(ids) + s - 1) / s
+		for start := 0; start < len(ids); start += per {
+			end := start + per
+			if end > len(ids) {
+				end = len(ids)
+			}
+			tile(ids[start:end], dim+1, (leavesWanted+s-1)/s)
+		}
+	}
+	tile(ids, 0, numLeaves)
+
+	ix := &Index{}
+	per := (n + numLeaves - 1) / numLeaves
+	for start := 0; start < n; start += per {
+		end := start + per
+		if end > n {
+			end = n
+		}
+		leaf := append([]int32(nil), ordered[start:end]...)
+		lo := make([]float32, ds.Dim)
+		hi := make([]float32, ds.Dim)
+		for j := range lo {
+			lo[j] = float32(math.Inf(1))
+			hi[j] = float32(math.Inf(-1))
+		}
+		for _, id := range leaf {
+			p := ds.Point(int(id))
+			for j, v := range p {
+				if v < lo[j] {
+					lo[j] = v
+				}
+				if v > hi[j] {
+					hi[j] = v
+				}
+			}
+		}
+		ix.leaves = append(ix.leaves, leaf)
+		ix.lo = append(ix.lo, lo)
+		ix.hi = append(ix.hi, hi)
+	}
+	return ix
+}
+
+// Leaves returns the leaf partition.
+func (ix *Index) Leaves() [][]int32 { return ix.leaves }
+
+// MBR returns leaf li's bounding rectangle (aliases internal storage).
+func (ix *Index) MBR(li int) (lo, hi []float32) { return ix.lo[li], ix.hi[li] }
+
+// MBRs returns all rectangles — the bucket list handed to histogram.NewMD
+// for mHC-R.
+func (ix *Index) MBRs() (lo, hi [][]float32) { return ix.lo, ix.hi }
+
+// Assignment returns point id → leaf id for n points.
+func (ix *Index) Assignment(n int) []int {
+	assign := make([]int, n)
+	for li, leaf := range ix.leaves {
+		for _, id := range leaf {
+			assign[id] = li
+		}
+	}
+	return assign
+}
+
+// LeafLowerBounds returns MINDIST(q, MBR) per leaf.
+func (ix *Index) LeafLowerBounds(q []float32) []float64 {
+	lbs := make([]float64, len(ix.leaves))
+	for li := range ix.leaves {
+		lbs[li] = bounds.RectMin(q, ix.lo[li], ix.hi[li])
+	}
+	return lbs
+}

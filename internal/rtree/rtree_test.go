@@ -1,0 +1,135 @@
+package rtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"exploitbit/internal/dataset"
+	"exploitbit/internal/vec"
+)
+
+func testDS(n, dim int, seed int64) *dataset.Dataset {
+	return dataset.Generate(dataset.Config{Name: "t", N: n, Dim: dim, Clusters: 4, Std: 0.05, Seed: seed})
+}
+
+func TestBuildSTRPartition(t *testing.T) {
+	ds := testDS(500, 8, 1)
+	ix := BuildSTR(ds, 16, 2)
+	if got := len(ix.Leaves()); got < 14 || got > 18 {
+		t.Fatalf("leaf count %d far from requested 16", got)
+	}
+	seen := make([]bool, ds.Len())
+	for _, leaf := range ix.Leaves() {
+		for _, id := range leaf {
+			if seen[id] {
+				t.Fatalf("point %d duplicated", id)
+			}
+			seen[id] = true
+		}
+	}
+	for id, ok := range seen {
+		if !ok {
+			t.Fatalf("point %d lost", id)
+		}
+	}
+}
+
+func TestMBRsContainMembers(t *testing.T) {
+	ds := testDS(300, 6, 2)
+	ix := BuildSTR(ds, 10, 2)
+	for li, leaf := range ix.Leaves() {
+		lo, hi := ix.MBR(li)
+		for _, id := range leaf {
+			p := ds.Point(int(id))
+			for j, v := range p {
+				if v < lo[j] || v > hi[j] {
+					t.Fatalf("leaf %d point %d dim %d outside MBR", li, id, j)
+				}
+			}
+		}
+	}
+}
+
+func TestAssignmentMatchesLeaves(t *testing.T) {
+	ds := testDS(200, 4, 3)
+	ix := BuildSTR(ds, 8, 2)
+	assign := ix.Assignment(ds.Len())
+	for li, leaf := range ix.Leaves() {
+		for _, id := range leaf {
+			if assign[id] != li {
+				t.Fatalf("point %d assigned to %d, lives in %d", id, assign[id], li)
+			}
+		}
+	}
+	lo, hi := ix.MBRs()
+	if len(lo) != len(ix.Leaves()) || len(hi) != len(lo) {
+		t.Fatal("MBRs length mismatch")
+	}
+}
+
+func TestLeafLowerBoundsValid(t *testing.T) {
+	ds := testDS(300, 6, 4)
+	ix := BuildSTR(ds, 12, 3)
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		q := make([]float32, 6)
+		for j := range q {
+			q[j] = rng.Float32()
+		}
+		lbs := ix.LeafLowerBounds(q)
+		for li, leaf := range ix.Leaves() {
+			for _, id := range leaf {
+				if d := vec.Dist(q, ds.Point(int(id))); d < lbs[li]-1e-6 {
+					t.Fatalf("leaf %d lb %v > member dist %v", li, lbs[li], d)
+				}
+			}
+		}
+	}
+}
+
+func TestSTRTilesLowDimensions(t *testing.T) {
+	// In 2-d, STR should produce spatially compact leaves: the average MBR
+	// area must be far below the full domain area.
+	ds := testDS(1000, 2, 6)
+	ix := BuildSTR(ds, 25, 2)
+	var area float64
+	for li := range ix.Leaves() {
+		lo, hi := ix.MBR(li)
+		area += float64(hi[0]-lo[0]) * float64(hi[1]-lo[1])
+	}
+	if avg := area / float64(len(ix.Leaves())); avg > 0.2 {
+		t.Fatalf("average 2-d leaf MBR area %v too large (no tiling?)", avg)
+	}
+}
+
+func TestHighDimMBRsDegenerate(t *testing.T) {
+	// Appendix B's point: in high dimensions the per-dimension MBR widths
+	// approach the full domain, making mHC-R bounds useless. Verify the
+	// average width in untiled dimensions is large.
+	ds := testDS(1000, 50, 7)
+	ix := BuildSTR(ds, 32, 2)
+	var width float64
+	var count int
+	for li := range ix.Leaves() {
+		lo, hi := ix.MBR(li)
+		for j := 5; j < 50; j++ { // dims beyond the tiling prefix
+			width += float64(hi[j] - lo[j])
+			count++
+		}
+	}
+	if avg := width / float64(count); avg < 0.2 {
+		t.Fatalf("high-dim MBRs suspiciously tight: %v", avg)
+	}
+}
+
+func TestEdgeCases(t *testing.T) {
+	ds := testDS(5, 3, 8)
+	ix := BuildSTR(ds, 100, 2) // more leaves than points
+	if len(ix.Leaves()) != 5 {
+		t.Fatalf("leaf count %d, want clamp to 5", len(ix.Leaves()))
+	}
+	ix = BuildSTR(ds, 0, 0) // degenerate params
+	if len(ix.Leaves()) != 1 {
+		t.Fatalf("want single leaf, got %d", len(ix.Leaves()))
+	}
+}

@@ -1,0 +1,143 @@
+// Package server exposes a cached kNN engine over HTTP — the shape a
+// multimedia-retrieval deployment of the paper's system takes: the engine
+// (with its histogram cache) lives in one process, front-ends POST feature
+// vectors and get back neighbor identifiers plus the cache telemetry that
+// Section 5 reports.
+//
+// Endpoints:
+//
+//	POST /search  {"vector": [...], "k": 10} → {"ids": [...], "stats": {...}}
+//	GET  /stats   aggregate statistics since startup
+//	GET  /healthz liveness
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Searcher is the engine-shaped dependency (core.Engine and core.Maintainer
+// both satisfy it via small adapters; the facade wires them).
+type Searcher interface {
+	Search(q []float32, k int) ([]int, Stats, error)
+}
+
+// Stats is the per-query statistics subset exposed over the wire.
+type Stats struct {
+	Candidates  int           `json:"candidates"`
+	Hits        int           `json:"cache_hits"`
+	Pruned      int           `json:"pruned"`
+	TrueHits    int           `json:"true_hits"`
+	Fetched     int           `json:"fetched"`
+	PageReads   int64         `json:"page_reads"`
+	SimulatedIO time.Duration `json:"simulated_io_ns"`
+}
+
+// Handler serves the HTTP API.
+type Handler struct {
+	mux      *http.ServeMux
+	searcher Searcher
+	dim      int
+	maxK     int
+
+	mu      sync.Mutex
+	queries int64
+	fetched int64
+	hits    int64
+	cands   int64
+}
+
+// New builds the handler. dim validates request vectors; maxK caps k
+// (default 1000).
+func New(s Searcher, dim, maxK int) *Handler {
+	if maxK < 1 {
+		maxK = 1000
+	}
+	h := &Handler{mux: http.NewServeMux(), searcher: s, dim: dim, maxK: maxK}
+	h.mux.HandleFunc("POST /search", h.handleSearch)
+	h.mux.HandleFunc("GET /stats", h.handleStats)
+	h.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return h
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.ServeHTTP(w, r) }
+
+type searchRequest struct {
+	Vector []float32 `json:"vector"`
+	K      int       `json:"k"`
+}
+
+type searchResponse struct {
+	IDs   []int `json:"ids"`
+	Stats Stats `json:"stats"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (h *Handler) fail(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func (h *Handler) handleSearch(w http.ResponseWriter, r *http.Request) {
+	var req searchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<22))
+	if err := dec.Decode(&req); err != nil {
+		h.fail(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if len(req.Vector) != h.dim {
+		h.fail(w, http.StatusBadRequest, "vector has %d dimensions, engine serves %d", len(req.Vector), h.dim)
+		return
+	}
+	if req.K < 1 || req.K > h.maxK {
+		h.fail(w, http.StatusBadRequest, "k must be in [1, %d], got %d", h.maxK, req.K)
+		return
+	}
+	ids, st, err := h.searcher.Search(req.Vector, req.K)
+	if err != nil {
+		h.fail(w, http.StatusInternalServerError, "search failed: %v", err)
+		return
+	}
+	h.mu.Lock()
+	h.queries++
+	h.fetched += int64(st.Fetched)
+	h.hits += int64(st.Hits)
+	h.cands += int64(st.Candidates)
+	h.mu.Unlock()
+
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(searchResponse{IDs: ids, Stats: st})
+}
+
+type statsResponse struct {
+	Queries     int64   `json:"queries"`
+	AvgFetched  float64 `json:"avg_fetched"`
+	HitRatio    float64 `json:"hit_ratio"`
+	AvgCandSize float64 `json:"avg_candidates"`
+}
+
+func (h *Handler) handleStats(w http.ResponseWriter, r *http.Request) {
+	h.mu.Lock()
+	resp := statsResponse{Queries: h.queries}
+	if h.queries > 0 {
+		resp.AvgFetched = float64(h.fetched) / float64(h.queries)
+		resp.AvgCandSize = float64(h.cands) / float64(h.queries)
+	}
+	if h.cands > 0 {
+		resp.HitRatio = float64(h.hits) / float64(h.cands)
+	}
+	h.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}

@@ -1,0 +1,107 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// fakeSearcher returns the first k ids and canned stats, or an error for a
+// poisoned first coordinate.
+type fakeSearcher struct{}
+
+func (fakeSearcher) Search(q []float32, k int) ([]int, Stats, error) {
+	if len(q) > 0 && q[0] == -1 {
+		return nil, Stats{}, fmt.Errorf("injected failure")
+	}
+	ids := make([]int, k)
+	for i := range ids {
+		ids[i] = i
+	}
+	return ids, Stats{Candidates: 4 * k, Hits: 2 * k, Fetched: k}, nil
+}
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(New(fakeSearcher{}, 3, 50))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func post(t *testing.T, srv *httptest.Server, body string) (*http.Response, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(srv.URL+"/search", "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	json.NewDecoder(resp.Body).Decode(&out)
+	return resp, out
+}
+
+func TestSearchEndpoint(t *testing.T) {
+	srv := newTestServer(t)
+	resp, out := post(t, srv, `{"vector":[1,2,3],"k":4}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %v", resp.StatusCode, out)
+	}
+	if ids := out["ids"].([]any); len(ids) != 4 {
+		t.Fatalf("ids = %v", ids)
+	}
+	st := out["stats"].(map[string]any)
+	if st["candidates"].(float64) != 16 || st["cache_hits"].(float64) != 8 {
+		t.Fatalf("stats = %v", st)
+	}
+}
+
+func TestValidationAndErrors(t *testing.T) {
+	srv := newTestServer(t)
+	cases := []struct {
+		body string
+		code int
+	}{
+		{`{"vector":[1,2],"k":4}`, http.StatusBadRequest},             // wrong dim
+		{`{"vector":[1,2,3],"k":0}`, http.StatusBadRequest},           // k too small
+		{`{"vector":[1,2,3],"k":999}`, http.StatusBadRequest},         // k above cap
+		{`{"vector":`, http.StatusBadRequest},                         // malformed
+		{`{"vector":[-1,2,3],"k":4}`, http.StatusInternalServerError}, // engine failure
+	}
+	for _, c := range cases {
+		resp, out := post(t, srv, c.body)
+		if resp.StatusCode != c.code {
+			t.Fatalf("%s: status %d, want %d (%v)", c.body, resp.StatusCode, c.code, out)
+		}
+		if out["error"] == "" {
+			t.Fatalf("%s: missing error message", c.body)
+		}
+	}
+}
+
+func TestStatsAggregation(t *testing.T) {
+	srv := newTestServer(t)
+	for i := 0; i < 3; i++ {
+		post(t, srv, `{"vector":[1,2,3],"k":5}`)
+	}
+	resp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out["queries"].(float64) != 3 {
+		t.Fatalf("stats = %v", out)
+	}
+	if out["hit_ratio"].(float64) != 0.5 {
+		t.Fatalf("hit ratio = %v", out["hit_ratio"])
+	}
+	if out["avg_fetched"].(float64) != 5 {
+		t.Fatalf("avg fetched = %v", out["avg_fetched"])
+	}
+}

@@ -1,0 +1,184 @@
+// Package vafile implements the VA-file (Weber & Blott): a per-dimension
+// b-bit grid approximation of every point, scanned sequentially to filter
+// candidates before exact refinement. Per the paper's Section 5.1, the grid
+// partitions each dimension equi-depth. The VA-file plays two roles in the
+// reproduction: an exact kNN index for Figure 16b, and (cached wholesale)
+// the C-VA baseline of Figure 10.
+package vafile
+
+import (
+	"fmt"
+	"sort"
+
+	"exploitbit/internal/bounds"
+	"exploitbit/internal/dataset"
+	"exploitbit/internal/encoding"
+	"exploitbit/internal/histogram"
+)
+
+// Params configures the approximation grid.
+type Params struct {
+	// BitsPerDim is b, the bits per dimension of the approximation
+	// (default 6).
+	BitsPerDim int
+}
+
+// Index is a built VA-file: the grid plus the packed approximation of every
+// point, held in memory (its sequential scan is cheap relative to the random
+// point fetches of refinement, which is where the paper's caching applies).
+type Index struct {
+	n, dim int
+	codec  encoding.Codec
+	grid   *histogram.PerDim
+	table  *bounds.Table
+	approx []uint64 // n × codec.Words() packed approximations
+}
+
+// Build constructs the VA-file over ds with per-dimension equi-depth grids.
+func Build(ds *dataset.Dataset, p Params) *Index {
+	if p.BitsPerDim < 1 {
+		p.BitsPerDim = 6
+	}
+	if p.BitsPerDim > 16 {
+		p.BitsPerDim = 16
+	}
+	b := histogram.MaxBucketsForCodeLen(p.BitsPerDim, ds.Domain.Ndom)
+	freqs := histogram.DataFrequencyPerDim(ds, ds.Dim, ds.Domain)
+	grid := histogram.BuildPerDim(freqs, b, func(f []float64, b int) *histogram.Histogram {
+		return histogram.EquiDepth(f, b)
+	})
+	codec := encoding.NewCodec(ds.Dim, p.BitsPerDim)
+
+	ix := &Index{
+		n: ds.Len(), dim: ds.Dim,
+		codec: codec,
+		grid:  grid,
+		table: bounds.NewTablePerDim(grid, ds.Domain),
+	}
+	words := codec.Words()
+	ix.approx = make([]uint64, ds.Len()*words)
+	codes := make([]int, ds.Dim)
+	for i := 0; i < ds.Len(); i++ {
+		pt := ds.Point(i)
+		for j, v := range pt {
+			codes[j] = grid.H[j].Bucket(ds.Domain.Bin(float64(v)))
+		}
+		codec.Encode(codes, ix.approx[i*words:(i+1)*words])
+	}
+	return ix
+}
+
+// ApproxBytes returns the size of the approximation array — what the C-VA
+// baseline must fit into the cache budget.
+func (ix *Index) ApproxBytes() int { return len(ix.approx) * 8 }
+
+// BitsPerDim returns the grid resolution.
+func (ix *Index) BitsPerDim() int { return ix.codec.Tau() }
+
+// Result of the filtering scan for one query.
+type Result struct {
+	IDs  []int // candidates in ascending lower-bound order
+	LBs  []float64
+	UBs  []float64
+	Dmax float64 // the k-th smallest upper bound (= ub_k of the scan)
+}
+
+// Candidates performs the VA-SSA filtering scan (phase 1 of VA-file search):
+// it computes distance bounds for every point from the in-memory
+// approximations, keeps those whose lower bound does not exceed the k-th
+// smallest upper bound, and returns them sorted by lower bound. No disk I/O
+// is charged — the approximation array is memory-resident.
+func (ix *Index) Candidates(q []float32, k int) Result {
+	if len(q) != ix.dim {
+		panic(fmt.Sprintf("vafile: query dim %d != %d", len(q), ix.dim))
+	}
+	if k < 1 {
+		k = 1
+	}
+	words := ix.codec.Words()
+	lbs := make([]float64, ix.n)
+	ubs := make([]float64, ix.n)
+	// Track the k-th smallest upper bound online.
+	ubk := newKMin(k)
+	for i := 0; i < ix.n; i++ {
+		lb, ub := ix.table.BoundsPacked(q, ix.approx[i*words:(i+1)*words], ix.codec)
+		lbs[i], ubs[i] = lb, ub
+		ubk.push(ub)
+	}
+	bound := ubk.kth()
+	var res Result
+	for i := 0; i < ix.n; i++ {
+		if lbs[i] <= bound {
+			res.IDs = append(res.IDs, i)
+			res.LBs = append(res.LBs, lbs[i])
+			res.UBs = append(res.UBs, ubs[i])
+		}
+	}
+	sort.Sort(&res)
+	res.Dmax = bound
+	return res
+}
+
+// sort.Interface over the parallel candidate slices, by ascending LB.
+func (r *Result) Len() int { return len(r.IDs) }
+func (r *Result) Less(i, j int) bool {
+	if r.LBs[i] != r.LBs[j] {
+		return r.LBs[i] < r.LBs[j]
+	}
+	return r.IDs[i] < r.IDs[j]
+}
+func (r *Result) Swap(i, j int) {
+	r.IDs[i], r.IDs[j] = r.IDs[j], r.IDs[i]
+	r.LBs[i], r.LBs[j] = r.LBs[j], r.LBs[i]
+	r.UBs[i], r.UBs[j] = r.UBs[j], r.UBs[i]
+}
+
+// kMin tracks the k-th smallest value seen (a bounded max-heap).
+type kMin struct {
+	k  int
+	hs []float64
+}
+
+func newKMin(k int) *kMin { return &kMin{k: k} }
+
+func (m *kMin) push(v float64) {
+	if len(m.hs) < m.k {
+		m.hs = append(m.hs, v)
+		for i := len(m.hs) - 1; i > 0; {
+			p := (i - 1) / 2
+			if m.hs[p] >= m.hs[i] {
+				break
+			}
+			m.hs[p], m.hs[i] = m.hs[i], m.hs[p]
+			i = p
+		}
+		return
+	}
+	if v >= m.hs[0] {
+		return
+	}
+	m.hs[0] = v
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		mx := i
+		if l < len(m.hs) && m.hs[l] > m.hs[mx] {
+			mx = l
+		}
+		if r < len(m.hs) && m.hs[r] > m.hs[mx] {
+			mx = r
+		}
+		if mx == i {
+			break
+		}
+		m.hs[i], m.hs[mx] = m.hs[mx], m.hs[i]
+		i = mx
+	}
+}
+
+func (m *kMin) kth() float64 {
+	if len(m.hs) == 0 {
+		return 0
+	}
+	return m.hs[0]
+}

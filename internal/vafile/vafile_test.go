@@ -1,0 +1,259 @@
+package vafile
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"exploitbit/internal/dataset"
+	"exploitbit/internal/vec"
+)
+
+func testDS(n, dim int, seed int64) *dataset.Dataset {
+	return dataset.Generate(dataset.Config{Name: "t", N: n, Dim: dim, Clusters: 5, Std: 0.05, Seed: seed})
+}
+
+func TestCandidatesAlwaysContainTrueKNN(t *testing.T) {
+	// VA-file filtering is lossless: bounds are conservative, so the true
+	// kNN can never be filtered out. This must hold deterministically.
+	ds := testDS(800, 12, 1)
+	ix := Build(ds, Params{BitsPerDim: 5})
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 25; trial++ {
+		q := ds.Point(rng.Intn(ds.Len()))
+		k := 1 + rng.Intn(10)
+		res := ix.Candidates(q, k)
+		in := make(map[int]bool, len(res.IDs))
+		for _, id := range res.IDs {
+			in[id] = true
+		}
+		top := vec.NewTopK(k)
+		for i := 0; i < ds.Len(); i++ {
+			top.Push(vec.Dist(q, ds.Point(i)), i)
+		}
+		ids, dists := top.Results()
+		for r, id := range ids {
+			if !in[id] {
+				// A tie at the boundary may legitimately swap equal-distance
+				// points; accept if some candidate has the same distance.
+				ok := false
+				for _, cid := range res.IDs {
+					if vec.Dist(q, ds.Point(cid)) <= dists[r]+1e-9 {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					t.Fatalf("trial %d: true neighbor %d missing from %d candidates", trial, id, len(res.IDs))
+				}
+			}
+		}
+	}
+}
+
+func TestCandidatesSortedAndBounded(t *testing.T) {
+	ds := testDS(500, 10, 3)
+	ix := Build(ds, Params{BitsPerDim: 6})
+	q := ds.Point(7)
+	res := ix.Candidates(q, 5)
+	if len(res.IDs) < 5 {
+		t.Fatalf("only %d candidates", len(res.IDs))
+	}
+	if !sort.Float64sAreSorted(res.LBs) {
+		t.Fatal("candidates not sorted by lower bound")
+	}
+	for i, id := range res.IDs {
+		d := vec.Dist(q, ds.Point(id))
+		if res.LBs[i] > d+1e-9 || res.UBs[i] < d-1e-9 {
+			t.Fatalf("candidate %d bounds [%v,%v] miss dist %v", id, res.LBs[i], res.UBs[i], d)
+		}
+		if res.LBs[i] > res.Dmax+1e-9 {
+			t.Fatalf("candidate %d lb %v beyond Dmax %v", id, res.LBs[i], res.Dmax)
+		}
+	}
+}
+
+func TestMoreBitsFilterMore(t *testing.T) {
+	ds := testDS(1000, 16, 4)
+	coarse := Build(ds, Params{BitsPerDim: 2})
+	fine := Build(ds, Params{BitsPerDim: 8})
+	var nc, nf int
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		q := ds.Point(rng.Intn(ds.Len()))
+		nc += len(coarse.Candidates(q, 10).IDs)
+		nf += len(fine.Candidates(q, 10).IDs)
+	}
+	if nf >= nc {
+		t.Fatalf("finer grid kept more candidates: %d vs %d", nf, nc)
+	}
+}
+
+func TestApproxBytes(t *testing.T) {
+	ds := testDS(100, 10, 6)
+	ix := Build(ds, Params{BitsPerDim: 6})
+	// 10 dims × 6 bits = 60 bits → 1 word = 8 bytes per point.
+	if got := ix.ApproxBytes(); got != 100*8 {
+		t.Fatalf("ApproxBytes = %d", got)
+	}
+	if ix.BitsPerDim() != 6 {
+		t.Fatalf("BitsPerDim = %d", ix.BitsPerDim())
+	}
+}
+
+func TestDefaultsAndClamps(t *testing.T) {
+	ds := testDS(50, 4, 7)
+	if got := Build(ds, Params{}).BitsPerDim(); got != 6 {
+		t.Fatalf("default bits = %d", got)
+	}
+	if got := Build(ds, Params{BitsPerDim: 99}).BitsPerDim(); got != 16 {
+		t.Fatalf("clamped bits = %d", got)
+	}
+}
+
+func TestQueryDimMismatchPanics(t *testing.T) {
+	ds := testDS(50, 4, 8)
+	ix := Build(ds, Params{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ix.Candidates([]float32{1}, 1)
+}
+
+func TestKMinTracksKthSmallest(t *testing.T) {
+	// Regression: the sift-down of the bounded heap failed to descend,
+	// under-reporting the k-th smallest and silently dropping candidates.
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 200; trial++ {
+		k := 1 + rng.Intn(8)
+		n := k + rng.Intn(50)
+		m := newKMin(k)
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = rng.Float64()
+			m.push(vals[i])
+		}
+		sort.Float64s(vals)
+		if got := m.kth(); got != vals[k-1] {
+			t.Fatalf("trial %d: kth = %v, want %v (k=%d n=%d)", trial, got, vals[k-1], k, n)
+		}
+	}
+	if newKMin(3).kth() != 0 {
+		t.Fatal("empty kMin should report 0")
+	}
+}
+
+func TestPlusCandidatesContainTrueKNN(t *testing.T) {
+	ds := testDS(700, 16, 31)
+	ix, err := BuildPlus(ds, PlusParams{TotalBits: 96})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(32))
+	for trial := 0; trial < 20; trial++ {
+		q := ds.Point(rng.Intn(ds.Len()))
+		k := 1 + rng.Intn(8)
+		res := ix.Candidates(q, k)
+		in := make(map[int]bool, len(res.IDs))
+		for _, id := range res.IDs {
+			in[id] = true
+		}
+		top := vec.NewTopK(k)
+		for i := 0; i < ds.Len(); i++ {
+			top.Push(vec.Dist(q, ds.Point(i)), i)
+		}
+		ids, dists := top.Results()
+		for r, id := range ids {
+			if !in[id] {
+				ok := false
+				for _, cid := range res.IDs {
+					if vec.Dist(q, ds.Point(cid)) <= dists[r]+1e-5 {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					t.Fatalf("trial %d: true neighbor %d missing", trial, id)
+				}
+			}
+		}
+		if !sort.Float64sAreSorted(res.LBs) {
+			t.Fatal("candidates not sorted by lb")
+		}
+	}
+}
+
+func TestPlusBitAllocationFollowsVariance(t *testing.T) {
+	// Anisotropic data: after KLT the leading dimensions carry the variance
+	// and must receive (weakly) more bits.
+	rng := rand.New(rand.NewSource(33))
+	n, d := 600, 10
+	data := make([]float32, n*d)
+	for i := 0; i < n; i++ {
+		for j := 0; j < d; j++ {
+			scale := 0.01 * float32(1+j%2)
+			if j < 2 {
+				scale = 0.5
+			}
+			data[i*d+j] = 0.5 + float32(rng.NormFloat64())*scale
+		}
+	}
+	ds := dataset.New("aniso", d, data, vecDomainFor())
+	ix, err := BuildPlus(ds, PlusParams{TotalBits: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bits := ix.Bits()
+	total := 0
+	for j := 1; j < d; j++ {
+		if bits[j] > bits[j-1] {
+			t.Fatalf("bit allocation not descending with eigen-variance: %v", bits)
+		}
+		total += bits[j]
+	}
+	total += bits[0]
+	if total != 40 {
+		t.Fatalf("allocated %d bits, want 40", total)
+	}
+	if bits[0] < 4 {
+		t.Fatalf("leading dimension got only %d bits: %v", bits[0], bits)
+	}
+}
+
+func TestPlusBeatsPlainVAFileAtEqualBits(t *testing.T) {
+	// On anisotropic data VA+ should filter more aggressively than the
+	// plain equi-bit VA-file at the same total budget.
+	rng := rand.New(rand.NewSource(34))
+	n, d := 900, 12
+	data := make([]float32, n*d)
+	for i := 0; i < n; i++ {
+		for j := 0; j < d; j++ {
+			scale := float32(0.02)
+			if j < 3 {
+				scale = 0.4
+			}
+			data[i*d+j] = 0.5 + float32(rng.NormFloat64())*scale
+		}
+	}
+	ds := dataset.New("aniso", d, data, vecDomainFor())
+	plain := Build(ds, Params{BitsPerDim: 4}) // 48 bits/point
+	plus, err := BuildPlus(ds, PlusParams{TotalBits: 4 * d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nPlain, nPlus int
+	for trial := 0; trial < 15; trial++ {
+		q := ds.Point(rng.Intn(ds.Len()))
+		nPlain += len(plain.Candidates(q, 10).IDs)
+		nPlus += len(plus.Candidates(q, 10).IDs)
+	}
+	if nPlus >= nPlain {
+		t.Fatalf("VA+ kept %d candidates vs plain %d at equal bits", nPlus, nPlain)
+	}
+}
+
+func vecDomainFor() (dom vecDom) { return vec.NewDomain(-5, 5, 256) }
+
+type vecDom = vec.Domain

@@ -1,0 +1,105 @@
+package vec
+
+import "math"
+
+// TopK maintains the k smallest (distance, id) pairs seen so far. It is a
+// bounded max-heap keyed on distance: the root is the current k-th smallest
+// distance, so a candidate whose lower bound exceeds Root() can never enter
+// the result set. Used by every index's kNN search and by the multi-step
+// refinement loop.
+type TopK struct {
+	k     int
+	dists []float64
+	ids   []int
+}
+
+// NewTopK returns a TopK that keeps the k smallest entries. k must be >= 1.
+func NewTopK(k int) *TopK {
+	if k < 1 {
+		panic("vec: TopK requires k >= 1")
+	}
+	return &TopK{k: k, dists: make([]float64, 0, k), ids: make([]int, 0, k)}
+}
+
+// Len reports how many entries are currently held (<= k).
+func (t *TopK) Len() int { return len(t.dists) }
+
+// Full reports whether k entries are held.
+func (t *TopK) Full() bool { return len(t.dists) == t.k }
+
+// Root returns the current k-th smallest distance, or +Inf when fewer than k
+// entries are held. Using +Inf means "nothing can be pruned yet".
+func (t *TopK) Root() float64 {
+	if !t.Full() {
+		return math.Inf(1)
+	}
+	return t.dists[0]
+}
+
+// Push offers (dist, id). It is a no-op when the heap is full and dist is
+// not smaller than the current root.
+func (t *TopK) Push(dist float64, id int) {
+	if t.Full() {
+		if dist >= t.dists[0] {
+			return
+		}
+		t.dists[0], t.ids[0] = dist, id
+		t.siftDown(0)
+		return
+	}
+	t.dists = append(t.dists, dist)
+	t.ids = append(t.ids, id)
+	t.siftUp(len(t.dists) - 1)
+}
+
+func (t *TopK) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if t.dists[p] >= t.dists[i] {
+			return
+		}
+		t.swap(p, i)
+		i = p
+	}
+}
+
+func (t *TopK) siftDown(i int) {
+	n := len(t.dists)
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && t.dists[l] > t.dists[m] {
+			m = l
+		}
+		if r < n && t.dists[r] > t.dists[m] {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		t.swap(m, i)
+		i = m
+	}
+}
+
+func (t *TopK) swap(i, j int) {
+	t.dists[i], t.dists[j] = t.dists[j], t.dists[i]
+	t.ids[i], t.ids[j] = t.ids[j], t.ids[i]
+}
+
+// Results returns the held entries sorted by ascending distance.
+func (t *TopK) Results() (ids []int, dists []float64) {
+	ids = append([]int(nil), t.ids...)
+	dists = append([]float64(nil), t.dists...)
+	// Simple insertion sort: k is small (typically <= 100).
+	for i := 1; i < len(dists); i++ {
+		d, id := dists[i], ids[i]
+		j := i - 1
+		for j >= 0 && dists[j] > d {
+			dists[j+1], ids[j+1] = dists[j], ids[j]
+			j--
+		}
+		dists[j+1], ids[j+1] = d, id
+	}
+	return ids, dists
+}

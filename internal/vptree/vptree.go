@@ -1,0 +1,128 @@
+// Package vptree implements a vantage-point tree (the metric-space exact
+// index of Boytsov & Naidan used in the paper's Figure 16c): internal nodes
+// hold a vantage point and the median distance µ of their subset to it;
+// points closer than µ go inside, the rest outside. Leaf nodes hold point
+// ids and are stored on disk via leafstore; the in-memory tree yields
+// triangle-inequality lower bounds per leaf.
+package vptree
+
+import (
+	"math/rand"
+	"sort"
+
+	"exploitbit/internal/dataset"
+	"exploitbit/internal/vec"
+)
+
+// Params configures construction.
+type Params struct {
+	// LeafCapacity is the maximum points per leaf (default: one 4 KB page
+	// worth of points).
+	LeafCapacity int
+	Seed         int64
+}
+
+func (p Params) withDefaults(dim int) Params {
+	if p.LeafCapacity < 1 {
+		p.LeafCapacity = 4096 / (4 * dim)
+		if p.LeafCapacity < 1 {
+			p.LeafCapacity = 1
+		}
+	}
+	return p
+}
+
+type node struct {
+	vantage []float32 // copy of the vantage point's vector
+	mu      float64
+	inside  *node
+	outside *node
+	leaf    int32 // leaf id when >= 0 (then other fields are unset)
+}
+
+// Index is a built VP-tree.
+type Index struct {
+	root   *node
+	leaves [][]int32
+}
+
+// Build constructs the tree over ds.
+func Build(ds *dataset.Dataset, p Params) *Index {
+	p = p.withDefaults(ds.Dim)
+	rng := rand.New(rand.NewSource(p.Seed))
+	ids := make([]int32, ds.Len())
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	ix := &Index{}
+	ix.root = ix.build(ds, ids, p.LeafCapacity, rng)
+	return ix
+}
+
+func (ix *Index) build(ds *dataset.Dataset, ids []int32, leafCap int, rng *rand.Rand) *node {
+	if len(ids) <= leafCap {
+		leaf := int32(len(ix.leaves))
+		ix.leaves = append(ix.leaves, append([]int32(nil), ids...))
+		return &node{leaf: leaf}
+	}
+	v := ids[rng.Intn(len(ids))]
+	vp := ds.Point(int(v))
+	type dd struct {
+		id int32
+		d  float64
+	}
+	ds2 := make([]dd, len(ids))
+	for i, id := range ids {
+		ds2[i] = dd{id, vec.Dist(ds.Point(int(id)), vp)}
+	}
+	sort.Slice(ds2, func(a, b int) bool {
+		if ds2[a].d != ds2[b].d {
+			return ds2[a].d < ds2[b].d
+		}
+		return ds2[a].id < ds2[b].id
+	})
+	mid := len(ds2) / 2
+	mu := ds2[mid].d
+	in := make([]int32, 0, mid)
+	out := make([]int32, 0, len(ds2)-mid)
+	for i, e := range ds2 {
+		if i < mid {
+			in = append(in, e.id)
+		} else {
+			out = append(out, e.id)
+		}
+	}
+	n := &node{vantage: append([]float32(nil), vp...), mu: mu, leaf: -1}
+	n.inside = ix.build(ds, in, leafCap, rng)
+	n.outside = ix.build(ds, out, leafCap, rng)
+	return n
+}
+
+// Leaves returns the leaf partition.
+func (ix *Index) Leaves() [][]int32 { return ix.leaves }
+
+// LeafLowerBounds returns a triangle-inequality lower bound per leaf: the
+// maximum over the leaf's ancestor constraints of dist(q,vantage)−µ (inside
+// branches) and µ−dist(q,vantage) (outside branches), floored at zero.
+func (ix *Index) LeafLowerBounds(q []float32) []float64 {
+	lbs := make([]float64, len(ix.leaves))
+	var walk func(n *node, lb float64)
+	walk = func(n *node, lb float64) {
+		if n.leaf >= 0 {
+			lbs[n.leaf] = lb
+			return
+		}
+		d := vec.Dist(q, n.vantage)
+		inLB, outLB := lb, lb
+		if c := d - n.mu; c > inLB {
+			inLB = c
+		}
+		if c := n.mu - d; c > outLB {
+			outLB = c
+		}
+		walk(n.inside, inLB)
+		walk(n.outside, outLB)
+	}
+	walk(ix.root, 0)
+	return lbs
+}

@@ -1,0 +1,128 @@
+package vptree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"exploitbit/internal/dataset"
+	"exploitbit/internal/vec"
+)
+
+func testDS(n, dim int, seed int64) *dataset.Dataset {
+	return dataset.Generate(dataset.Config{Name: "t", N: n, Dim: dim, Clusters: 5, Std: 0.05, Seed: seed})
+}
+
+func TestBuildPartition(t *testing.T) {
+	ds := testDS(500, 10, 1)
+	ix := Build(ds, Params{LeafCapacity: 8, Seed: 2})
+	seen := make([]bool, ds.Len())
+	for li, leaf := range ix.Leaves() {
+		if len(leaf) == 0 || len(leaf) > 8 {
+			t.Fatalf("leaf %d size %d", li, len(leaf))
+		}
+		for _, id := range leaf {
+			if seen[id] {
+				t.Fatalf("point %d duplicated", id)
+			}
+			seen[id] = true
+		}
+	}
+	for id, ok := range seen {
+		if !ok {
+			t.Fatalf("point %d lost", id)
+		}
+	}
+}
+
+func TestLeafLowerBoundsValid(t *testing.T) {
+	ds := testDS(400, 8, 3)
+	ix := Build(ds, Params{LeafCapacity: 10, Seed: 4})
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		q := make([]float32, 8)
+		for j := range q {
+			q[j] = rng.Float32()
+		}
+		lbs := ix.LeafLowerBounds(q)
+		for li, leaf := range ix.Leaves() {
+			for _, id := range leaf {
+				if d := vec.Dist(q, ds.Point(int(id))); d < lbs[li]-1e-6 {
+					t.Fatalf("leaf %d lb %v > member dist %v", li, lbs[li], d)
+				}
+			}
+		}
+	}
+}
+
+func TestExactKNNThroughTree(t *testing.T) {
+	ds := testDS(600, 8, 6)
+	ix := Build(ds, Params{LeafCapacity: 12, Seed: 7})
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 15; trial++ {
+		q := ds.Point(rng.Intn(ds.Len()))
+		lbs := ix.LeafLowerBounds(q)
+		order := rankByLB(lbs)
+		top := vec.NewTopK(5)
+		visited := 0
+		for _, li := range order {
+			if top.Full() && lbs[li] >= top.Root() {
+				break
+			}
+			visited++
+			for _, id := range ix.Leaves()[li] {
+				top.Push(vec.Dist(q, ds.Point(int(id))), int(id))
+			}
+		}
+		ids, dists := top.Results()
+		want := bruteKNN(ds, q, 5)
+		for i := range want {
+			dw := vec.Dist(q, ds.Point(want[i]))
+			if math.Abs(dists[i]-dw) > 1e-9 {
+				t.Fatalf("trial %d: rank %d got %v want %v (ids %v)", trial, i, dists[i], dw, ids)
+			}
+		}
+		// Pruning must actually skip leaves on clustered data.
+		if visited == len(ix.Leaves()) {
+			t.Logf("trial %d: no pruning (visited all %d leaves)", trial, visited)
+		}
+	}
+}
+
+func rankByLB(lbs []float64) []int {
+	order := make([]int, len(lbs))
+	for i := range order {
+		order[i] = i
+	}
+	for i := range order {
+		m := i
+		for j := i + 1; j < len(order); j++ {
+			if lbs[order[j]] < lbs[order[m]] {
+				m = j
+			}
+		}
+		order[i], order[m] = order[m], order[i]
+	}
+	return order
+}
+
+func bruteKNN(ds *dataset.Dataset, q []float32, k int) []int {
+	top := vec.NewTopK(k)
+	for i := 0; i < ds.Len(); i++ {
+		top.Push(vec.Dist(q, ds.Point(i)), i)
+	}
+	ids, _ := top.Results()
+	return ids
+}
+
+func TestTinyDataset(t *testing.T) {
+	ds := testDS(3, 4, 9)
+	ix := Build(ds, Params{LeafCapacity: 8, Seed: 10})
+	if len(ix.Leaves()) != 1 {
+		t.Fatalf("%d leaves for 3 points with capacity 8", len(ix.Leaves()))
+	}
+	lbs := ix.LeafLowerBounds(ds.Point(0))
+	if lbs[0] != 0 {
+		t.Fatalf("root leaf lb = %v", lbs[0])
+	}
+}

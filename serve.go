@@ -1,0 +1,37 @@
+package exploitbit
+
+import (
+	"net/http"
+
+	"exploitbit/internal/server"
+)
+
+// engineSearcher adapts an Engine (or Maintainer) to the HTTP handler.
+type engineSearcher struct {
+	search func(q []float32, k int) ([]int, QueryStats, error)
+}
+
+func (s engineSearcher) Search(q []float32, k int) ([]int, server.Stats, error) {
+	ids, st, err := s.search(q, k)
+	return ids, server.Stats{
+		Candidates:  st.Candidates,
+		Hits:        st.Hits,
+		Pruned:      st.Pruned,
+		TrueHits:    st.TrueHits,
+		Fetched:     st.Fetched,
+		PageReads:   st.PageReads,
+		SimulatedIO: st.SimulatedIO,
+	}, err
+}
+
+// Serve returns an http.Handler exposing the engine:
+// POST /search, GET /stats, GET /healthz. Safe for concurrent requests.
+func Serve(eng *Engine, dim int) http.Handler {
+	return server.New(engineSearcher{search: eng.Search}, dim, 0)
+}
+
+// ServeMaintained is Serve over a self-maintaining engine: the cache
+// rebuilds itself under workload drift while requests flow.
+func ServeMaintained(m *Maintainer, dim int) http.Handler {
+	return server.New(engineSearcher{search: m.Search}, dim, 0)
+}

@@ -1,0 +1,132 @@
+package exploitbit
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"exploitbit/internal/core"
+	"exploitbit/internal/disk"
+	"exploitbit/internal/idistance"
+	"exploitbit/internal/leafstore"
+	"exploitbit/internal/rtree"
+	"exploitbit/internal/vptree"
+)
+
+// TreeKind selects an exact tree-based index for the Section 3.6.1
+// adaptation (Figure 16).
+type TreeKind string
+
+// Available tree indexes.
+const (
+	IDistance TreeKind = "idistance"
+	VPTree    TreeKind = "vptree"
+	RTree     TreeKind = "rtree"
+)
+
+// TreeOptions configures OpenTree.
+type TreeOptions struct {
+	// Dir for the leaf file (default: fresh temp dir, removed on Close).
+	Dir string
+	// PageSize in bytes (default 4096).
+	PageSize int
+	// Tio simulated latency per page read (default 5 ms).
+	Tio time.Duration
+	// LeafCapacity bounds points per leaf (default: one page's worth).
+	LeafCapacity int
+	// Refs is iDistance's reference-point count (default 16).
+	Refs int
+	// WorkloadK profiles the workload (default 10).
+	WorkloadK int
+	// Seed drives index construction.
+	Seed int64
+}
+
+// TreeSystem owns a tree index, its disk-resident leaves, and the workload,
+// and builds cached tree engines over them.
+type TreeSystem struct {
+	DS    *Dataset
+	Index core.LeafIndex
+	Store *leafstore.Store
+
+	wl      [][]float32
+	k       int
+	dir     string
+	ownsDir bool
+}
+
+// OpenTree builds a tree index of the given kind over ds, serializes its
+// leaf nodes to disk, and remembers the workload for cache construction.
+func OpenTree(ds *Dataset, kind TreeKind, wl [][]float32, opt TreeOptions) (*TreeSystem, error) {
+	if opt.PageSize == 0 {
+		opt.PageSize = disk.DefaultPageSize
+	}
+	if opt.Tio == 0 {
+		opt.Tio = disk.DefaultTio
+	}
+	if opt.WorkloadK == 0 {
+		opt.WorkloadK = 10
+	}
+	ts := &TreeSystem{DS: ds, wl: wl, k: opt.WorkloadK, dir: opt.Dir}
+	if ts.dir == "" {
+		dir, err := os.MkdirTemp("", "exploitbit-tree-*")
+		if err != nil {
+			return nil, fmt.Errorf("exploitbit: %w", err)
+		}
+		ts.dir = dir
+		ts.ownsDir = true
+	}
+
+	switch kind {
+	case IDistance:
+		ts.Index = idistance.Build(ds, idistance.Params{
+			Refs: opt.Refs, LeafCapacity: opt.LeafCapacity, Seed: opt.Seed,
+		})
+	case VPTree:
+		ts.Index = vptree.Build(ds, vptree.Params{LeafCapacity: opt.LeafCapacity, Seed: opt.Seed})
+	case RTree:
+		leafCap := opt.LeafCapacity
+		if leafCap < 1 {
+			leafCap = opt.PageSize / (4 * ds.Dim)
+			if leafCap < 1 {
+				leafCap = 1
+			}
+		}
+		ts.Index = rtree.BuildSTR(ds, (ds.Len()+leafCap-1)/leafCap, 2)
+	default:
+		if ts.ownsDir {
+			os.RemoveAll(ts.dir)
+		}
+		return nil, fmt.Errorf("exploitbit: unknown tree kind %q", kind)
+	}
+
+	store, err := leafstore.Build(filepath.Join(ts.dir, string(kind)+".leaves"), ds, ts.Index.Leaves(), opt.PageSize, opt.Tio)
+	if err != nil {
+		if ts.ownsDir {
+			os.RemoveAll(ts.dir)
+		}
+		return nil, err
+	}
+	ts.Store = store
+	return ts, nil
+}
+
+// Engine builds a cached tree engine. Method must be NoCache, Exact, or one
+// of the global HC-* histogram methods.
+func (ts *TreeSystem) Engine(method Method, cacheBytes int64, tau int) (*TreeEngine, error) {
+	return core.NewTreeEngine(ts.DS, ts.Index, ts.Store, ts.wl, ts.k, core.TreeConfig{
+		Method: method, CacheBytes: cacheBytes, Tau: tau,
+	})
+}
+
+// Close releases the leaf store (and the temp dir when OpenTree created one).
+func (ts *TreeSystem) Close() error {
+	err := ts.Store.Close()
+	if ts.ownsDir {
+		if rmErr := os.RemoveAll(ts.dir); err == nil {
+			err = rmErr
+		}
+	}
+	return err
+}
