@@ -4,6 +4,7 @@
 //	ebc-bench -list
 //	ebc-bench -exp fig11
 //	ebc-bench -all -scale full -out results.txt
+//	ebc-bench -perf BENCH_1.json
 package main
 
 import (
@@ -23,6 +24,7 @@ func main() {
 		scale = flag.String("scale", "quick", "fixture scale: quick | full")
 		out   = flag.String("out", "", "write output to file instead of stdout")
 		dir   = flag.String("dir", "", "directory for disk files (default: temp)")
+		perf  = flag.String("perf", "", "run the fast-path perf suite and write the JSON report to this path")
 	)
 	flag.Parse()
 
@@ -60,12 +62,14 @@ func main() {
 
 	var err error
 	switch {
+	case *perf != "":
+		_, err = bench.RunPerf(w, env, *perf)
 	case *all:
 		err = bench.RunAll(w, env)
 	case *exp != "":
 		err = bench.Run(w, env, *exp)
 	default:
-		fmt.Fprintln(os.Stderr, "ebc-bench: pass -exp <id>, -all, or -list")
+		fmt.Fprintln(os.Stderr, "ebc-bench: pass -exp <id>, -all, -perf <path>, or -list")
 		os.Exit(2)
 	}
 	if err != nil {

@@ -1,0 +1,205 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"exploitbit"
+	"exploitbit/internal/bounds"
+	"exploitbit/internal/core"
+	"exploitbit/internal/encoding"
+	"exploitbit/internal/histogram"
+	"exploitbit/internal/vec"
+)
+
+// PerfReport is the machine-readable record of the fast-path benchmarks,
+// written as JSON so successive PRs can diff regressions (BENCH_*.json at the
+// repo root). All wall-clock figures come from testing.Benchmark, so they are
+// calibrated the same way `go test -bench` output is.
+type PerfReport struct {
+	GeneratedAt string `json:"generated_at"`
+	GoMaxProcs  int    `json:"gomaxprocs"`
+
+	// Per-candidate bound computation at the paper's common configuration
+	// (d=128, τ=8): the reference packed path vs the ADC-style query LUT.
+	BoundsDim        int     `json:"bounds_dim"`
+	BoundsTau        int     `json:"bounds_tau"`
+	BoundsPackedNsOp float64 `json:"bounds_packed_ns_op"`
+	BoundsLUTNsOp    float64 `json:"bounds_lut_ns_op"`
+	BuildLUTNsOp     float64 `json:"build_lut_ns_op"`
+	LUTSpeedup       float64 `json:"lut_speedup"`
+
+	// Phase-2 throughput: candidates scored per second over the NUS-WIDE-like
+	// lab's test queries with a fully covering cache, serial vs parallel
+	// reduction (identical work, different fan-out).
+	Phase2SerialCandPerSec   float64 `json:"phase2_serial_candidates_per_sec"`
+	Phase2ParallelCandPerSec float64 `json:"phase2_parallel_candidates_per_sec"`
+
+	// End-to-end SearchInto with a fully covering cache. These figures
+	// include Phase-1 C2LSH candidate generation, which allocates its result
+	// slices; the engine's own reduction/refinement phases are
+	// allocation-free (pinned by BenchmarkEngineSearch in internal/core).
+	SearchNsOp     float64 `json:"search_ns_op"`
+	SearchAllocsOp int64   `json:"search_allocs_op"`
+	SearchBytesOp  int64   `json:"search_bytes_op"`
+	SearchNote     string  `json:"search_note"`
+}
+
+// perfBoundsFixture mirrors the bounds package's benchmark setup: an
+// equi-width table over the unit domain with 2^τ buckets per dimension.
+func perfBoundsFixture(dim, tau int) (*bounds.Table, []float32, []uint64, encoding.Codec) {
+	rng := rand.New(rand.NewSource(1))
+	dom := vec.NewDomain(0, 1, 1024)
+	h := histogram.EquiWidth(1024, 1<<tau)
+	tab := bounds.NewTable(h, dom, dim)
+	codec := encoding.NewCodec(dim, tau)
+	q := make([]float32, dim)
+	codes := make([]int, dim)
+	for j := range q {
+		q[j] = rng.Float32()
+		codes[j] = rng.Intn(1 << tau)
+	}
+	return tab, q, codec.Encode(codes, nil), codec
+}
+
+func nsPerOp(r testing.BenchmarkResult) float64 {
+	if r.N == 0 {
+		return 0
+	}
+	return float64(r.T.Nanoseconds()) / float64(r.N)
+}
+
+// RunPerf measures the fast paths of this revision and writes the report as
+// indented JSON to jsonPath (skipped when empty), echoing a summary to w.
+func RunPerf(w io.Writer, env *Env, jsonPath string) (*PerfReport, error) {
+	rep := &PerfReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		BoundsDim:   128,
+		BoundsTau:   8,
+	}
+
+	// Micro: per-candidate bound cost, reference vs LUT.
+	tab, q, words, codec := perfBoundsFixture(rep.BoundsDim, rep.BoundsTau)
+	lut := tab.BuildLUT(q, nil)
+	rep.BoundsPackedNsOp = nsPerOp(testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tab.BoundsPacked(q, words, codec)
+		}
+	}))
+	rep.BoundsLUTNsOp = nsPerOp(testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			lut.BoundsSqPacked(words, codec)
+		}
+	}))
+	rep.BuildLUTNsOp = nsPerOp(testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tab.BuildLUT(q, lut)
+		}
+	}))
+	if rep.BoundsLUTNsOp > 0 {
+		rep.LUTSpeedup = rep.BoundsPackedNsOp / rep.BoundsLUTNsOp
+	}
+
+	// Macro: Phase-2 throughput and end-to-end Search on a covering cache.
+	lab := env.Lab("NUS-WIDE")
+	mkEngine := func(parallel int) (*exploitbit.Engine, error) {
+		return lab.Sys.EngineWith(core.Config{
+			Method:                  exploitbit.CVA,
+			CacheBytes:              1 << 30,
+			ParallelReduceThreshold: parallel,
+		})
+	}
+	k := env.Scale.K
+	measure := func(eng *exploitbit.Engine) (candPerSec float64, err error) {
+		dst := make([]int, 0, k)
+		var cands int64
+		// Warm the scratch pool and any lazy state before timing.
+		for _, q := range lab.QTest {
+			if _, _, err = eng.SearchInto(q, k, dst[:0]); err != nil {
+				return 0, err
+			}
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			cands = 0
+			for i := 0; i < b.N; i++ {
+				qv := lab.QTest[i%len(lab.QTest)]
+				_, st, serr := eng.SearchInto(qv, k, dst[:0])
+				if serr != nil {
+					b.Fatal(serr)
+				}
+				cands += int64(st.Candidates)
+			}
+		})
+		if sec := r.T.Seconds(); sec > 0 {
+			candPerSec = float64(cands) / sec
+		}
+		return candPerSec, nil
+	}
+
+	serial, err := mkEngine(-1)
+	if err != nil {
+		return nil, err
+	}
+	if rep.Phase2SerialCandPerSec, err = measure(serial); err != nil {
+		return nil, err
+	}
+	par, err := mkEngine(1)
+	if err != nil {
+		return nil, err
+	}
+	if rep.Phase2ParallelCandPerSec, err = measure(par); err != nil {
+		return nil, err
+	}
+
+	// Allocation audit on the serial engine (the steady-state serving shape).
+	dst := make([]int, 0, k)
+	qv := lab.QTest[0]
+	if _, _, err := serial.SearchInto(qv, k, dst[:0]); err != nil {
+		return nil, err
+	}
+	sr := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := serial.SearchInto(qv, k, dst[:0]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	rep.SearchNsOp = nsPerOp(sr)
+	rep.SearchAllocsOp = sr.AllocsPerOp()
+	rep.SearchBytesOp = sr.AllocedBytesPerOp()
+	rep.SearchNote = "includes Phase-1 C2LSH candidate generation (allocates result slices); " +
+		"engine phases 2-3 are allocation-free, see BenchmarkEngineSearch"
+
+	fmt.Fprintf(w, "perf: bounds d=%d τ=%d  packed %.1f ns/op  lut %.1f ns/op  (%.1fx)  build %.1f ns\n",
+		rep.BoundsDim, rep.BoundsTau, rep.BoundsPackedNsOp, rep.BoundsLUTNsOp, rep.LUTSpeedup, rep.BuildLUTNsOp)
+	fmt.Fprintf(w, "perf: phase2 serial %.0f cand/s  parallel %.0f cand/s  (GOMAXPROCS=%d)\n",
+		rep.Phase2SerialCandPerSec, rep.Phase2ParallelCandPerSec, rep.GoMaxProcs)
+	fmt.Fprintf(w, "perf: search %.0f ns/op  %d allocs/op  %d B/op\n",
+		rep.SearchNsOp, rep.SearchAllocsOp, rep.SearchBytesOp)
+
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return nil, err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := f.Close(); err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(w, "perf: report written to %s\n", jsonPath)
+	}
+	return rep, nil
+}

@@ -65,54 +65,68 @@ func (t *Table) edgesFor(j int) (lo, hi []float64) {
 	return t.loEdge[j], t.hiEdge[j]
 }
 
+// contrib computes one dimension's squared contributions to the lower and
+// upper bound: the squared distance to the nearest edge (zero when q lies
+// inside the bucket interval) and to the farther corner. Every bound in this
+// package — reference, packed and LUT — sums exactly these terms in
+// dimension order, which is what makes the fast paths bitwise-identical to
+// the reference.
+func contrib(qj, l, u float64) (loSq, upSq float64) {
+	dl, du := qj-l, u-qj // distances to the near edges (sign-aware)
+	a, b := math.Abs(dl), math.Abs(du)
+	far := a
+	if b > far {
+		far = b
+	}
+	upSq = far * far
+	if dl < 0 { // q left of interval
+		loSq = dl * dl
+	} else if du < 0 { // q right of interval
+		loSq = du * du
+	}
+	return loSq, upSq
+}
+
 // Bounds computes (dist⁻, dist⁺) of the encoded point codes from query q.
 func (t *Table) Bounds(q []float32, codes []int) (lb, ub float64) {
+	sLo, sUp := t.BoundsSq(q, codes)
+	return math.Sqrt(sLo), math.Sqrt(sUp)
+}
+
+// BoundsSq is Bounds without the final square roots. Algorithm 1 only
+// compares bounds against each other and against exact distances, so the
+// engine works in squared space throughout and defers sqrt until (and
+// unless) a real distance is needed.
+func (t *Table) BoundsSq(q []float32, codes []int) (lbSq, ubSq float64) {
 	var sLo, sUp float64
 	for j, code := range codes {
 		loE, hiE := t.edgesFor(j)
-		l, u := loE[code], hiE[code]
-		qj := float64(q[j])
-		dl, du := qj-l, u-qj // distances to the near edges (sign-aware)
-		// Upper bound: distance to the farther corner.
-		a, b := math.Abs(dl), math.Abs(du)
-		far := a
-		if b > far {
-			far = b
-		}
-		sUp += far * far
-		// Lower bound: zero if q inside the interval, else nearest edge.
-		if dl < 0 { // q left of interval
-			sLo += dl * dl
-		} else if du < 0 { // q right of interval
-			sLo += du * du
-		}
+		lo, up := contrib(float64(q[j]), loE[code], hiE[code])
+		sLo += lo
+		sUp += up
 	}
-	return math.Sqrt(sLo), math.Sqrt(sUp)
+	return sLo, sUp
 }
 
 // BoundsPacked computes bounds directly from a packed word array, avoiding
 // an intermediate decode.
 func (t *Table) BoundsPacked(q []float32, words []uint64, c encoding.Codec) (lb, ub float64) {
+	sLo, sUp := t.BoundsSqPacked(q, words, c)
+	return math.Sqrt(sLo), math.Sqrt(sUp)
+}
+
+// BoundsSqPacked is BoundsPacked in squared space — the reference
+// implementation that QueryLUT must agree with exactly.
+func (t *Table) BoundsSqPacked(q []float32, words []uint64, c encoding.Codec) (lbSq, ubSq float64) {
 	var sLo, sUp float64
 	for j := 0; j < t.dim; j++ {
 		code := c.At(words, j)
 		loE, hiE := t.edgesFor(j)
-		l, u := loE[code], hiE[code]
-		qj := float64(q[j])
-		dl, du := qj-l, u-qj
-		a, b := math.Abs(dl), math.Abs(du)
-		far := a
-		if b > far {
-			far = b
-		}
-		sUp += far * far
-		if dl < 0 {
-			sLo += dl * dl
-		} else if du < 0 {
-			sLo += du * du
-		}
+		lo, up := contrib(float64(q[j]), loE[code], hiE[code])
+		sLo += lo
+		sUp += up
 	}
-	return math.Sqrt(sLo), math.Sqrt(sUp)
+	return sLo, sUp
 }
 
 // ErrNorm returns ‖ε(c)‖, the Euclidean norm of the error vector of
@@ -131,23 +145,19 @@ func (t *Table) ErrNorm(codes []int) float64 {
 // Rect computes (dist⁻, dist⁺) between q and an explicit rectangle
 // [lo, hi] — the bound computation for mHC-R buckets and R-tree MBRs.
 func Rect(q, lo, hi []float32) (lb, ub float64) {
+	sLo, sUp := RectSq(q, lo, hi)
+	return math.Sqrt(sLo), math.Sqrt(sUp)
+}
+
+// RectSq is Rect in squared space.
+func RectSq(q, lo, hi []float32) (lbSq, ubSq float64) {
 	var sLo, sUp float64
 	for j := range q {
-		qj := float64(q[j])
-		dl, du := qj-float64(lo[j]), float64(hi[j])-qj
-		a, b := math.Abs(dl), math.Abs(du)
-		far := a
-		if b > far {
-			far = b
-		}
-		sUp += far * far
-		if dl < 0 {
-			sLo += dl * dl
-		} else if du < 0 {
-			sLo += du * du
-		}
+		l, u := contrib(float64(q[j]), float64(lo[j]), float64(hi[j]))
+		sLo += l
+		sUp += u
 	}
-	return math.Sqrt(sLo), math.Sqrt(sUp)
+	return sLo, sUp
 }
 
 // RectMin computes only dist⁻ to a rectangle (the MINDIST used by R-tree

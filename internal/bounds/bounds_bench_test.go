@@ -24,8 +24,55 @@ func benchSetup(dim, tau int) (*Table, []float32, []uint64, encoding.Codec) {
 	return tab, q, codec.Encode(codes, nil), codec
 }
 
-// BenchmarkBoundsPacked150d is the per-candidate cost of Phase 2: one
-// lower/upper bound pair from a packed 150-d code array.
+// BenchmarkBoundsPacked is the per-candidate cost of Phase 2's reference
+// path at the paper's common configuration (d=128, τ=8): one lower/upper
+// bound pair from a packed code array.
+func BenchmarkBoundsPacked(b *testing.B) {
+	tab, q, words, codec := benchSetup(128, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab.BoundsPacked(q, words, codec)
+	}
+}
+
+// BenchmarkBoundsLUT is the per-candidate cost of the ADC-style fast path at
+// the same configuration: the query LUT is built once (amortized over the
+// whole candidate set), then each candidate is two table-lookup
+// accumulations per dimension with no sqrt.
+func BenchmarkBoundsLUT(b *testing.B) {
+	tab, q, words, codec := benchSetup(128, 8)
+	lut := tab.BuildLUT(q, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lut.BoundsSqPacked(words, codec)
+	}
+}
+
+// BenchmarkBoundsLUTGeneric measures the non-byte-aligned LUT path (τ=10),
+// isolating what the τ=8/16 unpack specializations buy.
+func BenchmarkBoundsLUTGeneric(b *testing.B) {
+	tab, q, words, codec := benchSetup(128, 10)
+	lut := tab.BuildLUT(q, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lut.BoundsSqPacked(words, codec)
+	}
+}
+
+// BenchmarkBuildLUT is the once-per-query cost the fast path amortizes.
+func BenchmarkBuildLUT(b *testing.B) {
+	tab, q, _, _ := benchSetup(128, 8)
+	lut := tab.BuildLUT(q, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab.BuildLUT(q, lut)
+	}
+}
+
+// BenchmarkBoundsPacked150d is the reference path on a τ that is not
+// byte-aligned (codes cross word boundaries).
 func BenchmarkBoundsPacked150d(b *testing.B) {
 	tab, q, words, codec := benchSetup(150, 10)
 	b.ReportAllocs()

@@ -1,0 +1,142 @@
+package bounds
+
+import (
+	"exploitbit/internal/encoding"
+)
+
+// QueryLUT is a per-query distance lookup table — the ADC (asymmetric
+// distance computation) trick from product quantization applied to the
+// paper's histogram bounds. For every dimension j and bucket code c it
+// precomputes the squared lower- and upper-bound contributions of that
+// (dimension, bucket) pair to dist⁻(q,·)² and dist⁺(q,·)², so the
+// per-candidate bound computation of Phase 2 collapses to code extraction
+// plus two table-lookup accumulations: no edge arithmetic, no branches, no
+// sqrt.
+//
+// Building a LUT costs O(dim·B) and pays for itself once the candidate set
+// is a small multiple of B; core.Engine gates on that. Contributions are the
+// exact float64 terms of Table.BoundsSqPacked summed in the same dimension
+// order, so the LUT result is bitwise-identical to the reference — the
+// property tests assert equality, not tolerance.
+type QueryLUT struct {
+	dim int
+	b   int       // row stride: max bucket count across dimensions
+	lo  []float64 // dim*b squared lower-bound contributions, row j at j*b
+	up  []float64 // dim*b squared upper-bound contributions
+}
+
+// Dim returns the dimensionality the LUT serves.
+func (l *QueryLUT) Dim() int { return l.dim }
+
+// Buckets returns the per-dimension row stride (max bucket count).
+func (l *QueryLUT) Buckets() int { return l.b }
+
+// Buckets returns the largest per-dimension bucket count — the B that sizes
+// a QueryLUT row and drives the engine's build-vs-scan gate.
+func (t *Table) Buckets() int {
+	b := 0
+	for _, e := range t.loEdge {
+		if len(e) > b {
+			b = len(e)
+		}
+	}
+	return b
+}
+
+// BuildLUT fills (or allocates, when l is nil or undersized) a QueryLUT for
+// query q and returns it. The returned LUT is immutable and safe to share
+// across goroutines; reusing l across queries makes steady-state builds
+// allocation-free.
+func (t *Table) BuildLUT(q []float32, l *QueryLUT) *QueryLUT {
+	b := t.Buckets()
+	if l == nil {
+		l = &QueryLUT{}
+	}
+	l.dim, l.b = t.dim, b
+	if need := t.dim * b; cap(l.lo) < need {
+		l.lo = make([]float64, need)
+		l.up = make([]float64, need)
+	} else {
+		l.lo = l.lo[:need]
+		l.up = l.up[:need]
+	}
+	for j := 0; j < t.dim; j++ {
+		loE, hiE := t.edgesFor(j)
+		qj := float64(q[j])
+		row := j * b
+		for c := range loE {
+			lo, up := contrib(qj, loE[c], hiE[c])
+			l.lo[row+c] = lo
+			l.up[row+c] = up
+		}
+	}
+	return l
+}
+
+// BoundsSq computes the squared bounds of an unpacked code array.
+func (l *QueryLUT) BoundsSq(codes []int) (lbSq, ubSq float64) {
+	var sLo, sUp float64
+	row := 0
+	for _, code := range codes {
+		sLo += l.lo[row+code]
+		sUp += l.up[row+code]
+		row += l.b
+	}
+	return sLo, sUp
+}
+
+// BoundsSqPacked computes the squared bounds of a packed point. The
+// byte-aligned code widths (τ=8, τ=16) take branch-free word-iteration fast
+// paths that never cross word boundaries; other widths extract through the
+// codec.
+func (l *QueryLUT) BoundsSqPacked(words []uint64, c encoding.Codec) (lbSq, ubSq float64) {
+	switch c.Tau() {
+	case 8:
+		return l.boundsSq8(words)
+	case 16:
+		return l.boundsSq16(words)
+	}
+	var sLo, sUp float64
+	row := 0
+	for j := 0; j < l.dim; j++ {
+		code := c.At(words, j)
+		sLo += l.lo[row+code]
+		sUp += l.up[row+code]
+		row += l.b
+	}
+	return sLo, sUp
+}
+
+// boundsSq8 accumulates bounds for τ=8: eight codes per word, one byte each.
+func (l *QueryLUT) boundsSq8(words []uint64) (lbSq, ubSq float64) {
+	var sLo, sUp float64
+	row, j := 0, 0
+	for _, w := range words {
+		for k := 0; k < 8 && j < l.dim; k++ {
+			code := int(w & 0xFF)
+			w >>= 8
+			sLo += l.lo[row+code]
+			sUp += l.up[row+code]
+			row += l.b
+			j++
+		}
+	}
+	return sLo, sUp
+}
+
+// boundsSq16 accumulates bounds for τ=16: four codes per word.
+func (l *QueryLUT) boundsSq16(words []uint64) (lbSq, ubSq float64) {
+	var sLo, sUp float64
+	row, j := 0, 0
+	for _, w := range words {
+		for k := 0; k < 4 && j < l.dim; k++ {
+			code := int(w & 0xFFFF)
+			w >>= 16
+			sLo += l.lo[row+code]
+			sUp += l.up[row+code]
+			row += l.b
+			j++
+		}
+	}
+	return sLo, sUp
+}

@@ -1,0 +1,150 @@
+package bounds
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"exploitbit/internal/encoding"
+	"exploitbit/internal/histogram"
+	"exploitbit/internal/vec"
+)
+
+// randTable builds either a shared or per-dimension table over random
+// equi-depth histograms, mirroring what the engine constructs.
+func randTable(rng *rand.Rand, dim, tau int, perDim bool) (*Table, vec.Domain) {
+	const ndom = 512
+	dom := vec.NewDomain(-1, 2, ndom)
+	b := histogram.MaxBucketsForCodeLen(tau, ndom)
+	freq := func() []float64 {
+		f := make([]float64, ndom)
+		for i := range f {
+			f[i] = rng.Float64()
+		}
+		return f
+	}
+	if !perDim {
+		return NewTable(histogram.EquiDepth(freq(), b), dom, dim), dom
+	}
+	freqs := make([][]float64, dim)
+	for j := range freqs {
+		freqs[j] = freq()
+	}
+	p := histogram.BuildPerDim(freqs, b, func(f []float64, b int) *histogram.Histogram {
+		return histogram.EquiDepth(f, b)
+	})
+	return NewTablePerDim(p, dom), dom
+}
+
+// TestLUTMatchesReferenceExactly is the tentpole invariant: for random
+// histograms, queries and codes, Bounds ≡ BoundsPacked ≡ the LUT fast path
+// bitwise (same float64 sums, hence identical sqrt), across shared and
+// per-dimension tables and every τ including the 8/16 specializations.
+func TestLUTMatchesReferenceExactly(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		dim := 1 + rng.Intn(40)
+		tau := 1 + rng.Intn(12)
+		if trial%5 == 0 {
+			tau = 8 // exercise the byte fast path often
+		}
+		if trial%7 == 0 {
+			tau = 16
+		}
+		perDim := trial%2 == 0
+		tab, _ := randTable(rng, dim, tau, perDim)
+		codec := encoding.NewCodec(dim, tau)
+		q := make([]float32, dim)
+		codes := make([]int, dim)
+		for j := range q {
+			q[j] = float32(rng.Float64()*3 - 1)
+			loE, _ := tab.edgesFor(j)
+			codes[j] = rng.Intn(len(loE))
+		}
+		words := codec.Encode(codes, nil)
+
+		lbRef, ubRef := tab.Bounds(q, codes)
+		lbP, ubP := tab.BoundsPacked(q, words, codec)
+		if lbRef != lbP || ubRef != ubP {
+			t.Fatalf("trial %d: Bounds (%v,%v) != BoundsPacked (%v,%v)", trial, lbRef, ubRef, lbP, ubP)
+		}
+		lbSqRef, ubSqRef := tab.BoundsSqPacked(q, words, codec)
+		if math.Sqrt(lbSqRef) != lbRef || math.Sqrt(ubSqRef) != ubRef {
+			t.Fatalf("trial %d: squared reference disagrees with sqrt path", trial)
+		}
+
+		lut := tab.BuildLUT(q, nil)
+		lbSq, ubSq := lut.BoundsSqPacked(words, codec)
+		if lbSq != lbSqRef || ubSq != ubSqRef {
+			t.Fatalf("trial %d (dim=%d tau=%d perDim=%v): LUT packed (%v,%v) != reference (%v,%v)",
+				trial, dim, tau, perDim, lbSq, ubSq, lbSqRef, ubSqRef)
+		}
+		lbSqU, ubSqU := lut.BoundsSq(codes)
+		if lbSqU != lbSqRef || ubSqU != ubSqRef {
+			t.Fatalf("trial %d: LUT unpacked (%v,%v) != reference (%v,%v)", trial, lbSqU, ubSqU, lbSqRef, ubSqRef)
+		}
+	}
+}
+
+// TestBuildLUTReusesStorage verifies the scratch-reuse contract the engine's
+// pool relies on: rebuilding into an existing LUT must not allocate when the
+// shape is unchanged, and must produce the same values as a fresh build.
+func TestBuildLUTReusesStorage(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	tab, _ := randTable(rng, 24, 8, true)
+	codec := encoding.NewCodec(24, 8)
+	q1 := make([]float32, 24)
+	q2 := make([]float32, 24)
+	codes := make([]int, 24)
+	for j := range q1 {
+		q1[j] = rng.Float32()
+		q2[j] = rng.Float32() * 2
+		loE, _ := tab.edgesFor(j)
+		codes[j] = rng.Intn(len(loE))
+	}
+	words := codec.Encode(codes, nil)
+
+	lut := tab.BuildLUT(q1, nil)
+	allocs := testing.AllocsPerRun(50, func() {
+		tab.BuildLUT(q2, lut)
+	})
+	if allocs != 0 {
+		t.Fatalf("BuildLUT into sized scratch allocated %v/op", allocs)
+	}
+	fresh := tab.BuildLUT(q2, nil)
+	gl, gu := lut.BoundsSqPacked(words, codec)
+	wl, wu := fresh.BoundsSqPacked(words, codec)
+	if gl != wl || gu != wu {
+		t.Fatalf("reused LUT (%v,%v) != fresh (%v,%v)", gl, gu, wl, wu)
+	}
+	if lut.Dim() != 24 || lut.Buckets() != tab.Buckets() {
+		t.Fatalf("LUT shape %dx%d, want %dx%d", lut.Dim(), lut.Buckets(), 24, tab.Buckets())
+	}
+}
+
+// TestRectSqAgreesWithRect pins the squared rectangle path used by mHC-R.
+func TestRectSqAgreesWithRect(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 100; trial++ {
+		dim := 1 + rng.Intn(20)
+		q := make([]float32, dim)
+		lo := make([]float32, dim)
+		hi := make([]float32, dim)
+		for j := range q {
+			q[j] = rng.Float32()*4 - 2
+			a, b := rng.Float32(), rng.Float32()
+			if a > b {
+				a, b = b, a
+			}
+			lo[j], hi[j] = a, b
+		}
+		lb, ub := Rect(q, lo, hi)
+		lbSq, ubSq := RectSq(q, lo, hi)
+		if math.Sqrt(lbSq) != lb || math.Sqrt(ubSq) != ub {
+			t.Fatalf("RectSq (%v,%v) disagrees with Rect (%v,%v)", lbSq, ubSq, lb, ub)
+		}
+		if lb > ub {
+			t.Fatalf("lb %v > ub %v", lb, ub)
+		}
+	}
+}

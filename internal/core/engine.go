@@ -3,7 +3,9 @@ package core
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"exploitbit/internal/bounds"
@@ -40,7 +42,20 @@ type Config struct {
 	// immediately during candidate reduction so they tighten lb_k and ub_k.
 	// The paper argues this rarely pays off; the ablation bench measures it.
 	EagerFetchMisses bool
+	// LUTMinCandidates gates the per-query ADC lookup table: the LUT costs
+	// O(d·B) to build, so it is only built when |C(q)| reaches this many
+	// candidates. 0 selects the default (2·B, which amortizes the build);
+	// negative disables the LUT entirely (reference bound path).
+	LUTMinCandidates int
+	// ParallelReduceThreshold fans Phase 2 across GOMAXPROCS-bounded workers
+	// over contiguous candidate chunks when |C(q)| reaches it. 0 selects the
+	// default (4096); negative keeps reduction single-threaded.
+	ParallelReduceThreshold int
 }
+
+// defaultParallelReduceThreshold is the |C(q)| above which goroutine fan-out
+// beats a single-core scan of the candidate states.
+const defaultParallelReduceThreshold = 4096
 
 func (c Config) withDefaults() Config {
 	if c.Tau < 1 {
@@ -80,6 +95,13 @@ type Engine struct {
 	// Table 3 bookkeeping.
 	histSpaceBytes int
 	histBuildTime  time.Duration
+
+	// lutBuckets is the LUT row stride (max bucket count of the active
+	// table), cached for the per-query build-vs-scan gate.
+	lutBuckets int
+
+	// scratch pools per-query working sets; see searchScratch.
+	scratch sync.Pool
 
 	aggMu sync.Mutex
 	agg   Aggregate
@@ -169,7 +191,7 @@ func NewEngine(pf *disk.PointFile, prof *Profile, cands CandidateFunc, cfg Confi
 		if !partial {
 			content = allIDs(ds.Len())
 		}
-		e.approx.FillHFF(content, e.encodedPoint)
+		e.approx.FillHFF(content, e.pointEncoder())
 
 	default:
 		// The HC-* and iHC-* family.
@@ -219,9 +241,13 @@ func NewEngine(pf *disk.PointFile, prof *Profile, cands CandidateFunc, cfg Confi
 		}
 		e.approx = cache.New[[]uint64](capacity, cfg.Policy)
 		if cfg.Policy == cache.HFF {
-			e.approx.FillHFF(content, e.encodedPoint)
+			e.approx.FillHFF(content, e.pointEncoder())
 		}
 	}
+	if e.table != nil {
+		e.lutBuckets = e.table.Buckets()
+	}
+	e.scratch.New = func() any { return newSearchScratch(e) }
 	return e, nil
 }
 
@@ -233,9 +259,14 @@ func allIDs(n int) []int {
 	return ids
 }
 
-// encodedPoint encodes dataset point id under the engine's histogram(s).
-func (e *Engine) encodedPoint(id int) []uint64 {
-	return e.encodeVector(e.ds.Point(id), make([]int, e.ds.Dim), nil)
+// pointEncoder returns a sequential-use encoder for FillHFF that reuses one
+// codes scratch across calls — the offline build encodes up to the whole
+// dataset, so a per-point allocation is pure garbage-collector churn.
+func (e *Engine) pointEncoder() func(id int) []uint64 {
+	codes := make([]int, e.ds.Dim)
+	return func(id int) []uint64 {
+		return e.encodeVector(e.ds.Point(id), codes, nil)
+	}
 }
 
 // encodeVector quantizes p through the histogram(s) into codes (scratch,
@@ -299,12 +330,15 @@ func (e *Engine) ResetStats() {
 	e.agg = Aggregate{}
 }
 
-// candState is Phase 2's per-candidate bookkeeping.
+// candState is Phase 2's per-candidate bookkeeping. Bounds are kept squared
+// throughout: Algorithm 1 only ever compares bounds against each other and
+// against exact distances, and x ↦ x² is monotone on distances, so pruning,
+// true-hit detection and the refinement fetch order are unchanged while
+// every per-candidate sqrt disappears.
 type candState struct {
-	id      int32
-	lb, ub  float64
-	exactPt []float32 // non-nil for EXACT cache hits
-	hit     bool
+	id         int32
+	lbSq, ubSq float64
+	exactPt    []float32 // non-nil for EXACT cache hits
 }
 
 // Search runs Algorithm 1 and returns the identifiers of the k nearest
@@ -313,11 +347,20 @@ type candState struct {
 //
 // Search is safe for concurrent use: the HFF cache is immutable after
 // construction, the LRU cache locks internally, disk counters are atomic,
-// and all per-query scratch is local. Reported per-phase timings are CPU
-// time of this goroutine's query only.
+// and all per-query scratch comes from a pool. Reported per-phase timings
+// are CPU time of this goroutine's query only.
 func (e *Engine) Search(q []float32, k int) ([]int, QueryStats, error) {
-	var st QueryStats
-	fetchBuf := make([]float32, e.ds.Dim)
+	return e.SearchInto(q, k, nil)
+}
+
+// SearchInto is Search appending result identifiers to dst (pass dst[:0] to
+// reuse a buffer across queries). With a reused dst, the steady-state
+// cache-hit path performs zero heap allocations.
+func (e *Engine) SearchInto(q []float32, k int, dst []int) ([]int, QueryStats, error) {
+	sc := e.getScratch()
+	defer e.putScratch(sc)
+	sc.st = QueryStats{}
+	st := &sc.st
 
 	// Phase 1: candidate generation.
 	t0 := time.Now()
@@ -326,60 +369,40 @@ func (e *Engine) Search(q []float32, k int) ([]int, QueryStats, error) {
 	st.Candidates = len(ids)
 	st.Dmax = dmax
 
-	// Phase 2: candidate reduction — no I/O by construction.
+	// Phase 2: candidate reduction — no I/O by construction (unless
+	// EagerFetchMisses). The ADC lookup table replaces per-candidate edge
+	// math when the candidate set amortizes its build; above the parallel
+	// threshold the scan fans out over contiguous chunks.
 	t1 := time.Now()
-	cs := make([]candState, len(ids))
-	lbs := make([]float64, len(ids))
-	ubs := make([]float64, len(ids))
-	for i, id := range ids {
-		c := candState{id: int32(id), lb: 0, ub: math.Inf(1)}
-		switch {
-		case e.approx != nil:
-			if words, ok := e.approx.Get(id); ok {
-				c.lb, c.ub = e.table.BoundsPacked(q, words, e.codec)
-				c.hit = true
-			}
-		case e.exact != nil:
-			if p, ok := e.exact.Get(id); ok {
-				d := vec.Dist(q, p)
-				c.lb, c.ub = d, d
-				c.exactPt = p
-				c.hit = true
-			}
-		case e.mdCache != nil:
-			if b, ok := e.mdCache.Get(id); ok {
-				lo, hi := e.md.Rect(int(b))
-				c.lb, c.ub = bounds.Rect(q, lo, hi)
-				c.hit = true
-			}
+	sc.cs = grow(sc.cs, len(ids))
+	cs := sc.cs
+	lut := e.queryLUT(q, len(ids), sc)
+	st.UsedLUT = lut != nil
+	if workers := e.reduceWorkers(len(ids)); workers > 1 {
+		st.ReduceWorkers = workers
+		e.reduceParallel(q, ids, cs, lut, workers, st)
+	} else {
+		st.ReduceWorkers = 1
+		if err := e.reduceSerial(q, ids, cs, lut, sc); err != nil {
+			return nil, sc.st, err
 		}
-		if c.hit {
-			st.Hits++
-		} else if e.cfg.EagerFetchMisses {
-			p, err := e.pf.Fetch(id, fetchBuf)
-			if err != nil {
-				return nil, st, err
-			}
-			st.Fetched++
-			st.PageReads += int64(e.pf.PagesPerPoint())
-			d := vec.Dist(q, p)
-			c.lb, c.ub = d, d
-			c.exactPt = append([]float32(nil), p...)
-		}
-		cs[i] = c
-		lbs[i] = c.lb
-		ubs[i] = c.ub
 	}
-	lbk := multistep.KthSmallest(lbs, k)
-	ubk := multistep.KthSmallest(ubs, k)
+	sc.lbs = grow(sc.lbs, len(ids))
+	sc.ubs = grow(sc.ubs, len(ids))
+	for i := range cs {
+		sc.lbs[i] = cs[i].lbSq
+		sc.ubs[i] = cs[i].ubSq
+	}
+	lbkSq := multistep.KthSmallestWith(sc.lbs, k, sc.top)
+	ubkSq := multistep.KthSmallestWith(sc.ubs, k, sc.top)
 
-	var results []int // true results detected without I/O
+	results := dst // true results detected without I/O come first
 	remaining := cs[:0]
 	for _, c := range cs {
 		switch {
-		case c.lb > ubk:
+		case c.lbSq > ubkSq:
 			st.Pruned++ // early pruning: cannot be among the k nearest
-		case !e.cfg.NoTrueHitDetection && c.ub < lbk:
+		case !e.cfg.NoTrueHitDetection && c.ubSq < lbkSq:
 			st.TrueHits++ // must be a result; no fetch needed
 			results = append(results, int(c.id))
 		default:
@@ -389,37 +412,24 @@ func (e *Engine) Search(q []float32, k int) ([]int, QueryStats, error) {
 	st.Remaining = len(remaining)
 	st.ReduceTime = time.Since(t1)
 
-	// Phase 3: multi-step refinement of the remaining candidates.
+	// Phase 3: multi-step refinement of the remaining candidates, in squared
+	// space — sqrt is deferred to the final k results inside SearchSq.
 	t2 := time.Now()
-	kNeed := k - len(results)
+	kNeed := k - st.TrueHits
 	if kNeed > 0 && len(remaining) > 0 {
-		cands := make([]multistep.Candidate, len(remaining))
-		exactByID := make(map[int][]float32)
+		sc.mcands = grow(sc.mcands, len(remaining))
+		clear(sc.exactByID)
 		for i, c := range remaining {
-			cands[i] = multistep.Candidate{ID: int(c.id), LB: c.lb, UB: c.ub}
+			sc.mcands[i] = multistep.Candidate{ID: int(c.id), LB: c.lbSq, UB: c.ubSq}
 			if c.exactPt != nil {
-				exactByID[int(c.id)] = c.exactPt
+				sc.exactByID[c.id] = c.exactPt
 			}
 		}
-		fetch := func(id int) ([]float32, error) {
-			if p, ok := exactByID[id]; ok {
-				return p, nil // EXACT cache hit: RAM, no I/O
-			}
-			p, err := e.pf.Fetch(id, fetchBuf)
-			if err != nil {
-				return nil, err
-			}
-			st.Fetched++
-			st.PageReads += int64(e.pf.PagesPerPoint())
-			if e.cfg.Policy == cache.LRU {
-				e.admitLRU(id, p)
-			}
-			return p, nil
-		}
-		refined, _, err := multistep.Search(q, cands, kNeed, fetch)
+		refined, _, err := sc.msc.SearchSq(q, sc.mcands, kNeed, sc.fetch, sc.rbuf[:0])
 		if err != nil {
-			return nil, st, err
+			return nil, sc.st, err
 		}
+		sc.rbuf = refined[:0]
 		for _, r := range refined {
 			results = append(results, r.ID)
 		}
@@ -428,16 +438,155 @@ func (e *Engine) Search(q []float32, k int) ([]int, QueryStats, error) {
 	st.SimulatedIO = time.Duration(st.PageReads) * e.pf.Tio()
 
 	e.aggMu.Lock()
-	e.agg.Add(st)
+	e.agg.Add(sc.st)
 	e.aggMu.Unlock()
-	return results, st, nil
+	return results, sc.st, nil
 }
 
-// admitLRU inserts a freshly fetched point into a dynamic cache.
-func (e *Engine) admitLRU(id int, p []float32) {
+// queryLUT builds (or skips) the per-query ADC lookup table. Building costs
+// O(d·B); it pays off once the candidate set is a small multiple of B, so
+// small queries keep the direct bound path.
+func (e *Engine) queryLUT(q []float32, n int, sc *searchScratch) *bounds.QueryLUT {
+	if e.approx == nil || e.table == nil {
+		return nil
+	}
+	th := e.cfg.LUTMinCandidates
+	if th < 0 {
+		return nil
+	}
+	if th == 0 {
+		th = 2 * e.lutBuckets
+	}
+	if n < th {
+		return nil
+	}
+	sc.lut = e.table.BuildLUT(q, sc.lut)
+	return sc.lut
+}
+
+// reduceWorkers decides Phase 2's fan-out. Eager fetching stays serial (it
+// does disk I/O with error handling); otherwise candidate scoring is pure
+// CPU over immutable state and parallelizes trivially.
+func (e *Engine) reduceWorkers(n int) int {
+	if e.cfg.EagerFetchMisses {
+		return 1
+	}
+	th := e.cfg.ParallelReduceThreshold
+	if th < 0 {
+		return 1
+	}
+	if th == 0 {
+		th = defaultParallelReduceThreshold
+	}
+	if n < th {
+		return 1
+	}
+	// Keep chunks big enough to amortize goroutine startup.
+	minChunk := th / 8
+	if minChunk < 1 {
+		minChunk = 1
+	}
+	if minChunk > 512 {
+		minChunk = 512
+	}
+	workers := min(runtime.GOMAXPROCS(0), (n+minChunk-1)/minChunk)
+	if workers < 2 {
+		return 1
+	}
+	return workers
+}
+
+// scoreCandidate fills c with the cache-derived squared bounds of candidate
+// id and reports whether the cache hit. Misses keep the vacuous bounds
+// (0, +Inf) of Algorithm 1 line 4.
+func (e *Engine) scoreCandidate(q []float32, id int, c *candState, lut *bounds.QueryLUT) bool {
+	c.id = int32(id)
+	c.lbSq, c.ubSq = 0, math.Inf(1)
+	c.exactPt = nil
 	switch {
 	case e.approx != nil:
-		e.approx.Put(id, e.encodeVector(p, make([]int, e.ds.Dim), nil))
+		if words, ok := e.approx.Get(id); ok {
+			if lut != nil {
+				c.lbSq, c.ubSq = lut.BoundsSqPacked(words, e.codec)
+			} else {
+				c.lbSq, c.ubSq = e.table.BoundsSqPacked(q, words, e.codec)
+			}
+			return true
+		}
+	case e.exact != nil:
+		if p, ok := e.exact.Get(id); ok {
+			d2 := vec.SqDist(q, p)
+			c.lbSq, c.ubSq = d2, d2
+			c.exactPt = p
+			return true
+		}
+	case e.mdCache != nil:
+		if b, ok := e.mdCache.Get(id); ok {
+			lo, hi := e.md.Rect(int(b))
+			c.lbSq, c.ubSq = bounds.RectSq(q, lo, hi)
+			return true
+		}
+	}
+	return false
+}
+
+// reduceSerial scores every candidate on the calling goroutine, handling
+// the eager-fetch ablation path.
+func (e *Engine) reduceSerial(q []float32, ids []int, cs []candState, lut *bounds.QueryLUT, sc *searchScratch) error {
+	st := &sc.st
+	for i, id := range ids {
+		if e.scoreCandidate(q, id, &cs[i], lut) {
+			st.Hits++
+		} else if e.cfg.EagerFetchMisses {
+			p, err := e.pf.Fetch(id, sc.fetchBuf)
+			if err != nil {
+				return err
+			}
+			st.Fetched++
+			st.PageReads += int64(e.pf.PagesPerPoint())
+			d2 := vec.SqDist(q, p)
+			cs[i].lbSq, cs[i].ubSq = d2, d2
+			cs[i].exactPt = append([]float32(nil), p...)
+		}
+	}
+	return nil
+}
+
+// reduceParallel fans candidate scoring across workers over contiguous
+// chunks. Workers touch disjoint cs slots; the caches are concurrency-safe
+// (HFF immutable, LRU internally locked) and the LUT is read-only.
+func (e *Engine) reduceParallel(q []float32, ids []int, cs []candState, lut *bounds.QueryLUT, workers int, st *QueryStats) {
+	var wg sync.WaitGroup
+	var hits atomic.Int64
+	chunk := (len(ids) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, len(ids))
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			var h int64
+			for i := lo; i < hi; i++ {
+				if e.scoreCandidate(q, ids[i], &cs[i], lut) {
+					h++
+				}
+			}
+			hits.Add(h)
+		}(lo, hi)
+	}
+	wg.Wait()
+	st.Hits += int(hits.Load())
+}
+
+// admitLRU inserts a freshly fetched point into a dynamic cache, quantizing
+// through the caller's codes scratch.
+func (e *Engine) admitLRU(id int, p []float32, codes []int) {
+	switch {
+	case e.approx != nil:
+		e.approx.Put(id, e.encodeVector(p, codes, nil))
 	case e.exact != nil:
 		e.exact.Put(id, append([]float32(nil), p...))
 	case e.mdCache != nil:

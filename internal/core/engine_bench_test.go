@@ -46,6 +46,60 @@ func BenchmarkEngineBuild(b *testing.B) {
 	}
 }
 
+// benchAllHitsEngine builds an all-hits engine (C-VA covers the whole
+// dataset) with a frozen candidate list, so the benchmark isolates Phases
+// 2–3 of Search from index traversal.
+func benchAllHitsEngine(b *testing.B, lutMin, parMin int) (*Engine, []float32) {
+	w := buildWorld(b, 2000, 16, 77)
+	q := w.qtest[0]
+	ids, dmax := candFunc(w.ix)(q, 10)
+	static := func([]float32, int) ([]int, float64) { return ids, dmax }
+	eng, err := NewEngine(w.pf, w.prof, static, Config{
+		Method: CVA, CacheBytes: 1 << 30,
+		LUTMinCandidates: lutMin, ParallelReduceThreshold: parMin,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return eng, q
+}
+
+// BenchmarkEngineSearch is the steady-state serve path on the all-hits
+// (fully cached) configuration: with a reused result buffer it must report
+// 0 allocs/op — the pooled scratch absorbs every per-query working set.
+func BenchmarkEngineSearch(b *testing.B) {
+	eng, q := benchAllHitsEngine(b, 0, -1)
+	dst := make([]int, 0, 64)
+	if _, _, err := eng.SearchInto(q, 10, dst[:0]); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		dst, _, err = eng.SearchInto(q, 10, dst[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineSearchNoLUT is the same path with the lookup table
+// disabled, isolating what the ADC trick buys end to end.
+func BenchmarkEngineSearchNoLUT(b *testing.B) {
+	eng, q := benchAllHitsEngine(b, -1, -1)
+	dst := make([]int, 0, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		dst, _, err = eng.SearchInto(q, 10, dst[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkProfile measures workload profiling throughput (queries/sec of
 // the offline pipeline's dominant step).
 func BenchmarkProfile(b *testing.B) {

@@ -93,11 +93,17 @@ func (m *Maintainer) Rebuilds() int {
 // cache when drift is detected. Safe for concurrent use (queries serialize
 // only around the bookkeeping, not the engine search itself).
 func (m *Maintainer) Search(q []float32, k int) ([]int, QueryStats, error) {
+	return m.SearchInto(q, k, nil)
+}
+
+// SearchInto is Search appending result identifiers to dst, mirroring
+// Engine.SearchInto for allocation-conscious callers.
+func (m *Maintainer) SearchInto(q []float32, k int, dst []int) ([]int, QueryStats, error) {
 	m.mu.Lock()
 	eng := m.eng
 	m.mu.Unlock()
 
-	ids, st, err := eng.Search(q, k)
+	ids, st, err := eng.SearchInto(q, k, dst)
 	if err != nil {
 		return nil, st, err
 	}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"exploitbit/internal/bounds"
+	"exploitbit/internal/cache"
+	"exploitbit/internal/multistep"
+	"exploitbit/internal/vec"
+)
+
+// searchScratch is the per-query working set of Search, pooled on the engine
+// so the steady-state cache-hit path performs zero heap allocations: the
+// candidate states, bound arrays, query LUT, refinement buffers, fetch
+// buffer and the exact-hit map all survive between queries and are resized
+// only when a query is larger than any seen before.
+type searchScratch struct {
+	eng *Engine
+	st  QueryStats
+
+	cs       []candState
+	lbs, ubs []float64
+	top      *vec.TopK
+
+	lut      *bounds.QueryLUT
+	fetchBuf []float32
+	codes    []int
+
+	mcands    []multistep.Candidate
+	rbuf      []multistep.Result
+	msc       multistep.Scratch
+	exactByID map[int32][]float32
+
+	// fetch is the Phase 3 fetch function, bound once per scratch so that
+	// per-query calls do not allocate a closure.
+	fetch multistep.Fetch
+}
+
+func newSearchScratch(e *Engine) *searchScratch {
+	sc := &searchScratch{
+		eng:       e,
+		top:       vec.NewTopK(1),
+		fetchBuf:  make([]float32, e.ds.Dim),
+		codes:     make([]int, e.ds.Dim),
+		exactByID: make(map[int32][]float32),
+	}
+	sc.fetch = sc.fetchPoint
+	return sc
+}
+
+// fetchPoint is Phase 3's fetch: exact cache hits come from RAM, everything
+// else from the point file, charging I/O statistics and feeding the LRU
+// admission path.
+func (sc *searchScratch) fetchPoint(id int) ([]float32, error) {
+	if len(sc.exactByID) > 0 {
+		if p, ok := sc.exactByID[int32(id)]; ok {
+			return p, nil // EXACT cache hit: RAM, no I/O
+		}
+	}
+	e := sc.eng
+	p, err := e.pf.Fetch(id, sc.fetchBuf)
+	if err != nil {
+		return nil, err
+	}
+	sc.st.Fetched++
+	sc.st.PageReads += int64(e.pf.PagesPerPoint())
+	if e.cfg.Policy == cache.LRU {
+		e.admitLRU(id, p, sc.codes)
+	}
+	return p, nil
+}
+
+// grow returns s resized to n, reallocating only on growth beyond capacity.
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+func (e *Engine) getScratch() *searchScratch {
+	return e.scratch.Get().(*searchScratch)
+}
+
+func (e *Engine) putScratch(sc *searchScratch) {
+	e.scratch.Put(sc)
+}

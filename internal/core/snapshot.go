@@ -284,7 +284,11 @@ func LoadEngine(pf *disk.PointFile, ds *dataset.Dataset, cands CandidateFunc, r 
 		}
 		e.codec = encoding.NewCodec(ds.Dim, cfg.Tau)
 		e.approx = cache.New[[]uint64](int(capacity), cfg.Policy)
-		e.approx.FillHFF(keys, e.encodedPoint)
+		e.approx.FillHFF(keys, e.pointEncoder())
 	}
+	if e.table != nil {
+		e.lutBuckets = e.table.Buckets()
+	}
+	e.scratch.New = func() any { return newSearchScratch(e) }
 	return e, nil
 }

@@ -26,6 +26,9 @@ type QueryStats struct {
 	RefineTime time.Duration // Phase 3 CPU (excluding SimulatedIO)
 
 	Dmax float64 // index's distance guarantee for this query (c·R·w for C2LSH)
+
+	UsedLUT       bool // Phase 2 went through the per-query ADC lookup table
+	ReduceWorkers int  // goroutines used by Phase 2 (1 = serial)
 }
 
 // ResponseTime is the modeled wall-clock of the query: measured CPU plus
@@ -54,6 +57,9 @@ type Aggregate struct {
 	GenTime     time.Duration
 	ReduceTime  time.Duration
 	RefineTime  time.Duration
+
+	LUTQueries      int64 // queries whose Phase 2 used the ADC lookup table
+	ParallelQueries int64 // queries whose Phase 2 fanned out over workers
 }
 
 // Add folds one query's stats into the aggregate.
@@ -70,6 +76,12 @@ func (a *Aggregate) Add(s QueryStats) {
 	a.GenTime += s.GenTime
 	a.ReduceTime += s.ReduceTime
 	a.RefineTime += s.RefineTime
+	if s.UsedLUT {
+		a.LUTQueries++
+	}
+	if s.ReduceWorkers > 1 {
+		a.ParallelQueries++
+	}
 }
 
 func (a Aggregate) per(v int64) float64 {

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"exploitbit/internal/dataset"
@@ -32,6 +33,8 @@ type PointFile struct {
 	dataStart int // first data page
 	perm      []int32
 	inv       []int32 // slot → id inverse of perm, built lazily during writes
+
+	bufPool sync.Pool // *[]byte transfer buffers; see getBuf
 }
 
 const pfMagic = 0x45425046 // "EBPF"
@@ -248,15 +251,17 @@ func (pf *PointFile) Fetch(id int, dst []float32) ([]float32, error) {
 		slot = int(pf.perm[id])
 	}
 	ps := pf.dev.PageSize()
+	buf := pf.getBuf()
+	defer pf.putBuf(buf)
 	if pf.perPage > 0 {
-		page := pf.pageBuf()
+		page := *buf
 		if err := pf.dev.ReadPage(pf.dataStart+slot/pf.perPage, page); err != nil {
 			return nil, err
 		}
 		decodePoint(dst, page[(slot%pf.perPage)*pf.pointSize:])
 		return dst, nil
 	}
-	rec := make([]byte, pf.pagesPer*ps)
+	rec := *buf
 	for q := 0; q < pf.pagesPer; q++ {
 		if err := pf.dev.ReadPage(pf.dataStart+slot*pf.pagesPer+q, rec[q*ps:(q+1)*ps]); err != nil {
 			return nil, err
@@ -266,7 +271,18 @@ func (pf *PointFile) Fetch(id int, dst []float32) ([]float32, error) {
 	return dst, nil
 }
 
-func (pf *PointFile) pageBuf() []byte { return make([]byte, pf.dev.PageSize()) }
+// getBuf leases a transfer buffer (one page, or the whole multi-page record)
+// from a pool so that steady-state Fetch calls allocate nothing. Pointers to
+// slices are pooled to avoid boxing the header on Put.
+func (pf *PointFile) getBuf() *[]byte {
+	if v := pf.bufPool.Get(); v != nil {
+		return v.(*[]byte)
+	}
+	b := make([]byte, pf.pagesPer*pf.dev.PageSize())
+	return &b
+}
+
+func (pf *PointFile) putBuf(b *[]byte) { pf.bufPool.Put(b) }
 
 // Stats exposes the underlying device counters.
 func (pf *PointFile) Stats() Stats { return pf.dev.Stats() }

@@ -78,6 +78,9 @@ func (c Codec) Encode(codes []int, dst []uint64) []uint64 {
 }
 
 // Decode unpacks an encoded point into dst (len >= Dim; nil allocates).
+// The byte-aligned widths (τ=8, τ=16) take specialized loops that walk the
+// words directly — codes never straddle a word boundary, so the cross-word
+// shift logic of At disappears from the hot path.
 func (c Codec) Decode(src []uint64, dst []int) []int {
 	if dst == nil {
 		dst = make([]int, c.dim)
@@ -85,10 +88,47 @@ func (c Codec) Decode(src []uint64, dst []int) []int {
 	if len(dst) < c.dim {
 		panic("encoding: decode dst too short")
 	}
-	for j := 0; j < c.dim; j++ {
-		dst[j] = c.At(src, j)
+	switch c.tau {
+	case 8:
+		c.decode8(src, dst)
+	case 16:
+		c.decode16(src, dst)
+	default:
+		for j := 0; j < c.dim; j++ {
+			dst[j] = c.At(src, j)
+		}
 	}
 	return dst[:c.dim]
+}
+
+// decode8 unpacks τ=8 codes: eight per word, one byte each.
+func (c Codec) decode8(src []uint64, dst []int) {
+	j := 0
+	for _, w := range src {
+		for k := 0; k < 8 && j < c.dim; k++ {
+			dst[j] = int(w & 0xFF)
+			w >>= 8
+			j++
+		}
+		if j >= c.dim {
+			return
+		}
+	}
+}
+
+// decode16 unpacks τ=16 codes: four per word.
+func (c Codec) decode16(src []uint64, dst []int) {
+	j := 0
+	for _, w := range src {
+		for k := 0; k < 4 && j < c.dim; k++ {
+			dst[j] = int(w & 0xFFFF)
+			w >>= 16
+			j++
+		}
+		if j >= c.dim {
+			return
+		}
+	}
 }
 
 // At extracts the code of dimension j without unpacking the whole point.

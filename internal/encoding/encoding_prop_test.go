@@ -1,0 +1,99 @@
+package encoding
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestRoundTripAllTau is the satellite property test: Encode → Decode and
+// Encode → At round-trip for every τ in [1,32] and dimensionalities chosen
+// to land codes on, before and after word boundaries (cross-word offsets
+// occur whenever 64 mod τ != 0).
+func TestRoundTripAllTau(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for tau := 1; tau <= 32; tau++ {
+		for _, dim := range []int{1, 2, 63, 64, 65, 127, 128, 129, 200} {
+			c := NewCodec(dim, tau)
+			codes := make([]int, dim)
+			for trial := 0; trial < 5; trial++ {
+				for j := range codes {
+					codes[j] = rng.Intn(c.MaxCode() + 1)
+				}
+				// Exercise the extremes explicitly: max code forces every
+				// bit of the field high, catching off-by-one masks.
+				if trial == 0 {
+					for j := range codes {
+						codes[j] = c.MaxCode()
+					}
+				}
+				words := c.Encode(codes, nil)
+				if len(words) != c.Words() {
+					t.Fatalf("tau=%d dim=%d: %d words, want %d", tau, dim, len(words), c.Words())
+				}
+				decoded := c.Decode(words, nil)
+				for j := range codes {
+					if decoded[j] != codes[j] {
+						t.Fatalf("tau=%d dim=%d: Decode[%d]=%d, want %d", tau, dim, j, decoded[j], codes[j])
+					}
+					if got := c.At(words, j); got != codes[j] {
+						t.Fatalf("tau=%d dim=%d: At(%d)=%d, want %d", tau, dim, j, got, codes[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDecodeSpecializationsMatchAt pins the τ=8/τ=16 fast loops against the
+// general extractor on dimensions that do not fill the last word.
+func TestDecodeSpecializationsMatchAt(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, tau := range []int{8, 16} {
+		for _, dim := range []int{1, 3, 7, 8, 9, 15, 16, 17, 100} {
+			c := NewCodec(dim, tau)
+			codes := make([]int, dim)
+			for j := range codes {
+				codes[j] = rng.Intn(c.MaxCode() + 1)
+			}
+			words := c.Encode(codes, nil)
+			decoded := c.Decode(words, make([]int, dim))
+			for j := range codes {
+				if decoded[j] != c.At(words, j) {
+					t.Fatalf("tau=%d dim=%d: specialized Decode[%d]=%d, At=%d",
+						tau, dim, j, decoded[j], c.At(words, j))
+				}
+			}
+		}
+	}
+}
+
+// FuzzCodecRoundTrip lets the fuzzer pick τ, dim and raw code bytes; any
+// mismatch between Encode and Decode/At is a packing bug.
+func FuzzCodecRoundTrip(f *testing.F) {
+	f.Add(uint8(8), uint8(16), []byte{1, 2, 3, 4, 255, 0, 7, 9})
+	f.Add(uint8(10), uint8(7), []byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add(uint8(1), uint8(65), []byte{1, 0, 1, 0, 1})
+	f.Fuzz(func(t *testing.T, tauRaw, dimRaw uint8, raw []byte) {
+		tau := 1 + int(tauRaw)%32
+		dim := 1 + int(dimRaw)%130
+		c := NewCodec(dim, tau)
+		codes := make([]int, dim)
+		for j := range codes {
+			var v int
+			if len(raw) > 0 {
+				v = int(raw[j%len(raw)])
+			}
+			codes[j] = v % (c.MaxCode() + 1)
+		}
+		words := c.Encode(codes, nil)
+		decoded := c.Decode(words, nil)
+		for j := range codes {
+			if decoded[j] != codes[j] {
+				t.Fatalf("tau=%d dim=%d: Decode[%d]=%d, want %d", tau, dim, j, decoded[j], codes[j])
+			}
+			if got := c.At(words, j); got != codes[j] {
+				t.Fatalf("tau=%d dim=%d: At(%d)=%d, want %d", tau, dim, j, got, codes[j])
+			}
+		}
+	})
+}

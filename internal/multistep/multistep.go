@@ -13,6 +13,7 @@ package multistep
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 
 	"exploitbit/internal/vec"
@@ -73,6 +74,70 @@ func Search(q []float32, cands []Candidate, k int, fetch Fetch) ([]Result, int, 
 	return out, fetched, nil
 }
 
+// Scratch holds the reusable state of SearchSq so that a pooled scratch
+// makes repeated refinement calls allocation-free. The zero value is ready
+// to use.
+type Scratch struct {
+	order []Candidate
+	top   *vec.TopK
+}
+
+// SearchSq is Search operating entirely in squared-distance space: cands
+// carry squared bounds (as produced by bounds.(*Table).BoundsSq* and the
+// query LUT), exact distances are compared squared, and the square root is
+// taken only for the k results actually returned. Because x ↦ x² is
+// monotone on distances, the fetch order, the optimal stop and the selected
+// results are identical to Search's.
+//
+// Results are appended to dst (pass dst[:0] to reuse a buffer) in ascending
+// distance order.
+func (sc *Scratch) SearchSq(q []float32, cands []Candidate, k int, fetch Fetch, dst []Result) ([]Result, int, error) {
+	if k < 1 {
+		return dst, 0, nil
+	}
+	if cap(sc.order) < len(cands) {
+		sc.order = make([]Candidate, len(cands))
+	}
+	order := sc.order[:len(cands)]
+	copy(order, cands)
+	slices.SortFunc(order, func(a, b Candidate) int {
+		switch {
+		case a.LB < b.LB:
+			return -1
+		case a.LB > b.LB:
+			return 1
+		default:
+			return 0
+		}
+	})
+
+	if sc.top == nil {
+		sc.top = vec.NewTopK(k)
+	} else {
+		sc.top.Reset(k)
+	}
+	top := sc.top
+	fetched := 0
+	for _, c := range order {
+		// Optimal stop: every remaining candidate has LB >= this one's, so
+		// none can improve the current k-th squared distance.
+		if top.Full() && c.LB >= top.Root() {
+			break
+		}
+		p, err := fetch(c.ID)
+		if err != nil {
+			return dst, fetched, fmt.Errorf("multistep: fetching candidate %d: %w", c.ID, err)
+		}
+		fetched++
+		top.Push(vec.SqDist(q, p), c.ID)
+	}
+	ids, sqDists := top.Drain()
+	for i := range ids {
+		dst = append(dst, Result{ID: ids[i], Dist: math.Sqrt(sqDists[i])})
+	}
+	return dst, fetched, nil
+}
+
 // KthSmallest returns the k-th smallest value of xs (1-based), or +Inf when
 // fewer than k values exist. Algorithm 1 uses it for lb_k and ub_k (lines
 // 7–8); it is exported here because both the engine and the cost model need
@@ -81,7 +146,17 @@ func KthSmallest(xs []float64, k int) float64 {
 	if k < 1 || len(xs) < k {
 		return math.Inf(1)
 	}
-	top := vec.NewTopK(k)
+	return KthSmallestWith(xs, k, vec.NewTopK(k))
+}
+
+// KthSmallestWith is KthSmallest reusing a caller-provided heap (which it
+// Resets), so the engine's pooled scratch computes lb_k/ub_k without
+// allocating.
+func KthSmallestWith(xs []float64, k int, top *vec.TopK) float64 {
+	if k < 1 || len(xs) < k {
+		return math.Inf(1)
+	}
+	top.Reset(k)
 	for i, x := range xs {
 		top.Push(x, i)
 	}

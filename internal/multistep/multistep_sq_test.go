@@ -1,0 +1,96 @@
+package multistep
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// sqCands squares the bounds of cands — how the engine hands squared-space
+// candidates to SearchSq.
+func sqCands(cands []Candidate) []Candidate {
+	out := make([]Candidate, len(cands))
+	for i, c := range cands {
+		out[i] = Candidate{ID: c.ID, LB: c.LB * c.LB, UB: c.UB * c.UB}
+	}
+	return out
+}
+
+// TestSearchSqMatchesSearch is the squared-space equivalence property: the
+// same candidates with squared bounds must yield the same result ids, the
+// same distances (within sqrt rounding) and the same fetch count as the
+// reference Search.
+func TestSearchSqMatchesSearch(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	var sc Scratch
+	for trial := 0; trial < 60; trial++ {
+		n := 5 + rng.Intn(120)
+		k := 1 + rng.Intn(12)
+		pts, fetch, fetches := testWorld(rng, n, 8)
+		q := make([]float32, 8)
+		for j := range q {
+			q[j] = rng.Float32()
+		}
+		ids := rng.Perm(n)[:1+rng.Intn(n)]
+		cands := looseBounds(rng, q, pts, ids)
+
+		want, wantFetched, err := Search(q, cands, k, fetch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		*fetches = 0
+		got, gotFetched, err := sc.SearchSq(q, sqCands(cands), k, fetch, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotFetched != wantFetched {
+			t.Fatalf("trial %d: SearchSq fetched %d, Search fetched %d", trial, gotFetched, wantFetched)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d results, want %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].ID != want[i].ID {
+				t.Fatalf("trial %d rank %d: id %d, want %d", trial, i, got[i].ID, want[i].ID)
+			}
+			if math.Abs(got[i].Dist-want[i].Dist) > 1e-12 {
+				t.Fatalf("trial %d rank %d: dist %v, want %v", trial, i, got[i].Dist, want[i].Dist)
+			}
+		}
+	}
+}
+
+// TestSearchSqAllocationFree verifies the pooled-scratch contract: with a
+// warm Scratch and a reused dst buffer, SearchSq performs zero allocations.
+func TestSearchSqAllocationFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	pts, fetch, _ := testWorld(rng, 80, 8)
+	q := make([]float32, 8)
+	for j := range q {
+		q[j] = rng.Float32()
+	}
+	ids := rng.Perm(80)[:50]
+	cands := sqCands(looseBounds(rng, q, pts, ids))
+
+	var sc Scratch
+	dst := make([]Result, 0, 10)
+	if _, _, err := sc.SearchSq(q, cands, 10, fetch, dst); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, _, err := sc.SearchSq(q, cands, 10, fetch, dst[:0]); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm SearchSq allocated %v/op", allocs)
+	}
+}
+
+func TestSearchSqZeroK(t *testing.T) {
+	var sc Scratch
+	got, fetched, err := sc.SearchSq(nil, nil, 0, nil, nil)
+	if err != nil || fetched != 0 || len(got) != 0 {
+		t.Fatalf("k=0: got %v, fetched %d, err %v", got, fetched, err)
+	}
+}

@@ -15,7 +15,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
-	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -36,18 +36,20 @@ type Stats struct {
 	SimulatedIO time.Duration `json:"simulated_io_ns"`
 }
 
-// Handler serves the HTTP API.
+// Handler serves the HTTP API. The aggregate counters are lock-free
+// atomics: under concurrent load every request used to serialize on one
+// mutex just to bump four integers, which is exactly the kind of contention
+// the allocation-free engine path removes elsewhere.
 type Handler struct {
 	mux      *http.ServeMux
 	searcher Searcher
 	dim      int
 	maxK     int
 
-	mu      sync.Mutex
-	queries int64
-	fetched int64
-	hits    int64
-	cands   int64
+	queries atomic.Int64
+	fetched atomic.Int64
+	hits    atomic.Int64
+	cands   atomic.Int64
 }
 
 // New builds the handler. dim validates request vectors; maxK caps k
@@ -109,12 +111,10 @@ func (h *Handler) handleSearch(w http.ResponseWriter, r *http.Request) {
 		h.fail(w, http.StatusInternalServerError, "search failed: %v", err)
 		return
 	}
-	h.mu.Lock()
-	h.queries++
-	h.fetched += int64(st.Fetched)
-	h.hits += int64(st.Hits)
-	h.cands += int64(st.Candidates)
-	h.mu.Unlock()
+	h.queries.Add(1)
+	h.fetched.Add(int64(st.Fetched))
+	h.hits.Add(int64(st.Hits))
+	h.cands.Add(int64(st.Candidates))
 
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(searchResponse{IDs: ids, Stats: st})
@@ -128,16 +128,18 @@ type statsResponse struct {
 }
 
 func (h *Handler) handleStats(w http.ResponseWriter, r *http.Request) {
-	h.mu.Lock()
-	resp := statsResponse{Queries: h.queries}
-	if h.queries > 0 {
-		resp.AvgFetched = float64(h.fetched) / float64(h.queries)
-		resp.AvgCandSize = float64(h.cands) / float64(h.queries)
+	queries := h.queries.Load()
+	fetched := h.fetched.Load()
+	hits := h.hits.Load()
+	cands := h.cands.Load()
+	resp := statsResponse{Queries: queries}
+	if queries > 0 {
+		resp.AvgFetched = float64(fetched) / float64(queries)
+		resp.AvgCandSize = float64(cands) / float64(queries)
 	}
-	if h.cands > 0 {
-		resp.HitRatio = float64(h.hits) / float64(h.cands)
+	if cands > 0 {
+		resp.HitRatio = float64(hits) / float64(cands)
 	}
-	h.mu.Unlock()
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(resp)
 }

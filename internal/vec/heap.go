@@ -21,6 +21,23 @@ func NewTopK(k int) *TopK {
 	return &TopK{k: k, dists: make([]float64, 0, k), ids: make([]int, 0, k)}
 }
 
+// Reset empties the heap and re-arms it for the k smallest entries, reusing
+// the existing storage — the pooled-scratch path of core.Engine relies on
+// this to keep steady-state queries allocation-free.
+func (t *TopK) Reset(k int) {
+	if k < 1 {
+		panic("vec: TopK requires k >= 1")
+	}
+	t.k = k
+	if cap(t.dists) < k {
+		t.dists = make([]float64, 0, k)
+		t.ids = make([]int, 0, k)
+	} else {
+		t.dists = t.dists[:0]
+		t.ids = t.ids[:0]
+	}
+}
+
 // Len reports how many entries are currently held (<= k).
 func (t *TopK) Len() int { return len(t.dists) }
 
@@ -91,7 +108,22 @@ func (t *TopK) swap(i, j int) {
 func (t *TopK) Results() (ids []int, dists []float64) {
 	ids = append([]int(nil), t.ids...)
 	dists = append([]float64(nil), t.dists...)
-	// Simple insertion sort: k is small (typically <= 100).
+	sortByDist(ids, dists)
+	return ids, dists
+}
+
+// Drain sorts the held entries in place by ascending distance and returns
+// the internal slices without copying. The heap invariant is destroyed; call
+// Reset before reusing the TopK. The returned slices are only valid until
+// the next Push or Reset.
+func (t *TopK) Drain() (ids []int, dists []float64) {
+	sortByDist(t.ids, t.dists)
+	return t.ids, t.dists
+}
+
+// sortByDist insertion-sorts parallel slices by distance: k is small
+// (typically <= 100).
+func sortByDist(ids []int, dists []float64) {
 	for i := 1; i < len(dists); i++ {
 		d, id := dists[i], ids[i]
 		j := i - 1
@@ -101,5 +133,4 @@ func (t *TopK) Results() (ids []int, dists []float64) {
 		}
 		dists[j+1], ids[j+1] = d, id
 	}
-	return ids, dists
 }
