@@ -215,8 +215,11 @@ func fig16(w io.Writer, env *Env) error {
 			if err != nil {
 				return nil, err
 			}
+			dst := make([]int, 0, 128)
 			return func(q []float32, k int) (time.Duration, error) {
-				_, st, err := eng.Search(q, k)
+				var st exploitbit.QueryStats
+				var err error
+				dst, st, err = eng.SearchInto(q, k, dst[:0])
 				return st.ResponseTime(), err
 			}, nil
 		})
@@ -237,8 +240,11 @@ func fig16(w io.Writer, env *Env) error {
 		if err != nil {
 			return nil, err
 		}
+		dst := make([]int, 0, 128)
 		return func(q []float32, k int) (time.Duration, error) {
-			_, st, err := eng.Search(q, k)
+			var st exploitbit.QueryStats
+			var err error
+			dst, st, err = eng.SearchInto(q, k, dst[:0])
 			return st.ResponseTime(), err
 		}, nil
 	})

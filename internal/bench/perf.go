@@ -49,6 +49,17 @@ type PerfReport struct {
 	SearchAllocsOp int64   `json:"search_allocs_op"`
 	SearchBytesOp  int64   `json:"search_bytes_op"`
 	SearchNote     string  `json:"search_note"`
+
+	// Tree-engine serve path (Section 3.6.1 on the shared reduction core):
+	// Phase-2 candidate throughput over all-cached HC-O leaves with the
+	// per-query LUT on vs off, plus the allocation audit of the EXACT
+	// all-cached steady state (pinned at 0 allocs/op by
+	// BenchmarkTreeEngineSearch in internal/core).
+	TreeCandPerSec      float64 `json:"tree_hco_candidates_per_sec"`
+	TreeCandPerSecNoLUT float64 `json:"tree_hco_candidates_per_sec_no_lut"`
+	TreeSearchNsOp      float64 `json:"tree_search_ns_op"`
+	TreeSearchAllocsOp  int64   `json:"tree_search_allocs_op"`
+	TreeSearchBytesOp   int64   `json:"tree_search_bytes_op"`
 }
 
 // perfBoundsFixture mirrors the bounds package's benchmark setup: an
@@ -178,12 +189,89 @@ func RunPerf(w io.Writer, env *Env, jsonPath string) (*PerfReport, error) {
 	rep.SearchNote = "includes Phase-1 C2LSH candidate generation (allocates result slices); " +
 		"engine phases 2-3 are allocation-free, see BenchmarkEngineSearch"
 
+	// Tree-engine scenario: R-tree leaves on disk, every leaf cached, so the
+	// figures isolate the in-RAM serve path of the unified reduction core.
+	ts, err := exploitbit.OpenTree(lab.DS, exploitbit.RTree, lab.WL, exploitbit.TreeOptions{WorkloadK: k})
+	if err != nil {
+		return nil, err
+	}
+	defer ts.Close()
+	measureTree := func(eng *exploitbit.TreeEngine) (candPerSec float64, err error) {
+		tdst := make([]int, 0, k)
+		var cands int64
+		for _, q := range lab.QTest {
+			if _, _, err = eng.SearchInto(q, k, tdst[:0]); err != nil {
+				return 0, err
+			}
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			cands = 0
+			for i := 0; i < b.N; i++ {
+				qv := lab.QTest[i%len(lab.QTest)]
+				_, st, serr := eng.SearchInto(qv, k, tdst[:0])
+				if serr != nil {
+					b.Fatal(serr)
+				}
+				cands += int64(st.Candidates)
+			}
+		})
+		if sec := r.T.Seconds(); sec > 0 {
+			candPerSec = float64(cands) / sec
+		}
+		return candPerSec, nil
+	}
+	hcoLUT, err := ts.EngineWith(core.TreeConfig{
+		Method: exploitbit.HCO, CacheBytes: 1 << 30, Tau: env.Scale.Tau, LUTMinCachedPoints: 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if rep.TreeCandPerSec, err = measureTree(hcoLUT); err != nil {
+		return nil, err
+	}
+	hcoNoLUT, err := ts.EngineWith(core.TreeConfig{
+		Method: exploitbit.HCO, CacheBytes: 1 << 30, Tau: env.Scale.Tau, LUTMinCachedPoints: -1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if rep.TreeCandPerSecNoLUT, err = measureTree(hcoNoLUT); err != nil {
+		return nil, err
+	}
+	treeExact, err := ts.EngineWith(core.TreeConfig{Method: exploitbit.Exact, CacheBytes: 1 << 30})
+	if err != nil {
+		return nil, err
+	}
+	tdst := make([]int, 0, k)
+	if _, _, err := treeExact.SearchInto(qv, k, tdst[:0]); err != nil {
+		return nil, err
+	}
+	tr := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := treeExact.SearchInto(qv, k, tdst[:0]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	rep.TreeSearchNsOp = nsPerOp(tr)
+	rep.TreeSearchAllocsOp = tr.AllocsPerOp()
+	rep.TreeSearchBytesOp = tr.AllocedBytesPerOp()
+
 	fmt.Fprintf(w, "perf: bounds d=%d τ=%d  packed %.1f ns/op  lut %.1f ns/op  (%.1fx)  build %.1f ns\n",
 		rep.BoundsDim, rep.BoundsTau, rep.BoundsPackedNsOp, rep.BoundsLUTNsOp, rep.LUTSpeedup, rep.BuildLUTNsOp)
 	fmt.Fprintf(w, "perf: phase2 serial %.0f cand/s  parallel %.0f cand/s  (GOMAXPROCS=%d)\n",
 		rep.Phase2SerialCandPerSec, rep.Phase2ParallelCandPerSec, rep.GoMaxProcs)
 	fmt.Fprintf(w, "perf: search %.0f ns/op  %d allocs/op  %d B/op\n",
 		rep.SearchNsOp, rep.SearchAllocsOp, rep.SearchBytesOp)
+	treeSpeedup := 0.0
+	if rep.TreeCandPerSecNoLUT > 0 {
+		treeSpeedup = rep.TreeCandPerSec / rep.TreeCandPerSecNoLUT
+	}
+	fmt.Fprintf(w, "perf: tree hco %.0f cand/s (lut) vs %.0f cand/s (no lut)  %.1fx\n",
+		rep.TreeCandPerSec, rep.TreeCandPerSecNoLUT, treeSpeedup)
+	fmt.Fprintf(w, "perf: tree exact search %.0f ns/op  %d allocs/op  %d B/op\n",
+		rep.TreeSearchNsOp, rep.TreeSearchAllocsOp, rep.TreeSearchBytesOp)
 
 	if jsonPath != "" {
 		f, err := os.Create(jsonPath)

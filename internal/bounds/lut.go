@@ -107,6 +107,17 @@ func (l *QueryLUT) BoundsSqPacked(words []uint64, c encoding.Codec) (lbSq, ubSq 
 	return sLo, sUp
 }
 
+// BoundsSqPackedRange computes the squared bounds of n points packed
+// back-to-back in words (stride c.Words() words per point), filling the first
+// n entries of lbs and ubs. It is the batch form of BoundsSqPacked the tree
+// engine uses to score a whole cached leaf through one LUT.
+func (l *QueryLUT) BoundsSqPackedRange(words []uint64, n int, c encoding.Codec, lbs, ubs []float64) {
+	w := c.Words()
+	for i := 0; i < n; i++ {
+		lbs[i], ubs[i] = l.BoundsSqPacked(words[i*w:(i+1)*w], c)
+	}
+}
+
 // boundsSq8 accumulates bounds for τ=8: eight codes per word, one byte each.
 func (l *QueryLUT) boundsSq8(words []uint64) (lbSq, ubSq float64) {
 	var sLo, sUp float64

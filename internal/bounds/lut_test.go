@@ -86,6 +86,44 @@ func TestLUTMatchesReferenceExactly(t *testing.T) {
 	}
 }
 
+// TestBoundsSqPackedRangeMatchesPerPoint checks the batch leaf-scoring form
+// against per-point BoundsSqPacked on a packed run of points: same floats,
+// every stride and τ.
+func TestBoundsSqPackedRangeMatchesPerPoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 50; trial++ {
+		dim := 1 + rng.Intn(32)
+		tau := []int{5, 8, 16}[rng.Intn(3)]
+		tab, _ := randTable(rng, dim, tau, trial%2 == 0)
+		codec := encoding.NewCodec(dim, tau)
+		q := make([]float32, dim)
+		for j := range q {
+			q[j] = float32(rng.Float64()*3 - 1)
+		}
+		n := 1 + rng.Intn(20)
+		words := make([]uint64, n*codec.Words())
+		codes := make([]int, dim)
+		for i := 0; i < n; i++ {
+			for j := range codes {
+				loE, _ := tab.edgesFor(j)
+				codes[j] = rng.Intn(len(loE))
+			}
+			codec.Encode(codes, words[i*codec.Words():(i+1)*codec.Words()])
+		}
+		lut := tab.BuildLUT(q, nil)
+		lbs := make([]float64, n)
+		ubs := make([]float64, n)
+		lut.BoundsSqPackedRange(words, n, codec, lbs, ubs)
+		for i := 0; i < n; i++ {
+			wantLB, wantUB := lut.BoundsSqPacked(words[i*codec.Words():(i+1)*codec.Words()], codec)
+			if lbs[i] != wantLB || ubs[i] != wantUB {
+				t.Fatalf("trial %d point %d: range (%v,%v) != per-point (%v,%v)",
+					trial, i, lbs[i], ubs[i], wantLB, wantUB)
+			}
+		}
+	}
+}
+
 // TestBuildLUTReusesStorage verifies the scratch-reuse contract the engine's
 // pool relies on: rebuilding into an existing LUT must not allocate when the
 // shape is unchanged, and must produce the same values as a fresh build.

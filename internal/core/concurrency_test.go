@@ -82,6 +82,73 @@ func TestConcurrentSearches(t *testing.T) {
 	}
 }
 
+// TestTreeEngineConcurrentSearches is the tree-engine counterpart: the HFF
+// leaf caches are immutable after construction and the aggregate is atomic,
+// so concurrent searches must return the sequential results exactly and the
+// query count must add up (data races surface under -race in CI).
+func TestTreeEngineConcurrentSearches(t *testing.T) {
+	w := buildTreeWorld(t, "rtree", 1200, 10, 96)
+	for _, cfg := range []TreeConfig{
+		{Method: Exact, CacheBytes: 128 << 10},
+		{Method: HCO, CacheBytes: 96 << 10, Tau: 7},
+		{Method: NoCache},
+	} {
+		cfg := cfg
+		t.Run(string(cfg.Method), func(t *testing.T) {
+			eng, err := NewTreeEngine(w.ds, w.ix, w.store, w.wl, 10, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref := make([][]int, len(w.qtest))
+			for i, q := range w.qtest {
+				ids, _, err := eng.Search(q, 5)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ref[i] = ids
+			}
+			eng.ResetStats()
+
+			const workers = 8
+			var wg sync.WaitGroup
+			errs := make(chan error, workers)
+			for g := 0; g < workers; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					var dst []int
+					for i, q := range w.qtest {
+						var err error
+						dst, _, err = eng.SearchInto(q, 5, dst[:0])
+						if err != nil {
+							errs <- err
+							return
+						}
+						if len(dst) != len(ref[i]) {
+							errs <- errMismatch
+							return
+						}
+						for j, id := range dst {
+							if id != ref[i][j] {
+								errs <- errMismatch
+								return
+							}
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Fatal(err)
+			}
+			if agg := eng.Aggregate(); agg.Queries != workers*len(w.qtest) {
+				t.Fatalf("aggregate recorded %d queries, want %d", agg.Queries, workers*len(w.qtest))
+			}
+		})
+	}
+}
+
 var errMismatch = errConst("concurrent result mismatch")
 
 type errConst string

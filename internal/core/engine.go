@@ -5,7 +5,6 @@ import (
 	"math"
 	"runtime"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"exploitbit/internal/bounds"
@@ -103,8 +102,7 @@ type Engine struct {
 	// scratch pools per-query working sets; see searchScratch.
 	scratch sync.Pool
 
-	aggMu sync.Mutex
-	agg   Aggregate
+	agg atomicAggregate
 }
 
 // NewEngine builds an engine: it selects HFF cache content from the profile,
@@ -317,29 +315,10 @@ func (e *Engine) CacheLen() int {
 }
 
 // Aggregate returns the accumulated statistics since the last Reset.
-func (e *Engine) Aggregate() Aggregate {
-	e.aggMu.Lock()
-	defer e.aggMu.Unlock()
-	return e.agg
-}
+func (e *Engine) Aggregate() Aggregate { return e.agg.Load() }
 
 // ResetStats clears accumulated statistics.
-func (e *Engine) ResetStats() {
-	e.aggMu.Lock()
-	defer e.aggMu.Unlock()
-	e.agg = Aggregate{}
-}
-
-// candState is Phase 2's per-candidate bookkeeping. Bounds are kept squared
-// throughout: Algorithm 1 only ever compares bounds against each other and
-// against exact distances, and x ↦ x² is monotone on distances, so pruning,
-// true-hit detection and the refinement fetch order are unchanged while
-// every per-candidate sqrt disappears.
-type candState struct {
-	id         int32
-	lbSq, ubSq float64
-	exactPt    []float32 // non-nil for EXACT cache hits
-}
+func (e *Engine) ResetStats() { e.agg.Reset() }
 
 // Search runs Algorithm 1 and returns the identifiers of the k nearest
 // candidates of q (the paper returns identifiers, not vectors) plus the
@@ -387,28 +366,10 @@ func (e *Engine) SearchInto(q []float32, k int, dst []int) ([]int, QueryStats, e
 			return nil, sc.st, err
 		}
 	}
-	sc.lbs = grow(sc.lbs, len(ids))
-	sc.ubs = grow(sc.ubs, len(ids))
-	for i := range cs {
-		sc.lbs[i] = cs[i].lbSq
-		sc.ubs[i] = cs[i].ubSq
-	}
-	lbkSq := multistep.KthSmallestWith(sc.lbs, k, sc.top)
-	ubkSq := multistep.KthSmallestWith(sc.ubs, k, sc.top)
+	lbkSq, ubkSq := sc.kthBoundsSq(cs, k)
 
-	results := dst // true results detected without I/O come first
-	remaining := cs[:0]
-	for _, c := range cs {
-		switch {
-		case c.lbSq > ubkSq:
-			st.Pruned++ // early pruning: cannot be among the k nearest
-		case !e.cfg.NoTrueHitDetection && c.ubSq < lbkSq:
-			st.TrueHits++ // must be a result; no fetch needed
-			results = append(results, int(c.id))
-		default:
-			remaining = append(remaining, c)
-		}
-	}
+	// true results detected without I/O come first
+	results, remaining := partitionCandidates(cs, lbkSq, ubkSq, e.cfg.NoTrueHitDetection, st, dst)
 	st.Remaining = len(remaining)
 	st.ReduceTime = time.Since(t1)
 
@@ -437,9 +398,7 @@ func (e *Engine) SearchInto(q []float32, k int, dst []int) ([]int, QueryStats, e
 	st.RefineTime = time.Since(t2)
 	st.SimulatedIO = time.Duration(st.PageReads) * e.pf.Tio()
 
-	e.aggMu.Lock()
 	e.agg.Add(sc.st)
-	e.aggMu.Unlock()
 	return results, sc.st, nil
 }
 
@@ -501,8 +460,10 @@ func (e *Engine) reduceWorkers(n int) int {
 // (0, +Inf) of Algorithm 1 line 4.
 func (e *Engine) scoreCandidate(q []float32, id int, c *candState, lut *bounds.QueryLUT) bool {
 	c.id = int32(id)
+	c.leaf = -1
 	c.lbSq, c.ubSq = 0, math.Inf(1)
 	c.exactPt = nil
+	c.known = false
 	switch {
 	case e.approx != nil:
 		if words, ok := e.approx.Get(id); ok {
@@ -553,32 +514,20 @@ func (e *Engine) reduceSerial(q []float32, ids []int, cs []candState, lut *bound
 }
 
 // reduceParallel fans candidate scoring across workers over contiguous
-// chunks. Workers touch disjoint cs slots; the caches are concurrency-safe
-// (HFF immutable, LRU internally locked) and the LUT is read-only.
+// chunks via the shared reduction core. Workers touch disjoint cs slots; the
+// caches are concurrency-safe (HFF immutable, LRU internally locked) and the
+// LUT is read-only.
 func (e *Engine) reduceParallel(q []float32, ids []int, cs []candState, lut *bounds.QueryLUT, workers int, st *QueryStats) {
-	var wg sync.WaitGroup
-	var hits atomic.Int64
-	chunk := (len(ids) + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := min(lo+chunk, len(ids))
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			var h int64
-			for i := lo; i < hi; i++ {
-				if e.scoreCandidate(q, ids[i], &cs[i], lut) {
-					h++
-				}
+	hits := scoreParallel(len(ids), workers, func(lo, hi int) int64 {
+		var h int64
+		for i := lo; i < hi; i++ {
+			if e.scoreCandidate(q, ids[i], &cs[i], lut) {
+				h++
 			}
-			hits.Add(h)
-		}(lo, hi)
-	}
-	wg.Wait()
-	st.Hits += int(hits.Load())
+		}
+		return h
+	})
+	st.Hits += int(hits)
 }
 
 // admitLRU inserts a freshly fetched point into a dynamic cache, quantizing

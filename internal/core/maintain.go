@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"exploitbit/internal/dataset"
 	"exploitbit/internal/disk"
@@ -15,6 +16,13 @@ import (
 // and rebuilds the cache (HFF content, F′, Algorithm 2) from that window
 // when the observed hit ratio degrades against the post-build baseline —
 // the signature of workload drift.
+//
+// Rebuilds are non-blocking: the serving engine lives in an atomic pointer,
+// drift detection only *launches* a rebuild, and the rebuild runs in a
+// background goroutine that swaps the new engine in when done (RCU-style:
+// readers never wait for writers). Searches in flight during a rebuild keep
+// using the old engine; a failed rebuild is recorded and the old engine
+// keeps serving.
 type Maintainer struct {
 	pf    *disk.PointFile
 	ds    *dataset.Dataset
@@ -22,17 +30,45 @@ type Maintainer struct {
 	cfg   Config
 	opt   MaintainOptions
 
-	mu       sync.Mutex
-	eng      *Engine
-	window   [][]float32 // ring of recent queries
-	nextW    int
-	filled   bool
-	rebuilds int
+	// eng is the serving engine. Loaded lock-free on every search; stored
+	// under mu when a rebuild completes.
+	eng atomic.Pointer[Engine]
+
+	// build constructs a replacement engine from a window of queries. It is
+	// a field so tests can inject failures; the default is buildEngine.
+	build func(wl [][]float32, k int) (*Engine, error)
+
+	// rebuildMu serializes rebuild *execution* (profile + engine build),
+	// never searches. rebuilding is the launch guard: only one background
+	// rebuild may be queued or running at a time.
+	rebuildMu   sync.Mutex
+	rebuilding  atomic.Bool
+	rebuilds    atomic.Int64
+	rebuildErrs atomic.Int64
+
+	// rebuildGate, when non-nil, is received from by the background rebuild
+	// before it starts building — a test seam to hold a rebuild in flight.
+	rebuildGate chan struct{}
+
+	// mu guards the drift window and hit-ratio bookkeeping only; it is held
+	// for a few counter updates per query, never across a search or a build.
+	mu     sync.Mutex
+	window [][]float32 // ring of recent queries
+	nextW  int
+	filled bool
 
 	// Hit-ratio bookkeeping (candidate-weighted, like ρ_hit).
 	baseHits, baseCands     int64 // first window after a rebuild
 	recentHits, recentCands int64 // sliding estimate since baseline froze
 	sinceRebuild            int
+
+	// pendingRebuild counts down after drift detection. Detection fires
+	// while the window is still dominated by pre-drift queries (the recent
+	// estimate degrades within a fraction of a window), so snapshotting
+	// immediately would profile the *old* regime. Waiting one full window
+	// guarantees the rebuild sees pure post-drift traffic — one rebuild then
+	// lands on the new regime instead of converging over several.
+	pendingRebuild int
 }
 
 // MaintainOptions tunes the drift detector.
@@ -60,38 +96,54 @@ func (o MaintainOptions) withDefaults() MaintainOptions {
 	return o
 }
 
+// MaintainStats is a snapshot of the maintainer's rebuild activity.
+type MaintainStats struct {
+	Rebuilds        int  // completed rebuilds that swapped an engine in
+	RebuildErrors   int  // rebuild attempts that failed (old engine kept)
+	RebuildInFlight bool // a background rebuild is queued or running
+}
+
 // NewMaintainer wraps an initial workload into a self-maintaining engine.
 func NewMaintainer(pf *disk.PointFile, ds *dataset.Dataset, cands CandidateFunc, initialWL [][]float32, k int, cfg Config, opt MaintainOptions) (*Maintainer, error) {
 	opt = opt.withDefaults()
-	prof := BuildProfile(ds, cands, initialWL, k)
-	eng, err := NewEngine(pf, prof, cands, cfg)
+	m := &Maintainer{
+		pf: pf, ds: ds, cands: cands, cfg: cfg, opt: opt,
+		window: make([][]float32, opt.WindowSize),
+	}
+	m.build = m.buildEngine
+	eng, err := m.buildEngine(initialWL, k)
 	if err != nil {
 		return nil, fmt.Errorf("core: initial maintained engine: %w", err)
 	}
-	return &Maintainer{
-		pf: pf, ds: ds, cands: cands, cfg: cfg, opt: opt,
-		eng:    eng,
-		window: make([][]float32, opt.WindowSize),
-	}, nil
+	m.eng.Store(eng)
+	return m, nil
+}
+
+// buildEngine is the default build: profile the window, construct the engine.
+func (m *Maintainer) buildEngine(wl [][]float32, k int) (*Engine, error) {
+	prof := BuildProfile(m.ds, m.cands, wl, k)
+	return NewEngine(m.pf, prof, m.cands, m.cfg)
 }
 
 // Engine returns the currently serving engine (for inspection).
-func (m *Maintainer) Engine() *Engine {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.eng
+func (m *Maintainer) Engine() *Engine { return m.eng.Load() }
+
+// Rebuilds reports how many automatic rebuilds have completed.
+func (m *Maintainer) Rebuilds() int { return int(m.rebuilds.Load()) }
+
+// Stats snapshots the rebuild counters.
+func (m *Maintainer) Stats() MaintainStats {
+	return MaintainStats{
+		Rebuilds:        int(m.rebuilds.Load()),
+		RebuildErrors:   int(m.rebuildErrs.Load()),
+		RebuildInFlight: m.rebuilding.Load(),
+	}
 }
 
-// Rebuilds reports how many automatic rebuilds have occurred.
-func (m *Maintainer) Rebuilds() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.rebuilds
-}
-
-// Search serves one query, records it in the drift window, and rebuilds the
-// cache when drift is detected. Safe for concurrent use (queries serialize
-// only around the bookkeeping, not the engine search itself).
+// Search serves one query, records it in the drift window, and launches a
+// background rebuild when drift is detected. Safe for concurrent use:
+// searches read the engine through an atomic pointer and never wait on a
+// rebuild.
 func (m *Maintainer) Search(q []float32, k int) ([]int, QueryStats, error) {
 	return m.SearchInto(q, k, nil)
 }
@@ -99,15 +151,22 @@ func (m *Maintainer) Search(q []float32, k int) ([]int, QueryStats, error) {
 // SearchInto is Search appending result identifiers to dst, mirroring
 // Engine.SearchInto for allocation-conscious callers.
 func (m *Maintainer) SearchInto(q []float32, k int, dst []int) ([]int, QueryStats, error) {
-	m.mu.Lock()
-	eng := m.eng
-	m.mu.Unlock()
-
-	ids, st, err := eng.SearchInto(q, k, dst)
+	ids, st, err := m.eng.Load().SearchInto(q, k, dst)
 	if err != nil {
 		return nil, st, err
 	}
 
+	if wl := m.recordQuery(q, st); wl != nil {
+		m.launchRebuild(wl, k)
+	}
+	return ids, st, nil
+}
+
+// recordQuery folds one served query into the drift window. When drift is
+// detected (and no rebuild is already in flight) it arms a one-window
+// countdown; once the window holds only post-detection queries it snapshots
+// and returns the rebuild workload. Otherwise it returns nil.
+func (m *Maintainer) recordQuery(q []float32, st QueryStats) [][]float32 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	// Record the query (copying: callers may reuse buffers).
@@ -118,11 +177,21 @@ func (m *Maintainer) SearchInto(q []float32, k int, dst []int) ([]int, QueryStat
 	}
 	m.sinceRebuild++
 
+	// A detected drift waits out one window before snapshotting, so the
+	// rebuild profiles only queries issued after the regime change.
+	if m.pendingRebuild > 0 {
+		m.pendingRebuild--
+		if m.pendingRebuild == 0 {
+			return m.windowQueriesLocked()
+		}
+		return nil
+	}
+
 	// Baseline: the first window after a (re)build defines "healthy".
 	if m.sinceRebuild <= m.opt.WindowSize {
 		m.baseHits += int64(st.Hits)
 		m.baseCands += int64(st.Candidates)
-		return ids, st, nil
+		return nil
 	}
 	// Exponentially decayed recent window keeps the estimate moving.
 	m.recentHits += int64(st.Hits)
@@ -136,38 +205,85 @@ func (m *Maintainer) SearchInto(q []float32, k int, dst []int) ([]int, QueryStat
 		m.baseCands > 0 && m.recentCands > 0 {
 		base := float64(m.baseHits) / float64(m.baseCands)
 		recent := float64(m.recentHits) / float64(m.recentCands)
-		if recent < base*m.opt.DegradeFactor {
-			if err := m.rebuildLocked(k); err != nil {
-				return ids, st, fmt.Errorf("core: cache rebuild failed: %w", err)
-			}
+		if recent < base*m.opt.DegradeFactor && m.rebuilding.CompareAndSwap(false, true) {
+			m.pendingRebuild = len(m.window)
 		}
 	}
-	return ids, st, nil
+	return nil
 }
 
-// ForceRebuild rebuilds immediately from the current window (the paper's
-// "e.g., daily" scheduled variant; call it from a timer if preferred).
-func (m *Maintainer) ForceRebuild(k int) error {
+// launchRebuild starts the background rebuild for a window snapshot. The
+// caller must have won the m.rebuilding CAS.
+func (m *Maintainer) launchRebuild(wl [][]float32, k int) {
+	go m.backgroundRebuild(wl, k)
+}
+
+// RebuildAsync launches a background rebuild from the current window,
+// returning false when one is already queued or running (or the window is
+// empty). Unlike ForceRebuild it never blocks the caller on the build.
+func (m *Maintainer) RebuildAsync(k int) bool {
+	if !m.rebuilding.CompareAndSwap(false, true) {
+		return false
+	}
+	m.mu.Lock()
+	wl := m.windowQueriesLocked()
+	m.mu.Unlock()
+	if len(wl) == 0 {
+		m.rebuilding.Store(false)
+		return false
+	}
+	m.launchRebuild(wl, k)
+	return true
+}
+
+// backgroundRebuild builds a replacement engine off the search path and
+// swaps it in. A failed build only bumps RebuildErrors: the previous engine
+// keeps serving and in-flight searches never observe the failure.
+func (m *Maintainer) backgroundRebuild(wl [][]float32, k int) {
+	defer m.rebuilding.Store(false)
+	m.rebuildMu.Lock()
+	defer m.rebuildMu.Unlock()
+	if m.rebuildGate != nil {
+		<-m.rebuildGate
+	}
+	eng, err := m.build(wl, k)
+	if err != nil {
+		m.rebuildErrs.Add(1)
+		return
+	}
+	m.install(eng)
+}
+
+// install publishes a freshly built engine and resets the drift baseline.
+func (m *Maintainer) install(eng *Engine) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.rebuildLocked(k)
+	m.eng.Store(eng)
+	m.rebuilds.Add(1)
+	m.sinceRebuild = 0
+	m.pendingRebuild = 0
+	m.baseHits, m.baseCands = 0, 0
+	m.recentHits, m.recentCands = 0, 0
 }
 
-func (m *Maintainer) rebuildLocked(k int) error {
+// ForceRebuild rebuilds synchronously from the current window (the paper's
+// "e.g., daily" scheduled variant; call it from a timer if preferred) and
+// reports any build error to the caller.
+func (m *Maintainer) ForceRebuild(k int) error {
+	m.mu.Lock()
 	wl := m.windowQueriesLocked()
+	m.mu.Unlock()
 	if len(wl) == 0 {
 		return fmt.Errorf("core: no recorded queries to rebuild from")
 	}
-	prof := BuildProfile(m.ds, m.cands, wl, k)
-	eng, err := NewEngine(m.pf, prof, m.cands, m.cfg)
+	m.rebuildMu.Lock()
+	defer m.rebuildMu.Unlock()
+	eng, err := m.build(wl, k)
 	if err != nil {
+		m.rebuildErrs.Add(1)
 		return err
 	}
-	m.eng = eng
-	m.rebuilds++
-	m.sinceRebuild = 0
-	m.baseHits, m.baseCands = 0, 0
-	m.recentHits, m.recentCands = 0, 0
+	m.install(eng)
 	return nil
 }
 

@@ -1,13 +1,27 @@
 package core
 
 import (
+	"errors"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"exploitbit/internal/dataset"
 	"exploitbit/internal/disk"
 	"exploitbit/internal/lsh"
 )
+
+// waitRebuildIdle blocks until no background rebuild is queued or running.
+func waitRebuildIdle(t *testing.T, m *Maintainer) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for m.Stats().RebuildInFlight {
+		if time.Now().After(deadline) {
+			t.Fatal("background rebuild never finished")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
 
 // driftWorld builds a dataset with two disjoint query populations: pool A
 // (sampled from the first half of the points) and pool B (second half).
@@ -69,7 +83,9 @@ func TestMaintainerDetectsDriftAndRecovers(t *testing.T) {
 	}
 
 	// Phase 2: drift to the disjoint pool; the maintainer must rebuild.
+	// Rebuilds run in the background, so wait for the swap before checking.
 	run(poolB, 400)
+	waitRebuildIdle(t, m)
 	if m.Rebuilds() == 0 {
 		t.Fatal("drift never triggered a rebuild")
 	}
@@ -78,6 +94,106 @@ func TestMaintainerDetectsDriftAndRecovers(t *testing.T) {
 	h, c = run(poolB, 128)
 	if recovered := float64(h) / float64(c); recovered < healthy*0.6 {
 		t.Fatalf("post-rebuild hit ratio %.2f did not recover (healthy was %.2f)", recovered, healthy)
+	}
+}
+
+// TestMaintainerNonBlockingRebuild holds a rebuild in flight behind the test
+// gate and proves searches keep completing against the old engine while it
+// runs — the acceptance property of the RCU-style swap.
+func TestMaintainerNonBlockingRebuild(t *testing.T) {
+	ds, pf, cands, poolA, _ := driftWorld(t)
+	m, err := NewMaintainer(pf, ds, cands, poolA[:50], 5, Config{
+		Method: Exact, CacheBytes: 1 << 18,
+	}, MaintainOptions{WindowSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if _, _, err := m.Search(poolA[i], 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	gate := make(chan struct{})
+	m.rebuildGate = gate
+	before := m.Engine()
+	if !m.RebuildAsync(5) {
+		t.Fatal("RebuildAsync refused with a populated window")
+	}
+	if !m.Stats().RebuildInFlight {
+		t.Fatal("rebuild not reported in flight")
+	}
+	// A second launch must be rejected while one is pending.
+	if m.RebuildAsync(5) {
+		t.Fatal("second RebuildAsync accepted while one is in flight")
+	}
+
+	// The rebuild is parked on the gate: every search must still complete,
+	// served by the old engine.
+	for i := 0; i < 50; i++ {
+		ids, _, err := m.Search(poolA[i%len(poolA)], 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ids) != 5 {
+			t.Fatalf("search returned %d ids during rebuild", len(ids))
+		}
+	}
+	if m.Engine() != before {
+		t.Fatal("engine swapped while the rebuild was still gated")
+	}
+
+	close(gate)
+	waitRebuildIdle(t, m)
+	st := m.Stats()
+	if st.Rebuilds != 1 || st.RebuildErrors != 0 {
+		t.Fatalf("stats after rebuild: %+v", st)
+	}
+	if m.Engine() == before {
+		t.Fatal("rebuild completed but the engine was not swapped")
+	}
+	if _, _, err := m.Search(poolA[0], 5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMaintainerRebuildFailureKeepsServing injects a failing build and checks
+// the failure is counted, never surfaces to searches, and leaves the old
+// engine serving.
+func TestMaintainerRebuildFailureKeepsServing(t *testing.T) {
+	ds, pf, cands, poolA, _ := driftWorld(t)
+	m, err := NewMaintainer(pf, ds, cands, poolA[:50], 5, Config{
+		Method: Exact, CacheBytes: 1 << 18,
+	}, MaintainOptions{WindowSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if _, _, err := m.Search(poolA[i], 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	m.build = func([][]float32, int) (*Engine, error) {
+		return nil, errors.New("injected build failure")
+	}
+	before := m.Engine()
+	if !m.RebuildAsync(5) {
+		t.Fatal("RebuildAsync refused with a populated window")
+	}
+	waitRebuildIdle(t, m)
+
+	st := m.Stats()
+	if st.Rebuilds != 0 || st.RebuildErrors != 1 {
+		t.Fatalf("stats after failed rebuild: %+v", st)
+	}
+	if m.Engine() != before {
+		t.Fatal("failed rebuild replaced the serving engine")
+	}
+	for i := 0; i < 20; i++ {
+		if _, _, err := m.Search(poolA[i], 5); err != nil {
+			t.Fatalf("search after failed rebuild: %v", err)
+		}
 	}
 }
 

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"exploitbit/internal/multistep"
+	"exploitbit/internal/vec"
+)
+
+// This file is the index-agnostic core of Algorithm 1's candidate reduction
+// (lines 7–13): the per-candidate squared-bound state, the lb_k/ub_k
+// selection over pooled scratch, the prune / true-hit / remaining partition,
+// and the goroutine fan-out used when the candidate set is large. Engine
+// (flat candidate indexes: C2LSH, VA-file) and TreeEngine (leaf-node indexes:
+// iDistance, VP-tree, R-tree; Section 3.6.1) both assemble their searches
+// from these pieces, so every fast path — LUT scoring, squared-distance
+// thresholds, pooled scratch, parallel reduction, atomic aggregates — exists
+// exactly once.
+
+// candState is Phase 2's per-candidate bookkeeping. Bounds are kept squared
+// throughout: Algorithm 1 only ever compares bounds against each other and
+// against exact distances, and x ↦ x² is monotone on distances, so pruning,
+// true-hit detection and the refinement fetch order are unchanged while
+// every per-candidate sqrt disappears.
+type candState struct {
+	id   int32
+	leaf int32 // owning leaf for tree candidates (-1: not leaf-resident)
+
+	lbSq, ubSq float64
+	exactPt    []float32 // non-nil for EXACT cache hits
+
+	// known marks a candidate whose exact distance is already in hand and
+	// whose I/O is already paid (tree candidates from exact-cached or
+	// disk-loaded leaves). Known candidates are never declared true hits —
+	// true-hit detection exists to avoid I/O that they no longer need — and
+	// instead compete for result slots in refinement at zero cost.
+	known bool
+}
+
+// reduceScratch is the pooled working set of the shared reduction core. Both
+// engines embed it in their per-query scratch so lb_k/ub_k selection and the
+// partition run without heap allocations in steady state.
+type reduceScratch struct {
+	cs       []candState
+	lbs, ubs []float64
+	top      *vec.TopK
+}
+
+func newReduceScratch() reduceScratch {
+	return reduceScratch{top: vec.NewTopK(1)}
+}
+
+// kthBoundsSq computes Algorithm 1's lb_k and ub_k (lines 7–8) in squared
+// space over the scored candidates, reusing the scratch's bound arrays and
+// selection heap. Both are +Inf when fewer than k candidates exist, which
+// makes every finite-bounded candidate a true hit — exactly the paper's
+// semantics when the candidate set cannot fill the result.
+func (rs *reduceScratch) kthBoundsSq(cs []candState, k int) (lbkSq, ubkSq float64) {
+	rs.lbs = grow(rs.lbs, len(cs))
+	rs.ubs = grow(rs.ubs, len(cs))
+	for i := range cs {
+		rs.lbs[i] = cs[i].lbSq
+		rs.ubs[i] = cs[i].ubSq
+	}
+	lbkSq = multistep.KthSmallestWith(rs.lbs, k, rs.top)
+	ubkSq = multistep.KthSmallestWith(rs.ubs, k, rs.top)
+	return lbkSq, ubkSq
+}
+
+// partitionCandidates applies Algorithm 1 lines 9–13 to the scored
+// candidates: early pruning (lb > ub_k), true-result detection (ub < lb_k,
+// Case ii — skipped for known candidates and under the ablation switch), and
+// pass-through of everything else to refinement. True-hit identifiers are
+// appended to results; survivors are compacted in place into cs[:0] and
+// returned as remaining. The caller decides what st.Remaining means for its
+// index shape (the tree counts only leaf-resident survivors).
+func partitionCandidates(cs []candState, lbkSq, ubkSq float64, noTrueHit bool, st *QueryStats, results []int) ([]int, []candState) {
+	remaining := cs[:0]
+	for _, c := range cs {
+		switch {
+		case c.lbSq > ubkSq:
+			st.Pruned++ // early pruning: cannot be among the k nearest
+		case !noTrueHit && !c.known && c.ubSq < lbkSq:
+			st.TrueHits++ // must be a result; no fetch needed
+			results = append(results, int(c.id))
+		default:
+			remaining = append(remaining, c)
+		}
+	}
+	return results, remaining
+}
+
+// scoreParallel fans scoring of [0,n) across workers over contiguous chunks
+// and returns the summed per-chunk results (the engines count cache hits).
+// Chunks touch disjoint state by construction; score must be safe for
+// concurrent invocation on disjoint ranges.
+func scoreParallel(n, workers int, score func(lo, hi int) int64) int64 {
+	var wg sync.WaitGroup
+	var total atomic.Int64
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, n)
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			total.Add(score(lo, hi))
+		}(lo, hi)
+	}
+	wg.Wait()
+	return total.Load()
+}

@@ -4,7 +4,6 @@ import (
 	"exploitbit/internal/bounds"
 	"exploitbit/internal/cache"
 	"exploitbit/internal/multistep"
-	"exploitbit/internal/vec"
 )
 
 // searchScratch is the per-query working set of Search, pooled on the engine
@@ -16,9 +15,7 @@ type searchScratch struct {
 	eng *Engine
 	st  QueryStats
 
-	cs       []candState
-	lbs, ubs []float64
-	top      *vec.TopK
+	reduceScratch
 
 	lut      *bounds.QueryLUT
 	fetchBuf []float32
@@ -36,11 +33,11 @@ type searchScratch struct {
 
 func newSearchScratch(e *Engine) *searchScratch {
 	sc := &searchScratch{
-		eng:       e,
-		top:       vec.NewTopK(1),
-		fetchBuf:  make([]float32, e.ds.Dim),
-		codes:     make([]int, e.ds.Dim),
-		exactByID: make(map[int32][]float32),
+		eng:           e,
+		reduceScratch: newReduceScratch(),
+		fetchBuf:      make([]float32, e.ds.Dim),
+		codes:         make([]int, e.ds.Dim),
+		exactByID:     make(map[int32][]float32),
 	}
 	sc.fetch = sc.fetchPoint
 	return sc

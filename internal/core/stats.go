@@ -7,7 +7,10 @@
 // Section 3.6.1.
 package core
 
-import "time"
+import (
+	"sync/atomic"
+	"time"
+)
 
 // QueryStats records one query's execution, in the vocabulary of Section 2.2.
 type QueryStats struct {
@@ -82,6 +85,77 @@ func (a *Aggregate) Add(s QueryStats) {
 	if s.ReduceWorkers > 1 {
 		a.ParallelQueries++
 	}
+}
+
+// atomicAggregate accumulates Aggregate counters with lock-free atomics, so
+// concurrent searches never serialize on a stats mutex just to record their
+// telemetry. Load takes each counter independently; under concurrent
+// writers the snapshot may mix counters from in-flight queries, which is
+// harmless for the ratios and averages Aggregate reports.
+type atomicAggregate struct {
+	queries, candidates, hits, pruned, trueHits, remaining, fetched,
+	pageReads, simulatedIO, genTime, reduceTime, refineTime,
+	lutQueries, parallelQueries atomic.Int64
+}
+
+// Add folds one query's stats into the aggregate without locking.
+func (a *atomicAggregate) Add(s QueryStats) {
+	a.queries.Add(1)
+	a.candidates.Add(int64(s.Candidates))
+	a.hits.Add(int64(s.Hits))
+	a.pruned.Add(int64(s.Pruned))
+	a.trueHits.Add(int64(s.TrueHits))
+	a.remaining.Add(int64(s.Remaining))
+	a.fetched.Add(int64(s.Fetched))
+	a.pageReads.Add(s.PageReads)
+	a.simulatedIO.Add(int64(s.SimulatedIO))
+	a.genTime.Add(int64(s.GenTime))
+	a.reduceTime.Add(int64(s.ReduceTime))
+	a.refineTime.Add(int64(s.RefineTime))
+	if s.UsedLUT {
+		a.lutQueries.Add(1)
+	}
+	if s.ReduceWorkers > 1 {
+		a.parallelQueries.Add(1)
+	}
+}
+
+// Load snapshots the counters into the exported Aggregate form.
+func (a *atomicAggregate) Load() Aggregate {
+	return Aggregate{
+		Queries:         int(a.queries.Load()),
+		Candidates:      a.candidates.Load(),
+		Hits:            a.hits.Load(),
+		Pruned:          a.pruned.Load(),
+		TrueHits:        a.trueHits.Load(),
+		Remaining:       a.remaining.Load(),
+		Fetched:         a.fetched.Load(),
+		PageReads:       a.pageReads.Load(),
+		SimulatedIO:     time.Duration(a.simulatedIO.Load()),
+		GenTime:         time.Duration(a.genTime.Load()),
+		ReduceTime:      time.Duration(a.reduceTime.Load()),
+		RefineTime:      time.Duration(a.refineTime.Load()),
+		LUTQueries:      a.lutQueries.Load(),
+		ParallelQueries: a.parallelQueries.Load(),
+	}
+}
+
+// Reset zeroes every counter.
+func (a *atomicAggregate) Reset() {
+	a.queries.Store(0)
+	a.candidates.Store(0)
+	a.hits.Store(0)
+	a.pruned.Store(0)
+	a.trueHits.Store(0)
+	a.remaining.Store(0)
+	a.fetched.Store(0)
+	a.pageReads.Store(0)
+	a.simulatedIO.Store(0)
+	a.genTime.Store(0)
+	a.reduceTime.Store(0)
+	a.refineTime.Store(0)
+	a.lutQueries.Store(0)
+	a.parallelQueries.Store(0)
 }
 
 func (a Aggregate) per(v int64) float64 {

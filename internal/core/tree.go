@@ -25,6 +25,14 @@ type LeafIndex interface {
 	LeafLowerBounds(q []float32) []float64
 }
 
+// leafBoundsInto is the allocation-free variant of LeafLowerBounds: the
+// bounds are written into dst (grown only when undersized) and returned.
+// Indexes that implement it let the tree engine's steady state avoid a
+// per-query bound-slice allocation.
+type leafBoundsInto interface {
+	LeafLowerBoundsInto(q []float32, dst []float64) []float64
+}
+
 // TreeConfig selects how leaf nodes are cached.
 type TreeConfig struct {
 	// Method: Exact caches raw leaf vectors; HCO (or any HC-*) caches
@@ -37,6 +45,13 @@ type TreeConfig struct {
 	Tau int
 	// SmoothEps as in Config.
 	SmoothEps float64
+	// LUTMinCachedPoints gates the per-query ADC lookup table for HC-*
+	// leaf caches, mirroring Config.LUTMinCandidates: the LUT costs
+	// O(dim·B) per query, so it only pays once enough approximate points
+	// are cached. 0 means the default 2·B; negative disables the LUT.
+	// Unlike the flat engine the cached population is fixed at build time,
+	// so the gate is decided once, not per query.
+	LUTMinCachedPoints int
 }
 
 // exactLeaf is the payload of the EXACT leaf cache.
@@ -54,20 +69,34 @@ type approxLeaf struct {
 // leaf nodes are visited in ascending lower-bound order; cached leaves are
 // examined in RAM (exact distances, or per-point bounds that tighten ub_k
 // and defer fetching), uncached leaves are loaded from disk.
+//
+// Search is built from the same reduction core as the flat Engine
+// (reduce.go): squared-space bounds end to end, candState partitioning for
+// pruning and true-hit detection, pooled per-query scratch, optional LUT
+// scoring, and lock-free aggregates. Refinement is group-granular: loading
+// one leaf resolves every resident candidate at once
+// (multistep.SearchGroupsSq).
 type TreeEngine struct {
 	ds    *dataset.Dataset
 	ix    LeafIndex
 	store *leafstore.Store
 	cfg   TreeConfig
 
-	codec  encoding.Codec
-	table  *bounds.Table
-	ghist  *histogram.Histogram
-	exactC *cache.Cache[exactLeaf]
-	apprxC *cache.Cache[approxLeaf]
+	// leaves is ix.Leaves() hoisted once at construction: the directory is
+	// immutable, and the hot loops index it per candidate.
+	leaves [][]int32
+	// ixInto is ix when it supports allocation-free leaf bounds.
+	ixInto leafBoundsInto
 
-	aggMu sync.Mutex
-	agg   Aggregate
+	codec    encoding.Codec
+	table    *bounds.Table
+	ghist    *histogram.Histogram
+	exactC   *cache.Cache[exactLeaf]
+	apprxC   *cache.Cache[approxLeaf]
+	buildLUT bool
+
+	scratch sync.Pool
+	agg     atomicAggregate
 }
 
 // NewTreeEngine builds the cached tree engine. Leaf access frequencies are
@@ -89,7 +118,9 @@ func NewTreeEngine(ds *dataset.Dataset, ix LeafIndex, store *leafstore.Store, wl
 	if cfg.SmoothEps == 0 {
 		cfg.SmoothEps = 0.01
 	}
-	e := &TreeEngine{ds: ds, ix: ix, store: store, cfg: cfg}
+	e := &TreeEngine{ds: ds, ix: ix, store: store, cfg: cfg, leaves: ix.Leaves()}
+	e.ixInto, _ = ix.(leafBoundsInto)
+	e.scratch.New = func() any { return newTreeScratch(e) }
 
 	if cfg.Method == NoCache {
 		return e, nil
@@ -108,7 +139,7 @@ func NewTreeEngine(ds *dataset.Dataset, ix LeafIndex, store *leafstore.Store, wl
 	}
 	ranked := cache.RankByFrequency(leafFreq)
 
-	leaves := ix.Leaves()
+	cachedPts := 0
 	switch cfg.Method {
 	case Exact:
 		// Capacity in leaves: raw vectors, budget split by average leaf bits.
@@ -116,11 +147,12 @@ func NewTreeEngine(ds *dataset.Dataset, ix LeafIndex, store *leafstore.Store, wl
 		capacity := cache.CapacityForBudget(cfg.CacheBytes, itemBits)
 		e.exactC = cache.New[exactLeaf](capacity, cache.HFF)
 		e.exactC.FillHFF(ranked, func(li int) exactLeaf {
-			ids := leaves[li]
+			ids := e.leaves[li]
 			pts := make([][]float32, len(ids))
 			for i, id := range ids {
 				pts[i] = ds.Point(int(id))
 			}
+			cachedPts += len(ids)
 			return exactLeaf{pts: pts}
 		})
 	default: // HC-* approximate leaf caching
@@ -140,12 +172,12 @@ func NewTreeEngine(ds *dataset.Dataset, ix LeafIndex, store *leafstore.Store, wl
 		}
 		e.codec = encoding.NewCodec(ds.Dim, cfg.Tau)
 		e.table = bounds.NewTable(e.ghist, dom, ds.Dim)
-		itemBits := e.avgLeafBits(e.codec.ItemBits() / 1) // per-point packed bits
+		itemBits := e.avgLeafBits(e.codec.ItemBits()) // per-point packed bits
 		capacity := cache.CapacityForBudget(cfg.CacheBytes, itemBits)
 		e.apprxC = cache.New[approxLeaf](capacity, cache.HFF)
 		codes := make([]int, ds.Dim)
 		e.apprxC.FillHFF(ranked, func(li int) approxLeaf {
-			ids := leaves[li]
+			ids := e.leaves[li]
 			words := make([]uint64, len(ids)*e.codec.Words())
 			for i, id := range ids {
 				p := ds.Point(int(id))
@@ -154,23 +186,28 @@ func NewTreeEngine(ds *dataset.Dataset, ix LeafIndex, store *leafstore.Store, wl
 				}
 				e.codec.Encode(codes, words[i*e.codec.Words():(i+1)*e.codec.Words()])
 			}
+			cachedPts += len(ids)
 			return approxLeaf{words: words}
 		})
+		th := cfg.LUTMinCachedPoints
+		if th == 0 {
+			th = 2 * e.table.Buckets()
+		}
+		e.buildLUT = th > 0 && cachedPts >= th
 	}
 	return e, nil
 }
 
 // avgLeafBits estimates the cache cost of one leaf at perPointBits.
 func (e *TreeEngine) avgLeafBits(perPointBits int) int {
-	leaves := e.ix.Leaves()
-	if len(leaves) == 0 {
+	if len(e.leaves) == 0 {
 		return perPointBits
 	}
 	total := 0
-	for _, l := range leaves {
+	for _, l := range e.leaves {
 		total += len(l)
 	}
-	avg := (total*perPointBits + len(leaves) - 1) / len(leaves)
+	avg := (total*perPointBits + len(e.leaves) - 1) / len(e.leaves)
 	if avg < 1 {
 		avg = 1
 	}
@@ -188,7 +225,7 @@ func (e *TreeEngine) replay(q []float32, k int) (visited []int, nn [][]float32) 
 			break
 		}
 		visited = append(visited, li)
-		for _, id := range e.ix.Leaves()[li] {
+		for _, id := range e.leaves[li] {
 			top.Push(vec.Dist(q, e.ds.Point(int(id))), int(id))
 		}
 	}
@@ -204,41 +241,105 @@ func argsortByValue(v []float64) []int {
 	for i := range order {
 		order[i] = i
 	}
-	sort.Slice(order, func(a, b int) bool {
-		if v[order[a]] != v[order[b]] {
-			return v[order[a]] < v[order[b]]
-		}
-		return order[a] < order[b]
-	})
+	sort.Sort(&leafSorter{key: v, idx: order})
 	return order
 }
 
-// Aggregate returns accumulated statistics.
-func (e *TreeEngine) Aggregate() Aggregate {
-	e.aggMu.Lock()
-	defer e.aggMu.Unlock()
-	return e.agg
+// leafSorter orders leaf indices by (bound, index) through sort.Interface, so
+// the per-query sort reuses a pooled struct instead of allocating the
+// closures of sort.Slice.
+type leafSorter struct {
+	key []float64
+	idx []int
 }
+
+func (s *leafSorter) Len() int { return len(s.idx) }
+func (s *leafSorter) Less(a, b int) bool {
+	ka, kb := s.key[s.idx[a]], s.key[s.idx[b]]
+	if ka != kb {
+		return ka < kb
+	}
+	return s.idx[a] < s.idx[b]
+}
+func (s *leafSorter) Swap(a, b int) { s.idx[a], s.idx[b] = s.idx[b], s.idx[a] }
+
+// Aggregate returns accumulated statistics.
+func (e *TreeEngine) Aggregate() Aggregate { return e.agg.Load() }
 
 // ResetStats clears accumulated statistics.
-func (e *TreeEngine) ResetStats() {
-	e.aggMu.Lock()
-	defer e.aggMu.Unlock()
-	e.agg = Aggregate{}
+func (e *TreeEngine) ResetStats() { e.agg.Reset() }
+
+// treeScratch is the pooled per-query working set of the tree search. Like
+// the flat engine's searchScratch it embeds the shared reduceScratch, so the
+// all-cached steady state performs zero heap allocations.
+type treeScratch struct {
+	eng *TreeEngine
+	st  QueryStats
+	q   []float32
+
+	reduceScratch
+
+	nodeLB     []float64 // squared per-leaf lower bounds
+	sorter     leafSorter
+	ubTop      *vec.TopK
+	lut        *bounds.QueryLUT
+	ptLB, ptUB []float64 // per-point squared bounds of one cached leaf
+
+	seeds, pend []multistep.GroupCandidate
+	skip        map[int32]bool
+	msc         multistep.Scratch
+	rbuf        []multistep.Result
+	sqd         []float64 // squared distances of one loaded leaf
+
+	// fetch is the Phase 3 group fetch, bound once per scratch so per-query
+	// calls do not allocate a closure.
+	fetch multistep.GroupFetch
 }
 
-// pendingCand is a cached approximate point awaiting possible refinement.
-type pendingCand struct {
-	id     int32
-	leaf   int32
-	lb, ub float64
+func newTreeScratch(e *TreeEngine) *treeScratch {
+	sc := &treeScratch{
+		eng:           e,
+		reduceScratch: newReduceScratch(),
+		skip:          make(map[int32]bool),
+	}
+	sc.fetch = sc.loadGroup
+	return sc
 }
 
-// knownCand is a candidate whose exact distance is already in hand (from an
-// exact-cached or disk-loaded leaf).
-type knownCand struct {
-	id int32
-	d  float64
+func (e *TreeEngine) getScratch() *treeScratch {
+	return e.scratch.Get().(*treeScratch)
+}
+
+func (e *TreeEngine) putScratch(sc *treeScratch) {
+	sc.q = nil
+	e.scratch.Put(sc)
+}
+
+// loadLeaf loads one leaf from the store, charging its points and pages to
+// the query. Pages are charged per loaded leaf (not by differencing the
+// store's device counter), so concurrent searches account their own I/O.
+func (e *TreeEngine) loadLeaf(li int, st *QueryStats) ([]int32, [][]float32, error) {
+	ids, pts, err := e.store.Load(li)
+	if err != nil {
+		return nil, nil, err
+	}
+	st.Fetched += len(ids)
+	st.PageReads += int64(e.store.LeafPages(li))
+	return ids, pts, nil
+}
+
+// loadGroup is the refinement fetch: loading one leaf yields the exact
+// squared distance of every resident point.
+func (sc *treeScratch) loadGroup(group int32) ([]int32, []float64, error) {
+	ids, pts, err := sc.eng.loadLeaf(int(group), &sc.st)
+	if err != nil {
+		return nil, nil, err
+	}
+	sc.sqd = grow(sc.sqd, len(pts))
+	for i, p := range pts {
+		sc.sqd[i] = vec.SqDist(sc.q, p)
+	}
+	return ids, sc.sqd, nil
 }
 
 // Search runs the cached tree kNN search of Section 3.6.1 and returns the
@@ -247,112 +348,132 @@ type knownCand struct {
 // results without ever fetching their leaf — the identifiers are the answer,
 // per Definition 3's remark.
 func (e *TreeEngine) Search(q []float32, k int) ([]int, QueryStats, error) {
-	var st QueryStats
+	return e.SearchInto(q, k, nil)
+}
+
+// SearchInto is Search appending the result identifiers to dst (pass
+// dst[:0] to reuse a buffer across queries; with every visited leaf cached
+// the steady state then allocates nothing).
+func (e *TreeEngine) SearchInto(q []float32, k int, dst []int) ([]int, QueryStats, error) {
+	sc := e.getScratch()
+	defer e.putScratch(sc)
+	sc.st = QueryStats{}
+	sc.q = q
+	st := &sc.st
+
+	// Phase 1: candidate generation order — per-leaf lower bounds, squared
+	// in place (x ↦ x² is monotone, so the visit order, the node cutoff and
+	// the bound clamp are unchanged while the per-point work below never
+	// takes a square root).
 	t0 := time.Now()
-	lbs := e.ix.LeafLowerBounds(q)
-	order := argsortByValue(lbs)
+	var lbs []float64
+	if e.ixInto != nil {
+		sc.nodeLB = e.ixInto.LeafLowerBoundsInto(q, sc.nodeLB)
+		lbs = sc.nodeLB
+	} else {
+		lbs = e.ix.LeafLowerBounds(q)
+		sc.nodeLB = grow(sc.nodeLB, len(lbs))
+	}
+	for i := range lbs {
+		sc.nodeLB[i] = lbs[i] * lbs[i]
+	}
+	sc.sorter.key = sc.nodeLB
+	sc.sorter.idx = grow(sc.sorter.idx, len(sc.nodeLB))
+	for i := range sc.sorter.idx {
+		sc.sorter.idx[i] = i
+	}
+	sort.Sort(&sc.sorter)
 	st.GenTime = time.Since(t0)
 
+	// Phase 2: visit leaves in bound order, scoring cached ones in RAM and
+	// loading the rest; then reduce with the shared lb_k/ub_k partition.
 	t1 := time.Now()
-	io0 := e.store.Stats().PageReads
-	ubTop := vec.NewTopK(k)   // k-th smallest known upper bound, for node cutoff
-	var known []knownCand     // candidates with exact distances
-	var pending []pendingCand // cached points deferred on bounds
-	leaves := e.ix.Leaves()
-
-	loadLeaf := func(li int) ([]int32, [][]float32, error) {
-		ids, pts, err := e.store.Load(li)
-		if err != nil {
-			return nil, nil, err
-		}
-		st.Fetched += len(ids)
-		return ids, pts, nil
+	if sc.ubTop == nil {
+		sc.ubTop = vec.NewTopK(k)
+	} else {
+		sc.ubTop.Reset(k)
 	}
-
-	for _, li := range order {
-		if ubTop.Full() && lbs[li] >= ubTop.Root() {
+	ubTop := sc.ubTop
+	var lut *bounds.QueryLUT
+	if e.buildLUT {
+		sc.lut = e.table.BuildLUT(q, sc.lut)
+		lut = sc.lut
+		st.UsedLUT = true
+	}
+	cs := sc.cs[:0]
+	for _, li := range sc.sorter.idx {
+		if ubTop.Full() && sc.nodeLB[li] >= ubTop.Root() {
 			// No remaining leaf can contain one of the k nearest: stop
 			// generating candidates.
 			break
 		}
-		st.Candidates += len(leaves[li])
+		ids := e.leaves[li]
+		st.Candidates += len(ids)
 		examined := false
 		if e.exactC != nil {
 			if leafPts, ok := e.exactC.Get(li); ok {
 				st.Hits += len(leafPts.pts)
-				for i, id := range leaves[li] {
-					d := vec.Dist(q, leafPts.pts[i])
-					known = append(known, knownCand{id: id, d: d})
-					ubTop.Push(d, int(id))
+				for i, id := range ids {
+					d2 := vec.SqDist(q, leafPts.pts[i])
+					cs = append(cs, candState{id: id, leaf: -1, lbSq: d2, ubSq: d2, known: true})
+					ubTop.Push(d2, int(id))
 				}
 				examined = true
 			}
 		} else if e.apprxC != nil {
 			if al, ok := e.apprxC.Get(li); ok {
-				st.Hits += len(leaves[li])
-				w := e.codec.Words()
-				for i, id := range leaves[li] {
-					lb, ub := e.table.BoundsPacked(q, al.words[i*w:(i+1)*w], e.codec)
-					if lb < lbs[li] {
-						lb = lbs[li] // node bound can be tighter
+				n := len(ids)
+				st.Hits += n
+				sc.ptLB = grow(sc.ptLB, n)
+				sc.ptUB = grow(sc.ptUB, n)
+				if lut != nil {
+					lut.BoundsSqPackedRange(al.words, n, e.codec, sc.ptLB, sc.ptUB)
+				} else {
+					w := e.codec.Words()
+					for i := 0; i < n; i++ {
+						sc.ptLB[i], sc.ptUB[i] = e.table.BoundsSqPacked(q, al.words[i*w:(i+1)*w], e.codec)
 					}
-					ubTop.Push(ub, int(id))
-					pending = append(pending, pendingCand{id: id, leaf: int32(li), lb: lb, ub: ub})
+				}
+				nodeLBSq := sc.nodeLB[li]
+				for i, id := range ids {
+					lbSq, ubSq := sc.ptLB[i], sc.ptUB[i]
+					if lbSq < nodeLBSq {
+						lbSq = nodeLBSq // node bound can be tighter
+					}
+					ubTop.Push(ubSq, int(id))
+					cs = append(cs, candState{id: id, leaf: int32(li), lbSq: lbSq, ubSq: ubSq})
 				}
 				examined = true
 			}
 		}
 		if !examined {
-			ids, pts, err := loadLeaf(li)
+			lids, pts, err := e.loadLeaf(li, st)
 			if err != nil {
-				return nil, st, err
+				sc.cs = cs
+				return dst, *st, err
 			}
-			for i, id := range ids {
-				d := vec.Dist(q, pts[i])
-				known = append(known, knownCand{id: id, d: d})
-				ubTop.Push(d, int(id))
+			for i, id := range lids {
+				d2 := vec.SqDist(q, pts[i])
+				cs = append(cs, candState{id: id, leaf: -1, lbSq: d2, ubSq: d2, known: true})
+				ubTop.Push(d2, int(id))
 			}
 		}
 	}
+	sc.cs = cs
 
 	// Candidate reduction (Algorithm 1 lines 7–13) over known ∪ pending.
-	allLB := make([]float64, 0, len(known)+len(pending))
-	allUB := make([]float64, 0, len(known)+len(pending))
-	for _, c := range known {
-		allLB = append(allLB, c.d)
-		allUB = append(allUB, c.d)
-	}
-	for _, c := range pending {
-		allLB = append(allLB, c.lb)
-		allUB = append(allUB, c.ub)
-	}
-	lbk := multistep.KthSmallest(allLB, k)
-	ubk := multistep.KthSmallest(allUB, k)
-
-	var results []int
-	resultSet := make(map[int32]bool)
-	liveKnown := known[:0]
-	for _, c := range known {
-		if c.d > ubk {
-			st.Pruned++
+	lbkSq, ubkSq := sc.kthBoundsSq(cs, k)
+	base := len(dst)
+	results, remaining := partitionCandidates(cs, lbkSq, ubkSq, false, st, dst)
+	sc.seeds, sc.pend = sc.seeds[:0], sc.pend[:0]
+	for _, c := range remaining {
+		if c.known {
+			sc.seeds = append(sc.seeds, multistep.GroupCandidate{ID: c.id, Group: -1, LBSq: c.lbSq})
 		} else {
-			liveKnown = append(liveKnown, c)
+			sc.pend = append(sc.pend, multistep.GroupCandidate{ID: c.id, Group: c.leaf, LBSq: c.lbSq})
 		}
 	}
-	livePending := pending[:0]
-	for _, c := range pending {
-		switch {
-		case c.lb > ubk:
-			st.Pruned++
-		case c.ub < lbk:
-			st.TrueHits++ // a guaranteed result: never fetch its leaf
-			results = append(results, int(c.id))
-			resultSet[c.id] = true
-		default:
-			livePending = append(livePending, c)
-		}
-	}
-	st.Remaining = len(livePending)
+	st.Remaining = len(sc.pend)
 	st.ReduceTime = time.Since(t1)
 
 	// Refinement: known candidates compete for the open slots at no cost;
@@ -360,46 +481,24 @@ func (e *TreeEngine) Search(q []float32, k int) ([]int, QueryStats, error) {
 	// leaf at most once and consuming all its exact distances (the
 	// node-level tightening of Section 3.6.1).
 	t2 := time.Now()
-	kNeed := k - len(results)
+	kNeed := k - st.TrueHits
 	if kNeed > 0 {
-		top := vec.NewTopK(kNeed)
-		for _, c := range liveKnown {
-			top.Push(c.d, int(c.id))
+		clear(sc.skip)
+		for _, id := range results[base:] {
+			sc.skip[int32(id)] = true
 		}
-		sort.Slice(livePending, func(a, b int) bool {
-			if livePending[a].lb != livePending[b].lb {
-				return livePending[a].lb < livePending[b].lb
-			}
-			return livePending[a].id < livePending[b].id
-		})
-		loaded := make(map[int32]bool)
-		for _, pc := range livePending {
-			if loaded[pc.leaf] {
-				continue
-			}
-			if top.Full() && pc.lb >= top.Root() {
-				break // sorted by lb: nothing later can improve
-			}
-			ids, pts, err := loadLeaf(int(pc.leaf))
-			if err != nil {
-				return nil, st, err
-			}
-			loaded[pc.leaf] = true
-			for i, id := range ids {
-				if !resultSet[id] {
-					top.Push(vec.Dist(q, pts[i]), int(id))
-				}
-			}
+		rbuf, _, err := sc.msc.SearchGroupsSq(sc.seeds, sc.pend, kNeed, sc.skip, sc.fetch, sc.rbuf[:0])
+		sc.rbuf = rbuf
+		if err != nil {
+			return dst, *st, err
 		}
-		ids, _ := top.Results()
-		results = append(results, ids...)
+		for _, r := range rbuf {
+			results = append(results, r.ID)
+		}
 	}
 	st.RefineTime = time.Since(t2)
-	st.PageReads = e.store.Stats().PageReads - io0
 	st.SimulatedIO = time.Duration(st.PageReads) * e.store.Tio()
 
-	e.aggMu.Lock()
-	e.agg.Add(st)
-	e.aggMu.Unlock()
-	return results, st, nil
+	e.agg.Add(*st)
+	return results, *st, nil
 }

@@ -140,11 +140,21 @@ func (ix *Index) Ordering(n int) []int {
 // leaf's reference inside [rmin, rmax], so by the triangle inequality
 // dist(q,p) ≥ max(0, dist(q,ref) − rmax, rmin − dist(q,ref)).
 func (ix *Index) LeafLowerBounds(q []float32) []float64 {
+	return ix.LeafLowerBoundsInto(q, nil)
+}
+
+// LeafLowerBoundsInto is LeafLowerBounds writing into dst (grown only when
+// undersized), so repeated queries reuse one buffer. The per-reference
+// distances still use a small transient slice.
+func (ix *Index) LeafLowerBoundsInto(q []float32, dst []float64) []float64 {
 	dref := make([]float64, len(ix.refs))
 	for c, r := range ix.refs {
 		dref[c] = vec.Dist(q, r)
 	}
-	lbs := make([]float64, len(ix.leaves))
+	if cap(dst) < len(ix.leaves) {
+		dst = make([]float64, len(ix.leaves))
+	}
+	lbs := dst[:len(ix.leaves)]
 	for li := range ix.leaves {
 		d := dref[ix.ref[li]]
 		lb := d - ix.ring[li][1]

@@ -1,0 +1,116 @@
+// Group-granular multi-step refinement: the Seidl–Kriegel optimal fetch
+// schedule generalized to indexes whose I/O unit is a group of points — the
+// leaf nodes of the tree-based indexes of Section 3.6.1. Fetching one
+// member's group yields the exact distance of every point the group holds,
+// so the schedule loads each group at most once, in ascending lower-bound
+// order of its members, and stops as soon as no unloaded member can improve
+// the current k-th distance.
+package multistep
+
+import (
+	"fmt"
+	"math"
+	"slices"
+
+	"exploitbit/internal/vec"
+)
+
+// GroupCandidate is a refinement candidate resolved by loading a group of
+// points at once (a tree leaf). Bounds are squared, matching SearchSq.
+type GroupCandidate struct {
+	ID    int32
+	Group int32   // fetch unit; -1 for seeds whose distance is already exact
+	LBSq  float64 // squared lower bound (exact squared distance for seeds)
+}
+
+// GroupFetch loads one group, returning the identifiers and exact squared
+// distances of every point it holds. One call is one unit of refinement I/O.
+// The returned slices are only read until the next call, so implementations
+// may reuse buffers.
+type GroupFetch func(group int32) (ids []int32, sqDists []float64, err error)
+
+func compareGroupCandidates(a, b GroupCandidate) int {
+	switch {
+	case a.LBSq < b.LBSq:
+		return -1
+	case a.LBSq > b.LBSq:
+		return 1
+	case a.ID < b.ID:
+		return -1
+	case a.ID > b.ID:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// SearchGroupsSq refines pending group-resident candidates to the k nearest,
+// seeded with candidates whose exact squared distances are already in hand
+// (seeds enter the selection at zero I/O cost before any group loads).
+// Identifiers in skip are already-declared results (Algorithm 1's true hits)
+// and are excluded from the selection even when their group gets loaded.
+//
+// Pending candidates are visited in ascending (LBSq, ID) order; a candidate
+// whose group is already loaded is skipped, and the walk stops once the
+// selection is full and the next lower bound cannot beat the k-th squared
+// distance — the Seidl–Kriegel optimal stop, lifted to group fetches. Every
+// point of a loaded group (even ones pruned earlier) feeds the selection:
+// their exact distances are free once the group is in memory.
+//
+// Results are appended to dst in ascending distance order (square roots are
+// taken only here); the int return is the number of group loads.
+func (sc *Scratch) SearchGroupsSq(seeds, pending []GroupCandidate, k int, skip map[int32]bool, fetch GroupFetch, dst []Result) ([]Result, int, error) {
+	if k < 1 {
+		return dst, 0, nil
+	}
+	if sc.top == nil {
+		sc.top = vec.NewTopK(k)
+	} else {
+		sc.top.Reset(k)
+	}
+	top := sc.top
+	for _, s := range seeds {
+		top.Push(s.LBSq, int(s.ID))
+	}
+
+	if cap(sc.gorder) < len(pending) {
+		sc.gorder = make([]GroupCandidate, len(pending))
+	}
+	order := sc.gorder[:len(pending)]
+	copy(order, pending)
+	slices.SortFunc(order, compareGroupCandidates)
+
+	if sc.loaded == nil {
+		sc.loaded = make(map[int32]bool)
+	} else {
+		clear(sc.loaded)
+	}
+	loads := 0
+	for _, c := range order {
+		if sc.loaded[c.Group] {
+			continue
+		}
+		// Optimal stop: order is ascending in LBSq, so no unloaded member
+		// can improve the current k-th squared distance.
+		if top.Full() && c.LBSq >= top.Root() {
+			break
+		}
+		ids, sqDists, err := fetch(c.Group)
+		if err != nil {
+			return dst, loads, fmt.Errorf("multistep: loading group %d: %w", c.Group, err)
+		}
+		sc.loaded[c.Group] = true
+		loads++
+		for i, id := range ids {
+			if skip[id] {
+				continue
+			}
+			top.Push(sqDists[i], int(id))
+		}
+	}
+	ids, sqDists := top.Drain()
+	for i := range ids {
+		dst = append(dst, Result{ID: ids[i], Dist: math.Sqrt(sqDists[i])})
+	}
+	return dst, loads, nil
+}

@@ -1,0 +1,188 @@
+package multistep
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// groupWorld synthesizes points partitioned into groups with conservative
+// squared lower bounds, mimicking tree leaves.
+type groupWorld struct {
+	dist  map[int32]float64 // exact squared distance per id
+	group map[int32]int32   // owning group per id
+	ids   map[int32][]int32 // members per group
+}
+
+func makeGroupWorld(rng *rand.Rand, nGroups, perGroup int) *groupWorld {
+	w := &groupWorld{
+		dist:  map[int32]float64{},
+		group: map[int32]int32{},
+		ids:   map[int32][]int32{},
+	}
+	id := int32(0)
+	for g := int32(0); g < int32(nGroups); g++ {
+		for i := 0; i < perGroup; i++ {
+			w.dist[id] = rng.Float64() * 100
+			w.group[id] = g
+			w.ids[g] = append(w.ids[g], id)
+			id++
+		}
+	}
+	return w
+}
+
+func (w *groupWorld) fetchCounting(loads *int, loadedGroups *[]int32) GroupFetch {
+	return func(g int32) ([]int32, []float64, error) {
+		*loads++
+		if loadedGroups != nil {
+			*loadedGroups = append(*loadedGroups, g)
+		}
+		ids := w.ids[g]
+		sq := make([]float64, len(ids))
+		for i, id := range ids {
+			sq[i] = w.dist[id]
+		}
+		return ids, sq, nil
+	}
+}
+
+// pendingOf builds a GroupCandidate with a conservative squared lower bound
+// (a random fraction of the true squared distance).
+func (w *groupWorld) pendingOf(rng *rand.Rand, id int32) GroupCandidate {
+	return GroupCandidate{ID: id, Group: w.group[id], LBSq: w.dist[id] * rng.Float64()}
+}
+
+func TestSearchGroupsSqMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 50; trial++ {
+		w := makeGroupWorld(rng, 2+rng.Intn(8), 1+rng.Intn(10))
+		k := 1 + rng.Intn(8)
+
+		// Partition ids into pending and skipped, plus group-less seeds.
+		// Seeds get their own id space: in the tree engine a seed comes from
+		// an exact-cached or disk-loaded leaf, which is never pending, so a
+		// seed's group is never loaded again (no double membership).
+		var seeds, pending []GroupCandidate
+		skip := map[int32]bool{}
+		inPlay := map[int32]float64{}
+		nextSeed := int32(100000)
+		for id := range w.dist {
+			switch rng.Intn(4) {
+			case 0:
+				d := rng.Float64() * 100
+				seeds = append(seeds, GroupCandidate{ID: nextSeed, Group: -1, LBSq: d})
+				inPlay[nextSeed] = d
+				nextSeed++
+			case 1, 2:
+				pending = append(pending, w.pendingOf(rng, id))
+				inPlay[id] = w.dist[id]
+			default:
+				if rng.Intn(5) == 0 {
+					skip[id] = true // a declared true hit: excluded even if its group loads
+				}
+			}
+		}
+
+		var sc Scratch
+		loads := 0
+		var loadedGroups []int32
+		got, reported, err := sc.SearchGroupsSq(seeds, pending, k, skip, w.fetchCounting(&loads, &loadedGroups), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reported != loads {
+			t.Fatalf("reported %d loads, fetch saw %d", reported, loads)
+		}
+
+		// Brute force: seeds and pending members, plus every non-skipped point
+		// of any group SearchGroupsSq loaded (their distances are free once
+		// the group is in memory). Unloaded pending members cannot place: by
+		// the optimal stop their lower bounds are at or above the k-th
+		// distance.
+		elig := map[int32]float64{}
+		for id, d := range inPlay {
+			elig[id] = d
+		}
+		for _, g := range loadedGroups {
+			for _, id := range w.ids[g] {
+				if !skip[id] {
+					elig[id] = w.dist[id]
+				}
+			}
+		}
+		want := bruteTopK(elig, k)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d results, want %d", trial, len(got), len(want))
+		}
+		for i, r := range got {
+			if math.Abs(r.Dist-math.Sqrt(want[i])) > 1e-12 {
+				t.Fatalf("trial %d rank %d: dist %v want %v", trial, i, r.Dist, math.Sqrt(want[i]))
+			}
+			if skip[int32(r.ID)] {
+				t.Fatalf("trial %d: skipped id %d surfaced as a result", trial, r.ID)
+			}
+		}
+	}
+}
+
+// bruteTopK returns the k smallest squared distances in ascending order.
+func bruteTopK(elig map[int32]float64, k int) []float64 {
+	var all []float64
+	for _, d := range elig {
+		all = append(all, d)
+	}
+	for i := 1; i < len(all); i++ {
+		for j := i; j > 0 && all[j] < all[j-1]; j-- {
+			all[j], all[j-1] = all[j-1], all[j]
+		}
+	}
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+// TestSearchGroupsSqLoadsEachGroupOnce floods one group with pending
+// candidates and checks memoization: the group is fetched exactly once.
+func TestSearchGroupsSqLoadsEachGroupOnce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	w := makeGroupWorld(rng, 3, 12)
+	var pending []GroupCandidate
+	for id := range w.dist {
+		pending = append(pending, GroupCandidate{ID: id, Group: w.group[id], LBSq: 0})
+	}
+	var sc Scratch
+	loads := 0
+	_, reported, err := sc.SearchGroupsSq(nil, pending, len(w.dist), nil, w.fetchCounting(&loads, nil), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loads != 3 || reported != 3 {
+		t.Fatalf("loaded %d times (reported %d), want once per group (3)", loads, reported)
+	}
+}
+
+// TestSearchGroupsSqOptimalStop gives k seeds at distance 0 and distant
+// pending candidates: no group may be loaded at all.
+func TestSearchGroupsSqOptimalStop(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	w := makeGroupWorld(rng, 4, 8)
+	seeds := []GroupCandidate{{ID: 1000, Group: -1, LBSq: 0}, {ID: 1001, Group: -1, LBSq: 0}}
+	var pending []GroupCandidate
+	for id := range w.dist {
+		pending = append(pending, GroupCandidate{ID: id, Group: w.group[id], LBSq: w.dist[id] + 1000})
+	}
+	var sc Scratch
+	loads := 0
+	got, _, err := sc.SearchGroupsSq(seeds, pending, 2, nil, w.fetchCounting(&loads, nil), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loads != 0 {
+		t.Fatalf("loaded %d groups despite full seed coverage", loads)
+	}
+	if len(got) != 2 || got[0].ID != 1000 && got[0].ID != 1001 {
+		t.Fatalf("unexpected results %v", got)
+	}
+}

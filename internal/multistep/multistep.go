@@ -80,6 +80,10 @@ func Search(q []float32, cands []Candidate, k int, fetch Fetch) ([]Result, int, 
 type Scratch struct {
 	order []Candidate
 	top   *vec.TopK
+
+	// SearchGroupsSq state (group.go).
+	gorder []GroupCandidate
+	loaded map[int32]bool
 }
 
 // SearchSq is Search operating entirely in squared-distance space: cands

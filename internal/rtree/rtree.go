@@ -133,9 +133,18 @@ func (ix *Index) Assignment(n int) []int {
 
 // LeafLowerBounds returns MINDIST(q, MBR) per leaf.
 func (ix *Index) LeafLowerBounds(q []float32) []float64 {
-	lbs := make([]float64, len(ix.leaves))
-	for li := range ix.leaves {
-		lbs[li] = bounds.RectMin(q, ix.lo[li], ix.hi[li])
+	return ix.LeafLowerBoundsInto(q, nil)
+}
+
+// LeafLowerBoundsInto is LeafLowerBounds writing into dst (grown only when
+// undersized), so repeated queries reuse one buffer without allocating.
+func (ix *Index) LeafLowerBoundsInto(q []float32, dst []float64) []float64 {
+	if cap(dst) < len(ix.leaves) {
+		dst = make([]float64, len(ix.leaves))
 	}
-	return lbs
+	dst = dst[:len(ix.leaves)]
+	for li := range ix.leaves {
+		dst[li] = bounds.RectMin(q, ix.lo[li], ix.hi[li])
+	}
+	return dst
 }

@@ -50,7 +50,22 @@ type Handler struct {
 	fetched atomic.Int64
 	hits    atomic.Int64
 	cands   atomic.Int64
+
+	rebuildStats func() RebuildStats
 }
+
+// RebuildStats reports the maintainer's background cache-rebuild activity
+// over /stats, so operators can watch non-blocking rebuilds (and their
+// failures) without scraping logs.
+type RebuildStats struct {
+	Rebuilds        int  `json:"rebuilds"`
+	RebuildErrors   int  `json:"rebuild_errors"`
+	RebuildInFlight bool `json:"rebuild_in_flight"`
+}
+
+// SetRebuildStats registers a snapshot source for maintainer rebuild
+// telemetry; /stats then carries a "maintain" object. Call before serving.
+func (h *Handler) SetRebuildStats(fn func() RebuildStats) { h.rebuildStats = fn }
 
 // New builds the handler. dim validates request vectors; maxK caps k
 // (default 1000).
@@ -121,10 +136,11 @@ func (h *Handler) handleSearch(w http.ResponseWriter, r *http.Request) {
 }
 
 type statsResponse struct {
-	Queries     int64   `json:"queries"`
-	AvgFetched  float64 `json:"avg_fetched"`
-	HitRatio    float64 `json:"hit_ratio"`
-	AvgCandSize float64 `json:"avg_candidates"`
+	Queries     int64         `json:"queries"`
+	AvgFetched  float64       `json:"avg_fetched"`
+	HitRatio    float64       `json:"hit_ratio"`
+	AvgCandSize float64       `json:"avg_candidates"`
+	Maintain    *RebuildStats `json:"maintain,omitempty"`
 }
 
 func (h *Handler) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -139,6 +155,10 @@ func (h *Handler) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	if cands > 0 {
 		resp.HitRatio = float64(hits) / float64(cands)
+	}
+	if h.rebuildStats != nil {
+		rs := h.rebuildStats()
+		resp.Maintain = &rs
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(resp)

@@ -105,7 +105,17 @@ func (ix *Index) Leaves() [][]int32 { return ix.leaves }
 // maximum over the leaf's ancestor constraints of dist(q,vantage)−µ (inside
 // branches) and µ−dist(q,vantage) (outside branches), floored at zero.
 func (ix *Index) LeafLowerBounds(q []float32) []float64 {
-	lbs := make([]float64, len(ix.leaves))
+	return ix.LeafLowerBoundsInto(q, nil)
+}
+
+// LeafLowerBoundsInto is LeafLowerBounds writing into dst (grown only when
+// undersized), so repeated queries reuse one buffer. The tree walk itself
+// still allocates its recursive closure; only the bound slice is reused.
+func (ix *Index) LeafLowerBoundsInto(q []float32, dst []float64) []float64 {
+	if cap(dst) < len(ix.leaves) {
+		dst = make([]float64, len(ix.leaves))
+	}
+	lbs := dst[:len(ix.leaves)]
 	var walk func(n *node, lb float64)
 	walk = func(n *node, lb float64) {
 		if n.leaf >= 0 {

@@ -31,7 +31,17 @@ func Serve(eng *Engine, dim int) http.Handler {
 }
 
 // ServeMaintained is Serve over a self-maintaining engine: the cache
-// rebuilds itself under workload drift while requests flow.
+// rebuilds itself in the background under workload drift while requests
+// flow, and /stats carries a "maintain" object with rebuild counters.
 func ServeMaintained(m *Maintainer, dim int) http.Handler {
-	return server.New(engineSearcher{search: m.Search}, dim, 0)
+	h := server.New(engineSearcher{search: m.Search}, dim, 0)
+	h.SetRebuildStats(func() server.RebuildStats {
+		st := m.Stats()
+		return server.RebuildStats{
+			Rebuilds:        st.Rebuilds,
+			RebuildErrors:   st.RebuildErrors,
+			RebuildInFlight: st.RebuildInFlight,
+		}
+	})
+	return h
 }

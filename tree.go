@@ -115,9 +115,13 @@ func OpenTree(ds *Dataset, kind TreeKind, wl [][]float32, opt TreeOptions) (*Tre
 // Engine builds a cached tree engine. Method must be NoCache, Exact, or one
 // of the global HC-* histogram methods.
 func (ts *TreeSystem) Engine(method Method, cacheBytes int64, tau int) (*TreeEngine, error) {
-	return core.NewTreeEngine(ts.DS, ts.Index, ts.Store, ts.wl, ts.k, core.TreeConfig{
-		Method: method, CacheBytes: cacheBytes, Tau: tau,
-	})
+	return ts.EngineWith(core.TreeConfig{Method: method, CacheBytes: cacheBytes, Tau: tau})
+}
+
+// EngineWith builds a cached tree engine from a full TreeConfig, exposing the
+// knobs Engine defaults (LUT gating, smoothing).
+func (ts *TreeSystem) EngineWith(cfg core.TreeConfig) (*TreeEngine, error) {
+	return core.NewTreeEngine(ts.DS, ts.Index, ts.Store, ts.wl, ts.k, cfg)
 }
 
 // Close releases the leaf store (and the temp dir when OpenTree created one).
