@@ -5,33 +5,70 @@
 //	ebc-gen -preset nuswide -n 20000 -o nw.ebds
 //	ebc-serve -data nw.ebds -method HC-O -cache 16MiB -addr :8080
 //	curl -s localhost:8080/search -d '{"vector":[...150 floats...],"k":10}'
+//	curl -s localhost:8080/metrics
+//
+// The server is production-shaped: read/write/idle timeouts and a header
+// cap guard the listener, an admission gate sheds load with 503 once
+// -max-inflight searches are in flight, and SIGINT/SIGTERM drain in-flight
+// requests (bounded by -drain-timeout) before exiting 0.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"exploitbit"
 	"exploitbit/internal/core"
 )
 
+// byteUnits maps size suffixes to multipliers. Only binary units: a cache
+// budget is a memory figure.
+var byteUnits = map[string]int64{
+	"":    1,
+	"B":   1,
+	"KiB": 1 << 10,
+	"MiB": 1 << 20,
+	"GiB": 1 << 30,
+	"TiB": 1 << 40,
+}
+
+// parseBytes parses a human byte size ("16MiB", "4KiB", "512B", bare
+// "4096"). The value must be a positive integer that fits in an int64 after
+// scaling, and an unrecognized unit is an error — it used to be silently
+// read as raw bytes, so "-cache 16MB" built a 16-byte budget.
 func parseBytes(s string) (int64, error) {
-	mult := int64(1)
-	switch {
-	case strings.HasSuffix(s, "GiB"):
-		mult, s = 1<<30, strings.TrimSuffix(s, "GiB")
-	case strings.HasSuffix(s, "MiB"):
-		mult, s = 1<<20, strings.TrimSuffix(s, "MiB")
-	case strings.HasSuffix(s, "KiB"):
-		mult, s = 1<<10, strings.TrimSuffix(s, "KiB")
+	t := strings.TrimSpace(s)
+	i := len(t)
+	for i > 0 && (t[i-1] < '0' || t[i-1] > '9') {
+		i--
 	}
-	v, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
-	return v * mult, err
+	num, unit := t[:i], strings.TrimSpace(t[i:])
+	mult, ok := byteUnits[unit]
+	if !ok {
+		return 0, fmt.Errorf("unknown size unit %q in %q (use B, KiB, MiB, GiB, TiB)", unit, s)
+	}
+	v, err := strconv.ParseInt(strings.TrimSpace(num), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad size %q: %v", s, err)
+	}
+	if v <= 0 {
+		return 0, fmt.Errorf("size must be positive, got %q", s)
+	}
+	if v > math.MaxInt64/mult {
+		return 0, fmt.Errorf("size %q overflows", s)
+	}
+	return v * mult, nil
 }
 
 func main() {
@@ -43,6 +80,14 @@ func main() {
 		k        = flag.Int("k", 10, "profiling k")
 		addr     = flag.String("addr", ":8080", "listen address")
 		maintain = flag.Bool("maintain", false, "enable automatic cache rebuilds under workload drift")
+
+		maxInFlight  = flag.Int("max-inflight", 64, "admission limit: concurrent searches before 503")
+		maxK         = flag.Int("max-k", 1000, "largest k accepted by /search")
+		readTimeout  = flag.Duration("read-timeout", 10*time.Second, "http.Server ReadTimeout")
+		writeTimeout = flag.Duration("write-timeout", 30*time.Second, "http.Server WriteTimeout")
+		idleTimeout  = flag.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout")
+		maxHeader    = flag.Int("max-header-bytes", 64<<10, "http.Server MaxHeaderBytes")
+		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown budget for in-flight requests")
 	)
 	flag.Parse()
 	if *data == "" {
@@ -82,22 +127,61 @@ func main() {
 	defer sys.Close()
 
 	tau := sys.OptimalTau(cs)
+	sopt := exploitbit.ServeOptions{MaxK: *maxK, MaxInFlight: *maxInFlight}
 	var handler http.Handler
+	var mnt *exploitbit.Maintainer
 	if *maintain {
-		m, err := sys.Maintained(core.Config{Method: exploitbit.Method(*method), CacheBytes: cs, Tau: tau, SmoothEps: 0.01},
+		mnt, err = sys.Maintained(core.Config{Method: exploitbit.Method(*method), CacheBytes: cs, Tau: tau, SmoothEps: 0.01},
 			exploitbit.MaintainOptions{})
 		if err != nil {
 			log.Fatal("ebc-serve: ", err)
 		}
-		handler = exploitbit.ServeMaintained(m, ds.Dim)
+		handler = exploitbit.ServeMaintainedWith(mnt, ds.Dim, sopt)
 	} else {
 		eng, err := sys.Engine(exploitbit.Method(*method), cs, tau)
 		if err != nil {
 			log.Fatal("ebc-serve: ", err)
 		}
-		handler = exploitbit.Serve(eng, ds.Dim)
+		handler = exploitbit.ServeWith(eng, ds.Dim, sopt)
 	}
 
-	log.Printf("ebc-serve: %s cache, %s budget, tau=%d; listening on %s", *method, *cacheSz, tau, *addr)
-	log.Fatal(http.ListenAndServe(*addr, handler))
+	srv := &http.Server{
+		Addr:           *addr,
+		Handler:        handler,
+		ReadTimeout:    *readTimeout,
+		WriteTimeout:   *writeTimeout,
+		IdleTimeout:    *idleTimeout,
+		MaxHeaderBytes: *maxHeader,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("ebc-serve: %s cache, %s budget, tau=%d; listening on %s (max %d in-flight searches)",
+		*method, *cacheSz, tau, *addr, *maxInFlight)
+
+	select {
+	case err := <-errc:
+		// The listener died on its own (port in use, …): nothing to drain.
+		log.Fatal("ebc-serve: ", err)
+	case <-ctx.Done():
+		stop() // restore default signal handling: a second ^C kills us
+		log.Printf("ebc-serve: signal received; draining in-flight requests (budget %s)", *drainTimeout)
+		sctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			log.Printf("ebc-serve: shutdown: %v", err)
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("ebc-serve: serve: %v", err)
+		}
+		if mnt != nil {
+			// After the listener has drained: no new searches can arrive, so
+			// no new rebuild can launch, and Close waits out any in flight.
+			mnt.Close()
+		}
+		log.Printf("ebc-serve: drained; exiting")
+	}
 }

@@ -1,0 +1,56 @@
+package main
+
+import "testing"
+
+func TestParseBytes(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    int64
+		wantErr bool
+	}{
+		{"4096", 4096, false},
+		{"512B", 512, false},
+		{"4KiB", 4 << 10, false},
+		{"16MiB", 16 << 20, false},
+		{"1GiB", 1 << 30, false},
+		{"2TiB", 2 << 40, false},
+		{" 16MiB ", 16 << 20, false},
+		{"16 MiB", 16 << 20, false},
+
+		// Zero and negative budgets built nonsense caches before the fix.
+		{"0", 0, true},
+		{"0MiB", 0, true},
+		{"-5MiB", 0, true},
+		{"-1", 0, true},
+
+		// Unknown units used to be silently read as raw bytes.
+		{"16MB", 0, true},
+		{"16mb", 0, true},
+		{"16kib", 0, true},
+		{"16M", 0, true},
+		{"16MiBs", 0, true},
+
+		// Garbage.
+		{"", 0, true},
+		{"MiB", 0, true},
+		{"1e5", 0, true},
+		{"1.5MiB", 0, true},
+		{"9999999999TiB", 0, true}, // overflows int64 after scaling
+	}
+	for _, c := range cases {
+		got, err := parseBytes(c.in)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("parseBytes(%q) = %d, want error", c.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseBytes(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("parseBytes(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}

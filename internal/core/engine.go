@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -329,15 +330,34 @@ func (e *Engine) ResetStats() { e.agg.Reset() }
 // and all per-query scratch comes from a pool. Reported per-phase timings
 // are CPU time of this goroutine's query only.
 func (e *Engine) Search(q []float32, k int) ([]int, QueryStats, error) {
-	return e.SearchInto(q, k, nil)
+	return e.SearchIntoCtx(context.Background(), q, k, nil)
+}
+
+// SearchCtx is Search under a request context: a canceled or expired ctx
+// abandons the query at the next check point — between candidate scoring
+// strides, before Phase 3's refinement I/O starts, and before every point
+// fetch — returning ctx.Err() (possibly wrapped) instead of burning the
+// worker pool on an answer nobody is waiting for.
+func (e *Engine) SearchCtx(ctx context.Context, q []float32, k int) ([]int, QueryStats, error) {
+	return e.SearchIntoCtx(ctx, q, k, nil)
 }
 
 // SearchInto is Search appending result identifiers to dst (pass dst[:0] to
 // reuse a buffer across queries). With a reused dst, the steady-state
 // cache-hit path performs zero heap allocations.
 func (e *Engine) SearchInto(q []float32, k int, dst []int) ([]int, QueryStats, error) {
+	return e.SearchIntoCtx(context.Background(), q, k, dst)
+}
+
+// SearchIntoCtx is SearchInto under a request context; see SearchCtx for
+// the cancellation semantics.
+func (e *Engine) SearchIntoCtx(ctx context.Context, q []float32, k int, dst []int) ([]int, QueryStats, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, QueryStats{}, err
+	}
 	sc := e.getScratch()
 	defer e.putScratch(sc)
+	sc.ctx = ctx
 	sc.st = QueryStats{}
 	st := &sc.st
 
@@ -359,10 +379,12 @@ func (e *Engine) SearchInto(q []float32, k int, dst []int) ([]int, QueryStats, e
 	st.UsedLUT = lut != nil
 	if workers := e.reduceWorkers(len(ids)); workers > 1 {
 		st.ReduceWorkers = workers
-		e.reduceParallel(q, ids, cs, lut, workers, st)
+		if err := e.reduceParallel(ctx, q, ids, cs, lut, workers, st); err != nil {
+			return nil, sc.st, err
+		}
 	} else {
 		st.ReduceWorkers = 1
-		if err := e.reduceSerial(q, ids, cs, lut, sc); err != nil {
+		if err := e.reduceSerial(ctx, q, ids, cs, lut, sc); err != nil {
 			return nil, sc.st, err
 		}
 	}
@@ -374,7 +396,13 @@ func (e *Engine) SearchInto(q []float32, k int, dst []int) ([]int, QueryStats, e
 	st.ReduceTime = time.Since(t1)
 
 	// Phase 3: multi-step refinement of the remaining candidates, in squared
-	// space — sqrt is deferred to the final k results inside SearchSq.
+	// space — sqrt is deferred to the final k results inside SearchSq. An
+	// abandoned request is dropped here, before the first refinement fetch:
+	// Phase 3 is where disk I/O happens, so this check is what keeps a
+	// disconnected client from charging page reads to the device.
+	if err := ctx.Err(); err != nil {
+		return nil, sc.st, err
+	}
 	t2 := time.Now()
 	kNeed := k - st.TrueHits
 	if kNeed > 0 && len(remaining) > 0 {
@@ -492,10 +520,17 @@ func (e *Engine) scoreCandidate(q []float32, id int, c *candState, lut *bounds.Q
 }
 
 // reduceSerial scores every candidate on the calling goroutine, handling
-// the eager-fetch ablation path.
-func (e *Engine) reduceSerial(q []float32, ids []int, cs []candState, lut *bounds.QueryLUT, sc *searchScratch) error {
+// the eager-fetch ablation path. The context is polled every
+// cancelCheckStride candidates so giant candidate sets cannot pin a worker
+// past the client's deadline.
+func (e *Engine) reduceSerial(ctx context.Context, q []float32, ids []int, cs []candState, lut *bounds.QueryLUT, sc *searchScratch) error {
 	st := &sc.st
 	for i, id := range ids {
+		if i&(cancelCheckStride-1) == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		if e.scoreCandidate(q, id, &cs[i], lut) {
 			st.Hits++
 		} else if e.cfg.EagerFetchMisses {
@@ -516,18 +551,27 @@ func (e *Engine) reduceSerial(q []float32, ids []int, cs []candState, lut *bound
 // reduceParallel fans candidate scoring across workers over contiguous
 // chunks via the shared reduction core. Workers touch disjoint cs slots; the
 // caches are concurrency-safe (HFF immutable, LRU internally locked) and the
-// LUT is read-only.
-func (e *Engine) reduceParallel(q []float32, ids []int, cs []candState, lut *bounds.QueryLUT, workers int, st *QueryStats) {
+// LUT is read-only. Each worker polls the context every cancelCheckStride
+// candidates and abandons its chunk when the request is gone; the partially
+// scored states are discarded by the caller's error return.
+func (e *Engine) reduceParallel(ctx context.Context, q []float32, ids []int, cs []candState, lut *bounds.QueryLUT, workers int, st *QueryStats) error {
 	hits := scoreParallel(len(ids), workers, func(lo, hi int) int64 {
 		var h int64
 		for i := lo; i < hi; i++ {
+			if (i-lo)&(cancelCheckStride-1) == 0 && ctx.Err() != nil {
+				return h
+			}
 			if e.scoreCandidate(q, ids[i], &cs[i], lut) {
 				h++
 			}
 		}
 		return h
 	})
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	st.Hits += int(hits)
+	return nil
 }
 
 // admitLRU inserts a freshly fetched point into a dynamic cache, quantizing

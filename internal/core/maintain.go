@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -47,8 +48,15 @@ type Maintainer struct {
 	rebuildErrs atomic.Int64
 
 	// rebuildGate, when non-nil, is received from by the background rebuild
-	// before it starts building — a test seam to hold a rebuild in flight.
+	// before it starts building — a test seam to hold a rebuild in flight
+	// (settable from outside the package via MaintainOptions.RebuildGate).
 	rebuildGate chan struct{}
+
+	// lifeMu guards closed and the wg.Add/Wait ordering: a rebuild launch
+	// must either be observed by Close's Wait or be refused, never race it.
+	lifeMu sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
 
 	// mu guards the drift window and hit-ratio bookkeeping only; it is held
 	// for a few counter updates per query, never across a search or a build.
@@ -81,6 +89,11 @@ type MaintainOptions struct {
 	DegradeFactor float64
 	// MinQueriesBetweenRebuilds prevents thrashing (default WindowSize).
 	MinQueriesBetweenRebuilds int
+	// RebuildGate, when non-nil, parks every background rebuild on a
+	// channel receive before it starts building — a test seam for holding a
+	// rebuild in flight while exercising searches, shutdown and /stats
+	// against it. Production configurations leave it nil.
+	RebuildGate chan struct{}
 }
 
 func (o MaintainOptions) withDefaults() MaintainOptions {
@@ -108,7 +121,8 @@ func NewMaintainer(pf *disk.PointFile, ds *dataset.Dataset, cands CandidateFunc,
 	opt = opt.withDefaults()
 	m := &Maintainer{
 		pf: pf, ds: ds, cands: cands, cfg: cfg, opt: opt,
-		window: make([][]float32, opt.WindowSize),
+		window:      make([][]float32, opt.WindowSize),
+		rebuildGate: opt.RebuildGate,
 	}
 	m.build = m.buildEngine
 	eng, err := m.buildEngine(initialWL, k)
@@ -145,13 +159,26 @@ func (m *Maintainer) Stats() MaintainStats {
 // searches read the engine through an atomic pointer and never wait on a
 // rebuild.
 func (m *Maintainer) Search(q []float32, k int) ([]int, QueryStats, error) {
-	return m.SearchInto(q, k, nil)
+	return m.SearchIntoCtx(context.Background(), q, k, nil)
+}
+
+// SearchCtx is Search under a request context, forwarding cancellation to
+// the serving engine (see Engine.SearchCtx). Abandoned queries never enter
+// the drift window: a burst of cancellations must not masquerade as a
+// workload shift and trigger a rebuild.
+func (m *Maintainer) SearchCtx(ctx context.Context, q []float32, k int) ([]int, QueryStats, error) {
+	return m.SearchIntoCtx(ctx, q, k, nil)
 }
 
 // SearchInto is Search appending result identifiers to dst, mirroring
 // Engine.SearchInto for allocation-conscious callers.
 func (m *Maintainer) SearchInto(q []float32, k int, dst []int) ([]int, QueryStats, error) {
-	ids, st, err := m.eng.Load().SearchInto(q, k, dst)
+	return m.SearchIntoCtx(context.Background(), q, k, dst)
+}
+
+// SearchIntoCtx is SearchInto under a request context; see SearchCtx.
+func (m *Maintainer) SearchIntoCtx(ctx context.Context, q []float32, k int, dst []int) ([]int, QueryStats, error) {
+	ids, st, err := m.eng.Load().SearchIntoCtx(ctx, q, k, dst)
 	if err != nil {
 		return nil, st, err
 	}
@@ -213,15 +240,47 @@ func (m *Maintainer) recordQuery(q []float32, st QueryStats) [][]float32 {
 }
 
 // launchRebuild starts the background rebuild for a window snapshot. The
-// caller must have won the m.rebuilding CAS.
+// caller must have won the m.rebuilding CAS. After Close the launch is
+// refused (releasing the CAS) instead of racing the shutdown.
 func (m *Maintainer) launchRebuild(wl [][]float32, k int) {
-	go m.backgroundRebuild(wl, k)
+	m.lifeMu.Lock()
+	if m.closed {
+		m.lifeMu.Unlock()
+		m.rebuilding.Store(false)
+		return
+	}
+	m.wg.Add(1)
+	m.lifeMu.Unlock()
+	go func() {
+		defer m.wg.Done()
+		m.backgroundRebuild(wl, k)
+	}()
+}
+
+// Close stops the maintainer's background activity: no further rebuilds
+// launch, and any rebuild already in flight is waited for (its swap still
+// lands — the work is done, discarding it buys nothing). Searches through a
+// closed Maintainer still work; they just serve the frozen engine. Close is
+// idempotent and is the graceful-shutdown hook the HTTP server calls after
+// draining requests.
+func (m *Maintainer) Close() {
+	m.lifeMu.Lock()
+	m.closed = true
+	m.lifeMu.Unlock()
+	m.wg.Wait()
 }
 
 // RebuildAsync launches a background rebuild from the current window,
-// returning false when one is already queued or running (or the window is
-// empty). Unlike ForceRebuild it never blocks the caller on the build.
+// returning false when one is already queued or running, the window is
+// empty, or the maintainer is closed. Unlike ForceRebuild it never blocks
+// the caller on the build.
 func (m *Maintainer) RebuildAsync(k int) bool {
+	m.lifeMu.Lock()
+	closed := m.closed
+	m.lifeMu.Unlock()
+	if closed {
+		return false
+	}
 	if !m.rebuilding.CompareAndSwap(false, true) {
 		return false
 	}

@@ -18,6 +18,14 @@ import (
 // thresholds, pooled scratch, parallel reduction, atomic aggregates — exists
 // exactly once.
 
+// cancelCheckStride is how many candidates a Phase-2 scoring loop processes
+// between context polls. Scoring a candidate is tens of nanoseconds, so a
+// power-of-two stride keeps the poll (one atomic load on most contexts) off
+// the per-candidate path while still bounding post-cancellation work to a
+// few microseconds per worker. Must be a power of two: loops test
+// i&(cancelCheckStride-1).
+const cancelCheckStride = 1024
+
 // candState is Phase 2's per-candidate bookkeeping. Bounds are kept squared
 // throughout: Algorithm 1 only ever compares bounds against each other and
 // against exact distances, and x ↦ x² is monotone on distances, so pruning,

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"exploitbit/internal/bounds"
 	"exploitbit/internal/cache"
 	"exploitbit/internal/multistep"
@@ -14,6 +16,7 @@ import (
 type searchScratch struct {
 	eng *Engine
 	st  QueryStats
+	ctx context.Context // request context of the query in flight
 
 	reduceScratch
 
@@ -52,6 +55,11 @@ func (sc *searchScratch) fetchPoint(id int) ([]float32, error) {
 			return p, nil // EXACT cache hit: RAM, no I/O
 		}
 	}
+	// Every fetch is a disk page read: an abandoned request stops paying
+	// I/O here, mid-refinement, not just before Phase 3 starts.
+	if err := sc.ctx.Err(); err != nil {
+		return nil, err
+	}
 	e := sc.eng
 	p, err := e.pf.Fetch(id, sc.fetchBuf)
 	if err != nil {
@@ -78,5 +86,6 @@ func (e *Engine) getScratch() *searchScratch {
 }
 
 func (e *Engine) putScratch(sc *searchScratch) {
+	sc.ctx = nil // do not retain request-scoped values past the query
 	e.scratch.Put(sc)
 }

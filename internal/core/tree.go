@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -275,6 +276,7 @@ func (e *TreeEngine) ResetStats() { e.agg.Reset() }
 type treeScratch struct {
 	eng *TreeEngine
 	st  QueryStats
+	ctx context.Context // request context of the query in flight
 	q   []float32
 
 	reduceScratch
@@ -312,6 +314,7 @@ func (e *TreeEngine) getScratch() *treeScratch {
 
 func (e *TreeEngine) putScratch(sc *treeScratch) {
 	sc.q = nil
+	sc.ctx = nil // do not retain request-scoped values past the query
 	e.scratch.Put(sc)
 }
 
@@ -331,6 +334,11 @@ func (e *TreeEngine) loadLeaf(li int, st *QueryStats) ([]int32, [][]float32, err
 // loadGroup is the refinement fetch: loading one leaf yields the exact
 // squared distance of every resident point.
 func (sc *treeScratch) loadGroup(group int32) ([]int32, []float64, error) {
+	// Every group load is leaf-sized disk I/O: an abandoned request stops
+	// paying for it here, mid-refinement.
+	if err := sc.ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 	ids, pts, err := sc.eng.loadLeaf(int(group), &sc.st)
 	if err != nil {
 		return nil, nil, err
@@ -348,15 +356,33 @@ func (sc *treeScratch) loadGroup(group int32) ([]int32, []float64, error) {
 // results without ever fetching their leaf — the identifiers are the answer,
 // per Definition 3's remark.
 func (e *TreeEngine) Search(q []float32, k int) ([]int, QueryStats, error) {
-	return e.SearchInto(q, k, nil)
+	return e.SearchIntoCtx(context.Background(), q, k, nil)
+}
+
+// SearchCtx is Search under a request context: a canceled or expired ctx
+// abandons the query at the next check point — before each uncached leaf
+// load in Phase 2, before refinement starts, and before every group load —
+// returning ctx.Err() (possibly wrapped).
+func (e *TreeEngine) SearchCtx(ctx context.Context, q []float32, k int) ([]int, QueryStats, error) {
+	return e.SearchIntoCtx(ctx, q, k, nil)
 }
 
 // SearchInto is Search appending the result identifiers to dst (pass
 // dst[:0] to reuse a buffer across queries; with every visited leaf cached
 // the steady state then allocates nothing).
 func (e *TreeEngine) SearchInto(q []float32, k int, dst []int) ([]int, QueryStats, error) {
+	return e.SearchIntoCtx(context.Background(), q, k, dst)
+}
+
+// SearchIntoCtx is SearchInto under a request context; see SearchCtx for
+// the cancellation semantics.
+func (e *TreeEngine) SearchIntoCtx(ctx context.Context, q []float32, k int, dst []int) ([]int, QueryStats, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, QueryStats{}, err
+	}
 	sc := e.getScratch()
 	defer e.putScratch(sc)
+	sc.ctx = ctx
 	sc.st = QueryStats{}
 	sc.q = q
 	st := &sc.st
@@ -447,6 +473,13 @@ func (e *TreeEngine) SearchInto(q []float32, k int, dst []int) ([]int, QueryStat
 			}
 		}
 		if !examined {
+			// Uncached leaves cost disk I/O in Phase 2 (unlike the flat
+			// engine, whose Phase 2 is pure CPU): check the context before
+			// each load so an abandoned request stops paying immediately.
+			if err := ctx.Err(); err != nil {
+				sc.cs = cs
+				return dst, *st, err
+			}
 			lids, pts, err := e.loadLeaf(li, st)
 			if err != nil {
 				sc.cs = cs
@@ -479,7 +512,11 @@ func (e *TreeEngine) SearchInto(q []float32, k int, dst []int) ([]int, QueryStat
 	// Refinement: known candidates compete for the open slots at no cost;
 	// pending ones are resolved in ascending lower-bound order, loading a
 	// leaf at most once and consuming all its exact distances (the
-	// node-level tightening of Section 3.6.1).
+	// node-level tightening of Section 3.6.1). An abandoned request is
+	// dropped here, before the first refinement load.
+	if err := ctx.Err(); err != nil {
+		return dst, *st, err
+	}
 	t2 := time.Now()
 	kNeed := k - st.TrueHits
 	if kNeed > 0 {

@@ -1,0 +1,119 @@
+// Per-stage latency observability for the serving path. The handler keeps
+// one lock-free histogram per stage (total wall clock, Phase-2 reduction,
+// refinement I/O), fed from core.QueryStats via the Stats wire struct, plus
+// admission counters (queue depth, shed count) — the request-level
+// accounting a query-adaptive system tunes against (DB-LSH's framing), and
+// what every later scaling PR (batching, sharding) will read.
+
+package server
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the number of histogram buckets: bucket i counts
+// observations whose microsecond value has bit length i, i.e. durations in
+// (2^(i-1), 2^i] µs — geometric buckets from sub-microsecond up to
+// ~2^26 µs ≈ 67 s, with the last bucket absorbing anything slower.
+const histBuckets = 28
+
+// Histogram is a lock-free latency histogram: fixed power-of-two microsecond
+// buckets, each an atomic counter. Observe is wait-free (two atomic adds);
+// Snapshot reads the counters individually, so under concurrent writers it
+// may mix observations from in-flight requests — harmless for monitoring,
+// exactly like the engine's atomicAggregate.
+type Histogram struct {
+	counts [histBuckets]atomic.Int64
+	count  atomic.Int64
+	sumNS  atomic.Int64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	us := uint64(d.Microseconds())
+	b := bits.Len64(us)
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	h.counts[b].Add(1)
+	h.count.Add(1)
+	h.sumNS.Add(int64(d))
+}
+
+// HistogramBucket is one non-empty bucket of a snapshot: N observations at
+// most LeUS microseconds (geometric upper bound).
+type HistogramBucket struct {
+	LeUS int64 `json:"le_us"`
+	N    int64 `json:"n"`
+}
+
+// HistogramSnapshot is the wire form of a histogram: totals, bucket-resolved
+// approximate quantiles (each quantile reports its bucket's upper bound, so
+// it overestimates by at most 2×), and the non-empty buckets.
+type HistogramSnapshot struct {
+	Count  int64             `json:"count"`
+	SumMS  float64           `json:"sum_ms"`
+	AvgUS  float64           `json:"avg_us"`
+	P50US  int64             `json:"p50_us"`
+	P90US  int64             `json:"p90_us"`
+	P99US  int64             `json:"p99_us"`
+	Bucket []HistogramBucket `json:"buckets,omitempty"`
+}
+
+// upperBoundUS returns bucket b's inclusive upper bound in microseconds.
+func upperBoundUS(b int) int64 {
+	if b == 0 {
+		return 1
+	}
+	return int64(1) << b
+}
+
+// Snapshot renders the histogram for /metrics.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Count: h.count.Load()}
+	sum := h.sumNS.Load()
+	s.SumMS = float64(sum) / 1e6
+	if s.Count > 0 {
+		s.AvgUS = float64(sum) / float64(s.Count) / 1e3
+	}
+	var counts [histBuckets]int64
+	var total int64
+	for i := range counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+		if counts[i] > 0 {
+			s.Bucket = append(s.Bucket, HistogramBucket{LeUS: upperBoundUS(i), N: counts[i]})
+		}
+	}
+	// Quantiles against the bucket totals (not h.count, which may drift from
+	// the bucket sum under concurrent Observes).
+	quantile := func(q float64) int64 {
+		if total == 0 {
+			return 0
+		}
+		// Nearest-rank: the smallest bucket whose cumulative count reaches
+		// ⌈q·total⌉ observations.
+		need := int64(math.Ceil(q * float64(total)))
+		if need < 1 {
+			need = 1
+		}
+		var cum int64
+		for i, c := range counts {
+			cum += c
+			if cum >= need {
+				return upperBoundUS(i)
+			}
+		}
+		return upperBoundUS(histBuckets - 1)
+	}
+	s.P50US = quantile(0.50)
+	s.P90US = quantile(0.90)
+	s.P99US = quantile(0.99)
+	return s
+}

@@ -8,21 +8,34 @@
 //
 //	POST /search  {"vector": [...], "k": 10} → {"ids": [...], "stats": {...}}
 //	GET  /stats   aggregate statistics since startup
+//	GET  /metrics per-stage latency histograms + admission counters
 //	GET  /healthz liveness
+//
+// The handler owns the request lifecycle around the engine: the request
+// context flows into the search (a disconnected client abandons Phase 2/3
+// work instead of burning a worker), a bounded-concurrency admission gate
+// sheds load with 503 once the configured number of searches is in flight,
+// and /metrics exposes lock-free per-stage latency histograms so operators
+// see where queries spend their time.
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"sync/atomic"
 	"time"
 )
 
 // Searcher is the engine-shaped dependency (core.Engine and core.Maintainer
-// both satisfy it via small adapters; the facade wires them).
+// both satisfy it via small adapters; the facade wires them). The context
+// is the request's: implementations abandon work when it is done and return
+// its error (possibly wrapped).
 type Searcher interface {
-	Search(q []float32, k int) ([]int, Stats, error)
+	Search(ctx context.Context, q []float32, k int) ([]int, Stats, error)
 }
 
 // Stats is the per-query statistics subset exposed over the wire.
@@ -34,22 +47,65 @@ type Stats struct {
 	Fetched     int           `json:"fetched"`
 	PageReads   int64         `json:"page_reads"`
 	SimulatedIO time.Duration `json:"simulated_io_ns"`
+
+	// Per-stage CPU timings (Algorithm 1's phases), feeding /metrics.
+	GenTime    time.Duration `json:"gen_ns"`
+	ReduceTime time.Duration `json:"reduce_ns"`
+	RefineTime time.Duration `json:"refine_ns"`
 }
 
-// Handler serves the HTTP API. The aggregate counters are lock-free
-// atomics: under concurrent load every request used to serialize on one
-// mutex just to bump four integers, which is exactly the kind of contention
-// the allocation-free engine path removes elsewhere.
+// Config sizes and guards the handler.
+type Config struct {
+	// Dim validates request vectors.
+	Dim int
+	// MaxK caps k (default 1000).
+	MaxK int
+	// MaxInFlight is the admission limit: searches beyond this many in
+	// flight are shed with 503 instead of queueing behind a saturated
+	// worker pool (default 256). /stats and /healthz are never gated.
+	MaxInFlight int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxK < 1 {
+		c.MaxK = 1000
+	}
+	if c.MaxInFlight < 1 {
+		c.MaxInFlight = 256
+	}
+	return c
+}
+
+// statusClientClosedRequest is nginx's non-standard 499 "client closed
+// request": the search was abandoned because the client went away, which is
+// neither the client's request being bad nor the server failing.
+const statusClientClosedRequest = 499
+
+// Handler serves the HTTP API. All counters are lock-free atomics: under
+// concurrent load every request used to serialize on one mutex just to bump
+// four integers, which is exactly the kind of contention the
+// allocation-free engine path removes elsewhere.
 type Handler struct {
 	mux      *http.ServeMux
 	searcher Searcher
-	dim      int
-	maxK     int
+	cfg      Config
+
+	// gate is the admission semaphore: buffered to MaxInFlight, one slot
+	// held per in-flight search. len(gate) is the live queue depth.
+	gate chan struct{}
 
 	queries atomic.Int64
 	fetched atomic.Int64
 	hits    atomic.Int64
 	cands   atomic.Int64
+
+	shed       atomic.Int64 // searches refused by the admission gate
+	canceled   atomic.Int64 // searches abandoned by client disconnect/deadline
+	encodeErrs atomic.Int64 // response bodies that failed to write (client gone)
+
+	latTotal  Histogram // wall clock of the whole search request
+	latReduce Histogram // Phase-2 candidate reduction CPU
+	latRefine Histogram // Phase-3 refinement CPU + simulated I/O
 
 	rebuildStats func() RebuildStats
 }
@@ -67,15 +123,18 @@ type RebuildStats struct {
 // telemetry; /stats then carries a "maintain" object. Call before serving.
 func (h *Handler) SetRebuildStats(fn func() RebuildStats) { h.rebuildStats = fn }
 
-// New builds the handler. dim validates request vectors; maxK caps k
-// (default 1000).
-func New(s Searcher, dim, maxK int) *Handler {
-	if maxK < 1 {
-		maxK = 1000
+// New builds the handler.
+func New(s Searcher, cfg Config) *Handler {
+	cfg = cfg.withDefaults()
+	h := &Handler{
+		mux:      http.NewServeMux(),
+		searcher: s,
+		cfg:      cfg,
+		gate:     make(chan struct{}, cfg.MaxInFlight),
 	}
-	h := &Handler{mux: http.NewServeMux(), searcher: s, dim: dim, maxK: maxK}
 	h.mux.HandleFunc("POST /search", h.handleSearch)
 	h.mux.HandleFunc("GET /stats", h.handleStats)
+	h.mux.HandleFunc("GET /metrics", h.handleMetrics)
 	h.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
@@ -100,29 +159,82 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
-func (h *Handler) fail(w http.ResponseWriter, code int, format string, args ...any) {
+// writeJSON is the single place a response body is produced. The status
+// line goes out before the body, so a failed encode means the client
+// disconnected mid-response (or the body was half-written): it is recorded
+// in encodeErrs and nothing further is written — a second WriteHeader after
+// a partial body would corrupt the keep-alive connection for the next
+// request.
+func (h *Handler) writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(errorResponse{Error: fmt.Sprintf(format, args...)})
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		h.encodeErrs.Add(1)
+	}
+}
+
+func (h *Handler) fail(w http.ResponseWriter, code int, format string, args ...any) {
+	h.writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// firstNonFinite returns the index of the first NaN or ±Inf component, or
+// -1 when the vector is finite. NaN compares false against every bound, so
+// letting one into the reduction core silently corrupts the lb/ub pruning
+// and returns wrong neighbors with 200 OK — it must die here with 400.
+func firstNonFinite(v []float32) int {
+	for i, x := range v {
+		f := float64(x)
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return i
+		}
+	}
+	return -1
 }
 
 func (h *Handler) handleSearch(w http.ResponseWriter, r *http.Request) {
+	// Admission: take a semaphore slot or shed. Shedding with 503 keeps
+	// tail latency bounded for admitted requests instead of queueing
+	// everyone behind a saturated worker pool.
+	select {
+	case h.gate <- struct{}{}:
+		defer func() { <-h.gate }()
+	default:
+		h.shed.Add(1)
+		h.fail(w, http.StatusServiceUnavailable,
+			"saturated: %d searches in flight; retry with backoff", cap(h.gate))
+		return
+	}
+
 	var req searchRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<22))
 	if err := dec.Decode(&req); err != nil {
 		h.fail(w, http.StatusBadRequest, "decoding request: %v", err)
 		return
 	}
-	if len(req.Vector) != h.dim {
-		h.fail(w, http.StatusBadRequest, "vector has %d dimensions, engine serves %d", len(req.Vector), h.dim)
+	if len(req.Vector) != h.cfg.Dim {
+		h.fail(w, http.StatusBadRequest, "vector has %d dimensions, engine serves %d", len(req.Vector), h.cfg.Dim)
 		return
 	}
-	if req.K < 1 || req.K > h.maxK {
-		h.fail(w, http.StatusBadRequest, "k must be in [1, %d], got %d", h.maxK, req.K)
+	if req.K < 1 || req.K > h.cfg.MaxK {
+		h.fail(w, http.StatusBadRequest, "k must be in [1, %d], got %d", h.cfg.MaxK, req.K)
 		return
 	}
-	ids, st, err := h.searcher.Search(req.Vector, req.K)
+	if j := firstNonFinite(req.Vector); j >= 0 {
+		h.fail(w, http.StatusBadRequest, "vector[%d] is not finite", j)
+		return
+	}
+
+	start := time.Now()
+	ids, st, err := h.searcher.Search(r.Context(), req.Vector, req.K)
 	if err != nil {
+		if r.Context().Err() != nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			// The client is gone (or its deadline passed): the engine
+			// abandoned the search before refinement I/O. The response is
+			// best-effort — usually nobody is listening.
+			h.canceled.Add(1)
+			h.fail(w, statusClientClosedRequest, "search abandoned: %v", err)
+			return
+		}
 		h.fail(w, http.StatusInternalServerError, "search failed: %v", err)
 		return
 	}
@@ -130,9 +242,11 @@ func (h *Handler) handleSearch(w http.ResponseWriter, r *http.Request) {
 	h.fetched.Add(int64(st.Fetched))
 	h.hits.Add(int64(st.Hits))
 	h.cands.Add(int64(st.Candidates))
+	h.latTotal.Observe(time.Since(start))
+	h.latReduce.Observe(st.ReduceTime)
+	h.latRefine.Observe(st.RefineTime + st.SimulatedIO)
 
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(searchResponse{IDs: ids, Stats: st})
+	h.writeJSON(w, http.StatusOK, searchResponse{IDs: ids, Stats: st})
 }
 
 type statsResponse struct {
@@ -160,6 +274,37 @@ func (h *Handler) handleStats(w http.ResponseWriter, r *http.Request) {
 		rs := h.rebuildStats()
 		resp.Maintain = &rs
 	}
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(resp)
+	h.writeJSON(w, http.StatusOK, resp)
+}
+
+type latencyMetrics struct {
+	Total    HistogramSnapshot `json:"total"`
+	Reduce   HistogramSnapshot `json:"phase2_reduce"`
+	RefineIO HistogramSnapshot `json:"refine_io"`
+}
+
+type metricsResponse struct {
+	Queries        int64          `json:"queries"`
+	InFlight       int            `json:"in_flight"`
+	AdmissionLimit int            `json:"admission_limit"`
+	Shed           int64          `json:"shed"`
+	Canceled       int64          `json:"canceled"`
+	EncodeErrors   int64          `json:"encode_errors"`
+	Latency        latencyMetrics `json:"latency"`
+}
+
+func (h *Handler) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	h.writeJSON(w, http.StatusOK, metricsResponse{
+		Queries:        h.queries.Load(),
+		InFlight:       len(h.gate),
+		AdmissionLimit: cap(h.gate),
+		Shed:           h.shed.Load(),
+		Canceled:       h.canceled.Load(),
+		EncodeErrors:   h.encodeErrs.Load(),
+		Latency: latencyMetrics{
+			Total:    h.latTotal.Snapshot(),
+			Reduce:   h.latReduce.Snapshot(),
+			RefineIO: h.latRefine.Snapshot(),
+		},
+	})
 }

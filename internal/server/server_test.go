@@ -2,18 +2,31 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"net/http/httptest"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 )
 
 // fakeSearcher returns the first k ids and canned stats, or an error for a
-// poisoned first coordinate.
-type fakeSearcher struct{}
+// poisoned first coordinate. It counts calls and honors the request
+// context, like the real engines do.
+type fakeSearcher struct {
+	calls atomic.Int64
+}
 
-func (fakeSearcher) Search(q []float32, k int) ([]int, Stats, error) {
+func (s *fakeSearcher) Search(ctx context.Context, q []float32, k int) ([]int, Stats, error) {
+	s.calls.Add(1)
+	if err := ctx.Err(); err != nil {
+		return nil, Stats{}, err
+	}
 	if len(q) > 0 && q[0] == -1 {
 		return nil, Stats{}, fmt.Errorf("injected failure")
 	}
@@ -21,12 +34,21 @@ func (fakeSearcher) Search(q []float32, k int) ([]int, Stats, error) {
 	for i := range ids {
 		ids[i] = i
 	}
-	return ids, Stats{Candidates: 4 * k, Hits: 2 * k, Fetched: k}, nil
+	return ids, Stats{
+		Candidates: 4 * k, Hits: 2 * k, Fetched: k,
+		ReduceTime: 5 * time.Microsecond, RefineTime: 20 * time.Microsecond,
+	}, nil
+}
+
+func newTestHandler() (*Handler, *fakeSearcher) {
+	s := &fakeSearcher{}
+	return New(s, Config{Dim: 3, MaxK: 50}), s
 }
 
 func newTestServer(t *testing.T) *httptest.Server {
 	t.Helper()
-	srv := httptest.NewServer(New(fakeSearcher{}, 3, 50))
+	h, _ := newTestHandler()
+	srv := httptest.NewServer(h)
 	t.Cleanup(srv.Close)
 	return srv
 }
@@ -41,6 +63,23 @@ func post(t *testing.T, srv *httptest.Server, body string) (*http.Response, map[
 	var out map[string]any
 	json.NewDecoder(resp.Body).Decode(&out)
 	return resp, out
+}
+
+func getJSON(t *testing.T, srv *httptest.Server, path string) map[string]any {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s = %d", path, resp.StatusCode)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
 }
 
 func TestSearchEndpoint(t *testing.T) {
@@ -81,20 +120,193 @@ func TestValidationAndErrors(t *testing.T) {
 	}
 }
 
+// TestNonFiniteVectorRejected is the regression test for the NaN-pruning
+// bug: a NaN compares false against every bound, silently corrupting the
+// lb/ub reduction and returning wrong neighbors with 200 OK. No non-finite
+// vector — however encoded — may reach Searcher.Search.
+func TestNonFiniteVectorRejected(t *testing.T) {
+	// The validation gate itself, on decoded vectors (the path a future
+	// binary/batch transport would take).
+	for i, v := range [][]float32{
+		{float32(math.NaN()), 0, 0},
+		{0, float32(math.Inf(1)), 0},
+		{0, 0, float32(math.Inf(-1))},
+	} {
+		if j := firstNonFinite(v); j < 0 {
+			t.Fatalf("case %d: non-finite vector passed validation", i)
+		}
+	}
+	if firstNonFinite([]float32{1, -2, 3.5}) != -1 {
+		t.Fatal("finite vector rejected")
+	}
+
+	// Every JSON encoding a client could attempt: the bare NaN/Infinity
+	// literals are invalid JSON, and out-of-range numerals fail to decode —
+	// each must 400 without the searcher ever being called.
+	s := &fakeSearcher{}
+	h := New(s, Config{Dim: 3, MaxK: 50})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	for _, body := range []string{
+		`{"vector":[NaN,0,0],"k":1}`,
+		`{"vector":[Infinity,0,0],"k":1}`,
+		`{"vector":[-Infinity,0,0],"k":1}`,
+		`{"vector":[1e999,0,0],"k":1}`,
+		`{"vector":[-1e999,0,0],"k":1}`,
+		`{"vector":[1e39,0,0],"k":1}`, // overflows float32
+	} {
+		resp, err := http.Post(srv.URL+"/search", "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400", body, resp.StatusCode)
+		}
+	}
+	if n := s.calls.Load(); n != 0 {
+		t.Fatalf("non-finite query reached Searcher.Search %d times", n)
+	}
+}
+
+// blockingSearcher parks every search until released, so tests can hold the
+// admission gate full.
+type blockingSearcher struct {
+	started chan struct{}
+	release chan struct{}
+}
+
+func (s *blockingSearcher) Search(ctx context.Context, q []float32, k int) ([]int, Stats, error) {
+	s.started <- struct{}{}
+	select {
+	case <-s.release:
+		return []int{0}, Stats{}, nil
+	case <-ctx.Done():
+		return nil, Stats{}, ctx.Err()
+	}
+}
+
+func TestAdmissionGateSheds(t *testing.T) {
+	bs := &blockingSearcher{started: make(chan struct{}, 8), release: make(chan struct{})}
+	h := New(bs, Config{Dim: 1, MaxInFlight: 2})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	codes := make(chan int, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(srv.URL+"/search", "application/json",
+				bytes.NewReader([]byte(`{"vector":[1],"k":1}`)))
+			if err != nil {
+				codes <- -1
+				return
+			}
+			resp.Body.Close()
+			codes <- resp.StatusCode
+		}()
+	}
+	// Wait for both to be inside the searcher (holding the two gate slots).
+	<-bs.started
+	<-bs.started
+
+	// The gate is full: the third request must be shed with 503 and show up
+	// in the shed counter and queue depth on /metrics.
+	resp, out := post(t, srv, `{"vector":[1],"k":1}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("saturated request: status %d, want 503 (%v)", resp.StatusCode, out)
+	}
+	m := getJSON(t, srv, "/metrics")
+	if m["shed"].(float64) != 1 {
+		t.Fatalf("shed = %v, want 1", m["shed"])
+	}
+	if m["in_flight"].(float64) != 2 || m["admission_limit"].(float64) != 2 {
+		t.Fatalf("in_flight/limit = %v/%v, want 2/2", m["in_flight"], m["admission_limit"])
+	}
+
+	close(bs.release)
+	wg.Wait()
+	close(codes)
+	for c := range codes {
+		if c != http.StatusOK {
+			t.Fatalf("admitted request finished with %d", c)
+		}
+	}
+	m = getJSON(t, srv, "/metrics")
+	if m["in_flight"].(float64) != 0 {
+		t.Fatalf("in_flight after drain = %v", m["in_flight"])
+	}
+}
+
+// explodingWriter fails every body write, simulating a client that
+// disconnected between the status line and the body.
+type explodingWriter struct {
+	header       http.Header
+	headerWrites int
+}
+
+func (w *explodingWriter) Header() http.Header {
+	if w.header == nil {
+		w.header = make(http.Header)
+	}
+	return w.header
+}
+func (w *explodingWriter) WriteHeader(int)           { w.headerWrites++ }
+func (w *explodingWriter) Write([]byte) (int, error) { return 0, errors.New("client gone") }
+
+func TestEncodeFailureRecordedOnce(t *testing.T) {
+	h, _ := newTestHandler()
+	req := httptest.NewRequest(http.MethodPost, "/search",
+		bytes.NewReader([]byte(`{"vector":[1,2,3],"k":2}`)))
+	ew := &explodingWriter{}
+	h.ServeHTTP(ew, req)
+	if got := h.encodeErrs.Load(); got != 1 {
+		t.Fatalf("encodeErrs = %d, want 1", got)
+	}
+	if ew.headerWrites != 1 {
+		t.Fatalf("WriteHeader called %d times after the failed body write, want exactly 1", ew.headerWrites)
+	}
+
+	// The failure is visible to operators on /metrics.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	var m metricsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.EncodeErrors != 1 {
+		t.Fatalf("/metrics encode_errors = %d, want 1", m.EncodeErrors)
+	}
+}
+
+func TestCanceledRequestCounted(t *testing.T) {
+	h, s := newTestHandler()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // the client is already gone when the search starts
+	req := httptest.NewRequest(http.MethodPost, "/search",
+		bytes.NewReader([]byte(`{"vector":[1,2,3],"k":2}`))).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != statusClientClosedRequest {
+		t.Fatalf("status = %d, want %d", rec.Code, statusClientClosedRequest)
+	}
+	if h.canceled.Load() != 1 {
+		t.Fatalf("canceled = %d, want 1", h.canceled.Load())
+	}
+	if h.queries.Load() != 0 {
+		t.Fatal("abandoned search counted as a completed query")
+	}
+	_ = s
+}
+
 func TestStatsAggregation(t *testing.T) {
 	srv := newTestServer(t)
 	for i := 0; i < 3; i++ {
 		post(t, srv, `{"vector":[1,2,3],"k":5}`)
 	}
-	resp, err := http.Get(srv.URL + "/stats")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	var out map[string]any
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		t.Fatal(err)
-	}
+	out := getJSON(t, srv, "/stats")
 	if out["queries"].(float64) != 3 {
 		t.Fatalf("stats = %v", out)
 	}
@@ -103,5 +315,77 @@ func TestStatsAggregation(t *testing.T) {
 	}
 	if out["avg_fetched"].(float64) != 5 {
 		t.Fatalf("avg fetched = %v", out["avg_fetched"])
+	}
+}
+
+func TestMetricsLatencyHistograms(t *testing.T) {
+	srv := newTestServer(t)
+	for i := 0; i < 4; i++ {
+		post(t, srv, `{"vector":[1,2,3],"k":5}`)
+	}
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m metricsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Queries != 4 {
+		t.Fatalf("queries = %d", m.Queries)
+	}
+	for name, h := range map[string]HistogramSnapshot{
+		"total": m.Latency.Total, "reduce": m.Latency.Reduce, "refine_io": m.Latency.RefineIO,
+	} {
+		if h.Count != 4 {
+			t.Fatalf("%s histogram count = %d, want 4", name, h.Count)
+		}
+		if len(h.Bucket) == 0 {
+			t.Fatalf("%s histogram has no buckets", name)
+		}
+		if h.P50US <= 0 || h.P99US < h.P50US {
+			t.Fatalf("%s quantiles look wrong: p50=%d p99=%d", name, h.P50US, h.P99US)
+		}
+	}
+	// The fake reports 5µs reduce / 20µs refine: the quantile upper bounds
+	// must bracket them (geometric buckets overestimate by at most 2×).
+	if p := m.Latency.Reduce.P50US; p < 5 || p > 10 {
+		t.Fatalf("reduce p50 = %dµs, want within [5,10]", p)
+	}
+	if p := m.Latency.RefineIO.P50US; p < 20 || p > 40 {
+		t.Fatalf("refine p50 = %dµs, want within [20,40]", p)
+	}
+}
+
+func TestHistogramObserveSnapshot(t *testing.T) {
+	var h Histogram
+	durations := []time.Duration{
+		0, 800 * time.Nanosecond, 3 * time.Microsecond, 3 * time.Microsecond,
+		100 * time.Microsecond, 20 * time.Millisecond, 3 * time.Second, -time.Second,
+	}
+	for _, d := range durations {
+		h.Observe(d)
+	}
+	s := h.Snapshot()
+	if s.Count != int64(len(durations)) {
+		t.Fatalf("count = %d, want %d", s.Count, len(durations))
+	}
+	var n int64
+	for _, b := range s.Bucket {
+		n += b.N
+		if b.N <= 0 {
+			t.Fatalf("empty bucket emitted: %+v", b)
+		}
+	}
+	if n != s.Count {
+		t.Fatalf("bucket sum %d != count %d", n, s.Count)
+	}
+	if s.P50US > s.P90US || s.P90US > s.P99US {
+		t.Fatalf("quantiles not monotone: %d %d %d", s.P50US, s.P90US, s.P99US)
+	}
+	// 3s lands in the (2^21, 2^22]µs bucket; p99 must reach it.
+	if s.P99US < 3_000_000 {
+		t.Fatalf("p99 = %dµs, want ≥ 3s", s.P99US)
 	}
 }

@@ -1,18 +1,29 @@
 package exploitbit
 
 import (
+	"context"
 	"net/http"
 
 	"exploitbit/internal/server"
 )
 
-// engineSearcher adapts an Engine (or Maintainer) to the HTTP handler.
-type engineSearcher struct {
-	search func(q []float32, k int) ([]int, QueryStats, error)
+// ServeOptions tunes the HTTP handler's request lifecycle. Zero values
+// select the documented defaults.
+type ServeOptions struct {
+	// MaxK caps the k accepted by /search (default 1000).
+	MaxK int
+	// MaxInFlight is the admission limit: concurrent searches beyond it are
+	// shed with 503 and counted on /metrics (default 256).
+	MaxInFlight int
 }
 
-func (s engineSearcher) Search(q []float32, k int) ([]int, server.Stats, error) {
-	ids, st, err := s.search(q, k)
+// engineSearcher adapts an Engine (or Maintainer) to the HTTP handler.
+type engineSearcher struct {
+	search func(ctx context.Context, q []float32, k int) ([]int, QueryStats, error)
+}
+
+func (s engineSearcher) Search(ctx context.Context, q []float32, k int) ([]int, server.Stats, error) {
+	ids, st, err := s.search(ctx, q, k)
 	return ids, server.Stats{
 		Candidates:  st.Candidates,
 		Hits:        st.Hits,
@@ -21,20 +32,37 @@ func (s engineSearcher) Search(q []float32, k int) ([]int, server.Stats, error) 
 		Fetched:     st.Fetched,
 		PageReads:   st.PageReads,
 		SimulatedIO: st.SimulatedIO,
+		GenTime:     st.GenTime,
+		ReduceTime:  st.ReduceTime,
+		RefineTime:  st.RefineTime,
 	}, err
 }
 
-// Serve returns an http.Handler exposing the engine:
-// POST /search, GET /stats, GET /healthz. Safe for concurrent requests.
+// Serve returns an http.Handler exposing the engine with default lifecycle
+// options: POST /search, GET /stats, GET /metrics, GET /healthz. Safe for
+// concurrent requests; the request context is plumbed into the search, so a
+// disconnected client abandons its query before refinement I/O.
 func Serve(eng *Engine, dim int) http.Handler {
-	return server.New(engineSearcher{search: eng.Search}, dim, 0)
+	return ServeWith(eng, dim, ServeOptions{})
+}
+
+// ServeWith is Serve with explicit lifecycle options.
+func ServeWith(eng *Engine, dim int, opt ServeOptions) http.Handler {
+	return server.New(engineSearcher{search: eng.SearchCtx},
+		server.Config{Dim: dim, MaxK: opt.MaxK, MaxInFlight: opt.MaxInFlight})
 }
 
 // ServeMaintained is Serve over a self-maintaining engine: the cache
 // rebuilds itself in the background under workload drift while requests
 // flow, and /stats carries a "maintain" object with rebuild counters.
 func ServeMaintained(m *Maintainer, dim int) http.Handler {
-	h := server.New(engineSearcher{search: m.Search}, dim, 0)
+	return ServeMaintainedWith(m, dim, ServeOptions{})
+}
+
+// ServeMaintainedWith is ServeMaintained with explicit lifecycle options.
+func ServeMaintainedWith(m *Maintainer, dim int, opt ServeOptions) http.Handler {
+	h := server.New(engineSearcher{search: m.SearchCtx},
+		server.Config{Dim: dim, MaxK: opt.MaxK, MaxInFlight: opt.MaxInFlight})
 	h.SetRebuildStats(func() server.RebuildStats {
 		st := m.Stats()
 		return server.RebuildStats{
