@@ -25,6 +25,7 @@ func main() {
 		out   = flag.String("out", "", "write output to file instead of stdout")
 		dir   = flag.String("dir", "", "directory for disk files (default: temp)")
 		perf  = flag.String("perf", "", "run the fast-path perf suite and write the JSON report to this path")
+		batch = flag.String("batch", "", "run the batch-search coalescing scenario and write the JSON report to this path")
 	)
 	flag.Parse()
 
@@ -64,12 +65,14 @@ func main() {
 	switch {
 	case *perf != "":
 		_, err = bench.RunPerf(w, env, *perf)
+	case *batch != "":
+		_, err = bench.RunBatch(w, env, *batch)
 	case *all:
 		err = bench.RunAll(w, env)
 	case *exp != "":
 		err = bench.Run(w, env, *exp)
 	default:
-		fmt.Fprintln(os.Stderr, "ebc-bench: pass -exp <id>, -all, -perf <path>, or -list")
+		fmt.Fprintln(os.Stderr, "ebc-bench: pass -exp <id>, -all, -perf <path>, -batch <path>, or -list")
 		os.Exit(2)
 	}
 	if err != nil {

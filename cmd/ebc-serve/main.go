@@ -83,6 +83,7 @@ func main() {
 
 		maxInFlight  = flag.Int("max-inflight", 64, "admission limit: concurrent searches before 503")
 		maxK         = flag.Int("max-k", 1000, "largest k accepted by /search")
+		maxBatch     = flag.Int("max-batch", 64, "largest vector count accepted by /search/batch")
 		readTimeout  = flag.Duration("read-timeout", 10*time.Second, "http.Server ReadTimeout")
 		writeTimeout = flag.Duration("write-timeout", 30*time.Second, "http.Server WriteTimeout")
 		idleTimeout  = flag.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout")
@@ -127,7 +128,7 @@ func main() {
 	defer sys.Close()
 
 	tau := sys.OptimalTau(cs)
-	sopt := exploitbit.ServeOptions{MaxK: *maxK, MaxInFlight: *maxInFlight}
+	sopt := exploitbit.ServeOptions{MaxK: *maxK, MaxInFlight: *maxInFlight, MaxBatch: *maxBatch}
 	var handler http.Handler
 	var mnt *exploitbit.Maintainer
 	if *maintain {

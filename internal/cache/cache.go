@@ -17,6 +17,8 @@ package cache
 
 import (
 	"fmt"
+	"math"
+	"math/bits"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -59,15 +61,28 @@ func (s Stats) HitRatio() float64 {
 
 // CapacityForBudget converts a byte budget and per-item bit cost into an
 // item capacity — how Theorem 1 relates N_item to N*_item via τ/Lvalue.
+// The arithmetic is checked: budgetBytes*8 overflows int64 for budgets of
+// 2^60 bytes and beyond (the naive expression turned such budgets into a
+// negative — i.e. zero — capacity), and the final narrowing saturates at
+// math.MaxInt instead of truncating on 32-bit platforms.
 func CapacityForBudget(budgetBytes int64, itemBits int) int {
 	if itemBits <= 0 {
 		panic("cache: item bits must be positive")
 	}
-	cap := budgetBytes * 8 / int64(itemBits)
-	if cap < 0 {
+	if budgetBytes <= 0 {
 		return 0
 	}
-	return int(cap)
+	hi, lo := bits.Mul64(uint64(budgetBytes), 8)
+	if hi >= uint64(itemBits) {
+		// The quotient would not fit in 64 bits (bits.Div64 panics on
+		// hi >= divisor); any such capacity saturates anyway.
+		return math.MaxInt
+	}
+	quo, _ := bits.Div64(hi, lo, uint64(itemBits))
+	if quo > uint64(math.MaxInt) {
+		return math.MaxInt
+	}
+	return int(quo)
 }
 
 type entry[V any] struct {
@@ -95,7 +110,10 @@ func New[V any](capacity int, policy Policy) *Cache[V] {
 	if capacity < 0 {
 		panic(fmt.Sprintf("cache: negative capacity %d", capacity))
 	}
-	c := &Cache[V]{policy: policy, capacity: capacity, m: make(map[int32]*entry[V], capacity)}
+	// The capacity is only a ceiling (a saturated CapacityForBudget yields
+	// math.MaxInt); cap the map pre-size hint so construction stays cheap.
+	hint := min(capacity, 1<<20)
+	c := &Cache[V]{policy: policy, capacity: capacity, m: make(map[int32]*entry[V], hint)}
 	c.sentinel.prev = &c.sentinel
 	c.sentinel.next = &c.sentinel
 	return c

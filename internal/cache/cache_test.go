@@ -1,6 +1,7 @@
 package cache
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 )
@@ -19,6 +20,60 @@ func TestCapacityForBudget(t *testing.T) {
 		}
 	}()
 	CapacityForBudget(1, 0)
+}
+
+// TestCapacityForBudgetBoundaries is the regression test for the overflow
+// bug: budgetBytes*8 wraps int64 at budgets of 2^60 bytes, which the naive
+// expression turned into a negative quotient and then a zero capacity — a
+// maximal budget built the NO-CACHE engine. The checked version is exact up
+// to the saturation point and clamps to math.MaxInt beyond it.
+func TestCapacityForBudgetBoundaries(t *testing.T) {
+	cases := []struct {
+		name     string
+		budget   int64
+		itemBits int
+		want     int
+	}{
+		{"negative budget", -1, 64, 0},
+		{"one byte, one bit", 1, 1, 8},
+		{"one byte, nine bits", 1, 9, 0},
+		{"largest pre-overflow budget", 1<<60 - 1, 8, 1<<60 - 1},
+		{"2^60 overflows the naive product", 1 << 60, 8, 1 << 60},
+		{"max budget, large items", math.MaxInt64, 1 << 20, 1<<46 - 1}, // (2^66-8)/2^20
+		{"max budget, tiny items saturates", math.MaxInt64, 1, math.MaxInt},
+		{"max budget, 8 bits saturates", math.MaxInt64, 8, math.MaxInt},
+	}
+	for _, c := range cases {
+		if got := CapacityForBudget(c.budget, c.itemBits); got != c.want {
+			t.Errorf("%s: CapacityForBudget(%d, %d) = %d, want %d",
+				c.name, c.budget, c.itemBits, got, c.want)
+		}
+	}
+	// Monotone in the budget across the overflow boundary: more budget can
+	// never mean fewer items.
+	prev := 0
+	for _, b := range []int64{1 << 59, 1<<60 - 1, 1 << 60, 1 << 62, math.MaxInt64} {
+		got := CapacityForBudget(b, 1536)
+		if got < prev {
+			t.Fatalf("capacity not monotone: budget %d → %d items, smaller budget gave %d", b, got, prev)
+		}
+		prev = got
+	}
+}
+
+// TestNewSaturatedCapacity: a saturated capacity must construct instantly
+// (the map hint is clamped) and still behave as an unbounded cache.
+func TestNewSaturatedCapacity(t *testing.T) {
+	c := New[int](math.MaxInt, LRU)
+	for i := 0; i < 100; i++ {
+		c.Put(i, i)
+	}
+	if c.Len() != 100 {
+		t.Fatalf("len = %d, want 100", c.Len())
+	}
+	if v, ok := c.Get(0); !ok || v != 0 {
+		t.Fatal("entry 0 missing — saturated capacity evicted")
+	}
 }
 
 func TestHFFStaticBehaviour(t *testing.T) {

@@ -349,16 +349,12 @@ func (e *Engine) SearchInto(q []float32, k int, dst []int) ([]int, QueryStats, e
 	return e.SearchIntoCtx(context.Background(), q, k, dst)
 }
 
-// SearchIntoCtx is SearchInto under a request context; see SearchCtx for
-// the cancellation semantics.
-func (e *Engine) SearchIntoCtx(ctx context.Context, q []float32, k int, dst []int) ([]int, QueryStats, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, QueryStats{}, err
-	}
-	sc := e.getScratch()
-	defer e.putScratch(sc)
-	sc.ctx = ctx
-	sc.st = QueryStats{}
+// phase12 runs Phase 1 (candidate generation) and Phase 2 (cache-based
+// candidate reduction: scoring, lb_k/ub_k selection, prune / true-hit
+// partition) for one query on scratch sc. True-hit identifiers are appended
+// to dst; the surviving candidate states are compacted into sc.cs and
+// returned. Both the single-query search and the batch pipeline start here.
+func (e *Engine) phase12(ctx context.Context, sc *searchScratch, q []float32, k int, dst []int) ([]int, []candState, error) {
 	st := &sc.st
 
 	// Phase 1: candidate generation.
@@ -380,12 +376,12 @@ func (e *Engine) SearchIntoCtx(ctx context.Context, q []float32, k int, dst []in
 	if workers := e.reduceWorkers(len(ids)); workers > 1 {
 		st.ReduceWorkers = workers
 		if err := e.reduceParallel(ctx, q, ids, cs, lut, workers, st); err != nil {
-			return nil, sc.st, err
+			return nil, nil, err
 		}
 	} else {
 		st.ReduceWorkers = 1
 		if err := e.reduceSerial(ctx, q, ids, cs, lut, sc); err != nil {
-			return nil, sc.st, err
+			return nil, nil, err
 		}
 	}
 	lbkSq, ubkSq := sc.kthBoundsSq(cs, k)
@@ -394,6 +390,25 @@ func (e *Engine) SearchIntoCtx(ctx context.Context, q []float32, k int, dst []in
 	results, remaining := partitionCandidates(cs, lbkSq, ubkSq, e.cfg.NoTrueHitDetection, st, dst)
 	st.Remaining = len(remaining)
 	st.ReduceTime = time.Since(t1)
+	return results, remaining, nil
+}
+
+// SearchIntoCtx is SearchInto under a request context; see SearchCtx for
+// the cancellation semantics.
+func (e *Engine) SearchIntoCtx(ctx context.Context, q []float32, k int, dst []int) ([]int, QueryStats, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, QueryStats{}, err
+	}
+	sc := e.getScratch()
+	defer e.putScratch(sc)
+	sc.ctx = ctx
+	sc.st = QueryStats{}
+	st := &sc.st
+
+	results, remaining, err := e.phase12(ctx, sc, q, k, dst)
+	if err != nil {
+		return nil, sc.st, err
+	}
 
 	// Phase 3: multi-step refinement of the remaining candidates, in squared
 	// space — sqrt is deferred to the final k results inside SearchSq. An

@@ -168,6 +168,21 @@ func LoadEngine(pf *disk.PointFile, ds *dataset.Dataset, cands CandidateFunc, r 
 	if err := cfg.Method.Validate(); err != nil {
 		return nil, err
 	}
+	// Range-check every configuration field before it reaches a constructor:
+	// a corrupt or truncated snapshot must come back as a descriptive error,
+	// not a panic deep in encoding.NewCodec or a negative-capacity cache.
+	if tau < 0 || tau > 32 {
+		return nil, fmt.Errorf("core: snapshot tau %d outside [0,32]", tau)
+	}
+	if cacheBytes < 0 {
+		return nil, fmt.Errorf("core: snapshot cache budget %d is negative", cacheBytes)
+	}
+	if cfg.Policy != cache.HFF && cfg.Policy != cache.LRU {
+		return nil, fmt.Errorf("core: snapshot cache policy %d unknown", policy)
+	}
+	if math.IsNaN(smooth) || math.IsInf(smooth, 0) || smooth < 0 {
+		return nil, fmt.Errorf("core: snapshot smoothing epsilon %v is not a finite non-negative number", smooth)
+	}
 
 	e := &Engine{ds: ds, pf: pf, cands: cands, cfg: cfg}
 
@@ -182,6 +197,9 @@ func LoadEngine(pf *disk.PointFile, ds *dataset.Dataset, cands CandidateFunc, r 
 		if err != nil {
 			return nil, err
 		}
+		if h.Ndom() != ds.Domain.Ndom {
+			return nil, fmt.Errorf("core: snapshot histogram covers domain of %d values, dataset has %d", h.Ndom(), ds.Domain.Ndom)
+		}
 		e.ghist = h
 		e.histSpaceBytes = h.SpaceBytes()
 		e.table = bounds.NewTable(h, ds.Domain, ds.Dim)
@@ -192,6 +210,11 @@ func LoadEngine(pf *disk.PointFile, ds *dataset.Dataset, cands CandidateFunc, r 
 		}
 		if p.Dim() != ds.Dim {
 			return nil, fmt.Errorf("core: snapshot has %d dimensions, dataset %d", p.Dim(), ds.Dim)
+		}
+		for j, h := range p.H {
+			if h.Ndom() != ds.Domain.Ndom {
+				return nil, fmt.Errorf("core: snapshot histogram for dimension %d covers domain of %d values, dataset has %d", j, h.Ndom(), ds.Domain.Ndom)
+			}
 		}
 		e.phist = p
 		e.histSpaceBytes = p.SpaceBytes()
@@ -256,6 +279,13 @@ func LoadEngine(pf *disk.PointFile, ds *dataset.Dataset, cands CandidateFunc, r 
 	if nkeys > capacity || int(capacity) > 1<<30 {
 		return nil, fmt.Errorf("core: implausible cache content (%d keys, capacity %d)", nkeys, capacity)
 	}
+	// Cached ids are distinct points of the dataset, so a key count beyond
+	// ds.Len() is corruption — and bounding it here keeps the allocation
+	// below proportional to the dataset instead of the (attacker-controlled)
+	// count field.
+	if int(nkeys) > ds.Len() {
+		return nil, fmt.Errorf("core: snapshot caches %d ids, dataset has only %d points", nkeys, ds.Len())
+	}
 	keys := make([]int, nkeys)
 	for i := range keys {
 		var id uint32
@@ -281,6 +311,9 @@ func LoadEngine(pf *disk.PointFile, ds *dataset.Dataset, cands CandidateFunc, r 
 	default:
 		if e.table == nil {
 			return nil, fmt.Errorf("core: snapshot for %s lacks a histogram", cfg.Method)
+		}
+		if cfg.Tau < 1 {
+			return nil, fmt.Errorf("core: snapshot for %s has code length tau %d, need at least 1", cfg.Method, cfg.Tau)
 		}
 		e.codec = encoding.NewCodec(ds.Dim, cfg.Tau)
 		e.approx = cache.New[[]uint64](int(capacity), cfg.Policy)

@@ -374,17 +374,13 @@ func (e *TreeEngine) SearchInto(q []float32, k int, dst []int) ([]int, QueryStat
 	return e.SearchIntoCtx(context.Background(), q, k, dst)
 }
 
-// SearchIntoCtx is SearchInto under a request context; see SearchCtx for
-// the cancellation semantics.
-func (e *TreeEngine) SearchIntoCtx(ctx context.Context, q []float32, k int, dst []int) ([]int, QueryStats, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, QueryStats{}, err
-	}
-	sc := e.getScratch()
-	defer e.putScratch(sc)
-	sc.ctx = ctx
-	sc.st = QueryStats{}
-	sc.q = q
+// phase12 runs Phase 1 (leaf visit order) and Phase 2 (cached-leaf scoring,
+// uncached-leaf loads, lb_k/ub_k partition) for one query on scratch sc.
+// True-hit identifiers are appended to dst; the surviving candidates are
+// split into sc.seeds (exact distance in hand) and sc.pend (leaf-resident,
+// to be refined). Both the single-query search and the batch pipeline start
+// here.
+func (e *TreeEngine) phase12(ctx context.Context, sc *treeScratch, q []float32, k int, dst []int) ([]int, error) {
 	st := &sc.st
 
 	// Phase 1: candidate generation order — per-leaf lower bounds, squared
@@ -478,12 +474,12 @@ func (e *TreeEngine) SearchIntoCtx(ctx context.Context, q []float32, k int, dst 
 			// each load so an abandoned request stops paying immediately.
 			if err := ctx.Err(); err != nil {
 				sc.cs = cs
-				return dst, *st, err
+				return dst, err
 			}
 			lids, pts, err := e.loadLeaf(li, st)
 			if err != nil {
 				sc.cs = cs
-				return dst, *st, err
+				return dst, err
 			}
 			for i, id := range lids {
 				d2 := vec.SqDist(q, pts[i])
@@ -496,7 +492,6 @@ func (e *TreeEngine) SearchIntoCtx(ctx context.Context, q []float32, k int, dst 
 
 	// Candidate reduction (Algorithm 1 lines 7–13) over known ∪ pending.
 	lbkSq, ubkSq := sc.kthBoundsSq(cs, k)
-	base := len(dst)
 	results, remaining := partitionCandidates(cs, lbkSq, ubkSq, false, st, dst)
 	sc.seeds, sc.pend = sc.seeds[:0], sc.pend[:0]
 	for _, c := range remaining {
@@ -508,6 +503,27 @@ func (e *TreeEngine) SearchIntoCtx(ctx context.Context, q []float32, k int, dst 
 	}
 	st.Remaining = len(sc.pend)
 	st.ReduceTime = time.Since(t1)
+	return results, nil
+}
+
+// SearchIntoCtx is SearchInto under a request context; see SearchCtx for
+// the cancellation semantics.
+func (e *TreeEngine) SearchIntoCtx(ctx context.Context, q []float32, k int, dst []int) ([]int, QueryStats, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, QueryStats{}, err
+	}
+	sc := e.getScratch()
+	defer e.putScratch(sc)
+	sc.ctx = ctx
+	sc.st = QueryStats{}
+	sc.q = q
+	st := &sc.st
+
+	base := len(dst)
+	results, err := e.phase12(ctx, sc, q, k, dst)
+	if err != nil {
+		return results, *st, err
+	}
 
 	// Refinement: known candidates compete for the open slots at no cost;
 	// pending ones are resolved in ascending lower-bound order, loading a

@@ -224,6 +224,154 @@ func TestPointFileOpen(t *testing.T) {
 	}
 }
 
+func TestPointFilePageOfGroupsByPage(t *testing.T) {
+	ds := testDataset(t, 64, 16) // 64-byte points, 4 per 256-byte page
+	pf, err := BuildPointFile(filepath.Join(t.TempDir(), "pf"), ds, nil, 256, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pf.Close()
+	// Raw order: ids 0..3 share a page, 4..7 the next, and so on.
+	for id := 0; id < 64; id++ {
+		p, err := pf.PageOf(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := pf.dataStart + id/4; p != want {
+			t.Fatalf("PageOf(%d) = %d, want %d", id, p, want)
+		}
+	}
+	if _, err := pf.PageOf(-1); err == nil {
+		t.Fatal("expected negative id error")
+	}
+	if _, err := pf.PageOf(64); err == nil {
+		t.Fatal("expected out-of-range id error")
+	}
+}
+
+func TestPointFileFetchOnPage(t *testing.T) {
+	ds := testDataset(t, 64, 16)
+	pf, err := BuildPointFile(filepath.Join(t.TempDir(), "pf"), ds, nil, 256, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pf.Close()
+
+	ids := []int{5, 7, 4} // all on the second data page, out of order
+	page, err := pf.PageOf(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([][]float32, len(ids))
+	pf.ResetStats()
+	if err := pf.FetchOnPage(page, ids, out); err != nil {
+		t.Fatal(err)
+	}
+	if reads := pf.Stats().PageReads; reads != 1 {
+		t.Fatalf("coalesced fetch of %d points cost %d reads, want 1", len(ids), reads)
+	}
+	for i, id := range ids {
+		want := ds.Point(id)
+		for j := range want {
+			if out[i][j] != want[j] {
+				t.Fatalf("point %d dim %d: got %v want %v", id, j, out[i][j], want[j])
+			}
+		}
+	}
+
+	// An id from another page must be rejected before any decode.
+	if err := pf.FetchOnPage(page, []int{5, 9}, make([][]float32, 2)); err == nil {
+		t.Fatal("expected wrong-page rejection")
+	}
+	// Length mismatch.
+	if err := pf.FetchOnPage(page, []int{5}, nil); err == nil {
+		t.Fatal("expected ids/out length mismatch error")
+	}
+	// Empty request is a no-op.
+	pf.ResetStats()
+	if err := pf.FetchOnPage(page, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if pf.Stats().PageReads != 0 {
+		t.Fatal("empty FetchOnPage should not read")
+	}
+}
+
+func TestPointFileFetchOnPagePermuted(t *testing.T) {
+	ds := testDataset(t, 50, 8)
+	perm := rand.New(rand.NewSource(29)).Perm(50)
+	pf, err := BuildPointFile(filepath.Join(t.TempDir(), "pf"), ds, perm, 256, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pf.Close()
+
+	// Group every id by PageOf and fetch page by page; each point must decode
+	// to its dataset value regardless of physical placement.
+	groups := map[int][]int{}
+	for id := 0; id < 50; id++ {
+		p, err := pf.PageOf(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		groups[p] = append(groups[p], id)
+	}
+	pf.ResetStats()
+	for p, ids := range groups {
+		out := make([][]float32, len(ids))
+		if err := pf.FetchOnPage(p, ids, out); err != nil {
+			t.Fatal(err)
+		}
+		for i, id := range ids {
+			want := ds.Point(id)
+			for j := range want {
+				if out[i][j] != want[j] {
+					t.Fatalf("permuted point %d mismatch", id)
+				}
+			}
+		}
+	}
+	if reads := pf.Stats().PageReads; reads != int64(len(groups)) {
+		t.Fatalf("fetching %d pages cost %d reads", len(groups), reads)
+	}
+}
+
+func TestPointFileFetchOnPageMultiPage(t *testing.T) {
+	// 512-byte points on 256-byte pages: each fetch unit is 2 pages holding
+	// exactly one point.
+	ds := testDataset(t, 20, 128)
+	pf, err := BuildPointFile(filepath.Join(t.TempDir(), "pf"), ds, nil, 256, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pf.Close()
+	if pf.PagesPerPoint() != 2 {
+		t.Fatalf("PagesPerPoint = %d, want 2", pf.PagesPerPoint())
+	}
+	page, err := pf.PageOf(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([][]float32, 1)
+	pf.ResetStats()
+	if err := pf.FetchOnPage(page, []int{7}, out); err != nil {
+		t.Fatal(err)
+	}
+	if reads := pf.Stats().PageReads; reads != 2 {
+		t.Fatalf("multi-page unit fetch cost %d reads, want 2", reads)
+	}
+	want := ds.Point(7)
+	for j := range want {
+		if out[0][j] != want[j] {
+			t.Fatalf("dim %d mismatch", j)
+		}
+	}
+	// A different point's unit does not alias this page.
+	if err := pf.FetchOnPage(page, []int{8}, make([][]float32, 1)); err == nil {
+		t.Fatal("expected wrong-unit rejection")
+	}
+}
+
 func TestPointFileFetchErrors(t *testing.T) {
 	ds := testDataset(t, 10, 4)
 	pf, err := BuildPointFile(filepath.Join(t.TempDir(), "pf"), ds, nil, 256, 0)

@@ -271,6 +271,75 @@ func (pf *PointFile) Fetch(id int, dst []float32) ([]float32, error) {
 	return dst, nil
 }
 
+// PageOf returns the physical page identifier of point id's fetch unit: the
+// first data page a Fetch of id would read. Points sharing a PageOf value
+// share every page of their fetch unit (a unit is one page when points fit a
+// page, and pagesPer consecutive pages holding exactly one point otherwise),
+// so batch refinement can group candidates by PageOf and read each unit once.
+func (pf *PointFile) PageOf(id int) (int, error) {
+	if id < 0 || id >= pf.n {
+		return 0, fmt.Errorf("disk: point id %d out of range [0,%d)", id, pf.n)
+	}
+	slot := id
+	if pf.perm != nil {
+		slot = int(pf.perm[id])
+	}
+	if pf.perPage > 0 {
+		return pf.dataStart + slot/pf.perPage, nil
+	}
+	return pf.dataStart + slot*pf.pagesPer, nil
+}
+
+// FetchOnPage decodes every listed point from the single fetch unit whose
+// PageOf value is page, reading that unit from disk exactly once — the
+// coalesced counterpart of calling Fetch per id. out[i] receives point
+// ids[i] (nil entries are allocated; non-nil entries must have length Dim).
+// Every id must live on the given unit, i.e. PageOf(id) == page; an id from
+// another page is an error and nothing is charged for it beyond the one read.
+func (pf *PointFile) FetchOnPage(page int, ids []int, out [][]float32) error {
+	if len(ids) != len(out) {
+		return fmt.Errorf("disk: FetchOnPage ids/out length mismatch (%d != %d)", len(ids), len(out))
+	}
+	if len(ids) == 0 {
+		return nil
+	}
+	for _, id := range ids {
+		p, err := pf.PageOf(id)
+		if err != nil {
+			return err
+		}
+		if p != page {
+			return fmt.Errorf("disk: point %d lives on page %d, not %d", id, p, page)
+		}
+	}
+	ps := pf.dev.PageSize()
+	buf := pf.getBuf()
+	defer pf.putBuf(buf)
+	rec := *buf
+	for q := 0; q < pf.pagesPer; q++ {
+		if err := pf.dev.ReadPage(page+q, rec[q*ps:(q+1)*ps]); err != nil {
+			return err
+		}
+	}
+	for i, id := range ids {
+		if out[i] == nil {
+			out[i] = make([]float32, pf.dim)
+		} else if len(out[i]) != pf.dim {
+			return fmt.Errorf("disk: out[%d] length %d != dim %d", i, len(out[i]), pf.dim)
+		}
+		if pf.perPage > 0 {
+			slot := id
+			if pf.perm != nil {
+				slot = int(pf.perm[id])
+			}
+			decodePoint(out[i], rec[(slot%pf.perPage)*pf.pointSize:])
+		} else {
+			decodePoint(out[i], rec)
+		}
+	}
+	return nil
+}
+
 // getBuf leases a transfer buffer (one page, or the whole multi-page record)
 // from a pool so that steady-state Fetch calls allocate nothing. Pointers to
 // slices are pooled to avoid boxing the header on Put.

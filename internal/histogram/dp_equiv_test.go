@@ -1,0 +1,145 @@
+package histogram
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// bruteMin exhaustively minimizes the summed bucket cost over every
+// partition of [0..ndom-1] into at most b contiguous buckets — the
+// specification optimalPartition's DP (and its Lemma-3 cutoff) must match.
+func bruteMin(ndom, b int, cost intervalCost) float64 {
+	var rec func(start, m int) float64
+	rec = func(start, m int) float64 {
+		if start == ndom {
+			return 0
+		}
+		if m == 0 {
+			return math.Inf(1)
+		}
+		best := math.Inf(1)
+		for end := start; end < ndom; end++ {
+			if v := cost(start, end) + rec(end+1, m-1); v < best {
+				best = v
+			}
+		}
+		return best
+	}
+	return rec(0, b)
+}
+
+// partitionCost sums the cost of the partition described by bucket uppers,
+// checking it is well formed (strictly ascending, covering [0, ndom-1]).
+func partitionCost(t *testing.T, ndom int, uppers []int, cost intervalCost) float64 {
+	t.Helper()
+	if len(uppers) == 0 || uppers[len(uppers)-1] != ndom-1 {
+		t.Fatalf("partition %v does not cover [0,%d]", uppers, ndom-1)
+	}
+	var sum float64
+	lo := 0
+	for _, u := range uppers {
+		if u < lo {
+			t.Fatalf("partition %v is not strictly ascending", uppers)
+		}
+		sum += cost(lo, u)
+		lo = u + 1
+	}
+	return sum
+}
+
+func closeEnough(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+// TestOptimalPartitionMatchesBruteForce sweeps small domains against the
+// exhaustive optimum for both cost families the package ships (the paper's
+// Υ metric of Eqn 4 and V-optimal SSE), with the Lemma-3 cutoff on and off.
+// Sweeping b past ndom exercises the singleton branch (n <= m) and the
+// b-clamping; the returned partition must itself achieve the claimed value.
+func TestOptimalPartitionMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	costFamilies := []struct {
+		name string
+		mk   func(f []float64) intervalCost
+	}{
+		{"upsilon", func(f []float64) intervalCost {
+			s := prefixSums(f)
+			return func(lo, hi int) float64 {
+				w := float64(hi - lo)
+				return (s[hi+1] - s[lo]) * w * w
+			}
+		}},
+		{"sse", func(f []float64) intervalCost {
+			s := prefixSums(f)
+			sq := make([]float64, len(f))
+			for i, v := range f {
+				sq[i] = v * v
+			}
+			s2 := prefixSums(sq)
+			return func(lo, hi int) float64 {
+				n := float64(hi - lo + 1)
+				sum := s[hi+1] - s[lo]
+				sse := s2[hi+1] - s2[lo] - sum*sum/n
+				if sse < 0 {
+					return 0
+				}
+				return sse
+			}
+		}},
+	}
+	for _, fam := range costFamilies {
+		fam := fam
+		t.Run(fam.name, func(t *testing.T) {
+			for trial := 0; trial < 20; trial++ {
+				for ndom := 1; ndom <= 8; ndom++ {
+					f := make([]float64, ndom)
+					for i := range f {
+						f[i] = float64(rng.Intn(50)) // zeros included: flat regions stress the cutoff
+					}
+					cost := fam.mk(f)
+					for b := 1; b <= ndom+2; b++ {
+						want := bruteMin(ndom, b, cost)
+						for _, cutoff := range []bool{false, true} {
+							res := optimalPartition(ndom, b, cost, cutoff)
+							if !closeEnough(res.value, want) {
+								t.Fatalf("ndom=%d b=%d cutoff=%v f=%v: dp value %g, brute force %g",
+									ndom, b, cutoff, f, res.value, want)
+							}
+							if got := partitionCost(t, ndom, res.uppers, cost); !closeEnough(got, res.value) {
+								t.Fatalf("ndom=%d b=%d cutoff=%v f=%v: partition %v costs %g, dp claims %g",
+									ndom, b, cutoff, f, res.uppers, got, res.value)
+							}
+							if len(res.uppers) > b {
+								t.Fatalf("ndom=%d b=%d: partition %v uses more than b buckets", ndom, b, res.uppers)
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestKNNOptimalCutoffExact pins the ablation claim at a realistic size: the
+// cutoff changes construction work only, never the metric value (HC-O built
+// with and without it selects equally optimal partitions).
+func TestKNNOptimalCutoffExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := make([]float64, 200)
+	for i := range f {
+		f[i] = rng.Float64() * float64(rng.Intn(30))
+	}
+	s := prefixSums(f)
+	cost := func(lo, hi int) float64 {
+		w := float64(hi - lo)
+		return (s[hi+1] - s[lo]) * w * w
+	}
+	for _, b := range []int{1, 2, 7, 32, 200} {
+		with := optimalPartition(len(f), b, cost, true)
+		without := optimalPartition(len(f), b, cost, false)
+		if !closeEnough(with.value, without.value) {
+			t.Fatalf("b=%d: cutoff changed the optimum: %g vs %g", b, with.value, without.value)
+		}
+	}
+}

@@ -41,7 +41,11 @@ func Read(r io.Reader) (*Histogram, error) {
 	if magic != hgMagic {
 		return nil, fmt.Errorf("histogram: bad magic %#x", magic)
 	}
-	if ndom == 0 || b == 0 || b > ndom || ndom > 1<<28 {
+	// The ndom cap bounds FromUppers' lookup-table allocation (4 bytes per
+	// domain value): a corrupt 12-byte header must not buy a gigabyte
+	// allocation. Real domains are a few thousand values (the paper uses
+	// Ndom ≈ 1024); 2^24 leaves three orders of magnitude of headroom.
+	if ndom == 0 || b == 0 || b > ndom || ndom > 1<<24 {
 		return nil, fmt.Errorf("histogram: implausible header ndom=%d B=%d", ndom, b)
 	}
 	uppers := make([]int, b)

@@ -38,6 +38,14 @@ type Searcher interface {
 	Search(ctx context.Context, q []float32, k int) ([]int, Stats, error)
 }
 
+// BatchSearcher is the optional batch capability: engines that coalesce
+// refinement I/O across a burst of queries implement it, and New detects it
+// on the Searcher to enable POST /search/batch. Results and stats are
+// positional with qs.
+type BatchSearcher interface {
+	SearchBatch(ctx context.Context, qs [][]float32, k int) ([][]int, []Stats, error)
+}
+
 // Stats is the per-query statistics subset exposed over the wire.
 type Stats struct {
 	Candidates  int           `json:"candidates"`
@@ -64,6 +72,11 @@ type Config struct {
 	// flight are shed with 503 instead of queueing behind a saturated
 	// worker pool (default 256). /stats and /healthz are never gated.
 	MaxInFlight int
+	// MaxBatch caps the number of vectors accepted by one /search/batch
+	// request (default 64). A batch charges the admission gate one slot per
+	// vector, so MaxBatch also bounds how much of MaxInFlight one request
+	// can claim.
+	MaxBatch int
 }
 
 func (c Config) withDefaults() Config {
@@ -72,6 +85,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxInFlight < 1 {
 		c.MaxInFlight = 256
+	}
+	if c.MaxBatch < 1 {
+		c.MaxBatch = 64
 	}
 	return c
 }
@@ -88,10 +104,12 @@ const statusClientClosedRequest = 499
 type Handler struct {
 	mux      *http.ServeMux
 	searcher Searcher
+	batch    BatchSearcher // nil when the searcher has no batch capability
 	cfg      Config
 
 	// gate is the admission semaphore: buffered to MaxInFlight, one slot
-	// held per in-flight search. len(gate) is the live queue depth.
+	// held per in-flight search (a batch holds one per vector). len(gate)
+	// is the live queue depth.
 	gate chan struct{}
 
 	queries atomic.Int64
@@ -103,9 +121,14 @@ type Handler struct {
 	canceled   atomic.Int64 // searches abandoned by client disconnect/deadline
 	encodeErrs atomic.Int64 // response bodies that failed to write (client gone)
 
-	latTotal  Histogram // wall clock of the whole search request
-	latReduce Histogram // Phase-2 candidate reduction CPU
-	latRefine Histogram // Phase-3 refinement CPU + simulated I/O
+	batches   atomic.Int64 // /search/batch requests served
+	batchShed atomic.Int64 // batches refused because the gate lacked slots
+
+	latTotal      Histogram // wall clock of the whole search request
+	latReduce     Histogram // Phase-2 candidate reduction CPU
+	latRefine     Histogram // Phase-3 refinement CPU + simulated I/O
+	latBatch      Histogram // wall clock of one whole batch request
+	latBatchQuery Histogram // batch wall clock amortized per member query
 
 	rebuildStats func() RebuildStats
 }
@@ -132,7 +155,9 @@ func New(s Searcher, cfg Config) *Handler {
 		cfg:      cfg,
 		gate:     make(chan struct{}, cfg.MaxInFlight),
 	}
+	h.batch, _ = s.(BatchSearcher)
 	h.mux.HandleFunc("POST /search", h.handleSearch)
+	h.mux.HandleFunc("POST /search/batch", h.handleSearchBatch)
 	h.mux.HandleFunc("GET /stats", h.handleStats)
 	h.mux.HandleFunc("GET /metrics", h.handleMetrics)
 	h.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -249,6 +274,121 @@ func (h *Handler) handleSearch(w http.ResponseWriter, r *http.Request) {
 	h.writeJSON(w, http.StatusOK, searchResponse{IDs: ids, Stats: st})
 }
 
+type batchSearchRequest struct {
+	Vectors [][]float32 `json:"vectors"`
+	K       int         `json:"k"`
+}
+
+// batchSummary is the request-level accounting of one coalesced batch: how
+// much refinement I/O the whole batch paid (the sum of the per-query
+// attributions — coalescing means this is at most, usually well below, what
+// the same queries cost one at a time).
+type batchSummary struct {
+	Queries   int           `json:"queries"`
+	PageReads int64         `json:"page_reads"`
+	Wall      time.Duration `json:"wall_ns"`
+}
+
+type batchSearchResponse struct {
+	Results []searchResponse `json:"results"`
+	Batch   batchSummary     `json:"batch"`
+}
+
+// handleSearchBatch serves POST /search/batch: one request, many vectors,
+// one coalesced refinement pass. The admission gate is charged one slot per
+// vector — a batch is that much work — and the whole batch is shed with 503
+// when the gate cannot seat all of it (partial admission would let batches
+// starve single queries while still doing a batch's work).
+func (h *Handler) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
+	if h.batch == nil {
+		h.fail(w, http.StatusNotImplemented, "engine does not support batch search")
+		return
+	}
+	var req batchSearchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<24))
+	if err := dec.Decode(&req); err != nil {
+		h.fail(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	n := len(req.Vectors)
+	if n < 1 {
+		h.fail(w, http.StatusBadRequest, "batch needs at least one vector")
+		return
+	}
+	if n > h.cfg.MaxBatch {
+		h.fail(w, http.StatusBadRequest, "batch has %d vectors, limit is %d", n, h.cfg.MaxBatch)
+		return
+	}
+	if req.K < 1 || req.K > h.cfg.MaxK {
+		h.fail(w, http.StatusBadRequest, "k must be in [1, %d], got %d", h.cfg.MaxK, req.K)
+		return
+	}
+	for i, v := range req.Vectors {
+		if len(v) != h.cfg.Dim {
+			h.fail(w, http.StatusBadRequest, "vectors[%d] has %d dimensions, engine serves %d", i, len(v), h.cfg.Dim)
+			return
+		}
+		if j := firstNonFinite(v); j >= 0 {
+			h.fail(w, http.StatusBadRequest, "vectors[%d][%d] is not finite", i, j)
+			return
+		}
+	}
+
+	// Admission: the batch needs n slots, all or nothing.
+	acquired := 0
+	defer func() {
+		for ; acquired > 0; acquired-- {
+			<-h.gate
+		}
+	}()
+	for acquired < n {
+		select {
+		case h.gate <- struct{}{}:
+			acquired++
+		default:
+			h.batchShed.Add(1)
+			h.shed.Add(int64(n - acquired))
+			h.fail(w, http.StatusServiceUnavailable,
+				"saturated: batch of %d needs %d more slots of %d; retry with backoff",
+				n, n-acquired, cap(h.gate))
+			return
+		}
+	}
+
+	start := time.Now()
+	ids, sts, err := h.batch.SearchBatch(r.Context(), req.Vectors, req.K)
+	if err != nil {
+		if r.Context().Err() != nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			h.canceled.Add(1)
+			h.fail(w, statusClientClosedRequest, "batch abandoned: %v", err)
+			return
+		}
+		h.fail(w, http.StatusInternalServerError, "batch search failed: %v", err)
+		return
+	}
+	wall := time.Since(start)
+	h.batches.Add(1)
+	h.latBatch.Observe(wall)
+	perQuery := wall / time.Duration(n)
+	resp := batchSearchResponse{
+		Results: make([]searchResponse, n),
+		Batch:   batchSummary{Queries: n, Wall: wall},
+	}
+	for i := range ids {
+		st := sts[i]
+		resp.Results[i] = searchResponse{IDs: ids[i], Stats: st}
+		resp.Batch.PageReads += st.PageReads
+		h.queries.Add(1)
+		h.fetched.Add(int64(st.Fetched))
+		h.hits.Add(int64(st.Hits))
+		h.cands.Add(int64(st.Candidates))
+		h.latBatchQuery.Observe(perQuery)
+		h.latReduce.Observe(st.ReduceTime)
+		h.latRefine.Observe(st.RefineTime + st.SimulatedIO)
+	}
+	h.writeJSON(w, http.StatusOK, resp)
+}
+
 type statsResponse struct {
 	Queries     int64         `json:"queries"`
 	AvgFetched  float64       `json:"avg_fetched"`
@@ -278,16 +418,20 @@ func (h *Handler) handleStats(w http.ResponseWriter, r *http.Request) {
 }
 
 type latencyMetrics struct {
-	Total    HistogramSnapshot `json:"total"`
-	Reduce   HistogramSnapshot `json:"phase2_reduce"`
-	RefineIO HistogramSnapshot `json:"refine_io"`
+	Total      HistogramSnapshot `json:"total"`
+	Reduce     HistogramSnapshot `json:"phase2_reduce"`
+	RefineIO   HistogramSnapshot `json:"refine_io"`
+	Batch      HistogramSnapshot `json:"batch"`
+	BatchQuery HistogramSnapshot `json:"batch_query"`
 }
 
 type metricsResponse struct {
 	Queries        int64          `json:"queries"`
+	Batches        int64          `json:"batches"`
 	InFlight       int            `json:"in_flight"`
 	AdmissionLimit int            `json:"admission_limit"`
 	Shed           int64          `json:"shed"`
+	BatchShed      int64          `json:"batch_shed"`
 	Canceled       int64          `json:"canceled"`
 	EncodeErrors   int64          `json:"encode_errors"`
 	Latency        latencyMetrics `json:"latency"`
@@ -296,15 +440,19 @@ type metricsResponse struct {
 func (h *Handler) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	h.writeJSON(w, http.StatusOK, metricsResponse{
 		Queries:        h.queries.Load(),
+		Batches:        h.batches.Load(),
 		InFlight:       len(h.gate),
 		AdmissionLimit: cap(h.gate),
 		Shed:           h.shed.Load(),
+		BatchShed:      h.batchShed.Load(),
 		Canceled:       h.canceled.Load(),
 		EncodeErrors:   h.encodeErrs.Load(),
 		Latency: latencyMetrics{
-			Total:    h.latTotal.Snapshot(),
-			Reduce:   h.latReduce.Snapshot(),
-			RefineIO: h.latRefine.Snapshot(),
+			Total:      h.latTotal.Snapshot(),
+			Reduce:     h.latReduce.Snapshot(),
+			RefineIO:   h.latRefine.Snapshot(),
+			Batch:      h.latBatch.Snapshot(),
+			BatchQuery: h.latBatchQuery.Snapshot(),
 		},
 	})
 }

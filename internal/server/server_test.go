@@ -389,3 +389,199 @@ func TestHistogramObserveSnapshot(t *testing.T) {
 		t.Fatalf("p99 = %dµs, want ≥ 3s", s.P99US)
 	}
 }
+
+// fakeBatchSearcher adds the batch capability: per-query canned stats with 3
+// page reads each, an injected failure for a poisoned first vector, and
+// context awareness.
+type fakeBatchSearcher struct {
+	fakeSearcher
+	batchCalls atomic.Int64
+}
+
+func (s *fakeBatchSearcher) SearchBatch(ctx context.Context, qs [][]float32, k int) ([][]int, []Stats, error) {
+	s.batchCalls.Add(1)
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	ids := make([][]int, len(qs))
+	sts := make([]Stats, len(qs))
+	for j, q := range qs {
+		if len(q) > 0 && q[0] == -1 {
+			return nil, nil, fmt.Errorf("injected batch failure")
+		}
+		ids[j] = make([]int, k)
+		for i := range ids[j] {
+			ids[j][i] = i
+		}
+		sts[j] = Stats{Candidates: 4 * k, Hits: 2 * k, Fetched: k, PageReads: 3}
+	}
+	return ids, sts, nil
+}
+
+func postBatch(t *testing.T, srv *httptest.Server, body string) (*http.Response, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(srv.URL+"/search/batch", "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	json.NewDecoder(resp.Body).Decode(&out)
+	return resp, out
+}
+
+func TestBatchSearchEndpoint(t *testing.T) {
+	s := &fakeBatchSearcher{}
+	srv := httptest.NewServer(New(s, Config{Dim: 3, MaxK: 50}))
+	defer srv.Close()
+
+	resp, out := postBatch(t, srv, `{"vectors":[[1,2,3],[4,5,6]],"k":4}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %v", resp.StatusCode, out)
+	}
+	results := out["results"].([]any)
+	if len(results) != 2 {
+		t.Fatalf("results = %v", results)
+	}
+	for j, r := range results {
+		rm := r.(map[string]any)
+		if ids := rm["ids"].([]any); len(ids) != 4 {
+			t.Fatalf("result %d ids = %v", j, ids)
+		}
+		if st := rm["stats"].(map[string]any); st["page_reads"].(float64) != 3 {
+			t.Fatalf("result %d stats = %v", j, st)
+		}
+	}
+	batch := out["batch"].(map[string]any)
+	if batch["queries"].(float64) != 2 || batch["page_reads"].(float64) != 6 {
+		t.Fatalf("batch summary = %v", batch)
+	}
+	if batch["wall_ns"].(float64) < 0 {
+		t.Fatalf("batch wall = %v", batch["wall_ns"])
+	}
+
+	// Batch members count as queries; batch histograms observe once per
+	// batch and once per member.
+	var m metricsResponse
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	if err := json.NewDecoder(mresp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Batches != 1 || m.Queries != 2 {
+		t.Fatalf("batches/queries = %d/%d, want 1/2", m.Batches, m.Queries)
+	}
+	if m.Latency.Batch.Count != 1 {
+		t.Fatalf("batch histogram count = %d, want 1", m.Latency.Batch.Count)
+	}
+	if m.Latency.BatchQuery.Count != 2 {
+		t.Fatalf("batch_query histogram count = %d, want 2", m.Latency.BatchQuery.Count)
+	}
+	if m.Latency.Reduce.Count != 2 {
+		t.Fatalf("per-stage histograms missed batch members: reduce count = %d", m.Latency.Reduce.Count)
+	}
+}
+
+func TestBatchSearchValidation(t *testing.T) {
+	s := &fakeBatchSearcher{}
+	srv := httptest.NewServer(New(s, Config{Dim: 3, MaxK: 50, MaxBatch: 2}))
+	defer srv.Close()
+
+	cases := []struct {
+		body string
+		code int
+	}{
+		{`{"vectors":[],"k":4}`, http.StatusBadRequest},                        // empty batch
+		{`{"vectors":[[1,2,3],[1,2,3],[1,2,3]],"k":4}`, http.StatusBadRequest}, // above MaxBatch
+		{`{"vectors":[[1,2,3]],"k":0}`, http.StatusBadRequest},                 // k too small
+		{`{"vectors":[[1,2,3]],"k":999}`, http.StatusBadRequest},               // k above cap
+		{`{"vectors":[[1,2,3],[1,2]],"k":4}`, http.StatusBadRequest},           // wrong dim
+		{`{"vectors":[[1,2,3],[1,1e999,3]],"k":4}`, http.StatusBadRequest},     // non-finite
+		{`{"vectors":`, http.StatusBadRequest},                                 // malformed
+		{`{"vectors":[[-1,2,3]],"k":4}`, http.StatusInternalServerError},       // engine failure
+	}
+	for _, c := range cases {
+		resp, out := postBatch(t, srv, c.body)
+		if resp.StatusCode != c.code {
+			t.Fatalf("%s: status %d, want %d (%v)", c.body, resp.StatusCode, c.code, out)
+		}
+		if out["error"] == "" {
+			t.Fatalf("%s: missing error message", c.body)
+		}
+	}
+	// Only the engine-failure case may reach the searcher.
+	if n := s.batchCalls.Load(); n != 1 {
+		t.Fatalf("invalid batches reached SearchBatch: %d calls, want 1", n)
+	}
+}
+
+// TestBatchSearchNotImplemented: a searcher without the batch capability
+// serves 501 on /search/batch instead of panicking or pretending.
+func TestBatchSearchNotImplemented(t *testing.T) {
+	srv := newTestServer(t)
+	resp, out := postBatch(t, srv, `{"vectors":[[1,2,3]],"k":4}`)
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("status %d, want 501 (%v)", resp.StatusCode, out)
+	}
+}
+
+// TestBatchAdmissionAllOrNothing: a batch needing more gate slots than exist
+// is shed whole — partially acquired slots are returned, so the gate drains
+// back to empty and a smaller batch is admitted.
+func TestBatchAdmissionAllOrNothing(t *testing.T) {
+	s := &fakeBatchSearcher{}
+	h := New(s, Config{Dim: 1, MaxInFlight: 1, MaxBatch: 8})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	resp, out := postBatch(t, srv, `{"vectors":[[1],[2]],"k":1}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("oversized batch: status %d, want 503 (%v)", resp.StatusCode, out)
+	}
+	if s.batchCalls.Load() != 0 {
+		t.Fatal("shed batch reached the searcher")
+	}
+	m := getJSON(t, srv, "/metrics")
+	if m["batch_shed"].(float64) != 1 {
+		t.Fatalf("batch_shed = %v, want 1", m["batch_shed"])
+	}
+	if m["shed"].(float64) != 1 {
+		t.Fatalf("shed = %v, want 1 (the one unacquirable slot)", m["shed"])
+	}
+	if m["in_flight"].(float64) != 0 {
+		t.Fatalf("in_flight = %v after shed batch — partial slots leaked", m["in_flight"])
+	}
+
+	// A batch that fits the gate goes through.
+	resp, out = postBatch(t, srv, `{"vectors":[[1]],"k":1}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fitting batch: status %d (%v)", resp.StatusCode, out)
+	}
+	m = getJSON(t, srv, "/metrics")
+	if m["in_flight"].(float64) != 0 {
+		t.Fatalf("in_flight = %v after completed batch", m["in_flight"])
+	}
+}
+
+func TestBatchCanceledRequestCounted(t *testing.T) {
+	s := &fakeBatchSearcher{}
+	h := New(s, Config{Dim: 3, MaxK: 50})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := httptest.NewRequest(http.MethodPost, "/search/batch",
+		bytes.NewReader([]byte(`{"vectors":[[1,2,3]],"k":2}`))).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != statusClientClosedRequest {
+		t.Fatalf("status = %d, want %d", rec.Code, statusClientClosedRequest)
+	}
+	if h.canceled.Load() != 1 {
+		t.Fatalf("canceled = %d, want 1", h.canceled.Load())
+	}
+	if h.queries.Load() != 0 || h.batches.Load() != 0 {
+		t.Fatal("abandoned batch counted as completed work")
+	}
+}

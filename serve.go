@@ -13,18 +13,28 @@ type ServeOptions struct {
 	// MaxK caps the k accepted by /search (default 1000).
 	MaxK int
 	// MaxInFlight is the admission limit: concurrent searches beyond it are
-	// shed with 503 and counted on /metrics (default 256).
+	// shed with 503 and counted on /metrics (default 256). A batch holds one
+	// slot per vector.
 	MaxInFlight int
+	// MaxBatch caps the vectors accepted by one /search/batch request
+	// (default 64).
+	MaxBatch int
 }
 
-// engineSearcher adapts an Engine (or Maintainer) to the HTTP handler.
+func (o ServeOptions) config(dim int) server.Config {
+	return server.Config{Dim: dim, MaxK: o.MaxK, MaxInFlight: o.MaxInFlight, MaxBatch: o.MaxBatch}
+}
+
+// engineSearcher adapts an Engine (or Maintainer) to the HTTP handler. The
+// batch function enables POST /search/batch: both engines coalesce the
+// batch's refinement I/O so overlapping queries share page reads.
 type engineSearcher struct {
 	search func(ctx context.Context, q []float32, k int) ([]int, QueryStats, error)
+	batch  func(ctx context.Context, qs [][]float32, k int) ([][]int, []QueryStats, error)
 }
 
-func (s engineSearcher) Search(ctx context.Context, q []float32, k int) ([]int, server.Stats, error) {
-	ids, st, err := s.search(ctx, q, k)
-	return ids, server.Stats{
+func wireStats(st QueryStats) server.Stats {
+	return server.Stats{
 		Candidates:  st.Candidates,
 		Hits:        st.Hits,
 		Pruned:      st.Pruned,
@@ -35,21 +45,38 @@ func (s engineSearcher) Search(ctx context.Context, q []float32, k int) ([]int, 
 		GenTime:     st.GenTime,
 		ReduceTime:  st.ReduceTime,
 		RefineTime:  st.RefineTime,
-	}, err
+	}
+}
+
+func (s engineSearcher) Search(ctx context.Context, q []float32, k int) ([]int, server.Stats, error) {
+	ids, st, err := s.search(ctx, q, k)
+	return ids, wireStats(st), err
+}
+
+func (s engineSearcher) SearchBatch(ctx context.Context, qs [][]float32, k int) ([][]int, []server.Stats, error) {
+	ids, sts, err := s.batch(ctx, qs, k)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make([]server.Stats, len(sts))
+	for i, st := range sts {
+		out[i] = wireStats(st)
+	}
+	return ids, out, nil
 }
 
 // Serve returns an http.Handler exposing the engine with default lifecycle
-// options: POST /search, GET /stats, GET /metrics, GET /healthz. Safe for
-// concurrent requests; the request context is plumbed into the search, so a
-// disconnected client abandons its query before refinement I/O.
+// options: POST /search, POST /search/batch, GET /stats, GET /metrics,
+// GET /healthz. Safe for concurrent requests; the request context is plumbed
+// into the search, so a disconnected client abandons its query before
+// refinement I/O.
 func Serve(eng *Engine, dim int) http.Handler {
 	return ServeWith(eng, dim, ServeOptions{})
 }
 
 // ServeWith is Serve with explicit lifecycle options.
 func ServeWith(eng *Engine, dim int, opt ServeOptions) http.Handler {
-	return server.New(engineSearcher{search: eng.SearchCtx},
-		server.Config{Dim: dim, MaxK: opt.MaxK, MaxInFlight: opt.MaxInFlight})
+	return server.New(engineSearcher{search: eng.SearchCtx, batch: eng.SearchBatchCtx}, opt.config(dim))
 }
 
 // ServeMaintained is Serve over a self-maintaining engine: the cache
@@ -61,8 +88,7 @@ func ServeMaintained(m *Maintainer, dim int) http.Handler {
 
 // ServeMaintainedWith is ServeMaintained with explicit lifecycle options.
 func ServeMaintainedWith(m *Maintainer, dim int, opt ServeOptions) http.Handler {
-	h := server.New(engineSearcher{search: m.SearchCtx},
-		server.Config{Dim: dim, MaxK: opt.MaxK, MaxInFlight: opt.MaxInFlight})
+	h := server.New(engineSearcher{search: m.SearchCtx, batch: m.SearchBatchCtx}, opt.config(dim))
 	h.SetRebuildStats(func() server.RebuildStats {
 		st := m.Stats()
 		return server.RebuildStats{
