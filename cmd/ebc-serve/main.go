@@ -21,6 +21,7 @@ import (
 	"log"
 	"math"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -89,6 +90,7 @@ func main() {
 		idleTimeout  = flag.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout")
 		maxHeader    = flag.Int("max-header-bytes", 64<<10, "http.Server MaxHeaderBytes")
 		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown budget for in-flight requests")
+		pprofAddr    = flag.String("pprof-addr", "", "listen address for net/http/pprof (e.g. localhost:6060); disabled when empty")
 	)
 	flag.Parse()
 	if *data == "" {
@@ -153,6 +155,23 @@ func main() {
 		WriteTimeout:   *writeTimeout,
 		IdleTimeout:    *idleTimeout,
 		MaxHeaderBytes: *maxHeader,
+	}
+
+	if *pprofAddr != "" {
+		// Profiling stays off the serving listener: its own mux on its own
+		// port, opt-in only, so the debug surface is never exposed by default.
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("ebc-serve: pprof listening on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, pmux); err != nil {
+				log.Printf("ebc-serve: pprof listener: %v", err)
+			}
+		}()
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

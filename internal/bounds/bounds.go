@@ -72,19 +72,34 @@ func (t *Table) edgesFor(j int) (lo, hi []float64) {
 // dimension order, which is what makes the fast paths bitwise-identical to
 // the reference.
 func contrib(qj, l, u float64) (loSq, upSq float64) {
+	return contribLo(qj, l, u), contribUp(qj, l, u)
+}
+
+// contribLo is the lower-bound half of contrib. The fused Phase-2 kernel
+// computes lower bounds for every candidate but upper bounds only for the
+// survivors, so the two halves are split; the arithmetic is the same terms in
+// the same order, keeping the split paths bitwise-identical to contrib.
+func contribLo(qj, l, u float64) (loSq float64) {
 	dl, du := qj-l, u-qj // distances to the near edges (sign-aware)
+	if dl < 0 { // q left of interval
+		return dl * dl
+	}
+	if du < 0 { // q right of interval
+		return du * du
+	}
+	return 0
+}
+
+// contribUp is the upper-bound half of contrib: squared distance to the
+// farther corner of the interval.
+func contribUp(qj, l, u float64) (upSq float64) {
+	dl, du := qj-l, u-qj
 	a, b := math.Abs(dl), math.Abs(du)
 	far := a
 	if b > far {
 		far = b
 	}
-	upSq = far * far
-	if dl < 0 { // q left of interval
-		loSq = dl * dl
-	} else if du < 0 { // q right of interval
-		loSq = du * du
-	}
-	return loSq, upSq
+	return far * far
 }
 
 // Bounds computes (dist⁻, dist⁺) of the encoded point codes from query q.
@@ -127,6 +142,125 @@ func (t *Table) BoundsSqPacked(q []float32, words []uint64, c encoding.Codec) (l
 		sUp += up
 	}
 	return sLo, sUp
+}
+
+// LowerSqPacked computes only the squared lower bound of a packed point —
+// the first half of the fused kernel's lower-then-maybe-upper split. It sums
+// the same contribLo terms in the same dimension order as BoundsSqPacked, so
+// the result is bitwise-identical to that function's lbSq.
+func (t *Table) LowerSqPacked(q []float32, words []uint64, c encoding.Codec) (lbSq float64) {
+	return t.LowerSqPackedThresh(q, words, c, math.Inf(1))
+}
+
+// LowerSqPackedThresh is LowerSqPacked with scan abandonment: the per-
+// dimension terms are non-negative, so the partial sum only grows, and once
+// it exceeds thr the caller's verdict ("this candidate prunes") is already
+// sealed — the remaining dimensions are skipped and the partial sum is
+// returned. Any return value v satisfies either v = the exact lower bound
+// (scan completed) or thr < v ≤ the exact lower bound (abandoned); Phase 2's
+// bit-identity argument (see core's slabReduceRange) covers both. The
+// byte-aligned widths walk words directly like the LUT fast paths.
+func (t *Table) LowerSqPackedThresh(q []float32, words []uint64, c encoding.Codec, thr float64) (lbSq float64) {
+	switch c.Tau() {
+	case 8:
+		return t.lowerSqThresh8(q, words, thr)
+	case 16:
+		return t.lowerSqThresh16(q, words, thr)
+	}
+	var sLo float64
+	for j := 0; j < t.dim; j++ {
+		code := c.At(words, j)
+		loE, hiE := t.edgesFor(j)
+		sLo += contribLo(float64(q[j]), loE[code], hiE[code])
+		if sLo > thr {
+			return sLo
+		}
+	}
+	return sLo
+}
+
+func (t *Table) lowerSqThresh8(q []float32, words []uint64, thr float64) (lbSq float64) {
+	var sLo float64
+	j := 0
+	for _, w := range words {
+		for k := 0; k < 8 && j < t.dim; k++ {
+			code := int(w & 0xFF)
+			w >>= 8
+			loE, hiE := t.edgesFor(j)
+			sLo += contribLo(float64(q[j]), loE[code], hiE[code])
+			j++
+			if sLo > thr {
+				return sLo
+			}
+		}
+	}
+	return sLo
+}
+
+func (t *Table) lowerSqThresh16(q []float32, words []uint64, thr float64) (lbSq float64) {
+	var sLo float64
+	j := 0
+	for _, w := range words {
+		for k := 0; k < 4 && j < t.dim; k++ {
+			code := int(w & 0xFFFF)
+			w >>= 16
+			loE, hiE := t.edgesFor(j)
+			sLo += contribLo(float64(q[j]), loE[code], hiE[code])
+			j++
+			if sLo > thr {
+				return sLo
+			}
+		}
+	}
+	return sLo
+}
+
+// UpperSqPacked computes only the squared upper bound of a packed point,
+// bitwise-identical to BoundsSqPacked's ubSq.
+func (t *Table) UpperSqPacked(q []float32, words []uint64, c encoding.Codec) (ubSq float64) {
+	switch c.Tau() {
+	case 8:
+		return t.upperSq8(q, words)
+	case 16:
+		return t.upperSq16(q, words)
+	}
+	var sUp float64
+	for j := 0; j < t.dim; j++ {
+		code := c.At(words, j)
+		loE, hiE := t.edgesFor(j)
+		sUp += contribUp(float64(q[j]), loE[code], hiE[code])
+	}
+	return sUp
+}
+
+func (t *Table) upperSq8(q []float32, words []uint64) (ubSq float64) {
+	var sUp float64
+	j := 0
+	for _, w := range words {
+		for k := 0; k < 8 && j < t.dim; k++ {
+			code := int(w & 0xFF)
+			w >>= 8
+			loE, hiE := t.edgesFor(j)
+			sUp += contribUp(float64(q[j]), loE[code], hiE[code])
+			j++
+		}
+	}
+	return sUp
+}
+
+func (t *Table) upperSq16(q []float32, words []uint64) (ubSq float64) {
+	var sUp float64
+	j := 0
+	for _, w := range words {
+		for k := 0; k < 4 && j < t.dim; k++ {
+			code := int(w & 0xFFFF)
+			w >>= 16
+			loE, hiE := t.edgesFor(j)
+			sUp += contribUp(float64(q[j]), loE[code], hiE[code])
+			j++
+		}
+	}
+	return sUp
 }
 
 // ErrNorm returns ‖ε(c)‖, the Euclidean norm of the error vector of

@@ -1,0 +1,84 @@
+package bounds
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"exploitbit/internal/encoding"
+)
+
+// TestSplitBoundsMatchFusedExactly pins the invariant the slab kernel's
+// bit-identity proof rests on: the split halves (LowerSqPacked,
+// UpperSqPacked) of both the Table and the LUT reproduce BoundsSqPacked's
+// sums bitwise — same terms, same order — across shared and per-dimension
+// tables and every τ including the 8/16 word-walking specializations.
+func TestSplitBoundsMatchFusedExactly(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 300; trial++ {
+		dim := 1 + rng.Intn(40)
+		tau := 1 + rng.Intn(16)
+		if trial%5 == 0 {
+			tau = 8 // exercise the byte fast path often
+		}
+		if trial%7 == 0 {
+			tau = 16
+		}
+		perDim := trial%2 == 0
+		tab, _ := randTable(rng, dim, tau, perDim)
+		codec := encoding.NewCodec(dim, tau)
+		q := make([]float32, dim)
+		codes := make([]int, dim)
+		for j := range q {
+			q[j] = float32(rng.Float64()*3 - 1)
+			loE, _ := tab.edgesFor(j)
+			codes[j] = rng.Intn(len(loE))
+		}
+		words := codec.Encode(codes, nil)
+
+		wantLB, wantUB := tab.BoundsSqPacked(q, words, codec)
+		if lb := tab.LowerSqPacked(q, words, codec); lb != wantLB {
+			t.Fatalf("trial %d (dim=%d tau=%d perDim=%v): Table.LowerSqPacked %v != %v",
+				trial, dim, tau, perDim, lb, wantLB)
+		}
+		if ub := tab.UpperSqPacked(q, words, codec); ub != wantUB {
+			t.Fatalf("trial %d (dim=%d tau=%d perDim=%v): Table.UpperSqPacked %v != %v",
+				trial, dim, tau, perDim, ub, wantUB)
+		}
+
+		lut := tab.BuildLUT(q, nil)
+		if lb := lut.LowerSqPacked(words, codec); lb != wantLB {
+			t.Fatalf("trial %d: QueryLUT.LowerSqPacked %v != %v", trial, lb, wantLB)
+		}
+		if ub := lut.UpperSqPacked(words, codec); ub != wantUB {
+			t.Fatalf("trial %d: QueryLUT.UpperSqPacked %v != %v", trial, ub, wantUB)
+		}
+
+		// Threshold contract: any return v is either the exact lower bound
+		// (v ≤ thr allows no abandonment, so the scan must have completed) or
+		// an abandoned partial sum with thr < v ≤ exact. Probe thresholds on
+		// both sides of the exact value, plus the infinities.
+		for _, thr := range []float64{
+			math.Inf(-1), 0, wantLB * 0.25, wantLB * 0.75, wantLB, wantLB * 1.5, math.Inf(1),
+		} {
+			for _, got := range []float64{
+				tab.LowerSqPackedThresh(q, words, codec, thr),
+				lut.LowerSqPackedThresh(words, codec, thr),
+			} {
+				if got <= thr && got != wantLB {
+					t.Fatalf("trial %d thr=%v: returned %v ≤ thr but exact is %v", trial, thr, got, wantLB)
+				}
+				if got > wantLB {
+					t.Fatalf("trial %d thr=%v: returned %v exceeds exact lower bound %v", trial, thr, got, wantLB)
+				}
+				if got < wantLB && got <= thr {
+					t.Fatalf("trial %d thr=%v: partial sum %v not above threshold", trial, thr, got)
+				}
+			}
+		}
+		// An unreachable threshold must never truncate the scan.
+		if got := tab.LowerSqPackedThresh(q, words, codec, math.Inf(1)); got != wantLB {
+			t.Fatalf("trial %d: +Inf threshold changed the result: %v != %v", trial, got, wantLB)
+		}
+	}
+}

@@ -1,6 +1,8 @@
 package bounds
 
 import (
+	"math"
+
 	"exploitbit/internal/encoding"
 )
 
@@ -116,6 +118,123 @@ func (l *QueryLUT) BoundsSqPackedRange(words []uint64, n int, c encoding.Codec, 
 	for i := 0; i < n; i++ {
 		lbs[i], ubs[i] = l.BoundsSqPacked(words[i*w:(i+1)*w], c)
 	}
+}
+
+// LowerSqPacked computes only the squared lower bound of a packed point —
+// the cheap half the fused Phase-2 kernel runs for every candidate before
+// deciding whether the upper bound is still needed. Terms and order match
+// BoundsSqPacked's lbSq exactly, so results are bitwise-identical.
+func (l *QueryLUT) LowerSqPacked(words []uint64, c encoding.Codec) (lbSq float64) {
+	return l.LowerSqPackedThresh(words, c, math.Inf(1))
+}
+
+// LowerSqPackedThresh is LowerSqPacked with scan abandonment: contributions
+// are non-negative, so once the partial sum exceeds thr the verdict is sealed
+// and the rest of the scan is skipped, returning the partial sum (see
+// Table.LowerSqPackedThresh for the contract).
+func (l *QueryLUT) LowerSqPackedThresh(words []uint64, c encoding.Codec, thr float64) (lbSq float64) {
+	switch c.Tau() {
+	case 8:
+		return l.lowerSqThresh8(words, thr)
+	case 16:
+		return l.lowerSqThresh16(words, thr)
+	}
+	var sLo float64
+	row := 0
+	for j := 0; j < l.dim; j++ {
+		sLo += l.lo[row+c.At(words, j)]
+		row += l.b
+		if sLo > thr {
+			return sLo
+		}
+	}
+	return sLo
+}
+
+// UpperSqPacked computes only the squared upper bound of a packed point,
+// bitwise-identical to BoundsSqPacked's ubSq.
+func (l *QueryLUT) UpperSqPacked(words []uint64, c encoding.Codec) (ubSq float64) {
+	switch c.Tau() {
+	case 8:
+		return l.upperSq8(words)
+	case 16:
+		return l.upperSq16(words)
+	}
+	var sUp float64
+	row := 0
+	for j := 0; j < l.dim; j++ {
+		sUp += l.up[row+c.At(words, j)]
+		row += l.b
+	}
+	return sUp
+}
+
+// lowerSqThresh8 accumulates the lower bound for τ=8 (eight codes per word),
+// abandoning once the partial sum exceeds thr.
+func (l *QueryLUT) lowerSqThresh8(words []uint64, thr float64) (lbSq float64) {
+	var sLo float64
+	row, j := 0, 0
+	for _, w := range words {
+		for k := 0; k < 8 && j < l.dim; k++ {
+			sLo += l.lo[row+int(w&0xFF)]
+			w >>= 8
+			row += l.b
+			j++
+			if sLo > thr {
+				return sLo
+			}
+		}
+	}
+	return sLo
+}
+
+// upperSq8 accumulates the upper bound for τ=8.
+func (l *QueryLUT) upperSq8(words []uint64) (ubSq float64) {
+	var sUp float64
+	row, j := 0, 0
+	for _, w := range words {
+		for k := 0; k < 8 && j < l.dim; k++ {
+			sUp += l.up[row+int(w&0xFF)]
+			w >>= 8
+			row += l.b
+			j++
+		}
+	}
+	return sUp
+}
+
+// lowerSqThresh16 accumulates the lower bound for τ=16 (four codes per
+// word), abandoning once the partial sum exceeds thr.
+func (l *QueryLUT) lowerSqThresh16(words []uint64, thr float64) (lbSq float64) {
+	var sLo float64
+	row, j := 0, 0
+	for _, w := range words {
+		for k := 0; k < 4 && j < l.dim; k++ {
+			sLo += l.lo[row+int(w&0xFFFF)]
+			w >>= 16
+			row += l.b
+			j++
+			if sLo > thr {
+				return sLo
+			}
+		}
+	}
+	return sLo
+}
+
+// upperSq16 accumulates the upper bound for τ=16.
+func (l *QueryLUT) upperSq16(words []uint64) (ubSq float64) {
+	var sUp float64
+	row, j := 0, 0
+	for _, w := range words {
+		for k := 0; k < 4 && j < l.dim; k++ {
+			sUp += l.up[row+int(w&0xFFFF)]
+			w >>= 16
+			row += l.b
+			j++
+		}
+	}
+	return sUp
 }
 
 // boundsSq8 accumulates bounds for τ=8: eight codes per word, one byte each.

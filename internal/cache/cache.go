@@ -12,7 +12,13 @@
 //
 // Concurrency: an HFF cache is immutable after its FillHFF build, so lookups
 // from many goroutines are safe (statistics are atomic). An LRU cache
-// mutates on every access and takes an internal mutex.
+// serves Gets under a read lock — recency updates are journaled to a small
+// buffer instead of mutating the list on the read path — and takes the write
+// lock only for Puts and journal drains. Every Put drains the journal before
+// deciding an eviction, so for a single-threaded caller the observable
+// semantics are exactly classic LRU; under concurrent readers a recency
+// update may be applied late (bounded by the journal size), which can only
+// reorder accesses that were racing anyway.
 package cache
 
 import (
@@ -87,18 +93,36 @@ func CapacityForBudget(budgetBytes int64, itemBits int) int {
 
 type entry[V any] struct {
 	id         int32
+	dead       bool // set under mu when evicted; lets the journal drain skip stale touches without a map lookup
 	val        V
 	prev, next *entry[V]
 }
+
+// pendCap bounds the LRU recency journal: once this many Gets are buffered,
+// the reader that overflows the ring drains synchronously. Small enough to
+// keep recency nearly fresh, large enough to amortize a write-lock
+// acquisition over hundreds of read-locked Gets.
+const pendCap = 256
 
 // Cache is a fixed-capacity id→payload store.
 type Cache[V any] struct {
 	policy   Policy
 	capacity int
-	mu       sync.Mutex // guards m and the list under LRU; unused reads under HFF
+	mu       sync.RWMutex // guards m and the list under LRU; unused under HFF
 	m        map[int32]*entry[V]
 	// Doubly linked LRU list with sentinel; unused under HFF.
 	sentinel entry[V]
+
+	// Recency journal (LRU only): a Get claims the next ring slot with one
+	// atomic add and stores the touched entry with one atomic store — no
+	// lock on the read path. The list is reordered in batch under mu, by Put
+	// before it makes any eviction decision or by the Get that overflows the
+	// ring. Slot order is claim order, so a single-threaded caller's drains
+	// replay its accesses exactly; racing readers may have a touch applied
+	// one drain late (claimed slot not yet stored, or stored into a slot the
+	// drain already swept) — those touches were unordered to begin with.
+	pendHead atomic.Int64
+	pend     [pendCap]atomic.Pointer[entry[V]]
 
 	hits, misses atomic.Int64
 }
@@ -125,8 +149,8 @@ func (c *Cache[V]) Capacity() int { return c.capacity }
 // Len returns the current number of items.
 func (c *Cache[V]) Len() int {
 	if c.policy == LRU {
-		c.mu.Lock()
-		defer c.mu.Unlock()
+		c.mu.RLock()
+		defer c.mu.RUnlock()
 	}
 	return len(c.m)
 }
@@ -136,30 +160,82 @@ func (c *Cache[V]) Policy() Policy { return c.policy }
 
 // Get looks up id, updating hit/miss statistics and (under LRU) recency.
 // Safe for concurrent use (HFF content must be fixed via FillHFF first).
+// LRU hits journal their recency update instead of reordering the list, so
+// concurrent warm-cache readers share a read lock instead of serializing.
 func (c *Cache[V]) Get(id int) (V, bool) {
-	if c.policy == LRU {
-		c.mu.Lock()
-		defer c.mu.Unlock()
+	if c.policy != LRU {
+		e, ok := c.m[int32(id)]
+		if !ok {
+			c.misses.Add(1)
+			var zero V
+			return zero, false
+		}
+		c.hits.Add(1)
+		return e.val, true
 	}
+	c.mu.RLock()
 	e, ok := c.m[int32(id)]
 	if !ok {
+		c.mu.RUnlock()
 		c.misses.Add(1)
 		var zero V
 		return zero, false
 	}
+	v := e.val
+	c.mu.RUnlock()
 	c.hits.Add(1)
-	if c.policy == LRU {
+	c.recordUse(e)
+	return v, true
+}
+
+// recordUse journals an LRU touch into the ring, draining when it overflows.
+func (c *Cache[V]) recordUse(e *entry[V]) {
+	i := c.pendHead.Add(1) - 1
+	if i >= pendCap {
+		c.mu.Lock()
+		c.drainPendingLocked()
+		c.mu.Unlock()
+		i = c.pendHead.Add(1) - 1
+		if i >= pendCap {
+			// Racing readers refilled the fresh ring before our claim; drop
+			// the touch rather than spin — it was concurrent with a full
+			// ring's worth of accesses, so its position was arbitrary anyway.
+			return
+		}
+	}
+	c.pend[i].Store(e)
+}
+
+// drainPendingLocked applies the journaled recency updates in claim order.
+// Caller holds mu; drains are serialized by it. Each slot is swapped to nil
+// as it is applied, so a racing reader that stores into a swept slot simply
+// has its touch applied by the next drain. Entries evicted since being
+// journaled carry the dead mark and are skipped (a re-admitted id is a fresh
+// allocation, so a stale pointer can never resurrect it).
+func (c *Cache[V]) drainPendingLocked() {
+	n := c.pendHead.Load()
+	if n == 0 {
+		return
+	}
+	if n > pendCap {
+		n = pendCap
+	}
+	for i := int64(0); i < n; i++ {
+		e := c.pend[i].Swap(nil)
+		if e == nil || e.dead {
+			continue // in-flight claim, or evicted while journaled
+		}
 		c.unlink(e)
 		c.pushFront(e)
 	}
-	return e.val, true
+	c.pendHead.Store(0)
 }
 
 // Contains reports membership without touching statistics or recency.
 func (c *Cache[V]) Contains(id int) bool {
 	if c.policy == LRU {
-		c.mu.Lock()
-		defer c.mu.Unlock()
+		c.mu.RLock()
+		defer c.mu.RUnlock()
 	}
 	_, ok := c.m[int32(id)]
 	return ok
@@ -173,6 +249,9 @@ func (c *Cache[V]) Put(id int, v V) {
 	if c.policy == LRU {
 		c.mu.Lock()
 		defer c.mu.Unlock()
+		// Apply journaled recency before any eviction decision so the victim
+		// is the true least-recently-used entry of the access sequence.
+		c.drainPendingLocked()
 	}
 	if c.capacity == 0 {
 		return
@@ -190,6 +269,7 @@ func (c *Cache[V]) Put(id int, v V) {
 			return
 		}
 		lru := c.sentinel.prev
+		lru.dead = true
 		c.unlink(lru)
 		delete(c.m, lru.id)
 	}
@@ -214,8 +294,8 @@ func (c *Cache[V]) pushFront(e *entry[V]) {
 // diagnostics).
 func (c *Cache[V]) Keys() []int {
 	if c.policy == LRU {
-		c.mu.Lock()
-		defer c.mu.Unlock()
+		c.mu.RLock()
+		defer c.mu.RUnlock()
 	}
 	keys := make([]int, 0, len(c.m))
 	for id := range c.m {

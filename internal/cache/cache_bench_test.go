@@ -2,6 +2,7 @@ package cache
 
 import (
 	"math/rand"
+	"sync/atomic"
 	"testing"
 )
 
@@ -15,6 +16,61 @@ func BenchmarkHFFGet(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		c.Get(i % 20000) // ~50% hits
 	}
+}
+
+// benchParallelGet hammers an n-entry warm LRU cache with all-hit Gets from
+// every worker concurrently — the serving-path contention the journaled read
+// lock exists to relieve. Before the journal, every hit serialized on one
+// mutex to reorder the list, so aggregate throughput was bounded by one
+// core's map-lookup rate; now hits share a read lock and lookups overlap.
+func benchParallelGet(b *testing.B, n int) {
+	c := New[[]uint64](n, LRU)
+	payload := make([]uint64, 24)
+	for i := 0; i < n; i++ {
+		c.Put(i, payload)
+	}
+	var offset atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		// Stagger workers so they walk disjoint key regions instead of the
+		// same cache lines in lockstep.
+		i := int(offset.Add(1)) * (n / 8)
+		for pb.Next() {
+			c.Get(i & (n - 1)) // all hits: the contended path
+			i++
+		}
+	})
+}
+
+// BenchmarkLRUGetParallel uses a small (toy-sized) cache where the map lookup
+// is nearly free; it mostly measures fixed per-Get overhead.
+func BenchmarkLRUGetParallel(b *testing.B) { benchParallelGet(b, 8192) }
+
+// BenchmarkLRUGetParallelLarge uses a cache at the paper's realistic scale
+// (hundreds of thousands of cached points), where the map lookup dominates —
+// the regime in which serializing lookups behind a global mutex hurts most.
+func BenchmarkLRUGetParallelLarge(b *testing.B) { benchParallelGet(b, 1<<19) }
+
+// BenchmarkLRUGetParallelMixed adds a write every 64 reads, checking that
+// occasional Puts (journal drains + evictions) do not collapse read scaling.
+func BenchmarkLRUGetParallelMixed(b *testing.B) {
+	c := New[[]uint64](4096, LRU)
+	payload := make([]uint64, 24)
+	for i := 0; i < 4096; i++ {
+		c.Put(i, payload)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if i&63 == 0 {
+				c.Put(4096+i&8191, payload)
+			} else {
+				c.Get(i & 4095)
+			}
+			i++
+		}
+	})
 }
 
 func BenchmarkLRUMixed(b *testing.B) {

@@ -3,6 +3,7 @@ package cache
 import (
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
 )
 
@@ -270,4 +271,56 @@ func TestNegativeCapacityPanics(t *testing.T) {
 		}
 	}()
 	New[int](-1, HFF)
+}
+
+// TestLRUConcurrentAccess hammers an LRU cache from concurrent readers and a
+// writer (races surface under -race in CI), then verifies the structure is
+// intact: size within capacity, map and recency list in exact agreement.
+func TestLRUConcurrentAccess(t *testing.T) {
+	c := New[int](512, LRU)
+	for i := 0; i < 512; i++ {
+		c.Put(i, i)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20000; i++ {
+				if v, ok := c.Get((i * (g + 1)) % 1024); ok && v != (i*(g+1))%1024 {
+					t.Error("payload mismatch")
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 5000; i++ {
+			c.Put(i%2048, i%2048)
+		}
+	}()
+	wg.Wait()
+
+	if c.Len() > 512 {
+		t.Fatalf("cache grew past capacity: %d", c.Len())
+	}
+	// Force a final drain, then walk the list and compare with the map.
+	c.Put(9999, 9999)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	seen := map[int32]bool{}
+	for e := c.sentinel.next; e != &c.sentinel; e = e.next {
+		if seen[e.id] {
+			t.Fatalf("id %d appears twice in the recency list", e.id)
+		}
+		seen[e.id] = true
+		if c.m[e.id] != e {
+			t.Fatalf("list entry %d not the map's entry", e.id)
+		}
+	}
+	if len(seen) != len(c.m) {
+		t.Fatalf("list has %d entries, map %d", len(seen), len(c.m))
+	}
 }

@@ -1,0 +1,211 @@
+package cache
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+
+	"exploitbit/internal/encoding"
+)
+
+// TestSlabRoundTripAllTaus is the slab encode/decode property test: for every
+// code width τ in 1..16, random code arrays packed into the arena through the
+// codec come back bit-exact through SlotOf + Words + Decode. This pins the
+// slab's addressing arithmetic (stride windows, dense slot index) against the
+// encoding package's ground truth.
+func TestSlabRoundTripAllTaus(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for tau := 1; tau <= 16; tau++ {
+		dim := 1 + rng.Intn(48)
+		codec := encoding.NewCodec(dim, tau)
+		universe := 200
+		n := 50
+		want := make(map[int][]int, n)
+		var ids []int
+		for len(want) < n {
+			id := rng.Intn(universe)
+			if _, dup := want[id]; dup {
+				continue
+			}
+			codes := make([]int, dim)
+			for j := range codes {
+				codes[j] = rng.Intn(1 << tau)
+			}
+			want[id] = codes
+			ids = append(ids, id)
+		}
+		s := BuildSlab(universe, codec.Words(), n, ids, func(id int, dst []uint64) {
+			codec.Encode(want[id], dst)
+		})
+		if s.Len() != n || s.Stride() != codec.Words() {
+			t.Fatalf("tau=%d: len=%d stride=%d, want %d/%d", tau, s.Len(), s.Stride(), n, codec.Words())
+		}
+		decoded := make([]int, dim)
+		for id, codes := range want {
+			slot := s.SlotOf(id)
+			if slot < 0 {
+				t.Fatalf("tau=%d: admitted id %d missing", tau, id)
+			}
+			codec.Decode(s.Words(slot), decoded)
+			for j := range codes {
+				if decoded[j] != codes[j] {
+					t.Fatalf("tau=%d id=%d dim=%d: decoded %d, want %d", tau, id, j, decoded[j], codes[j])
+				}
+			}
+		}
+		// Absent and out-of-range ids resolve to no slot.
+		for _, id := range []int{-1, universe, universe + 7} {
+			if s.SlotOf(id) >= 0 || s.Contains(id) {
+				t.Fatalf("tau=%d: out-of-range id %d resolved", tau, id)
+			}
+		}
+	}
+}
+
+// TestVarSlabRoundTrip does the same for the variable-stride slab: each key's
+// window must hold exactly the words its fill wrote, addressed by the prefix
+// offsets, including zero-length items.
+func TestVarSlabRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	universe := 64
+	sizes := make([]int, universe)
+	for k := range sizes {
+		sizes[k] = rng.Intn(5) // zero-length items are legal (an empty leaf)
+	}
+	keys := rng.Perm(universe)[:40]
+	v := BuildVarSlab(universe, 40, keys,
+		func(key int) int { return sizes[key] },
+		func(key int, dst []uint64) {
+			for i := range dst {
+				dst[i] = uint64(key)<<32 | uint64(i)
+			}
+		})
+	for _, key := range keys {
+		w, ok := v.Peek(key)
+		if !ok || len(w) != sizes[key] {
+			t.Fatalf("key %d: got %d words ok=%v, want %d", key, len(w), ok, sizes[key])
+		}
+		for i, word := range w {
+			if word != uint64(key)<<32|uint64(i) {
+				t.Fatalf("key %d word %d corrupted: %#x", key, i, word)
+			}
+		}
+	}
+	if st := v.Stats(); st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("Peek touched stats: %+v", st)
+	}
+	if _, ok := v.Lookup(keys[0]); !ok {
+		t.Fatal("Lookup missed an admitted key")
+	}
+	v.Lookup(-5)
+	if st := v.Stats(); st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("Lookup stats wrong: %+v", st)
+	}
+}
+
+// TestSlabStatsBulk pins the bulk statistics contract Phase 2 relies on.
+func TestSlabStatsBulk(t *testing.T) {
+	s := BuildSlab(10, 1, 4, []int{1, 2, 3}, func(int, []uint64) {})
+	s.AddStats(5, 2)
+	s.AddStats(0, 0) // no-op must not disturb counters
+	if st := s.Stats(); st.Hits != 5 || st.Misses != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	s.ResetStats()
+	if st := s.Stats(); st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("reset failed: %+v", st)
+	}
+}
+
+// checkAdmission verifies every admitKeys invariant against its inputs:
+// the dense index and the admitted list are mutually consistent, admission
+// respects capacity, order, first-occurrence-wins and the universe range.
+func checkAdmission(t *testing.T, universe, capacity int, keys []int, slots []int32, admitted []int32) {
+	t.Helper()
+	if len(slots) != universe {
+		t.Fatalf("index length %d != universe %d", len(slots), universe)
+	}
+	if capacity >= 0 && len(admitted) > capacity {
+		t.Fatalf("admitted %d > capacity %d", len(admitted), capacity)
+	}
+	for slot, id := range admitted {
+		if id < 0 || int(id) >= universe {
+			t.Fatalf("slot %d holds out-of-range id %d", slot, id)
+		}
+		if slots[id] != int32(slot) {
+			t.Fatalf("id %d: index says slot %d, admitted list says %d", id, slots[id], slot)
+		}
+	}
+	admittedCount := 0
+	for id, slot := range slots {
+		if slot < 0 {
+			continue
+		}
+		admittedCount++
+		if int(slot) >= len(admitted) || admitted[slot] != int32(id) {
+			t.Fatalf("index maps id %d to slot %d, which holds %v", id, slot, admitted)
+		}
+	}
+	if admittedCount != len(admitted) {
+		t.Fatalf("index has %d admitted ids, list has %d", admittedCount, len(admitted))
+	}
+	// Replay: admission order must be first occurrence of each admitted key.
+	var replay []int32
+	seen := make(map[int]bool)
+	for _, k := range keys {
+		if capacity >= 0 && len(replay) >= capacity {
+			break
+		}
+		if k < 0 || k >= universe || seen[k] {
+			continue
+		}
+		seen[k] = true
+		replay = append(replay, int32(k))
+	}
+	if len(replay) != len(admitted) {
+		t.Fatalf("replay admitted %d, slab admitted %d", len(replay), len(admitted))
+	}
+	for i := range replay {
+		if replay[i] != admitted[i] {
+			t.Fatalf("slot %d: replay id %d, slab id %d", i, replay[i], admitted[i])
+		}
+	}
+}
+
+// FuzzSlotIndex feeds admitKeys adversarial key lists — duplicates,
+// out-of-range ids, over-capacity floods — and checks the dense index
+// invariants hold for every input.
+func FuzzSlotIndex(f *testing.F) {
+	f.Add(uint16(8), uint16(4), []byte{0, 0, 0, 1, 0, 2, 0, 1, 0, 7})       // dup id 1
+	f.Add(uint16(4), uint16(8), []byte{0, 9, 0, 1, 255, 255, 0, 0})         // out of range high and negative-ish
+	f.Add(uint16(16), uint16(0), []byte{0, 1, 0, 2})                        // zero capacity admits nothing
+	f.Add(uint16(3), uint16(3), []byte{0, 0, 0, 0, 0, 1, 0, 2, 0, 2, 0, 1}) // all dups
+	f.Fuzz(func(t *testing.T, u, c uint16, raw []byte) {
+		universe := int(u) % 1024
+		capacity := int(c) % 1024
+		keys := make([]int, 0, len(raw)/2)
+		for i := 0; i+1 < len(raw); i += 2 {
+			// Signed 16-bit so the corpus can reach negative keys.
+			keys = append(keys, int(int16(binary.BigEndian.Uint16(raw[i:]))))
+		}
+		slots, admitted := admitKeys(universe, capacity, keys)
+		checkAdmission(t, universe, capacity, keys, slots, admitted)
+
+		// The built slab must agree with the raw admission: every admitted id
+		// round-trips through SlotOf and carries its own id stamped in the
+		// arena window, so no two ids share a window.
+		s := BuildSlab(universe, 2, capacity, keys, func(id int, dst []uint64) {
+			dst[0] = uint64(id)
+			dst[1] = ^uint64(id)
+		})
+		if s.Len() != len(admitted) {
+			t.Fatalf("slab len %d != admitted %d", s.Len(), len(admitted))
+		}
+		for _, id := range admitted {
+			w := s.Words(s.SlotOf(int(id)))
+			if w[0] != uint64(id) || w[1] != ^uint64(id) {
+				t.Fatalf("id %d window holds %#x/%#x", id, w[0], w[1])
+			}
+		}
+	})
+}

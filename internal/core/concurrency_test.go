@@ -3,6 +3,7 @@ package core
 import (
 	"sync"
 	"testing"
+	"time"
 
 	"exploitbit/internal/cache"
 )
@@ -146,6 +147,98 @@ func TestTreeEngineConcurrentSearches(t *testing.T) {
 				t.Fatalf("aggregate recorded %d queries, want %d", agg.Queries, workers*len(w.qtest))
 			}
 		})
+	}
+}
+
+// TestConcurrentSlabScanDuringRebuild hammers a slab-backed HC-O engine with
+// concurrent searches while the Maintainer rebuilds and RCU-swaps the engine
+// underneath them — the scenario the slab's immutability contract exists for.
+// Scans of the old slab must keep completing (and returning k results) while
+// the new slab is built and published; -race in CI verifies no scan ever
+// observes a slab under mutation. The rebuild gate holds each swap until
+// searchers are mid-flight, so scans genuinely span the publish.
+func TestConcurrentSlabScanDuringRebuild(t *testing.T) {
+	ds, pf, cands, poolA, poolB := driftWorld(t)
+	m, err := NewMaintainer(pf, ds, cands, poolA, 5, Config{
+		Method:     HCO,
+		CacheBytes: 1 << 30, // covering: every candidate scores through the slab
+		Tau:        8,
+		// Fan Phase 2 out aggressively so slab blocks are scanned from many
+		// goroutines at once, not just many queries.
+		ParallelReduceThreshold: 1,
+	}, MaintainOptions{WindowSize: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if m.Engine().slab == nil {
+		t.Fatal("HC-O maintainer engine did not build a slab")
+	}
+	// Populate the sliding window so every RebuildAsync below has a workload.
+	for i := 0; i < 40; i++ {
+		if _, _, err := m.Search(poolA[i%len(poolA)], 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	stop := make(chan struct{})
+	const workers = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			pools := [2][][]float32{poolA, poolB}
+			var dst []int
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				q := pools[i%2][(i*7+g*13)%len(poolA)]
+				var err error
+				dst, _, err = m.SearchInto(q, 5, dst[:0])
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(dst) != 5 {
+					errs <- errMismatch
+					return
+				}
+			}
+		}(g)
+	}
+
+	// Drive several full rebuild/swap cycles under load, each parked on the
+	// gate long enough for in-flight scans to straddle the publish.
+	for cycle := 0; cycle < 4; cycle++ {
+		gate := make(chan struct{})
+		m.rebuildGate = gate
+		if !m.RebuildAsync(5) {
+			t.Fatalf("cycle %d: RebuildAsync refused", cycle)
+		}
+		before := m.Engine()
+		time.Sleep(2 * time.Millisecond) // searchers mid-flight on the old slab
+		close(gate)
+		waitRebuildIdle(t, m)
+		if m.Engine() == before {
+			t.Fatalf("cycle %d: engine not swapped", cycle)
+		}
+		if m.Engine().slab == nil {
+			t.Fatalf("cycle %d: rebuilt engine lost its slab", cycle)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if st := m.Stats(); st.Rebuilds != 4 || st.RebuildErrors != 0 {
+		t.Fatalf("rebuild stats after cycles: %+v", st)
 	}
 }
 

@@ -51,6 +51,11 @@ type Config struct {
 	// over contiguous candidate chunks when |C(q)| reaches it. 0 selects the
 	// default (4096); negative keeps reduction single-threaded.
 	ParallelReduceThreshold int
+	// NoSlab keeps approximate HFF content in the map-backed Cache instead of
+	// the slab-packed arena. The slab is the production layout; this switch
+	// exists for ablation benchmarks and the slab-vs-map equivalence tests
+	// (results are bit-identical either way).
+	NoSlab bool
 }
 
 // defaultParallelReduceThreshold is the |C(q)| above which goroutine fan-out
@@ -78,10 +83,14 @@ type Engine struct {
 	cands CandidateFunc
 	cfg   Config
 
-	// Approximate-point machinery (HC-*, iHC-*, C-VA).
+	// Approximate-point machinery (HC-*, iHC-*, C-VA). HFF content lives in
+	// the slab-packed arena (slab); the map-backed cache (approx) serves the
+	// LRU policy and the NoSlab ablation path. Exactly one of the two is
+	// non-nil for an approximate-point method.
 	codec  encoding.Codec
 	table  *bounds.Table
 	approx *cache.Cache[[]uint64]
+	slab   *cache.Slab
 	ghist  *histogram.Histogram
 	phist  *histogram.PerDim
 
@@ -102,6 +111,10 @@ type Engine struct {
 
 	// scratch pools per-query working sets; see searchScratch.
 	scratch sync.Pool
+
+	// ubTopPool pools the per-worker running-threshold heaps of the parallel
+	// slab kernel (serial reduction uses the scratch's heap instead).
+	ubTopPool sync.Pool
 
 	agg atomicAggregate
 }
@@ -185,12 +198,18 @@ func NewEngine(pf *disk.PointFile, prof *Profile, cands CandidateFunc, cfg Confi
 		if partial {
 			capacity = cache.CapacityForBudget(cfg.CacheBytes, e.codec.ItemBits())
 		}
-		e.approx = cache.New[[]uint64](capacity, cfg.Policy)
 		content := prof.HFFContent(capacity)
 		if !partial {
 			content = allIDs(ds.Len())
 		}
-		e.approx.FillHFF(content, e.pointEncoder())
+		if cfg.Policy == cache.HFF && !cfg.NoSlab {
+			e.slab = cache.BuildSlab(ds.Len(), e.codec.Words(), capacity, content, e.slabFiller())
+		} else {
+			// LRU (and the NoSlab ablation) keeps the mutable map cache;
+			// FillHFF still warm-starts LRU with the profile's ranking.
+			e.approx = cache.New[[]uint64](capacity, cfg.Policy)
+			e.approx.FillHFF(content, e.pointEncoder())
+		}
 
 	default:
 		// The HC-* and iHC-* family.
@@ -238,15 +257,20 @@ func NewEngine(pf *disk.PointFile, prof *Profile, cands CandidateFunc, cfg Confi
 			e.histSpaceBytes = e.phist.SpaceBytes()
 			e.table = bounds.NewTablePerDim(e.phist, dom)
 		}
-		e.approx = cache.New[[]uint64](capacity, cfg.Policy)
-		if cfg.Policy == cache.HFF {
-			e.approx.FillHFF(content, e.pointEncoder())
+		if cfg.Policy == cache.HFF && !cfg.NoSlab {
+			e.slab = cache.BuildSlab(ds.Len(), e.codec.Words(), capacity, content, e.slabFiller())
+		} else {
+			e.approx = cache.New[[]uint64](capacity, cfg.Policy)
+			if cfg.Policy == cache.HFF {
+				e.approx.FillHFF(content, e.pointEncoder())
+			}
 		}
 	}
 	if e.table != nil {
 		e.lutBuckets = e.table.Buckets()
 	}
 	e.scratch.New = func() any { return newSearchScratch(e) }
+	e.ubTopPool.New = func() any { return vec.NewTopK(1) }
 	return e, nil
 }
 
@@ -265,6 +289,16 @@ func (e *Engine) pointEncoder() func(id int) []uint64 {
 	codes := make([]int, e.ds.Dim)
 	return func(id int) []uint64 {
 		return e.encodeVector(e.ds.Point(id), codes, nil)
+	}
+}
+
+// slabFiller is pointEncoder's slab counterpart: it encodes a point straight
+// into its arena window, so the whole HFF content packs with zero per-point
+// allocations.
+func (e *Engine) slabFiller() func(id int, dst []uint64) {
+	codes := make([]int, e.ds.Dim)
+	return func(id int, dst []uint64) {
+		e.encodeVector(e.ds.Point(id), codes, dst)
 	}
 }
 
@@ -292,6 +326,8 @@ func (e *Engine) HistogramBuildTime() time.Duration { return e.histBuildTime }
 // CacheCapacity returns the item capacity of the active cache.
 func (e *Engine) CacheCapacity() int {
 	switch {
+	case e.slab != nil:
+		return e.slab.Capacity()
 	case e.approx != nil:
 		return e.approx.Capacity()
 	case e.exact != nil:
@@ -305,6 +341,8 @@ func (e *Engine) CacheCapacity() int {
 // CacheLen returns the number of cached items.
 func (e *Engine) CacheLen() int {
 	switch {
+	case e.slab != nil:
+		return e.slab.Len()
 	case e.approx != nil:
 		return e.approx.Len()
 	case e.exact != nil:
@@ -373,13 +411,20 @@ func (e *Engine) phase12(ctx context.Context, sc *searchScratch, q []float32, k 
 	cs := sc.cs
 	lut := e.queryLUT(q, len(ids), sc)
 	st.UsedLUT = lut != nil
-	if workers := e.reduceWorkers(len(ids)); workers > 1 {
-		st.ReduceWorkers = workers
+	workers := e.reduceWorkers(len(ids))
+	st.ReduceWorkers = workers
+	switch {
+	case e.slab != nil && !e.cfg.EagerFetchMisses:
+		// Fused blocked kernel straight off the slab arena; blocks are the
+		// unit of parallelism above the threshold.
+		if err := e.reduceSlab(ctx, q, ids, cs, lut, k, workers, sc); err != nil {
+			return nil, nil, err
+		}
+	case workers > 1:
 		if err := e.reduceParallel(ctx, q, ids, cs, lut, workers, st); err != nil {
 			return nil, nil, err
 		}
-	} else {
-		st.ReduceWorkers = 1
+	default:
 		if err := e.reduceSerial(ctx, q, ids, cs, lut, sc); err != nil {
 			return nil, nil, err
 		}
@@ -449,7 +494,7 @@ func (e *Engine) SearchIntoCtx(ctx context.Context, q []float32, k int, dst []in
 // O(d·B); it pays off once the candidate set is a small multiple of B, so
 // small queries keep the direct bound path.
 func (e *Engine) queryLUT(q []float32, n int, sc *searchScratch) *bounds.QueryLUT {
-	if e.approx == nil || e.table == nil {
+	if (e.approx == nil && e.slab == nil) || e.table == nil {
 		return nil
 	}
 	th := e.cfg.LUTMinCandidates
@@ -508,6 +553,20 @@ func (e *Engine) scoreCandidate(q []float32, id int, c *candState, lut *bounds.Q
 	c.exactPt = nil
 	c.known = false
 	switch {
+	case e.slab != nil:
+		// The blocked kernel is the fast path; this per-candidate form serves
+		// the eager-fetch ablation, which stays serial.
+		if slot := e.slab.SlotOf(id); slot >= 0 {
+			words := e.slab.Words(slot)
+			if lut != nil {
+				c.lbSq, c.ubSq = lut.BoundsSqPacked(words, e.codec)
+			} else {
+				c.lbSq, c.ubSq = e.table.BoundsSqPacked(q, words, e.codec)
+			}
+			e.slab.AddStats(1, 0)
+			return true
+		}
+		e.slab.AddStats(0, 1)
 	case e.approx != nil:
 		if words, ok := e.approx.Get(id); ok {
 			if lut != nil {

@@ -49,7 +49,7 @@ func BenchmarkEngineBuild(b *testing.B) {
 // benchAllHitsEngine builds an all-hits engine (C-VA covers the whole
 // dataset) with a frozen candidate list, so the benchmark isolates Phases
 // 2–3 of Search from index traversal.
-func benchAllHitsEngine(b *testing.B, lutMin, parMin int) (*Engine, []float32) {
+func benchAllHitsEngine(b *testing.B, lutMin, parMin int, noSlab bool) (*Engine, []float32) {
 	w := buildWorld(b, 2000, 16, 77)
 	q := w.qtest[0]
 	ids, dmax := candFunc(w.ix)(q, 10)
@@ -57,6 +57,7 @@ func benchAllHitsEngine(b *testing.B, lutMin, parMin int) (*Engine, []float32) {
 	eng, err := NewEngine(w.pf, w.prof, static, Config{
 		Method: CVA, CacheBytes: 1 << 30,
 		LUTMinCandidates: lutMin, ParallelReduceThreshold: parMin,
+		NoSlab: noSlab,
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -68,7 +69,7 @@ func benchAllHitsEngine(b *testing.B, lutMin, parMin int) (*Engine, []float32) {
 // (fully cached) configuration: with a reused result buffer it must report
 // 0 allocs/op — the pooled scratch absorbs every per-query working set.
 func BenchmarkEngineSearch(b *testing.B) {
-	eng, q := benchAllHitsEngine(b, 0, -1)
+	eng, q := benchAllHitsEngine(b, 0, -1, false)
 	dst := make([]int, 0, 64)
 	if _, _, err := eng.SearchInto(q, 10, dst[:0]); err != nil {
 		b.Fatal(err)
@@ -87,8 +88,28 @@ func BenchmarkEngineSearch(b *testing.B) {
 // BenchmarkEngineSearchNoLUT is the same path with the lookup table
 // disabled, isolating what the ADC trick buys end to end.
 func BenchmarkEngineSearchNoLUT(b *testing.B) {
-	eng, q := benchAllHitsEngine(b, -1, -1)
+	eng, q := benchAllHitsEngine(b, -1, -1, false)
 	dst := make([]int, 0, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		dst, _, err = eng.SearchInto(q, 10, dst[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineSearchMap is BenchmarkEngineSearch on the map-backed layout
+// (Config.NoSlab) — the before/after pair that prices the slab arena and the
+// fused blocked kernel. Must also stay 0 allocs/op.
+func BenchmarkEngineSearchMap(b *testing.B) {
+	eng, q := benchAllHitsEngine(b, 0, -1, true)
+	dst := make([]int, 0, 64)
+	if _, _, err := eng.SearchInto(q, 10, dst[:0]); err != nil {
+		b.Fatal(err)
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -1,9 +1,12 @@
 package core
 
 import (
+	"context"
+	"math"
 	"sync"
 	"sync/atomic"
 
+	"exploitbit/internal/bounds"
 	"exploitbit/internal/multistep"
 	"exploitbit/internal/vec"
 )
@@ -97,6 +100,119 @@ func partitionCandidates(cs []candState, lbkSq, ubkSq float64, noTrueHit bool, s
 		}
 	}
 	return results, remaining
+}
+
+// slabBlock is the candidate block size of the fused slab kernel: slots for
+// one block are resolved in a tight pass (dense int32 index, sequential ids
+// array) before any bound math runs, so the slot loads pipeline ahead of the
+// arena scans instead of interleaving a dependent load into every candidate.
+const slabBlock = 64
+
+// reduceSlab is Phase 2 over the slab-packed HFF arena: the fused blocked
+// kernel, fanned over contiguous candidate chunks via scoreParallel when the
+// candidate set clears the parallel threshold. Cache statistics are settled
+// in bulk after the scan.
+func (e *Engine) reduceSlab(ctx context.Context, q []float32, ids []int, cs []candState, lut *bounds.QueryLUT, k, workers int, sc *searchScratch) error {
+	var hits int64
+	if workers > 1 {
+		hits = scoreParallel(len(ids), workers, func(lo, hi int) int64 {
+			// Per-worker running threshold: each worker's heap sees a subset
+			// of the upper bounds, so its root is ≥ the global k-th smallest
+			// and the abandonment argument below still holds.
+			ubTop := e.ubTopPool.Get().(*vec.TopK)
+			ubTop.Reset(k)
+			h := e.slabReduceRange(ctx, q, ids, cs, lut, ubTop, lo, hi)
+			e.ubTopPool.Put(ubTop)
+			return h
+		})
+	} else {
+		hits = e.slabReduceRange(ctx, q, ids, cs, lut, sc.ubTopFor(k), 0, len(ids))
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	sc.st.Hits += int(hits)
+	e.slab.AddStats(hits, int64(len(ids))-hits)
+	return nil
+}
+
+// slabReduceRange scores candidates ids[lo:hi] into cs[lo:hi] directly from
+// arena memory, one block at a time: resolve a block of slots, then compute
+// bounds, maintaining the running k-th upper bound in ubTop so later
+// candidates can early-abandon their upper-bound scan.
+//
+// Early abandonment is bit-identical to the unabandoned path. ubTop.Root()
+// (thr) is either +Inf or the k-th smallest of a subset of the true upper
+// bounds, so thr ≥ ub_k, the k-th smallest over ALL candidates. A candidate
+// whose (possibly partial) lower bound exceeds thr therefore has
+// true ub ≥ true lb ≥ recorded lb > thr ≥ ub_k: its upper bound is never
+// among the k smallest, so recording +Inf instead leaves kthBoundsSq's ub_k
+// unchanged; its recorded lb — even when the scan abandoned mid-sum, since
+// per-dimension terms are non-negative and the partial already cleared thr —
+// stays strictly above ub_k ≥ lb_k, so it is neither among the k smallest
+// lower bounds (lb_k unchanged) nor ever a true hit, and partitionCandidates
+// prunes it exactly as the map path does (map lb > thr ≥ ub_k too). Every
+// surviving candidate gets fully-summed bounds with the reference term
+// order, so the result identifiers, the partition, and every pinned
+// statistic match the map-backed reduction bit for bit.
+func (e *Engine) slabReduceRange(ctx context.Context, q []float32, ids []int, cs []candState, lut *bounds.QueryLUT, ubTop *vec.TopK, lo, hi int) (hits int64) {
+	s := e.slab
+	var slots [slabBlock]int32
+	for base := lo; base < hi; base += slabBlock {
+		if (base-lo)&(cancelCheckStride-1) == 0 && ctx.Err() != nil {
+			return hits
+		}
+		n := min(slabBlock, hi-base)
+		for i := 0; i < n; i++ {
+			slots[i] = s.SlotOf(ids[base+i])
+		}
+		for i := 0; i < n; i++ {
+			c := &cs[base+i]
+			c.id = int32(ids[base+i])
+			c.leaf = -1
+			c.exactPt = nil
+			c.known = false
+			slot := slots[i]
+			if slot < 0 {
+				// Miss: the vacuous bounds of Algorithm 1 line 4. Not pushed
+				// into ubTop — an infinite bound never tightens the threshold.
+				c.lbSq, c.ubSq = 0, math.Inf(1)
+				continue
+			}
+			hits++
+			words := s.Words(slot)
+			if !ubTop.Full() {
+				// Threshold not armed yet: both bounds are needed, fused in
+				// one arena walk.
+				if lut != nil {
+					c.lbSq, c.ubSq = lut.BoundsSqPacked(words, e.codec)
+				} else {
+					c.lbSq, c.ubSq = e.table.BoundsSqPacked(q, words, e.codec)
+				}
+				ubTop.Push(c.ubSq, int(c.id))
+				continue
+			}
+			thr := ubTop.Root()
+			var lbSq float64
+			if lut != nil {
+				lbSq = lut.LowerSqPackedThresh(words, e.codec, thr)
+			} else {
+				lbSq = e.table.LowerSqPackedThresh(q, words, e.codec, thr)
+			}
+			c.lbSq = lbSq
+			if lbSq > thr {
+				c.ubSq = math.Inf(1) // early-abandoned; provably pruned
+				continue
+			}
+			if lut != nil {
+				c.ubSq = lut.UpperSqPacked(words, e.codec)
+			} else {
+				c.ubSq = e.table.UpperSqPacked(q, words, e.codec)
+			}
+			ubTop.Push(c.ubSq, int(c.id))
+		}
+	}
+	return hits
 }
 
 // scoreParallel fans scoring of [0,n) across workers over contiguous chunks

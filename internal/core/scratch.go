@@ -6,6 +6,7 @@ import (
 	"exploitbit/internal/bounds"
 	"exploitbit/internal/cache"
 	"exploitbit/internal/multistep"
+	"exploitbit/internal/vec"
 )
 
 // searchScratch is the per-query working set of Search, pooled on the engine
@@ -19,6 +20,10 @@ type searchScratch struct {
 	ctx context.Context // request context of the query in flight
 
 	reduceScratch
+
+	// ubTop is the serial slab kernel's running-threshold heap (distinct from
+	// reduceScratch.top, which kthBoundsSq scrambles during selection).
+	ubTop *vec.TopK
 
 	lut      *bounds.QueryLUT
 	fetchBuf []float32
@@ -71,6 +76,16 @@ func (sc *searchScratch) fetchPoint(id int) ([]float32, error) {
 		e.admitLRU(id, p, sc.codes)
 	}
 	return p, nil
+}
+
+// ubTopFor returns the scratch's running-threshold heap re-armed for k.
+func (sc *searchScratch) ubTopFor(k int) *vec.TopK {
+	if sc.ubTop == nil {
+		sc.ubTop = vec.NewTopK(k)
+	} else {
+		sc.ubTop.Reset(k)
+	}
+	return sc.ubTop
 }
 
 // grow returns s resized to n, reallocating only on growth beyond capacity.

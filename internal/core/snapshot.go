@@ -13,6 +13,7 @@ import (
 	"exploitbit/internal/disk"
 	"exploitbit/internal/encoding"
 	"exploitbit/internal/histogram"
+	"exploitbit/internal/vec"
 )
 
 // Engine snapshots persist everything the offline pipeline produced — the
@@ -107,6 +108,8 @@ func (e *Engine) WriteSnapshot(w io.Writer) error {
 	var keys []int
 	capacity := 0
 	switch {
+	case e.slab != nil:
+		keys, capacity = e.slab.Keys(), e.slab.Capacity()
 	case e.approx != nil:
 		keys, capacity = e.approx.Keys(), e.approx.Capacity()
 	case e.exact != nil:
@@ -316,12 +319,20 @@ func LoadEngine(pf *disk.PointFile, ds *dataset.Dataset, cands CandidateFunc, r 
 			return nil, fmt.Errorf("core: snapshot for %s has code length tau %d, need at least 1", cfg.Method, cfg.Tau)
 		}
 		e.codec = encoding.NewCodec(ds.Dim, cfg.Tau)
-		e.approx = cache.New[[]uint64](int(capacity), cfg.Policy)
-		e.approx.FillHFF(keys, e.pointEncoder())
+		if cfg.Policy == cache.HFF {
+			// Loaded HFF content goes straight into the production slab
+			// layout (snapshots predate the NoSlab ablation switch and never
+			// record it; results are bit-identical either way).
+			e.slab = cache.BuildSlab(ds.Len(), e.codec.Words(), int(capacity), keys, e.slabFiller())
+		} else {
+			e.approx = cache.New[[]uint64](int(capacity), cfg.Policy)
+			e.approx.FillHFF(keys, e.pointEncoder())
+		}
 	}
 	if e.table != nil {
 		e.lutBuckets = e.table.Buckets()
 	}
 	e.scratch.New = func() any { return newSearchScratch(e) }
+	e.ubTopPool.New = func() any { return vec.NewTopK(1) }
 	return e, nil
 }

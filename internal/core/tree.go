@@ -60,12 +60,6 @@ type exactLeaf struct {
 	pts [][]float32 // same order as the leaf directory's ids
 }
 
-// approxLeaf is the payload of the histogram leaf cache: packed codes per
-// point, same order as the directory.
-type approxLeaf struct {
-	words []uint64 // count × codec.Words()
-}
-
 // TreeEngine runs cached kNN search over a tree index per Section 3.6.1:
 // leaf nodes are visited in ascending lower-bound order; cached leaves are
 // examined in RAM (exact distances, or per-point bounds that tighten ub_k
@@ -89,11 +83,14 @@ type TreeEngine struct {
 	// ixInto is ix when it supports allocation-free leaf bounds.
 	ixInto leafBoundsInto
 
-	codec    encoding.Codec
-	table    *bounds.Table
-	ghist    *histogram.Histogram
-	exactC   *cache.Cache[exactLeaf]
-	apprxC   *cache.Cache[approxLeaf]
+	codec  encoding.Codec
+	table  *bounds.Table
+	ghist  *histogram.Histogram
+	exactC *cache.Cache[exactLeaf]
+	// leafSlab holds the HC-* approximate leaf cache: all cached leaves'
+	// packed codes in one arena (directory order within each leaf), so scoring
+	// a cached leaf is a single contiguous scan with no per-leaf allocation.
+	leafSlab *cache.VarSlab
 	buildLUT bool
 
 	scratch sync.Pool
@@ -175,21 +172,20 @@ func NewTreeEngine(ds *dataset.Dataset, ix LeafIndex, store *leafstore.Store, wl
 		e.table = bounds.NewTable(e.ghist, dom, ds.Dim)
 		itemBits := e.avgLeafBits(e.codec.ItemBits()) // per-point packed bits
 		capacity := cache.CapacityForBudget(cfg.CacheBytes, itemBits)
-		e.apprxC = cache.New[approxLeaf](capacity, cache.HFF)
 		codes := make([]int, ds.Dim)
-		e.apprxC.FillHFF(ranked, func(li int) approxLeaf {
-			ids := e.leaves[li]
-			words := make([]uint64, len(ids)*e.codec.Words())
-			for i, id := range ids {
-				p := ds.Point(int(id))
-				for j, v := range p {
-					codes[j] = e.ghist.Bucket(dom.Bin(float64(v)))
+		e.leafSlab = cache.BuildVarSlab(len(e.leaves), capacity, ranked,
+			func(li int) int { return len(e.leaves[li]) * e.codec.Words() },
+			func(li int, dst []uint64) {
+				ids := e.leaves[li]
+				for i, id := range ids {
+					p := ds.Point(int(id))
+					for j, v := range p {
+						codes[j] = e.ghist.Bucket(dom.Bin(float64(v)))
+					}
+					e.codec.Encode(codes, dst[i*e.codec.Words():(i+1)*e.codec.Words()])
 				}
-				e.codec.Encode(codes, words[i*e.codec.Words():(i+1)*e.codec.Words()])
-			}
-			cachedPts += len(ids)
-			return approxLeaf{words: words}
-		})
+				cachedPts += len(ids)
+			})
 		th := cfg.LUTMinCachedPoints
 		if th == 0 {
 			th = 2 * e.table.Buckets()
@@ -442,18 +438,18 @@ func (e *TreeEngine) phase12(ctx context.Context, sc *treeScratch, q []float32, 
 				}
 				examined = true
 			}
-		} else if e.apprxC != nil {
-			if al, ok := e.apprxC.Get(li); ok {
+		} else if e.leafSlab != nil {
+			if words, ok := e.leafSlab.Lookup(li); ok {
 				n := len(ids)
 				st.Hits += n
 				sc.ptLB = grow(sc.ptLB, n)
 				sc.ptUB = grow(sc.ptUB, n)
 				if lut != nil {
-					lut.BoundsSqPackedRange(al.words, n, e.codec, sc.ptLB, sc.ptUB)
+					lut.BoundsSqPackedRange(words, n, e.codec, sc.ptLB, sc.ptUB)
 				} else {
 					w := e.codec.Words()
 					for i := 0; i < n; i++ {
-						sc.ptLB[i], sc.ptUB[i] = e.table.BoundsSqPacked(q, al.words[i*w:(i+1)*w], e.codec)
+						sc.ptLB[i], sc.ptUB[i] = e.table.BoundsSqPacked(q, words[i*w:(i+1)*w], e.codec)
 					}
 				}
 				nodeLBSq := sc.nodeLB[li]

@@ -68,12 +68,12 @@ func referenceTreeSearch(e *TreeEngine, q []float32, k int) ([]int, QueryStats, 
 				}
 				examined = true
 			}
-		} else if e.apprxC != nil {
-			if al, ok := e.apprxC.Get(li); ok {
+		} else if e.leafSlab != nil {
+			if words, ok := e.leafSlab.Peek(li); ok {
 				st.Hits += len(leaves[li])
 				w := e.codec.Words()
 				for i, id := range leaves[li] {
-					lb, ub := e.table.BoundsPacked(q, al.words[i*w:(i+1)*w], e.codec)
+					lb, ub := e.table.BoundsPacked(q, words[i*w:(i+1)*w], e.codec)
 					if lb < lbs[li] {
 						lb = lbs[li] // node bound can be tighter
 					}
