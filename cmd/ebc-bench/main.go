@@ -32,15 +32,16 @@ func main() {
 		perf       = flag.String("perf", "", "run the fast-path perf suite and write the JSON report to this path")
 		batch      = flag.String("batch", "", "run the batch-search coalescing scenario and write the JSON report to this path")
 		slab       = flag.String("slab", "", "run the slab-vs-map Phase-2 scenario and write the JSON report to this path")
+		shards     = flag.String("shards", "", "run the shard-scaling scenario and write the JSON report to this path")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this path")
 		memprofile = flag.String("memprofile", "", "write a heap profile taken after the run to this path")
 	)
 	flag.Parse()
 
-	os.Exit(run(*exp, *all, *list, *scale, *out, *dir, *perf, *batch, *slab, *cpuprofile, *memprofile))
+	os.Exit(run(*exp, *all, *list, *scale, *out, *dir, *perf, *batch, *slab, *shards, *cpuprofile, *memprofile))
 }
 
-func run(exp string, all, list bool, scale, out, dir, perf, batch, slab, cpuprofile, memprofile string) int {
+func run(exp string, all, list bool, scale, out, dir, perf, batch, slab, shards, cpuprofile, memprofile string) int {
 	fail := func(err error) int {
 		fmt.Fprintln(os.Stderr, "ebc-bench:", err)
 		return 1
@@ -111,12 +112,14 @@ func run(exp string, all, list bool, scale, out, dir, perf, batch, slab, cpuprof
 		_, err = bench.RunBatch(w, env, batch)
 	case slab != "":
 		_, err = bench.RunSlab(w, env, slab)
+	case shards != "":
+		_, err = bench.RunShards(w, env, shards)
 	case all:
 		err = bench.RunAll(w, env)
 	case exp != "":
 		err = bench.Run(w, env, exp)
 	default:
-		fmt.Fprintln(os.Stderr, "ebc-bench: pass -exp <id>, -all, -perf <path>, -batch <path>, -slab <path>, or -list")
+		fmt.Fprintln(os.Stderr, "ebc-bench: pass -exp <id>, -all, -perf <path>, -batch <path>, -slab <path>, -shards <path>, or -list")
 		return 2
 	}
 	if err != nil {

@@ -11,12 +11,18 @@ import (
 	"os"
 
 	"exploitbit"
+	"exploitbit/internal/cliutil"
 )
+
+// presetDim mirrors the preset generators' dimensionalities so -size can be
+// translated to a point count before generating.
+var presetDim = map[string]int{"nuswide": 150, "imgnet": 150, "sogou": 960}
 
 func main() {
 	var (
 		preset    = flag.String("preset", "", "dataset preset: nuswide | imgnet | sogou (overrides shape flags)")
 		n         = flag.Int("n", 10000, "number of points")
+		size      = flag.String("size", "", "target raw dataset size (e.g. 64MiB); overrides -n")
 		dim       = flag.Int("dim", 32, "dimensionality")
 		clusters  = flag.Int("clusters", 16, "mixture components")
 		std       = flag.Float64("std", 0.05, "within-cluster stddev")
@@ -27,6 +33,19 @@ func main() {
 		out       = flag.String("o", "dataset.ebds", "output file")
 	)
 	flag.Parse()
+
+	if *size != "" {
+		bytes, err := cliutil.ParseBytes(*size)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ebc-gen: bad -size:", err)
+			os.Exit(2)
+		}
+		d := *dim
+		if pd, ok := presetDim[*preset]; ok {
+			d = pd
+		}
+		*n = max(1, int(bytes/int64(4*d)))
+	}
 
 	var ds *exploitbit.Dataset
 	switch *preset {

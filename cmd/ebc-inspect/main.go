@@ -12,26 +12,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
 
 	"exploitbit"
+	"exploitbit/internal/cliutil"
 	"exploitbit/internal/histogram"
 )
-
-func parseBytes(s string) (int64, error) {
-	mult := int64(1)
-	switch {
-	case strings.HasSuffix(s, "GiB"):
-		mult, s = 1<<30, strings.TrimSuffix(s, "GiB")
-	case strings.HasSuffix(s, "MiB"):
-		mult, s = 1<<20, strings.TrimSuffix(s, "MiB")
-	case strings.HasSuffix(s, "KiB"):
-		mult, s = 1<<10, strings.TrimSuffix(s, "KiB")
-	}
-	v, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
-	return v * mult, err
-}
 
 func main() {
 	var (
@@ -51,7 +36,7 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	cs, err := parseBytes(*cacheSz)
+	cs, err := cliutil.ParseBytes(*cacheSz)
 	if err != nil {
 		fail(fmt.Errorf("bad -cache: %w", err))
 	}

@@ -19,58 +19,17 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"math"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
-	"strconv"
-	"strings"
 	"syscall"
 	"time"
 
 	"exploitbit"
+	"exploitbit/internal/cliutil"
 	"exploitbit/internal/core"
 )
-
-// byteUnits maps size suffixes to multipliers. Only binary units: a cache
-// budget is a memory figure.
-var byteUnits = map[string]int64{
-	"":    1,
-	"B":   1,
-	"KiB": 1 << 10,
-	"MiB": 1 << 20,
-	"GiB": 1 << 30,
-	"TiB": 1 << 40,
-}
-
-// parseBytes parses a human byte size ("16MiB", "4KiB", "512B", bare
-// "4096"). The value must be a positive integer that fits in an int64 after
-// scaling, and an unrecognized unit is an error — it used to be silently
-// read as raw bytes, so "-cache 16MB" built a 16-byte budget.
-func parseBytes(s string) (int64, error) {
-	t := strings.TrimSpace(s)
-	i := len(t)
-	for i > 0 && (t[i-1] < '0' || t[i-1] > '9') {
-		i--
-	}
-	num, unit := t[:i], strings.TrimSpace(t[i:])
-	mult, ok := byteUnits[unit]
-	if !ok {
-		return 0, fmt.Errorf("unknown size unit %q in %q (use B, KiB, MiB, GiB, TiB)", unit, s)
-	}
-	v, err := strconv.ParseInt(strings.TrimSpace(num), 10, 64)
-	if err != nil {
-		return 0, fmt.Errorf("bad size %q: %v", s, err)
-	}
-	if v <= 0 {
-		return 0, fmt.Errorf("size must be positive, got %q", s)
-	}
-	if v > math.MaxInt64/mult {
-		return 0, fmt.Errorf("size %q overflows", s)
-	}
-	return v * mult, nil
-}
 
 func main() {
 	var (
@@ -81,6 +40,9 @@ func main() {
 		k        = flag.Int("k", 10, "profiling k")
 		addr     = flag.String("addr", ":8080", "listen address")
 		maintain = flag.Bool("maintain", false, "enable automatic cache rebuilds under workload drift")
+
+		shards      = flag.Int("shards", 1, "serve through this many scatter-gather shard units (1 = unsharded)")
+		shardLayout = flag.String("shard-layout", string(exploitbit.RoundRobin), "shard partitioning: round-robin or clustered")
 
 		maxInFlight  = flag.Int("max-inflight", 64, "admission limit: concurrent searches before 503")
 		maxK         = flag.Int("max-k", 1000, "largest k accepted by /search")
@@ -102,7 +64,7 @@ func main() {
 	if err != nil {
 		log.Fatal("ebc-serve: ", err)
 	}
-	cs, err := parseBytes(*cacheSz)
+	cs, err := cliutil.ParseBytes(*cacheSz)
 	if err != nil {
 		log.Fatal("ebc-serve: bad -cache: ", err)
 	}
@@ -123,24 +85,41 @@ func main() {
 
 	log.Printf("ebc-serve: dataset %q (%d x %d-d); building index and profiling %d workload queries…",
 		ds.Name, ds.Len(), ds.Dim, len(wl))
-	sys, err := exploitbit.Open(ds, wl, exploitbit.Options{WorkloadK: *k})
+	sys, err := exploitbit.Open(ds, wl, exploitbit.Options{
+		WorkloadK: *k, Shards: *shards, ShardLayout: exploitbit.ShardLayout(*shardLayout),
+	})
 	if err != nil {
 		log.Fatal("ebc-serve: ", err)
 	}
 	defer sys.Close()
 
 	tau := sys.OptimalTau(cs)
+	cfg := core.Config{Method: exploitbit.Method(*method), CacheBytes: cs, Tau: tau, SmoothEps: 0.01}
 	sopt := exploitbit.ServeOptions{MaxK: *maxK, MaxInFlight: *maxInFlight, MaxBatch: *maxBatch}
 	var handler http.Handler
-	var mnt *exploitbit.Maintainer
-	if *maintain {
-		mnt, err = sys.Maintained(core.Config{Method: exploitbit.Method(*method), CacheBytes: cs, Tau: tau, SmoothEps: 0.01},
-			exploitbit.MaintainOptions{})
+	var drainMaintainer func() // set when a maintainer needs closing after drain
+	switch {
+	case *shards > 1 && *maintain:
+		m, err := sys.MaintainedSharded(cfg, exploitbit.MaintainOptions{})
 		if err != nil {
 			log.Fatal("ebc-serve: ", err)
 		}
-		handler = exploitbit.ServeMaintainedWith(mnt, ds.Dim, sopt)
-	} else {
+		drainMaintainer = m.Close
+		handler = exploitbit.ServeShardedMaintainedWith(m, ds.Dim, sopt)
+	case *shards > 1:
+		se, err := sys.ShardedEngineWith(cfg)
+		if err != nil {
+			log.Fatal("ebc-serve: ", err)
+		}
+		handler = exploitbit.ServeShardedWith(se, ds.Dim, sopt)
+	case *maintain:
+		m, err := sys.Maintained(cfg, exploitbit.MaintainOptions{})
+		if err != nil {
+			log.Fatal("ebc-serve: ", err)
+		}
+		drainMaintainer = m.Close
+		handler = exploitbit.ServeMaintainedWith(m, ds.Dim, sopt)
+	default:
 		eng, err := sys.Engine(exploitbit.Method(*method), cs, tau)
 		if err != nil {
 			log.Fatal("ebc-serve: ", err)
@@ -179,8 +158,8 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("ebc-serve: %s cache, %s budget, tau=%d; listening on %s (max %d in-flight searches)",
-		*method, *cacheSz, tau, *addr, *maxInFlight)
+	log.Printf("ebc-serve: %s cache, %s budget, tau=%d, %d shard(s); listening on %s (max %d in-flight searches)",
+		*method, *cacheSz, tau, sys.Shards(), *addr, *maxInFlight)
 
 	select {
 	case err := <-errc:
@@ -197,10 +176,10 @@ func main() {
 		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Printf("ebc-serve: serve: %v", err)
 		}
-		if mnt != nil {
+		if drainMaintainer != nil {
 			// After the listener has drained: no new searches can arrive, so
 			// no new rebuild can launch, and Close waits out any in flight.
-			mnt.Close()
+			drainMaintainer()
 		}
 		log.Printf("ebc-serve: drained; exiting")
 	}

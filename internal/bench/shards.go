@@ -1,0 +1,175 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"exploitbit"
+)
+
+// ShardsReport records the shard-scaling scenario (BENCH_5.json): the same
+// dataset, workload and HC-O configuration served unsharded and through the
+// scatter-gather router at several shard counts, under a fixed parallel
+// query load. Results are bit-identical across rows by construction (the
+// Identical column re-checks it against the 1-shard baseline), so the rows
+// compare pure serving wall-clock.
+type ShardsReport struct {
+	GeneratedAt string `json:"generated_at"`
+	GoMaxProcs  int    `json:"gomaxprocs"`
+	Workers     int    `json:"workers"`
+	K           int    `json:"k"`
+	Ops         int    `json:"ops"`
+
+	Rows []ShardsRow `json:"rows"`
+}
+
+// ShardsRow is one shard count's wall-clock under the parallel load.
+type ShardsRow struct {
+	Shards    int     `json:"shards"`
+	WallNs    int64   `json:"wall_ns"`
+	QPS       float64 `json:"qps"`
+	Identical bool    `json:"identical_to_unsharded"`
+}
+
+// shardCounts are the row configurations; 1 is the unsharded baseline.
+var shardCounts = []int{1, 2, 4}
+
+// RunShards measures parallel-load search wall-clock on the NUS-WIDE
+// workload at several shard counts and writes the report as indented JSON to
+// jsonPath (skipped when empty), echoing a summary to w. Each row opens its
+// own system (sharding is a layout decision made at Open) over the same
+// dataset and workload as the shared lab.
+func RunShards(w io.Writer, env *Env, jsonPath string) (*ShardsReport, error) {
+	lab := env.Lab("NUS-WIDE")
+	k := env.Scale.K
+	workers := runtime.GOMAXPROCS(0)
+	ops := 16 * len(lab.QTest) * workers
+	rep := &ShardsReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Workers:     workers,
+		K:           k,
+		Ops:         ops,
+	}
+
+	// The 1-shard baseline answers, for the bit-identity column.
+	var baseline [][]int
+
+	for _, n := range shardCounts {
+		sys, err := exploitbit.Open(lab.DS, lab.WL, exploitbit.Options{
+			Shards: n, Tio: env.Tio, WorkloadK: k,
+		})
+		if err != nil {
+			return nil, err
+		}
+		var search func(q []float32, kk int, dst []int) ([]int, exploitbit.QueryStats, error)
+		if n == 1 {
+			eng, err := sys.Engine(exploitbit.HCO, lab.DefaultCS, lab.DefaultTau)
+			if err != nil {
+				sys.Close()
+				return nil, err
+			}
+			search = eng.SearchInto
+		} else {
+			se, err := sys.ShardedEngine(exploitbit.HCO, lab.DefaultCS, lab.DefaultTau)
+			if err != nil {
+				sys.Close()
+				return nil, err
+			}
+			search = se.SearchInto
+		}
+
+		row := ShardsRow{Shards: n, Identical: true}
+		for qi, q := range lab.QTest {
+			ids, _, err := search(q, k, nil)
+			if err != nil {
+				sys.Close()
+				return nil, err
+			}
+			if n == 1 {
+				baseline = append(baseline, ids)
+				continue
+			}
+			if len(ids) != len(baseline[qi]) {
+				row.Identical = false
+				continue
+			}
+			for i := range ids {
+				if ids[i] != baseline[qi][i] {
+					row.Identical = false
+					break
+				}
+			}
+		}
+
+		// Best of three parallel-load runs: `workers` goroutines drain a
+		// shared counter of `ops` searches over the test queries.
+		var wall time.Duration
+		for r := 0; r < 3; r++ {
+			var next atomic.Int64
+			var firstErr atomic.Pointer[error]
+			var wg sync.WaitGroup
+			start := time.Now()
+			for wk := 0; wk < workers; wk++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					dst := make([]int, 0, k)
+					for {
+						i := next.Add(1) - 1
+						if i >= int64(ops) || firstErr.Load() != nil {
+							return
+						}
+						if _, _, err := search(lab.QTest[int(i)%len(lab.QTest)], k, dst[:0]); err != nil {
+							firstErr.CompareAndSwap(nil, &err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			if ep := firstErr.Load(); ep != nil {
+				sys.Close()
+				return nil, *ep
+			}
+			if d := time.Since(start); r == 0 || d < wall {
+				wall = d
+			}
+		}
+		if err := sys.Close(); err != nil {
+			return nil, err
+		}
+
+		row.WallNs = wall.Nanoseconds()
+		if wall > 0 {
+			row.QPS = float64(ops) / wall.Seconds()
+		}
+		rep.Rows = append(rep.Rows, row)
+		fmt.Fprintf(w, "shards: %d shard(s)  %10v wall  %8.0f q/s  identical=%v\n",
+			row.Shards, time.Duration(row.WallNs), row.QPS, row.Identical)
+	}
+
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return nil, err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := f.Close(); err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(w, "shards: report written to %s\n", jsonPath)
+	}
+	return rep, nil
+}

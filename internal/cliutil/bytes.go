@@ -1,0 +1,50 @@
+// Package cliutil holds small helpers shared by the ebc-* command-line
+// tools. It exists so every CLI parses user input the same hardened way
+// instead of growing drifting private copies.
+package cliutil
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// byteUnits maps size suffixes to multipliers. Only binary units: a cache
+// budget is a memory figure.
+var byteUnits = map[string]int64{
+	"":    1,
+	"B":   1,
+	"KiB": 1 << 10,
+	"MiB": 1 << 20,
+	"GiB": 1 << 30,
+	"TiB": 1 << 40,
+}
+
+// ParseBytes parses a human byte size ("16MiB", "4KiB", "512B", bare
+// "4096"). The value must be a positive integer that fits in an int64 after
+// scaling, and an unrecognized unit is an error — it used to be silently
+// read as raw bytes, so "-cache 16MB" built a 16-byte budget.
+func ParseBytes(s string) (int64, error) {
+	t := strings.TrimSpace(s)
+	i := len(t)
+	for i > 0 && (t[i-1] < '0' || t[i-1] > '9') {
+		i--
+	}
+	num, unit := t[:i], strings.TrimSpace(t[i:])
+	mult, ok := byteUnits[unit]
+	if !ok {
+		return 0, fmt.Errorf("unknown size unit %q in %q (use B, KiB, MiB, GiB, TiB)", unit, s)
+	}
+	v, err := strconv.ParseInt(strings.TrimSpace(num), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad size %q: %v", s, err)
+	}
+	if v <= 0 {
+		return 0, fmt.Errorf("size must be positive, got %q", s)
+	}
+	if v > math.MaxInt64/mult {
+		return 0, fmt.Errorf("size %q overflows", s)
+	}
+	return v * mult, nil
+}

@@ -1,4 +1,4 @@
-package main
+package cliutil
 
 import "testing"
 
@@ -38,19 +38,19 @@ func TestParseBytes(t *testing.T) {
 		{"9999999999TiB", 0, true}, // overflows int64 after scaling
 	}
 	for _, c := range cases {
-		got, err := parseBytes(c.in)
+		got, err := ParseBytes(c.in)
 		if c.wantErr {
 			if err == nil {
-				t.Errorf("parseBytes(%q) = %d, want error", c.in, got)
+				t.Errorf("ParseBytes(%q) = %d, want error", c.in, got)
 			}
 			continue
 		}
 		if err != nil {
-			t.Errorf("parseBytes(%q): %v", c.in, err)
+			t.Errorf("ParseBytes(%q): %v", c.in, err)
 			continue
 		}
 		if got != c.want {
-			t.Errorf("parseBytes(%q) = %d, want %d", c.in, got, c.want)
+			t.Errorf("ParseBytes(%q) = %d, want %d", c.in, got, c.want)
 		}
 	}
 }

@@ -105,6 +105,12 @@ type Engine struct {
 	histSpaceBytes int
 	histBuildTime  time.Duration
 
+	// globalIDs maps this engine's local ids back to dataset-global ids.
+	// Nil for an unsharded engine (identity); set on shard engines, whose
+	// ds/pf/cache all live in a compacted local id space while the shared
+	// mHC-R histogram is indexed by global id.
+	globalIDs []int32
+
 	// lutBuckets is the LUT row stride (max bucket count of the active
 	// table), cached for the per-query build-vs-scan gate.
 	lutBuckets int
@@ -122,12 +128,30 @@ type Engine struct {
 // NewEngine builds an engine: it selects HFF cache content from the profile,
 // constructs the method's histogram, and encodes the cached points.
 func NewEngine(pf *disk.PointFile, prof *Profile, cands CandidateFunc, cfg Config) (*Engine, error) {
-	cfg = cfg.withDefaults()
-	if err := cfg.Method.Validate(); err != nil {
+	e, content, capacity, err := newModel(prof, cfg)
+	if err != nil {
 		return nil, err
 	}
+	e.pf = pf
+	e.cands = cands
+	e.fillCache(content, capacity)
+	e.finalize()
+	return e, nil
+}
+
+// newModel runs the offline model construction of NewEngine — method
+// validation, histogram build, bounds table, codec — and selects the HFF
+// cache content and item capacity, without touching a point file or filling
+// a cache. The sharded constructor builds the model once over the full
+// profile and shares it by pointer across every shard engine, so all shards
+// quantize and bound candidates through identical structures.
+func newModel(prof *Profile, cfg Config) (e *Engine, content []int, capacity int, err error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Method.Validate(); err != nil {
+		return nil, nil, 0, err
+	}
 	ds := prof.DS
-	e := &Engine{ds: ds, pf: pf, cands: cands, cfg: cfg}
+	e = &Engine{ds: ds, cfg: cfg}
 	dom := ds.Domain
 
 	switch cfg.Method {
@@ -136,13 +160,8 @@ func NewEngine(pf *disk.PointFile, prof *Profile, cands CandidateFunc, cfg Confi
 
 	case Exact:
 		itemBits := 32 * ds.Dim
-		capacity := cache.CapacityForBudget(cfg.CacheBytes, itemBits)
-		e.exact = cache.New[[]float32](capacity, cfg.Policy)
-		if cfg.Policy == cache.HFF {
-			e.exact.FillHFF(prof.HFFContent(capacity), func(id int) []float32 {
-				return append([]float32(nil), ds.Point(id)...)
-			})
-		}
+		capacity = cache.CapacityForBudget(cfg.CacheBytes, itemBits)
+		content = prof.HFFContent(capacity)
 
 	case MHCR:
 		numLeaves := 1 << cfg.Tau
@@ -154,18 +173,13 @@ func NewEngine(pf *disk.PointFile, prof *Profile, cands CandidateFunc, cfg Confi
 		lo, hi := rt.MBRs()
 		md, err := histogram.NewMD(lo, hi, rt.Assignment(ds.Len()))
 		if err != nil {
-			return nil, fmt.Errorf("core: building mHC-R: %w", err)
+			return nil, nil, 0, fmt.Errorf("core: building mHC-R: %w", err)
 		}
 		e.histBuildTime = time.Since(start)
 		e.md = md
 		e.histSpaceBytes = md.SpaceBytes()
-		capacity := cache.CapacityForBudget(cfg.CacheBytes, md.CodeLen())
-		e.mdCache = cache.New[int32](capacity, cfg.Policy)
-		if cfg.Policy == cache.HFF {
-			e.mdCache.FillHFF(prof.HFFContent(capacity), func(id int) int32 {
-				return int32(md.BucketOf(id))
-			})
-		}
+		capacity = cache.CapacityForBudget(cfg.CacheBytes, md.CodeLen())
+		content = prof.HFFContent(capacity)
 
 	case CVA:
 		// Fit the whole dataset: largest τ whose total footprint fits the
@@ -194,28 +208,20 @@ func NewEngine(pf *disk.PointFile, prof *Profile, cands CandidateFunc, cfg Confi
 		e.histBuildTime = time.Since(start)
 		e.histSpaceBytes = e.phist.SpaceBytes()
 		e.table = bounds.NewTablePerDim(e.phist, dom)
-		capacity := ds.Len()
+		capacity = ds.Len()
 		if partial {
 			capacity = cache.CapacityForBudget(cfg.CacheBytes, e.codec.ItemBits())
 		}
-		content := prof.HFFContent(capacity)
+		content = prof.HFFContent(capacity)
 		if !partial {
 			content = allIDs(ds.Len())
-		}
-		if cfg.Policy == cache.HFF && !cfg.NoSlab {
-			e.slab = cache.BuildSlab(ds.Len(), e.codec.Words(), capacity, content, e.slabFiller())
-		} else {
-			// LRU (and the NoSlab ablation) keeps the mutable map cache;
-			// FillHFF still warm-starts LRU with the profile's ranking.
-			e.approx = cache.New[[]uint64](capacity, cfg.Policy)
-			e.approx.FillHFF(content, e.pointEncoder())
 		}
 
 	default:
 		// The HC-* and iHC-* family.
 		e.codec = encoding.NewCodec(ds.Dim, cfg.Tau)
-		capacity := cache.CapacityForBudget(cfg.CacheBytes, e.codec.ItemBits())
-		content := prof.HFFContent(capacity)
+		capacity = cache.CapacityForBudget(cfg.CacheBytes, e.codec.ItemBits())
+		content = prof.HFFContent(capacity)
 		b := histogram.MaxBucketsForCodeLen(cfg.Tau, dom.Ndom)
 
 		start := time.Now()
@@ -257,8 +263,48 @@ func NewEngine(pf *disk.PointFile, prof *Profile, cands CandidateFunc, cfg Confi
 			e.histSpaceBytes = e.phist.SpaceBytes()
 			e.table = bounds.NewTablePerDim(e.phist, dom)
 		}
+	}
+	return e, content, capacity, nil
+}
+
+// fillCache populates the method's cache with content (ids in e.ds's id
+// space), admitting at most capacity items. Content arrives in the global
+// HFF rank order; shard engines pass the shard-local slice of that ranking,
+// so the union over all shards equals the unsharded cache content exactly.
+func (e *Engine) fillCache(content []int, capacity int) {
+	cfg := e.cfg
+	switch {
+	case cfg.Method == NoCache:
+
+	case cfg.Method == Exact:
+		e.exact = cache.New[[]float32](capacity, cfg.Policy)
+		if cfg.Policy == cache.HFF {
+			e.exact.FillHFF(content, func(id int) []float32 {
+				return append([]float32(nil), e.ds.Point(id)...)
+			})
+		}
+
+	case e.md != nil:
+		e.mdCache = cache.New[int32](capacity, cfg.Policy)
+		if cfg.Policy == cache.HFF {
+			e.mdCache.FillHFF(content, func(id int) int32 {
+				return int32(e.md.BucketOf(e.globalID(id)))
+			})
+		}
+
+	case cfg.Method == CVA:
 		if cfg.Policy == cache.HFF && !cfg.NoSlab {
-			e.slab = cache.BuildSlab(ds.Len(), e.codec.Words(), capacity, content, e.slabFiller())
+			e.slab = cache.BuildSlab(e.ds.Len(), e.codec.Words(), capacity, content, e.slabFiller())
+		} else {
+			// LRU (and the NoSlab ablation) keeps the mutable map cache;
+			// FillHFF still warm-starts LRU with the profile's ranking.
+			e.approx = cache.New[[]uint64](capacity, cfg.Policy)
+			e.approx.FillHFF(content, e.pointEncoder())
+		}
+
+	default:
+		if cfg.Policy == cache.HFF && !cfg.NoSlab {
+			e.slab = cache.BuildSlab(e.ds.Len(), e.codec.Words(), capacity, content, e.slabFiller())
 		} else {
 			e.approx = cache.New[[]uint64](capacity, cfg.Policy)
 			if cfg.Policy == cache.HFF {
@@ -266,12 +312,25 @@ func NewEngine(pf *disk.PointFile, prof *Profile, cands CandidateFunc, cfg Confi
 			}
 		}
 	}
+}
+
+// finalize installs the derived fast-path state and scratch pools. Every
+// construction path — NewEngine, shard engines, snapshot load — ends here.
+func (e *Engine) finalize() {
 	if e.table != nil {
 		e.lutBuckets = e.table.Buckets()
 	}
 	e.scratch.New = func() any { return newSearchScratch(e) }
 	e.ubTopPool.New = func() any { return vec.NewTopK(1) }
-	return e, nil
+}
+
+// globalID maps a local id back to its dataset-global id (identity when
+// unsharded).
+func (e *Engine) globalID(id int) int {
+	if e.globalIDs != nil {
+		return int(e.globalIDs[id])
+	}
+	return id
 }
 
 func allIDs(n int) []int {
@@ -417,7 +476,7 @@ func (e *Engine) phase12(ctx context.Context, sc *searchScratch, q []float32, k 
 	case e.slab != nil && !e.cfg.EagerFetchMisses:
 		// Fused blocked kernel straight off the slab arena; blocks are the
 		// unit of parallelism above the threshold.
-		if err := e.reduceSlab(ctx, q, ids, cs, lut, k, workers, sc); err != nil {
+		if err := e.reduceSlab(ctx, q, ids, cs, lut, k, workers, sc, nil); err != nil {
 			return nil, nil, err
 		}
 	case workers > 1:
@@ -657,6 +716,6 @@ func (e *Engine) admitLRU(id int, p []float32, codes []int) {
 	case e.exact != nil:
 		e.exact.Put(id, append([]float32(nil), p...))
 	case e.mdCache != nil:
-		e.mdCache.Put(id, int32(e.md.BucketOf(id)))
+		e.mdCache.Put(id, int32(e.md.BucketOf(e.globalID(id))))
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"exploitbit/internal/dataset"
 	"exploitbit/internal/disk"
@@ -58,9 +59,26 @@ type Maintainer struct {
 	closed bool
 	wg     sync.WaitGroup
 
+	// lastWallNs / lastAtNs record the most recent successful rebuild's
+	// build wall-clock and completion time (UnixNano); zero until the first
+	// rebuild lands.
+	lastWallNs atomic.Int64
+	lastAtNs   atomic.Int64
+
 	// mu guards the drift window and hit-ratio bookkeeping only; it is held
 	// for a few counter updates per query, never across a search or a build.
-	mu     sync.Mutex
+	mu    sync.Mutex
+	drift driftState
+}
+
+// driftState is the drift detector of one maintained engine: the sliding
+// query window and the candidate-weighted hit-ratio bookkeeping. It is
+// extracted from Maintainer so the sharded maintainer can run one
+// independent detector per shard. The owner provides the locking (all
+// methods assume the caller holds its mutex).
+type driftState struct {
+	opt MaintainOptions
+
 	window [][]float32 // ring of recent queries
 	nextW  int
 	filled bool
@@ -77,6 +95,80 @@ type Maintainer struct {
 	// guarantees the rebuild sees pure post-drift traffic — one rebuild then
 	// lands on the new regime instead of converging over several.
 	pendingRebuild int
+}
+
+func newDriftState(opt MaintainOptions) driftState {
+	return driftState{opt: opt, window: make([][]float32, opt.WindowSize)}
+}
+
+// record folds one served query into the window. When drift is detected it
+// calls tryArm (the owner's rebuild-launch CAS) and, one full window later,
+// returns the rebuild workload snapshot; otherwise it returns nil.
+func (d *driftState) record(q []float32, st QueryStats, tryArm func() bool) [][]float32 {
+	// Record the query (copying: callers may reuse buffers).
+	d.window[d.nextW] = append([]float32(nil), q...)
+	d.nextW = (d.nextW + 1) % len(d.window)
+	if d.nextW == 0 {
+		d.filled = true
+	}
+	d.sinceRebuild++
+
+	// A detected drift waits out one window before snapshotting, so the
+	// rebuild profiles only queries issued after the regime change.
+	if d.pendingRebuild > 0 {
+		d.pendingRebuild--
+		if d.pendingRebuild == 0 {
+			return d.snapshot()
+		}
+		return nil
+	}
+
+	// Baseline: the first window after a (re)build defines "healthy".
+	if d.sinceRebuild <= d.opt.WindowSize {
+		d.baseHits += int64(st.Hits)
+		d.baseCands += int64(st.Candidates)
+		return nil
+	}
+	// Exponentially decayed recent window keeps the estimate moving.
+	d.recentHits += int64(st.Hits)
+	d.recentCands += int64(st.Candidates)
+	if d.recentCands > d.baseCands && d.baseCands > 0 {
+		d.recentHits /= 2
+		d.recentCands /= 2
+	}
+
+	if d.sinceRebuild >= d.opt.MinQueriesBetweenRebuilds+d.opt.WindowSize &&
+		d.baseCands > 0 && d.recentCands > 0 {
+		base := float64(d.baseHits) / float64(d.baseCands)
+		recent := float64(d.recentHits) / float64(d.recentCands)
+		if recent < base*d.opt.DegradeFactor && tryArm() {
+			d.pendingRebuild = len(d.window)
+		}
+	}
+	return nil
+}
+
+// resetAfterInstall restarts the baseline after a rebuild swaps in.
+func (d *driftState) resetAfterInstall() {
+	d.sinceRebuild = 0
+	d.pendingRebuild = 0
+	d.baseHits, d.baseCands = 0, 0
+	d.recentHits, d.recentCands = 0, 0
+}
+
+// snapshot copies out the recorded window, oldest-first fill order.
+func (d *driftState) snapshot() [][]float32 {
+	src := d.window[:d.nextW]
+	if d.filled {
+		src = d.window
+	}
+	out := make([][]float32, 0, len(src))
+	for _, q := range src {
+		if q != nil {
+			out = append(out, q)
+		}
+	}
+	return out
 }
 
 // MaintainOptions tunes the drift detector.
@@ -114,6 +206,13 @@ type MaintainStats struct {
 	Rebuilds        int  // completed rebuilds that swapped an engine in
 	RebuildErrors   int  // rebuild attempts that failed (old engine kept)
 	RebuildInFlight bool // a background rebuild is queued or running
+
+	// LastRebuildWall is the build wall-clock of the most recent successful
+	// rebuild (profile + engine construction, excluding any gate wait);
+	// LastRebuildAt is when it swapped in. Both are zero until the first
+	// rebuild lands.
+	LastRebuildWall time.Duration
+	LastRebuildAt   time.Time
 }
 
 // NewMaintainer wraps an initial workload into a self-maintaining engine.
@@ -121,7 +220,7 @@ func NewMaintainer(pf *disk.PointFile, ds *dataset.Dataset, cands CandidateFunc,
 	opt = opt.withDefaults()
 	m := &Maintainer{
 		pf: pf, ds: ds, cands: cands, cfg: cfg, opt: opt,
-		window:      make([][]float32, opt.WindowSize),
+		drift:       newDriftState(opt),
 		rebuildGate: opt.RebuildGate,
 	}
 	m.build = m.buildEngine
@@ -147,11 +246,18 @@ func (m *Maintainer) Rebuilds() int { return int(m.rebuilds.Load()) }
 
 // Stats snapshots the rebuild counters.
 func (m *Maintainer) Stats() MaintainStats {
-	return MaintainStats{
+	st := MaintainStats{
 		Rebuilds:        int(m.rebuilds.Load()),
 		RebuildErrors:   int(m.rebuildErrs.Load()),
 		RebuildInFlight: m.rebuilding.Load(),
 	}
+	if ns := m.lastWallNs.Load(); ns > 0 {
+		st.LastRebuildWall = time.Duration(ns)
+	}
+	if at := m.lastAtNs.Load(); at > 0 {
+		st.LastRebuildAt = time.Unix(0, at)
+	}
+	return st
 }
 
 // Search serves one query, records it in the drift window, and launches a
@@ -196,47 +302,7 @@ func (m *Maintainer) SearchIntoCtx(ctx context.Context, q []float32, k int, dst 
 func (m *Maintainer) recordQuery(q []float32, st QueryStats) [][]float32 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	// Record the query (copying: callers may reuse buffers).
-	m.window[m.nextW] = append([]float32(nil), q...)
-	m.nextW = (m.nextW + 1) % len(m.window)
-	if m.nextW == 0 {
-		m.filled = true
-	}
-	m.sinceRebuild++
-
-	// A detected drift waits out one window before snapshotting, so the
-	// rebuild profiles only queries issued after the regime change.
-	if m.pendingRebuild > 0 {
-		m.pendingRebuild--
-		if m.pendingRebuild == 0 {
-			return m.windowQueriesLocked()
-		}
-		return nil
-	}
-
-	// Baseline: the first window after a (re)build defines "healthy".
-	if m.sinceRebuild <= m.opt.WindowSize {
-		m.baseHits += int64(st.Hits)
-		m.baseCands += int64(st.Candidates)
-		return nil
-	}
-	// Exponentially decayed recent window keeps the estimate moving.
-	m.recentHits += int64(st.Hits)
-	m.recentCands += int64(st.Candidates)
-	if m.recentCands > m.baseCands && m.baseCands > 0 {
-		m.recentHits /= 2
-		m.recentCands /= 2
-	}
-
-	if m.sinceRebuild >= m.opt.MinQueriesBetweenRebuilds+m.opt.WindowSize &&
-		m.baseCands > 0 && m.recentCands > 0 {
-		base := float64(m.baseHits) / float64(m.baseCands)
-		recent := float64(m.recentHits) / float64(m.recentCands)
-		if recent < base*m.opt.DegradeFactor && m.rebuilding.CompareAndSwap(false, true) {
-			m.pendingRebuild = len(m.window)
-		}
-	}
-	return nil
+	return m.drift.record(q, st, func() bool { return m.rebuilding.CompareAndSwap(false, true) })
 }
 
 // launchRebuild starts the background rebuild for a window snapshot. The
@@ -285,7 +351,7 @@ func (m *Maintainer) RebuildAsync(k int) bool {
 		return false
 	}
 	m.mu.Lock()
-	wl := m.windowQueriesLocked()
+	wl := m.drift.snapshot()
 	m.mu.Unlock()
 	if len(wl) == 0 {
 		m.rebuilding.Store(false)
@@ -305,24 +371,25 @@ func (m *Maintainer) backgroundRebuild(wl [][]float32, k int) {
 	if m.rebuildGate != nil {
 		<-m.rebuildGate
 	}
+	start := time.Now()
 	eng, err := m.build(wl, k)
 	if err != nil {
 		m.rebuildErrs.Add(1)
 		return
 	}
-	m.install(eng)
+	m.install(eng, time.Since(start))
 }
 
-// install publishes a freshly built engine and resets the drift baseline.
-func (m *Maintainer) install(eng *Engine) {
+// install publishes a freshly built engine, records the rebuild timing and
+// resets the drift baseline.
+func (m *Maintainer) install(eng *Engine, wall time.Duration) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.eng.Store(eng)
 	m.rebuilds.Add(1)
-	m.sinceRebuild = 0
-	m.pendingRebuild = 0
-	m.baseHits, m.baseCands = 0, 0
-	m.recentHits, m.recentCands = 0, 0
+	m.lastWallNs.Store(int64(wall))
+	m.lastAtNs.Store(time.Now().UnixNano())
+	m.drift.resetAfterInstall()
 }
 
 // ForceRebuild rebuilds synchronously from the current window (the paper's
@@ -330,37 +397,19 @@ func (m *Maintainer) install(eng *Engine) {
 // reports any build error to the caller.
 func (m *Maintainer) ForceRebuild(k int) error {
 	m.mu.Lock()
-	wl := m.windowQueriesLocked()
+	wl := m.drift.snapshot()
 	m.mu.Unlock()
 	if len(wl) == 0 {
 		return fmt.Errorf("core: no recorded queries to rebuild from")
 	}
 	m.rebuildMu.Lock()
 	defer m.rebuildMu.Unlock()
+	start := time.Now()
 	eng, err := m.build(wl, k)
 	if err != nil {
 		m.rebuildErrs.Add(1)
 		return err
 	}
-	m.install(eng)
+	m.install(eng, time.Since(start))
 	return nil
-}
-
-func (m *Maintainer) windowQueriesLocked() [][]float32 {
-	if m.filled {
-		out := make([][]float32, 0, len(m.window))
-		for _, q := range m.window {
-			if q != nil {
-				out = append(out, q)
-			}
-		}
-		return out
-	}
-	out := make([][]float32, 0, m.nextW)
-	for _, q := range m.window[:m.nextW] {
-		if q != nil {
-			out = append(out, q)
-		}
-	}
-	return out
 }

@@ -222,3 +222,38 @@ func TestMaintainerForceRebuild(t *testing.T) {
 		t.Fatal("no serving engine after rebuild")
 	}
 }
+
+// TestMaintainerRebuildWallClockStats checks that a completed rebuild
+// records its build wall-clock and installation timestamp, and that both
+// stay zero until the first rebuild lands.
+func TestMaintainerRebuildWallClockStats(t *testing.T) {
+	ds, pf, cands, poolA, _ := driftWorld(t)
+	m, err := NewMaintainer(pf, ds, cands, poolA[:50], 5, Config{
+		Method: Exact, CacheBytes: 1 << 18,
+	}, MaintainOptions{WindowSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := m.Stats(); st.LastRebuildWall != 0 || !st.LastRebuildAt.IsZero() {
+		t.Fatalf("fresh maintainer reports a rebuild: %+v", st)
+	}
+	for i := 0; i < 20; i++ {
+		if _, _, err := m.Search(poolA[i], 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := time.Now()
+	if err := m.ForceRebuild(5); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	if st.Rebuilds != 1 {
+		t.Fatalf("stats after forced rebuild: %+v", st)
+	}
+	if st.LastRebuildWall <= 0 {
+		t.Fatalf("rebuild wall-clock not recorded: %v", st.LastRebuildWall)
+	}
+	if st.LastRebuildAt.Before(before) || st.LastRebuildAt.After(time.Now()) {
+		t.Fatalf("rebuild timestamp %v outside [%v, now]", st.LastRebuildAt, before)
+	}
+}

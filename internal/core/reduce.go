@@ -102,6 +102,45 @@ func partitionCandidates(cs []candState, lbkSq, ubkSq float64, noTrueHit bool, s
 	return results, remaining
 }
 
+// crossBound is the sharded router's bound-exchange cell: the running
+// minimum of every shard worker's k-th-smallest upper bound (squared), so a
+// shard can early-abandon candidates against the global threshold instead
+// of only its local one. Squared distances are non-negative, and for
+// non-negative IEEE-754 doubles the bit pattern orders exactly like the
+// value, so the minimum is maintained with a plain CAS loop over the bits —
+// no lock on the Phase-2 hot path.
+//
+// The exchange is strictly a threshold tightening: slabReduceRange's
+// abandonment argument only requires its threshold to be ≥ the global ub_k,
+// and every published value is some worker's k-th smallest upper bound over
+// a *subset* of the candidates, hence ≥ ub_k. Results therefore stay
+// bit-identical no matter how the shards interleave (see the proof comment
+// on slabReduceRange).
+//
+// The zero value is NOT armed — reset must be called before a query, or
+// load would return 0 and abandon everything.
+type crossBound struct {
+	bits atomic.Uint64
+}
+
+func (b *crossBound) reset() { b.bits.Store(math.Float64bits(math.Inf(1))) }
+
+func (b *crossBound) load() float64 { return math.Float64frombits(b.bits.Load()) }
+
+// publishMin lowers the shared bound to v if v is smaller.
+func (b *crossBound) publishMin(v float64) {
+	nb := math.Float64bits(v)
+	for {
+		cur := b.bits.Load()
+		if nb >= cur {
+			return
+		}
+		if b.bits.CompareAndSwap(cur, nb) {
+			return
+		}
+	}
+}
+
 // slabBlock is the candidate block size of the fused slab kernel: slots for
 // one block are resolved in a tight pass (dense int32 index, sequential ids
 // array) before any bound math runs, so the slot loads pipeline ahead of the
@@ -111,8 +150,9 @@ const slabBlock = 64
 // reduceSlab is Phase 2 over the slab-packed HFF arena: the fused blocked
 // kernel, fanned over contiguous candidate chunks via scoreParallel when the
 // candidate set clears the parallel threshold. Cache statistics are settled
-// in bulk after the scan.
-func (e *Engine) reduceSlab(ctx context.Context, q []float32, ids []int, cs []candState, lut *bounds.QueryLUT, k, workers int, sc *searchScratch) error {
+// in bulk after the scan. xb, when non-nil, is the sharded router's
+// cross-shard bound-exchange cell (nil for unsharded searches).
+func (e *Engine) reduceSlab(ctx context.Context, q []float32, ids []int, cs []candState, lut *bounds.QueryLUT, k, workers int, sc *searchScratch, xb *crossBound) error {
 	var hits int64
 	if workers > 1 {
 		hits = scoreParallel(len(ids), workers, func(lo, hi int) int64 {
@@ -121,12 +161,12 @@ func (e *Engine) reduceSlab(ctx context.Context, q []float32, ids []int, cs []ca
 			// and the abandonment argument below still holds.
 			ubTop := e.ubTopPool.Get().(*vec.TopK)
 			ubTop.Reset(k)
-			h := e.slabReduceRange(ctx, q, ids, cs, lut, ubTop, lo, hi)
+			h := e.slabReduceRange(ctx, q, ids, cs, lut, ubTop, lo, hi, xb)
 			e.ubTopPool.Put(ubTop)
 			return h
 		})
 	} else {
-		hits = e.slabReduceRange(ctx, q, ids, cs, lut, sc.ubTopFor(k), 0, len(ids))
+		hits = e.slabReduceRange(ctx, q, ids, cs, lut, sc.ubTopFor(k), 0, len(ids), xb)
 	}
 	if err := ctx.Err(); err != nil {
 		return err
@@ -155,12 +195,25 @@ func (e *Engine) reduceSlab(ctx context.Context, q []float32, ids []int, cs []ca
 // surviving candidate gets fully-summed bounds with the reference term
 // order, so the result identifiers, the partition, and every pinned
 // statistic match the map-backed reduction bit for bit.
-func (e *Engine) slabReduceRange(ctx context.Context, q []float32, ids []int, cs []candState, lut *bounds.QueryLUT, ubTop *vec.TopK, lo, hi int) (hits int64) {
+//
+// The cross-shard bound xb (nil when unsharded) only ever *lowers* thr, and
+// every value it carries is some worker's k-th smallest upper bound over a
+// subset of the candidates, so thr ≥ ub_k still holds and the whole argument
+// above goes through unchanged: which candidates abandon (and with what
+// partial sum) may vary run to run, but every abandoned candidate is pruned
+// in every run and every survivor carries full reference-order bounds, so
+// outputs and pinned statistics never depend on the interleaving. xb is
+// refreshed once per block — a stale (larger) value is still ≥ ub_k.
+func (e *Engine) slabReduceRange(ctx context.Context, q []float32, ids []int, cs []candState, lut *bounds.QueryLUT, ubTop *vec.TopK, lo, hi int, xb *crossBound) (hits int64) {
 	s := e.slab
 	var slots [slabBlock]int32
+	shared := math.Inf(1)
 	for base := lo; base < hi; base += slabBlock {
 		if (base-lo)&(cancelCheckStride-1) == 0 && ctx.Err() != nil {
 			return hits
+		}
+		if xb != nil {
+			shared = xb.load()
 		}
 		n := min(slabBlock, hi-base)
 		for i := 0; i < n; i++ {
@@ -181,7 +234,13 @@ func (e *Engine) slabReduceRange(ctx context.Context, q []float32, ids []int, cs
 			}
 			hits++
 			words := s.Words(slot)
-			if !ubTop.Full() {
+			thr := shared
+			if ubTop.Full() {
+				if r := ubTop.Root(); r < thr {
+					thr = r
+				}
+			}
+			if math.IsInf(thr, 1) {
 				// Threshold not armed yet: both bounds are needed, fused in
 				// one arena walk.
 				if lut != nil {
@@ -190,9 +249,11 @@ func (e *Engine) slabReduceRange(ctx context.Context, q []float32, ids []int, cs
 					c.lbSq, c.ubSq = e.table.BoundsSqPacked(q, words, e.codec)
 				}
 				ubTop.Push(c.ubSq, int(c.id))
+				if xb != nil && ubTop.Full() {
+					xb.publishMin(ubTop.Root())
+				}
 				continue
 			}
-			thr := ubTop.Root()
 			var lbSq float64
 			if lut != nil {
 				lbSq = lut.LowerSqPackedThresh(words, e.codec, thr)
@@ -210,6 +271,9 @@ func (e *Engine) slabReduceRange(ctx context.Context, q []float32, ids []int, cs
 				c.ubSq = e.table.UpperSqPacked(q, words, e.codec)
 			}
 			ubTop.Push(c.ubSq, int(c.id))
+			if xb != nil && ubTop.Full() {
+				xb.publishMin(ubTop.Root())
+			}
 		}
 	}
 	return hits

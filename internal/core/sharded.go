@@ -1,0 +1,734 @@
+// Sharded scatter-gather execution of Algorithm 1. The dataset is split
+// into N shard units (internal/shard decides membership); each unit owns a
+// full Engine over its local id space — its own point file, candidate
+// filter and cache — while the quantization model (histogram, bounds table,
+// codec) is built once over the global profile and shared by pointer, and
+// each HFF cache holds exactly the shard-local slice of the global HFF
+// ranking. The router runs Phase 1 once, scatters candidates to their
+// owners, scores every engaged shard concurrently with the running k-th
+// upper bound exchanged through a crossBound cell, gathers the per-shard
+// bound states back into the global candidate order, and runs one global
+// lb_k/ub_k selection, partition and Seidl–Kriegel refinement.
+//
+// Bit-identity with the unsharded engine, piece by piece:
+//   - Phase 1 is the same single index probe, so the candidate list — and,
+//     because scatter records each candidate's original position and the
+//     gather writes scored states back to it, the candidate *order* seen by
+//     selection and partition — is identical.
+//   - Every shard scores through the shared model, and each shard's HFF
+//     cache content is the global content intersected with the shard, so
+//     each candidate's (hit, lbSq, ubSq) triple is identical.
+//   - The bound exchange only tightens early-abandonment thresholds, which
+//     slabReduceRange proves output-invariant.
+//   - Refinement runs one global schedule over the merged survivors; only
+//     the fetch is routed to the owning shard's file. Shard files share the
+//     parent's dimensionality and page size, so PagesPerPoint matches and
+//     the fetch multiset — hence Fetched and ΣPageReads — matches. In the
+//     batch path, the unit-granular partitioner keeps whole fetch units
+//     together and local page boundaries aligned with global ones, so units
+//     biject with global pages and cross-query coalescing reads the same
+//     number of units.
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"exploitbit/internal/cache"
+	"exploitbit/internal/dataset"
+	"exploitbit/internal/disk"
+	"exploitbit/internal/multistep"
+)
+
+// ShardSpec describes one shard unit to the sharded constructors: its point
+// file, its sub-dataset (both in local id space) and the local→global id
+// map (the shard's members in local order).
+type ShardSpec struct {
+	PF        *disk.PointFile
+	DS        *dataset.Dataset
+	GlobalIDs []int32
+}
+
+// shardUnit is one shard's mutable slot inside the router. The engine
+// pointer is RCU-swapped by the sharded maintainer; the point file and id
+// maps are immutable for the system's lifetime, so an in-flight query keeps
+// fetching from the same file no matter how often the cache rebuilds.
+type shardUnit struct {
+	eng       atomic.Pointer[Engine]
+	pf        *disk.PointFile
+	globalIDs []int32
+
+	// agg survives engine swaps, unlike the per-engine aggregate.
+	agg atomicAggregate
+}
+
+// shardFanThreshold is the global candidate count above which shard scoring
+// fans out to one goroutine per engaged shard. Below it the shards are
+// scored sequentially on the caller — results are bit-identical either way,
+// and small queries should not pay goroutine startup N times.
+const shardFanThreshold = 2048
+
+// ShardedEngine runs Algorithm 1 scatter-gather across shard units. It is
+// safe for concurrent use under the same rules as Engine.
+type ShardedEngine struct {
+	cands CandidateFunc
+	cfg   Config
+
+	owner []int32 // global id → shard
+	local []int32 // global id → local id
+	units []*shardUnit
+
+	// unitBase[s] offsets shard s's local PageOf values into one global
+	// fetch-unit id space for batch coalescing; unitBase[N] caps the range.
+	unitBase []int32
+
+	pagesPer int
+	tio      time.Duration
+
+	scratch sync.Pool
+	agg     atomicAggregate
+}
+
+// NewShardedEngine builds the shared model once from the global profile,
+// then a full engine per shard over the shard's point file with the
+// shard-local slice of the global HFF content (LRU budgets are split
+// proportionally to shard size).
+func NewShardedEngine(specs []ShardSpec, owner, local []int32, prof *Profile, cands CandidateFunc, cfg Config) (*ShardedEngine, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("core: sharded engine needs at least one shard")
+	}
+	n := prof.DS.Len()
+	if len(owner) != n || len(local) != n {
+		return nil, fmt.Errorf("core: owner/local maps cover %d/%d ids, dataset has %d", len(owner), len(local), n)
+	}
+	total := 0
+	for s, spec := range specs {
+		if spec.PF == nil || spec.DS == nil {
+			return nil, fmt.Errorf("core: shard %d is missing its point file or dataset", s)
+		}
+		if len(spec.GlobalIDs) != spec.DS.Len() {
+			return nil, fmt.Errorf("core: shard %d id map covers %d of %d points", s, len(spec.GlobalIDs), spec.DS.Len())
+		}
+		total += spec.DS.Len()
+	}
+	if total != n {
+		return nil, fmt.Errorf("core: shards hold %d points, dataset has %d", total, n)
+	}
+
+	model, content, capacity, err := newModel(prof, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	se := &ShardedEngine{
+		cands:    cands,
+		cfg:      model.cfg, // withDefaults applied, CVA τ recorded
+		owner:    owner,
+		local:    local,
+		pagesPer: specs[0].PF.PagesPerPoint(),
+		tio:      specs[0].PF.Tio(),
+	}
+
+	// The shard-local slices of the global HFF content, preserving the
+	// global rank order inside each shard.
+	localContent := make([][]int, len(specs))
+	for _, g := range content {
+		s := owner[g]
+		localContent[s] = append(localContent[s], int(local[g]))
+	}
+	lruCaps := splitCapacity(capacity, specs)
+
+	for s, spec := range specs {
+		e := &Engine{
+			ds:             spec.DS,
+			pf:             spec.PF,
+			cands:          se.ShardCandidates(s),
+			cfg:            model.cfg,
+			codec:          model.codec,
+			table:          model.table,
+			ghist:          model.ghist,
+			phist:          model.phist,
+			md:             model.md,
+			histSpaceBytes: model.histSpaceBytes,
+			histBuildTime:  model.histBuildTime,
+			globalIDs:      spec.GlobalIDs,
+		}
+		capS := len(localContent[s])
+		if model.cfg.Policy == cache.LRU {
+			capS = lruCaps[s]
+		}
+		e.fillCache(localContent[s], capS)
+		e.finalize()
+		u := &shardUnit{pf: spec.PF, globalIDs: spec.GlobalIDs}
+		u.eng.Store(e)
+		se.units = append(se.units, u)
+	}
+
+	se.unitBase = make([]int32, len(specs)+1)
+	for s, spec := range specs {
+		maxPage, err := spec.PF.PageOf(spec.DS.Len() - 1)
+		if err != nil {
+			return nil, err
+		}
+		se.unitBase[s+1] = se.unitBase[s] + int32(maxPage) + 1
+	}
+
+	se.scratch.New = func() any { return newRouterScratch(se) }
+	return se, nil
+}
+
+// splitCapacity divides an LRU item budget across shards proportionally to
+// shard size, handing leftover slots to the lowest-numbered shards.
+func splitCapacity(capacity int, specs []ShardSpec) []int {
+	total := 0
+	for _, spec := range specs {
+		total += spec.DS.Len()
+	}
+	caps := make([]int, len(specs))
+	used := 0
+	for s, spec := range specs {
+		caps[s] = capacity * spec.DS.Len() / total
+		used += caps[s]
+	}
+	for s := 0; used < capacity && s < len(caps); s++ {
+		caps[s]++
+		used++
+	}
+	return caps
+}
+
+// ShardCandidates returns the global candidate generator filtered to shard
+// s, with ids translated to the shard's local space — what a standalone
+// engine over that shard would see. The sharded maintainer profiles rebuild
+// windows through it.
+func (se *ShardedEngine) ShardCandidates(s int) CandidateFunc {
+	return func(q []float32, k int) ([]int, float64) {
+		ids, dmax := se.cands(q, k)
+		var out []int
+		for _, g := range ids {
+			if se.owner[g] == int32(s) {
+				out = append(out, int(se.local[g]))
+			}
+		}
+		return out, dmax
+	}
+}
+
+// Shards returns the shard count.
+func (se *ShardedEngine) Shards() int { return len(se.units) }
+
+// Engine returns shard s's current engine (the RCU slot's value at call
+// time).
+func (se *ShardedEngine) Engine(s int) *Engine { return se.units[s].eng.Load() }
+
+// swapEngine installs a freshly built engine into shard s. Callers (the
+// sharded maintainer) must build eng over the same point file and id map.
+func (se *ShardedEngine) swapEngine(s int, eng *Engine) { se.units[s].eng.Store(eng) }
+
+// CacheCapacity sums the per-shard cache capacities.
+func (se *ShardedEngine) CacheCapacity() int {
+	t := 0
+	for s := range se.units {
+		t += se.Engine(s).CacheCapacity()
+	}
+	return t
+}
+
+// CacheLen sums the per-shard cached item counts.
+func (se *ShardedEngine) CacheLen() int {
+	t := 0
+	for s := range se.units {
+		t += se.Engine(s).CacheLen()
+	}
+	return t
+}
+
+// HistogramSpaceBytes reports the shared model's histogram footprint (the
+// model is built once; shards reference it).
+func (se *ShardedEngine) HistogramSpaceBytes() int { return se.Engine(0).HistogramSpaceBytes() }
+
+// Aggregate returns the accumulated cross-shard statistics.
+func (se *ShardedEngine) Aggregate() Aggregate { return se.agg.Load() }
+
+// ResetStats clears the global and per-shard accumulated statistics.
+func (se *ShardedEngine) ResetStats() {
+	se.agg.Reset()
+	for _, u := range se.units {
+		u.agg.Reset()
+	}
+}
+
+// ShardAggregate is one shard's statistics block for /stats and /metrics.
+type ShardAggregate struct {
+	Shard         int
+	Points        int
+	CachedItems   int
+	CacheCapacity int
+	Agg           Aggregate
+}
+
+// ShardAggregates snapshots every shard's accumulated statistics.
+func (se *ShardedEngine) ShardAggregates() []ShardAggregate {
+	out := make([]ShardAggregate, len(se.units))
+	for s, u := range se.units {
+		e := u.eng.Load()
+		out[s] = ShardAggregate{
+			Shard:         s,
+			Points:        e.ds.Len(),
+			CachedItems:   e.CacheLen(),
+			CacheCapacity: e.CacheCapacity(),
+			Agg:           u.agg.Load(),
+		}
+	}
+	return out
+}
+
+// routerScratch is the pooled per-query working set of the sharded search:
+// the global candidate states, the per-shard scatter lists, the per-query
+// engine snapshot, and the refinement buffers. Mirrors searchScratch.
+type routerScratch struct {
+	se  *ShardedEngine
+	st  QueryStats
+	ctx context.Context
+
+	reduceScratch
+
+	sids    [][]int      // per-shard local candidate ids
+	pos     [][]int32    // per-shard original candidate positions
+	engs    []*Engine    // per-query RCU snapshot of every shard engine
+	shardSt []QueryStats // per-shard slice of this query's statistics
+	errs    []error      // per-shard scoring errors
+	xb      crossBound
+
+	fetchBuf []float32
+	codes    []int
+
+	mcands    []multistep.Candidate
+	rbuf      []multistep.Result
+	msc       multistep.Scratch
+	exactByID map[int32][]float32
+	fetch     multistep.Fetch
+}
+
+func newRouterScratch(se *ShardedEngine) *routerScratch {
+	n := len(se.units)
+	rs := &routerScratch{
+		se:            se,
+		reduceScratch: newReduceScratch(),
+		sids:          make([][]int, n),
+		pos:           make([][]int32, n),
+		engs:          make([]*Engine, n),
+		shardSt:       make([]QueryStats, n),
+		errs:          make([]error, n),
+		fetchBuf:      make([]float32, se.units[0].pf.Dim()),
+		codes:         make([]int, se.units[0].pf.Dim()),
+		exactByID:     make(map[int32][]float32),
+	}
+	rs.fetch = rs.fetchPoint
+	return rs
+}
+
+func (se *ShardedEngine) getScratch() *routerScratch {
+	return se.scratch.Get().(*routerScratch)
+}
+
+func (se *ShardedEngine) putScratch(rs *routerScratch) {
+	rs.ctx = nil
+	se.scratch.Put(rs)
+}
+
+// fetchPoint is the sharded Phase-3 fetch: global ids are routed to the
+// owning shard's file, charging I/O both globally and to the shard.
+func (rs *routerScratch) fetchPoint(id int) ([]float32, error) {
+	if len(rs.exactByID) > 0 {
+		if p, ok := rs.exactByID[int32(id)]; ok {
+			return p, nil // EXACT cache hit: RAM, no I/O
+		}
+	}
+	if err := rs.ctx.Err(); err != nil {
+		return nil, err
+	}
+	se := rs.se
+	s := se.owner[id]
+	e := rs.engs[s]
+	lid := int(se.local[id])
+	p, err := e.pf.Fetch(lid, rs.fetchBuf)
+	if err != nil {
+		return nil, err
+	}
+	rs.st.Fetched++
+	rs.st.PageReads += int64(se.pagesPer)
+	rs.shardSt[s].Fetched++
+	rs.shardSt[s].PageReads += int64(se.pagesPer)
+	if e.cfg.Policy == cache.LRU {
+		e.admitLRU(lid, p, rs.codes)
+	}
+	return p, nil
+}
+
+// phase12 is the scatter-gather counterpart of Engine.phase12: one global
+// Phase 1, concurrent per-shard Phase-2 scoring with bound exchange, then
+// global selection and partition over the gathered states.
+func (se *ShardedEngine) phase12(ctx context.Context, rs *routerScratch, q []float32, k int, dst []int) ([]int, []candState, error) {
+	st := &rs.st
+
+	// Phase 1 once, globally: every shard prunes against candidates of the
+	// same probe, and the candidate order is the unsharded one.
+	t0 := time.Now()
+	ids, dmax := se.cands(q, k)
+	st.GenTime = time.Since(t0)
+	st.Candidates = len(ids)
+	st.Dmax = dmax
+
+	t1 := time.Now()
+	engaged := 0
+	for s, u := range se.units {
+		rs.engs[s] = u.eng.Load() // one RCU snapshot per query per shard
+		rs.sids[s] = rs.sids[s][:0]
+		rs.pos[s] = rs.pos[s][:0]
+		rs.shardSt[s] = QueryStats{}
+		rs.errs[s] = nil
+	}
+	for i, g := range ids {
+		s := se.owner[g]
+		if len(rs.sids[s]) == 0 {
+			engaged++
+		}
+		rs.sids[s] = append(rs.sids[s], int(se.local[g]))
+		rs.pos[s] = append(rs.pos[s], int32(i))
+	}
+	rs.cs = grow(rs.cs, len(ids))
+	rs.xb.reset()
+
+	run := func(s int) error {
+		e := rs.engs[s]
+		sc := e.getScratch()
+		defer e.putScratch(sc)
+		sc.ctx = ctx
+		sc.st = QueryStats{}
+		sids := rs.sids[s]
+		sc.cs = grow(sc.cs, len(sids))
+		// The LUT gate sees the global candidate count so every shard makes
+		// the same build-vs-scan choice the unsharded engine would.
+		lut := e.queryLUT(q, len(ids), sc)
+		sc.st.UsedLUT = lut != nil
+		workers := e.reduceWorkers(len(sids))
+		sc.st.ReduceWorkers = workers
+		var err error
+		switch {
+		case e.slab != nil && !e.cfg.EagerFetchMisses:
+			err = e.reduceSlab(ctx, q, sids, sc.cs, lut, k, workers, sc, &rs.xb)
+		case workers > 1:
+			err = e.reduceParallel(ctx, q, sids, sc.cs, lut, workers, &sc.st)
+		default:
+			err = e.reduceSerial(ctx, q, sids, sc.cs, lut, sc)
+		}
+		if err != nil {
+			return err
+		}
+		// Gather: write each scored state back to its original global
+		// position, translating the id to global space.
+		gids := se.units[s].globalIDs
+		for i := range sids {
+			c := sc.cs[i]
+			c.id = gids[c.id]
+			rs.cs[rs.pos[s][i]] = c
+		}
+		sc.st.Candidates = len(sids)
+		rs.shardSt[s] = sc.st
+		return nil
+	}
+
+	if engaged > 1 && len(ids) >= shardFanThreshold {
+		var wg sync.WaitGroup
+		for s := range se.units {
+			if len(rs.sids[s]) == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				rs.errs[s] = run(s)
+			}(s)
+		}
+		wg.Wait()
+	} else {
+		for s := range se.units {
+			if len(rs.sids[s]) == 0 {
+				continue
+			}
+			rs.errs[s] = run(s)
+		}
+	}
+	for _, err := range rs.errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+
+	for s := range se.units {
+		st.Hits += rs.shardSt[s].Hits
+		st.Fetched += rs.shardSt[s].Fetched // eager-fetch ablation path
+		st.PageReads += rs.shardSt[s].PageReads
+		if rs.shardSt[s].UsedLUT {
+			st.UsedLUT = true
+		}
+	}
+	st.ReduceWorkers = engaged
+
+	// Global selection over the gathered states — the same values in the
+	// same order as the unsharded engine's kthBoundsSq sees.
+	cs := rs.cs
+	lbkSq, ubkSq := rs.kthBoundsSq(cs, k)
+
+	// Attribute the partition per shard before partitionCandidates compacts
+	// cs in place, using the same predicates in the same order.
+	for i := range cs {
+		c := &cs[i]
+		sst := &rs.shardSt[se.owner[c.id]]
+		switch {
+		case c.lbSq > ubkSq:
+			sst.Pruned++
+		case !se.cfg.NoTrueHitDetection && !c.known && c.ubSq < lbkSq:
+			sst.TrueHits++
+		default:
+			sst.Remaining++
+		}
+	}
+
+	results, remaining := partitionCandidates(cs, lbkSq, ubkSq, se.cfg.NoTrueHitDetection, st, dst)
+	st.Remaining = len(remaining)
+	st.ReduceTime = time.Since(t1)
+	return results, remaining, nil
+}
+
+// Search runs the scatter-gather Algorithm 1; see Engine.Search.
+func (se *ShardedEngine) Search(q []float32, k int) ([]int, QueryStats, error) {
+	return se.SearchIntoCtx(context.Background(), q, k, nil)
+}
+
+// SearchCtx is Search under a request context; see Engine.SearchCtx.
+func (se *ShardedEngine) SearchCtx(ctx context.Context, q []float32, k int) ([]int, QueryStats, error) {
+	return se.SearchIntoCtx(ctx, q, k, nil)
+}
+
+// SearchInto is Search appending result identifiers to dst.
+func (se *ShardedEngine) SearchInto(q []float32, k int, dst []int) ([]int, QueryStats, error) {
+	return se.SearchIntoCtx(context.Background(), q, k, dst)
+}
+
+// SearchIntoCtx is the sharded SearchInto under a request context. Results
+// are bit-identical to the unsharded engine's.
+func (se *ShardedEngine) SearchIntoCtx(ctx context.Context, q []float32, k int, dst []int) ([]int, QueryStats, error) {
+	return se.searchIntoCtxStats(ctx, q, k, dst, nil)
+}
+
+// searchIntoCtxStats is SearchIntoCtx that additionally copies the query's
+// per-shard statistics into perShard (len Shards()) when non-nil — the
+// sharded maintainer feeds its per-shard drift windows from them.
+func (se *ShardedEngine) searchIntoCtxStats(ctx context.Context, q []float32, k int, dst []int, perShard []QueryStats) ([]int, QueryStats, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, QueryStats{}, err
+	}
+	rs := se.getScratch()
+	defer se.putScratch(rs)
+	rs.ctx = ctx
+	rs.st = QueryStats{}
+	st := &rs.st
+
+	results, remaining, err := se.phase12(ctx, rs, q, k, dst)
+	if err != nil {
+		return nil, rs.st, err
+	}
+
+	// Phase 3: one global refinement schedule — identical candidate order
+	// and bounds, with only the fetch routed to the owning shard.
+	if err := ctx.Err(); err != nil {
+		return nil, rs.st, err
+	}
+	t2 := time.Now()
+	kNeed := k - st.TrueHits
+	if kNeed > 0 && len(remaining) > 0 {
+		rs.mcands = grow(rs.mcands, len(remaining))
+		clear(rs.exactByID)
+		for i, c := range remaining {
+			rs.mcands[i] = multistep.Candidate{ID: int(c.id), LB: c.lbSq, UB: c.ubSq}
+			if c.exactPt != nil {
+				rs.exactByID[c.id] = c.exactPt
+			}
+		}
+		refined, _, err := rs.msc.SearchSq(q, rs.mcands, kNeed, rs.fetch, rs.rbuf[:0])
+		if err != nil {
+			return nil, rs.st, err
+		}
+		rs.rbuf = refined[:0]
+		for _, r := range refined {
+			results = append(results, r.ID)
+		}
+	}
+	st.RefineTime = time.Since(t2)
+	st.SimulatedIO = time.Duration(st.PageReads) * se.tio
+
+	se.agg.Add(rs.st)
+	for s := range se.units {
+		if rs.shardSt[s].Candidates > 0 || rs.shardSt[s].Fetched > 0 {
+			rs.shardSt[s].SimulatedIO = time.Duration(rs.shardSt[s].PageReads) * se.tio
+			se.units[s].agg.Add(rs.shardSt[s])
+		}
+	}
+	if perShard != nil {
+		copy(perShard, rs.shardSt)
+	}
+	return results, rs.st, nil
+}
+
+// SearchBatch is the sharded batch search; see SearchBatchCtx.
+func (se *ShardedEngine) SearchBatch(qs [][]float32, k int) ([][]int, []QueryStats, error) {
+	return se.SearchBatchCtx(context.Background(), qs, k)
+}
+
+// SearchBatchCtx is Engine.SearchBatchCtx scatter-gathered across shards:
+// per-query Phase 1+2 through the router, then one cross-query coalesced
+// refinement whose fetch units are (shard, local unit) pairs. Because the
+// partitioner is fetch-unit granular, those units biject with the unsharded
+// file's pages and per-query PageReads match the unsharded batch exactly.
+func (se *ShardedEngine) SearchBatchCtx(ctx context.Context, qs [][]float32, k int) ([][]int, []QueryStats, error) {
+	return se.searchBatchCtxStats(ctx, qs, k, nil)
+}
+
+// searchBatchCtxStats is SearchBatchCtx that additionally copies per-query
+// per-shard statistics into perShard (perShard[j][s], len(qs) × Shards())
+// when non-nil.
+func (se *ShardedEngine) searchBatchCtxStats(ctx context.Context, qs [][]float32, k int, perShard [][]QueryStats) ([][]int, []QueryStats, error) {
+	if len(qs) == 0 {
+		return nil, nil, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	n := len(qs)
+	rss := make([]*routerScratch, n)
+	for j := range rss {
+		rss[j] = se.getScratch()
+		rss[j].ctx = ctx
+		rss[j].st = QueryStats{}
+	}
+	defer func() {
+		for _, rs := range rss {
+			se.putScratch(rs)
+		}
+	}()
+
+	results := make([][]int, n)
+	remainings := make([][]candState, n)
+	if err := batchFan(n, func(j int) error {
+		var err error
+		results[j], remainings[j], err = se.phase12(ctx, rss[j], qs[j], k, nil)
+		return err
+	}); err != nil {
+		return nil, nil, err
+	}
+
+	// Assemble the coalesced refinement over (shard, local unit) ids.
+	t2 := time.Now()
+	items := make([]multistep.BatchQuery, n)
+	pageIDs := make(map[int32][]int)         // unit → local ids to decode
+	onPage := make(map[int32]map[int32]bool) // dedup guard for pageIDs
+	for j := range qs {
+		var seeds, pending []multistep.GroupCandidate
+		for _, c := range remainings[j] {
+			if c.exactPt != nil {
+				seeds = append(seeds, multistep.GroupCandidate{ID: c.id, Group: -1, LBSq: c.lbSq})
+				continue
+			}
+			s := se.owner[c.id]
+			lid := int(se.local[c.id])
+			page, err := se.units[s].pf.PageOf(lid)
+			if err != nil {
+				return nil, nil, err
+			}
+			u := se.unitBase[s] + int32(page)
+			pending = append(pending, multistep.GroupCandidate{ID: c.id, Group: u, LBSq: c.lbSq})
+			seen := onPage[u]
+			if seen == nil {
+				seen = make(map[int32]bool)
+				onPage[u] = seen
+			}
+			if !seen[c.id] {
+				seen[c.id] = true
+				pageIDs[u] = append(pageIDs[u], lid)
+			}
+		}
+		items[j] = multistep.BatchQuery{
+			Q: qs[j], Seeds: seeds, Pending: pending,
+			K: k - rss[j].st.TrueHits, OwnOnly: true,
+		}
+	}
+
+	fetch := func(unit int32, item int) ([]int32, [][]float32, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+		s := se.shardOfUnit(unit)
+		e := rss[item].engs[s]
+		lids := pageIDs[unit]
+		pts := make([][]float32, len(lids))
+		if err := e.pf.FetchOnPage(int(unit-se.unitBase[s]), lids, pts); err != nil {
+			return nil, nil, err
+		}
+		rs := rss[item]
+		rs.st.Fetched += len(lids)
+		rs.st.PageReads += int64(se.pagesPer)
+		rs.shardSt[s].Fetched += len(lids)
+		rs.shardSt[s].PageReads += int64(se.pagesPer)
+		if e.cfg.Policy == cache.LRU {
+			for i, lid := range lids {
+				e.admitLRU(lid, pts[i], rs.codes)
+			}
+		}
+		gids := se.units[s].globalIDs
+		out := make([]int32, len(lids))
+		for i, lid := range lids {
+			out[i] = gids[lid]
+		}
+		return out, pts, nil
+	}
+	refined, _, err := multistep.SearchBatchSq(items, fetch)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	share := time.Since(t2) / time.Duration(n)
+	sts := make([]QueryStats, n)
+	for j := range qs {
+		for _, r := range refined[j] {
+			results[j] = append(results[j], r.ID)
+		}
+		rs := rss[j]
+		rs.st.RefineTime = share
+		rs.st.SimulatedIO = time.Duration(rs.st.PageReads) * se.tio
+		se.agg.Add(rs.st)
+		for s := range se.units {
+			if rs.shardSt[s].Candidates > 0 || rs.shardSt[s].Fetched > 0 {
+				rs.shardSt[s].SimulatedIO = time.Duration(rs.shardSt[s].PageReads) * se.tio
+				se.units[s].agg.Add(rs.shardSt[s])
+			}
+		}
+		if perShard != nil {
+			copy(perShard[j], rs.shardSt)
+		}
+		sts[j] = rs.st
+	}
+	return results, sts, nil
+}
+
+// shardOfUnit inverts the unitBase offsets: the shard whose unit id range
+// contains unit.
+func (se *ShardedEngine) shardOfUnit(unit int32) int {
+	// sort.Search over the N+1 fence array: first s with unitBase[s+1] > unit.
+	return sort.Search(len(se.units), func(s int) bool { return se.unitBase[s+1] > unit })
+}

@@ -1,0 +1,326 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ShardedMaintainer is Section 3.5's maintenance applied per shard: every
+// shard unit runs its own drift detector over the slice of each query's
+// statistics it served, and a drifting shard rebuilds *only its own* cache
+// in the background — the RCU swap replaces one shard's engine while every
+// other shard keeps serving untouched. One hot shard therefore never
+// freezes, or triggers rebuild work on, the cold ones.
+//
+// A shard rebuild profiles the drift window against the shard-filtered
+// candidate generator and rebuilds the shard engine with its own
+// shard-local histogram over the shard's slice of the cache budget. The
+// rebuilt shard's bounds stay correct and conservative for every query;
+// bit-identity with a monolithic unsharded engine is pinned for freshly
+// constructed systems, not across divergent drift histories (the unsharded
+// maintainer rebuilds from its own window too).
+type ShardedMaintainer struct {
+	se  *ShardedEngine
+	cfg Config
+	opt MaintainOptions
+	k   int
+
+	specs []ShardSpec
+
+	// build constructs shard s's replacement engine from a window of
+	// queries. A field so tests can inject failures; default buildShard.
+	build func(s int, wl [][]float32, k int) (*Engine, error)
+
+	slots []*shardMaintSlot
+
+	rebuildGate chan struct{}
+
+	lifeMu sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
+
+	// perShard pools the per-query []QueryStats scatter buffer.
+	perShard sync.Pool
+}
+
+// shardMaintSlot is one shard's maintenance state.
+type shardMaintSlot struct {
+	mu    sync.Mutex
+	drift driftState
+
+	rebuilding  atomic.Bool
+	rebuildMu   sync.Mutex
+	rebuilds    atomic.Int64
+	rebuildErrs atomic.Int64
+	lastWallNs  atomic.Int64
+	lastAtNs    atomic.Int64
+}
+
+// NewShardedMaintainer builds the sharded engine and arms one drift
+// detector per shard. k is the profiling depth used for rebuilds.
+func NewShardedMaintainer(specs []ShardSpec, owner, local []int32, prof *Profile, cands CandidateFunc, k int, cfg Config, opt MaintainOptions) (*ShardedMaintainer, error) {
+	opt = opt.withDefaults()
+	se, err := NewShardedEngine(specs, owner, local, prof, cands, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: initial sharded maintained engine: %w", err)
+	}
+	m := &ShardedMaintainer{
+		se: se, cfg: cfg, opt: opt, k: k,
+		specs:       specs,
+		rebuildGate: opt.RebuildGate,
+	}
+	m.build = m.buildShard
+	for range specs {
+		slot := &shardMaintSlot{drift: newDriftState(opt)}
+		m.slots = append(m.slots, slot)
+	}
+	m.perShard.New = func() any { return make([]QueryStats, len(specs)) }
+	return m, nil
+}
+
+// Sharded returns the underlying sharded engine (for stats wiring and
+// inspection).
+func (m *ShardedMaintainer) Sharded() *ShardedEngine { return m.se }
+
+// Engine returns shard s's currently serving engine.
+func (m *ShardedMaintainer) Engine(s int) *Engine { return m.se.Engine(s) }
+
+// buildShard is the default per-shard rebuild: profile the window against
+// the shard's filtered candidate generator and construct a standalone
+// engine over the shard's point file under its proportional share of the
+// cache budget. The replacement builds its own shard-local histogram — the
+// global model describes the workload the system started with, while the
+// rebuild's whole point is to follow what this shard serves now.
+func (m *ShardedMaintainer) buildShard(s int, wl [][]float32, k int) (*Engine, error) {
+	spec := m.specs[s]
+	scands := m.se.ShardCandidates(s)
+	prof := BuildProfile(spec.DS, scands, wl, k)
+	cfg := m.cfg
+	cfg.CacheBytes = m.cfg.CacheBytes * int64(spec.DS.Len()) / int64(len(m.se.owner))
+	// The replacement's model is shard-local (profile over the shard
+	// dataset), so its bucket lookups expect local ids: globalIDs stays
+	// nil, unlike the shared-model engines NewShardedEngine builds.
+	return NewEngine(spec.PF, prof, scands, cfg)
+}
+
+// Search serves one query; see SearchIntoCtx.
+func (m *ShardedMaintainer) Search(q []float32, k int) ([]int, QueryStats, error) {
+	return m.SearchIntoCtx(context.Background(), q, k, nil)
+}
+
+// SearchCtx is Search under a request context.
+func (m *ShardedMaintainer) SearchCtx(ctx context.Context, q []float32, k int) ([]int, QueryStats, error) {
+	return m.SearchIntoCtx(ctx, q, k, nil)
+}
+
+// SearchInto is Search appending result identifiers to dst.
+func (m *ShardedMaintainer) SearchInto(q []float32, k int, dst []int) ([]int, QueryStats, error) {
+	return m.SearchIntoCtx(context.Background(), q, k, dst)
+}
+
+// SearchIntoCtx serves one query through the sharded engine and folds the
+// per-shard statistics slices into each engaged shard's drift window,
+// launching that shard's background rebuild when its window trips.
+// Abandoned queries never enter any window.
+func (m *ShardedMaintainer) SearchIntoCtx(ctx context.Context, q []float32, k int, dst []int) ([]int, QueryStats, error) {
+	per := m.perShard.Get().([]QueryStats)
+	defer m.perShard.Put(per)
+	ids, st, err := m.se.searchIntoCtxStats(ctx, q, k, dst, per)
+	if err != nil {
+		return nil, st, err
+	}
+	m.recordShards(q, per, k)
+	return ids, st, nil
+}
+
+// SearchBatch is the maintained sharded batch search; see SearchBatchCtx.
+func (m *ShardedMaintainer) SearchBatch(qs [][]float32, k int) ([][]int, []QueryStats, error) {
+	return m.SearchBatchCtx(context.Background(), qs, k)
+}
+
+// SearchBatchCtx runs the batch through the sharded engine and folds every
+// served query into the engaged shards' drift windows.
+func (m *ShardedMaintainer) SearchBatchCtx(ctx context.Context, qs [][]float32, k int) ([][]int, []QueryStats, error) {
+	per := make([][]QueryStats, len(qs))
+	for j := range per {
+		per[j] = make([]QueryStats, len(m.slots))
+	}
+	results, sts, err := m.se.searchBatchCtxStats(ctx, qs, k, per)
+	if err != nil {
+		return nil, nil, err
+	}
+	for j, q := range qs {
+		m.recordShards(q, per[j], k)
+	}
+	return results, sts, nil
+}
+
+// recordShards feeds one query's per-shard statistics into the drift
+// detectors of the shards that served it.
+func (m *ShardedMaintainer) recordShards(q []float32, per []QueryStats, k int) {
+	for s, ps := range per {
+		if ps.Candidates == 0 && ps.Fetched == 0 {
+			continue // the query never touched this shard
+		}
+		slot := m.slots[s]
+		slot.mu.Lock()
+		wl := slot.drift.record(q, ps, func() bool { return slot.rebuilding.CompareAndSwap(false, true) })
+		slot.mu.Unlock()
+		if wl != nil {
+			m.launchRebuild(s, wl, k)
+		}
+	}
+}
+
+// launchRebuild starts shard s's background rebuild. The caller must have
+// won that shard's rebuilding CAS; after Close the launch is refused.
+func (m *ShardedMaintainer) launchRebuild(s int, wl [][]float32, k int) {
+	m.lifeMu.Lock()
+	if m.closed {
+		m.lifeMu.Unlock()
+		m.slots[s].rebuilding.Store(false)
+		return
+	}
+	m.wg.Add(1)
+	m.lifeMu.Unlock()
+	go func() {
+		defer m.wg.Done()
+		m.backgroundRebuild(s, wl, k)
+	}()
+}
+
+// backgroundRebuild rebuilds shard s off the search path and RCU-swaps the
+// replacement in. Only this shard's engine pointer moves; the other shards
+// and every in-flight query (which snapshotted its engines at entry) are
+// untouched. A failed build bumps the shard's error counter and keeps the
+// old engine serving.
+func (m *ShardedMaintainer) backgroundRebuild(s int, wl [][]float32, k int) {
+	slot := m.slots[s]
+	defer slot.rebuilding.Store(false)
+	slot.rebuildMu.Lock()
+	defer slot.rebuildMu.Unlock()
+	if m.rebuildGate != nil {
+		<-m.rebuildGate
+	}
+	start := time.Now()
+	eng, err := m.build(s, wl, k)
+	if err != nil {
+		slot.rebuildErrs.Add(1)
+		return
+	}
+	m.install(s, eng, time.Since(start))
+}
+
+// install publishes shard s's freshly built engine and resets its baseline.
+func (m *ShardedMaintainer) install(s int, eng *Engine, wall time.Duration) {
+	slot := m.slots[s]
+	slot.mu.Lock()
+	defer slot.mu.Unlock()
+	m.se.swapEngine(s, eng)
+	slot.rebuilds.Add(1)
+	slot.lastWallNs.Store(int64(wall))
+	slot.lastAtNs.Store(time.Now().UnixNano())
+	slot.drift.resetAfterInstall()
+}
+
+// ForceShardRebuild rebuilds shard s synchronously from its current drift
+// window, reporting any build error.
+func (m *ShardedMaintainer) ForceShardRebuild(s int) error {
+	slot := m.slots[s]
+	slot.mu.Lock()
+	wl := slot.drift.snapshot()
+	slot.mu.Unlock()
+	if len(wl) == 0 {
+		return fmt.Errorf("core: shard %d has no recorded queries to rebuild from", s)
+	}
+	slot.rebuildMu.Lock()
+	defer slot.rebuildMu.Unlock()
+	start := time.Now()
+	eng, err := m.build(s, wl, m.k)
+	if err != nil {
+		slot.rebuildErrs.Add(1)
+		return err
+	}
+	m.install(s, eng, time.Since(start))
+	return nil
+}
+
+// RebuildShardAsync launches shard s's background rebuild from its current
+// window, returning false when one is already in flight, the window is
+// empty, or the maintainer is closed.
+func (m *ShardedMaintainer) RebuildShardAsync(s int) bool {
+	m.lifeMu.Lock()
+	closed := m.closed
+	m.lifeMu.Unlock()
+	if closed {
+		return false
+	}
+	slot := m.slots[s]
+	if !slot.rebuilding.CompareAndSwap(false, true) {
+		return false
+	}
+	slot.mu.Lock()
+	wl := slot.drift.snapshot()
+	slot.mu.Unlock()
+	if len(wl) == 0 {
+		slot.rebuilding.Store(false)
+		return false
+	}
+	m.launchRebuild(s, wl, m.k)
+	return true
+}
+
+// Close stops all background activity: no further rebuilds launch on any
+// shard, and in-flight rebuilds are waited for (their swaps still land).
+// Idempotent; searches keep serving the frozen engines.
+func (m *ShardedMaintainer) Close() {
+	m.lifeMu.Lock()
+	m.closed = true
+	m.lifeMu.Unlock()
+	m.wg.Wait()
+}
+
+// Stats aggregates the per-shard rebuild activity: counts sum, in-flight is
+// an OR, and the last-rebuild pair reflects the most recent swap anywhere.
+func (m *ShardedMaintainer) Stats() MaintainStats {
+	var st MaintainStats
+	for _, slot := range m.slots {
+		st.Rebuilds += int(slot.rebuilds.Load())
+		st.RebuildErrors += int(slot.rebuildErrs.Load())
+		st.RebuildInFlight = st.RebuildInFlight || slot.rebuilding.Load()
+		if at := slot.lastAtNs.Load(); at > m.lastAtNs(st) {
+			st.LastRebuildAt = time.Unix(0, at)
+			st.LastRebuildWall = time.Duration(slot.lastWallNs.Load())
+		}
+	}
+	return st
+}
+
+func (m *ShardedMaintainer) lastAtNs(st MaintainStats) int64 {
+	if st.LastRebuildAt.IsZero() {
+		return 0
+	}
+	return st.LastRebuildAt.UnixNano()
+}
+
+// ShardStats snapshots every shard's own rebuild activity.
+func (m *ShardedMaintainer) ShardStats() []MaintainStats {
+	out := make([]MaintainStats, len(m.slots))
+	for s, slot := range m.slots {
+		out[s] = MaintainStats{
+			Rebuilds:        int(slot.rebuilds.Load()),
+			RebuildErrors:   int(slot.rebuildErrs.Load()),
+			RebuildInFlight: slot.rebuilding.Load(),
+		}
+		if ns := slot.lastWallNs.Load(); ns > 0 {
+			out[s].LastRebuildWall = time.Duration(ns)
+		}
+		if at := slot.lastAtNs.Load(); at > 0 {
+			out[s].LastRebuildAt = time.Unix(0, at)
+		}
+	}
+	return out
+}

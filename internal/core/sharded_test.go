@@ -1,0 +1,444 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math"
+	"path/filepath"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"exploitbit/internal/dataset"
+	"exploitbit/internal/disk"
+	"exploitbit/internal/lsh"
+	"exploitbit/internal/shard"
+	"exploitbit/internal/vec"
+)
+
+// checkKNN asserts ids are exactly the k nearest candidates of q by
+// distance (the Algorithm 1 contract, indifferent to tie order).
+func checkKNN(t *testing.T, w *world, q []float32, ids []int, k int) {
+	t.Helper()
+	cids, _ := candFunc(w.ix)(q, k)
+	want := knnOfCandidates(w.ds, q, cids, k)
+	if len(ids) != len(want) {
+		t.Fatalf("%d results, want %d", len(ids), len(want))
+	}
+	got := make([]float64, len(ids))
+	for i, id := range ids {
+		got[i] = vec.Dist(q, w.ds.Point(id))
+	}
+	sort.Float64s(got)
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Fatalf("rank %d: dist %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// buildTieWorld is buildWorld over a dataset whose last eighth duplicates
+// early points, so k-th-distance ties — the case where candidate *order*
+// decides the result set — are common.
+func buildTieWorld(t testing.TB, n, dim int, seed int64) *world {
+	t.Helper()
+	base := dataset.Generate(dataset.Config{Name: "tie", N: n, Dim: dim, Clusters: 5, Std: 0.05, Ndom: 256, Seed: seed})
+	data := make([]float32, 0, n*dim)
+	for i := 0; i < n; i++ {
+		src := i
+		if i >= n-n/8 {
+			src = i % (n / 8)
+		}
+		data = append(data, base.Point(src)...)
+	}
+	ds := dataset.New("tie", dim, data, base.Domain)
+	pf, err := disk.BuildPointFile(filepath.Join(t.TempDir(), "pf"), ds, nil, 4096, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { pf.Close() })
+	ix := lsh.Build(ds, lsh.Params{Seed: seed + 1, MaxM: 48})
+	log := dataset.GenLog(ds, dataset.LogConfig{PoolSize: 60, Length: 400, ZipfS: 1.4, Perturb: 0.005, Seed: seed + 2})
+	wl, qtest := log.Split(16)
+	prof := BuildProfile(ds, candFunc(ix), wl, 10)
+	return &world{ds: ds, pf: pf, ix: ix, prof: prof, wl: wl, qtest: qtest}
+}
+
+// buildShardSpecs partitions the world's dataset and materializes one point
+// file per shard (same page size and Tio as the world's file).
+func buildShardSpecs(t testing.TB, w *world, n int, layout shard.Layout) ([]ShardSpec, []int32, []int32) {
+	t.Helper()
+	p, err := shard.Build(w.ds, n, layout, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	specs := make([]ShardSpec, 0, p.N)
+	for s := 0; s < p.N; s++ {
+		sds := p.SubDataset(w.ds, s)
+		pf, err := disk.BuildPointFile(filepath.Join(dir, fmt.Sprintf("pf%d", s)), sds, nil, 4096, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { pf.Close() })
+		specs = append(specs, ShardSpec{PF: pf, DS: sds, GlobalIDs: p.Shards[s]})
+	}
+	return specs, p.Owner, p.Local
+}
+
+// diffStats reports the first mismatching field between the unsharded and
+// sharded execution of one query, or "".
+func diffStats(a, b QueryStats) string {
+	switch {
+	case a.Candidates != b.Candidates:
+		return fmt.Sprintf("Candidates %d != %d", a.Candidates, b.Candidates)
+	case a.Hits != b.Hits:
+		return fmt.Sprintf("Hits %d != %d", a.Hits, b.Hits)
+	case a.Pruned != b.Pruned:
+		return fmt.Sprintf("Pruned %d != %d", a.Pruned, b.Pruned)
+	case a.TrueHits != b.TrueHits:
+		return fmt.Sprintf("TrueHits %d != %d", a.TrueHits, b.TrueHits)
+	case a.Remaining != b.Remaining:
+		return fmt.Sprintf("Remaining %d != %d", a.Remaining, b.Remaining)
+	case a.Fetched != b.Fetched:
+		return fmt.Sprintf("Fetched %d != %d", a.Fetched, b.Fetched)
+	case a.PageReads != b.PageReads:
+		return fmt.Sprintf("PageReads %d != %d", a.PageReads, b.PageReads)
+	case a.UsedLUT != b.UsedLUT:
+		return fmt.Sprintf("UsedLUT %v != %v", a.UsedLUT, b.UsedLUT)
+	}
+	return ""
+}
+
+func sameIDs(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestShardedSearchBitIdentical is the tentpole's contract: for every shard
+// count, layout and cache method, the scatter-gather engine returns the same
+// ids in the same order with the same Pruned/TrueHits/Remaining partition
+// and the same I/O charge as the monolithic engine — on a tie-heavy dataset
+// where any ordering slip would surface.
+func TestShardedSearchBitIdentical(t *testing.T) {
+	w := buildTieWorld(t, 1203, 16, 3)
+	cfgOf := func(m Method) Config { return Config{Method: m, CacheBytes: 64 << 10, Tau: 6} }
+	methods := []Method{HCO, HCW, Exact, MHCR}
+
+	for _, m := range methods {
+		ref, err := NewEngine(w.pf, w.prof, candFunc(w.ix), cfgOf(m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, layout := range []shard.Layout{shard.RoundRobin, shard.Clustered} {
+			for _, n := range []int{1, 2, 3, 7} {
+				specs, owner, local := buildShardSpecs(t, w, n, layout)
+				se, err := NewShardedEngine(specs, owner, local, w.prof, candFunc(w.ix), cfgOf(m))
+				if err != nil {
+					t.Fatalf("%s/%s/%d: %v", m, layout, n, err)
+				}
+				for _, k := range []int{1, 10} {
+					for qi, q := range w.qtest {
+						wantIDs, wantSt, err := ref.SearchCtx(context.Background(), q, k)
+						if err != nil {
+							t.Fatal(err)
+						}
+						gotIDs, gotSt, err := se.SearchCtx(context.Background(), q, k)
+						if err != nil {
+							t.Fatalf("%s/%s/%d shards, q%d k%d: %v", m, layout, n, qi, k, err)
+						}
+						if !sameIDs(wantIDs, gotIDs) {
+							t.Fatalf("%s/%s/%d shards, q%d k%d: ids %v != %v", m, layout, n, qi, k, gotIDs, wantIDs)
+						}
+						if d := diffStats(wantSt, gotSt); d != "" {
+							t.Fatalf("%s/%s/%d shards, q%d k%d: %s", m, layout, n, qi, k, d)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestShardedBatchBitIdentical pins the batch path: one cross-query
+// coalesced refinement over (shard, unit) ids must read the same pages and
+// return the same results as the unsharded batch.
+func TestShardedBatchBitIdentical(t *testing.T) {
+	w := buildTieWorld(t, 1203, 16, 4)
+	cfg := Config{Method: HCO, CacheBytes: 64 << 10, Tau: 6}
+	ref, err := NewEngine(w.pf, w.prof, candFunc(w.ix), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := 10
+	for _, layout := range []shard.Layout{shard.RoundRobin, shard.Clustered} {
+		for _, n := range []int{1, 2, 3, 7} {
+			specs, owner, local := buildShardSpecs(t, w, n, layout)
+			se, err := NewShardedEngine(specs, owner, local, w.prof, candFunc(w.ix), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantIDs, wantSts, err := ref.SearchBatchCtx(context.Background(), w.qtest, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotIDs, gotSts, err := se.SearchBatchCtx(context.Background(), w.qtest, k)
+			if err != nil {
+				t.Fatalf("%s/%d shards: %v", layout, n, err)
+			}
+			var wantPages, gotPages int64
+			for j := range w.qtest {
+				if !sameIDs(wantIDs[j], gotIDs[j]) {
+					t.Fatalf("%s/%d shards, q%d: ids %v != %v", layout, n, j, gotIDs[j], wantIDs[j])
+				}
+				if d := diffStats(wantSts[j], gotSts[j]); d != "" {
+					t.Fatalf("%s/%d shards, q%d: %s", layout, n, j, d)
+				}
+				wantPages += wantSts[j].PageReads
+				gotPages += gotSts[j].PageReads
+			}
+			if wantPages != gotPages {
+				t.Fatalf("%s/%d shards: ΣPageReads %d != %d", layout, n, gotPages, wantPages)
+			}
+		}
+	}
+}
+
+// TestShardedAggregatesAttribution checks that per-shard statistic blocks
+// partition the global aggregate: candidate, hit and fetch totals across
+// shards equal the router's own accounting.
+func TestShardedAggregatesAttribution(t *testing.T) {
+	w := buildWorld(t, 1100, 16, 5)
+	specs, owner, local := buildShardSpecs(t, w, 3, shard.RoundRobin)
+	se, err := NewShardedEngine(specs, owner, local, w.prof, candFunc(w.ix), Config{Method: HCO, CacheBytes: 64 << 10, Tau: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range w.qtest {
+		if _, _, err := se.Search(q, 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := se.Aggregate()
+	var sumCands, sumHits, sumFetched, sumPages, sumPruned, sumTrue, sumRem int64
+	for _, sa := range se.ShardAggregates() {
+		sumCands += sa.Agg.Candidates
+		sumHits += sa.Agg.Hits
+		sumFetched += sa.Agg.Fetched
+		sumPages += sa.Agg.PageReads
+		sumPruned += sa.Agg.Pruned
+		sumTrue += sa.Agg.TrueHits
+		sumRem += sa.Agg.Remaining
+	}
+	if sumCands != g.Candidates || sumHits != g.Hits || sumFetched != g.Fetched || sumPages != g.PageReads {
+		t.Fatalf("shard sums (cands %d hits %d fetched %d pages %d) != global (%d %d %d %d)",
+			sumCands, sumHits, sumFetched, sumPages, g.Candidates, g.Hits, g.Fetched, g.PageReads)
+	}
+	if sumPruned != g.Pruned || sumTrue != g.TrueHits || sumRem != g.Remaining {
+		t.Fatalf("shard partition sums (pruned %d true %d rem %d) != global (%d %d %d)",
+			sumPruned, sumTrue, sumRem, g.Pruned, g.TrueHits, g.Remaining)
+	}
+}
+
+// TestShardedSnapshotRoundTrip saves a sharded engine as a version-2
+// snapshot and reloads it over the same layout; the reload must serve
+// bit-identically. Cross-loading v1/v2 through the wrong entry point must
+// fail with a descriptive error.
+func TestShardedSnapshotRoundTrip(t *testing.T) {
+	w := buildWorld(t, 1100, 16, 6)
+	for _, m := range []Method{HCO, Exact, MHCR} {
+		cfg := Config{Method: m, CacheBytes: 64 << 10, Tau: 6}
+		specs, owner, local := buildShardSpecs(t, w, 3, shard.Clustered)
+		se, err := NewShardedEngine(specs, owner, local, w.prof, candFunc(w.ix), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := se.WriteSnapshot(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadEngine(w.pf, w.ds, candFunc(w.ix), bytes.NewReader(buf.Bytes())); err == nil {
+			t.Fatal("LoadEngine accepted a sharded (v2) snapshot")
+		}
+		loaded, err := LoadShardedEngine(specs, owner, local, candFunc(w.ix), bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		for qi, q := range w.qtest {
+			wantIDs, wantSt, err := se.Search(q, 10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotIDs, gotSt, err := loaded.Search(q, 10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameIDs(wantIDs, gotIDs) {
+				t.Fatalf("%s q%d: loaded ids %v != %v", m, qi, gotIDs, wantIDs)
+			}
+			if d := diffStats(wantSt, gotSt); d != "" {
+				t.Fatalf("%s q%d: loaded stats differ: %s", m, qi, d)
+			}
+		}
+
+		// A v1 snapshot through the sharded loader must also fail clearly.
+		var v1 bytes.Buffer
+		eng, err := NewEngine(w.pf, w.prof, candFunc(w.ix), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.WriteSnapshot(&v1); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadShardedEngine(specs, owner, local, candFunc(w.ix), bytes.NewReader(v1.Bytes())); err == nil {
+			t.Fatal("LoadShardedEngine accepted a single-engine (v1) snapshot")
+		}
+	}
+}
+
+// TestShardedMaintainerRebuildDuringSearches hammers concurrent searches
+// against one shard's RCU rebuild (run under -race in CI): the swap must
+// never disturb in-flight queries or the other shards, and results must stay
+// correct (the same set as before the rebuild, since the workload is
+// unchanged).
+func TestShardedMaintainerRebuildDuringSearches(t *testing.T) {
+	w := buildWorld(t, 1203, 16, 9)
+	specs, owner, local := buildShardSpecs(t, w, 3, shard.RoundRobin)
+	gate := make(chan struct{})
+	m, err := NewShardedMaintainer(specs, owner, local, w.prof, candFunc(w.ix), 10,
+		Config{Method: HCO, CacheBytes: 64 << 10, Tau: 6},
+		MaintainOptions{RebuildGate: gate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	// Seed every shard's drift window so the rebuild has a workload.
+	for _, q := range w.qtest {
+		if _, _, err := m.Search(q, 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	errc := make(chan error, 8)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				q := w.qtest[(g+i)%len(w.qtest)]
+				if _, _, err := m.Search(q, 10); err != nil {
+					select {
+					case errc <- err:
+					default:
+					}
+					return
+				}
+			}
+		}(g)
+	}
+
+	if !m.RebuildShardAsync(1) {
+		t.Fatal("shard 1 rebuild did not launch")
+	}
+	close(gate) // release the parked build under full search load
+
+	deadline := time.After(10 * time.Second)
+	for m.ShardStats()[1].Rebuilds == 0 {
+		select {
+		case err := <-errc:
+			t.Fatal(err)
+		case <-deadline:
+			t.Fatal("shard 1 rebuild did not complete")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+
+	st := m.ShardStats()
+	if st[1].Rebuilds != 1 || st[0].Rebuilds != 0 || st[2].Rebuilds != 0 {
+		t.Fatalf("rebuild counts = [%d %d %d], want [0 1 0]", st[0].Rebuilds, st[1].Rebuilds, st[2].Rebuilds)
+	}
+	if st[1].LastRebuildWall <= 0 || st[1].LastRebuildAt.IsZero() {
+		t.Fatalf("shard 1 last-rebuild telemetry missing: wall=%v at=%v", st[1].LastRebuildWall, st[1].LastRebuildAt)
+	}
+	// Post-rebuild searches still serve correct results.
+	for _, q := range w.qtest {
+		ids, _, err := m.Search(q, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkKNN(t, w, q, ids, 10)
+	}
+}
+
+// TestShardedMaintainerForceRebuildStats exercises the synchronous per-shard
+// rebuild seam and the aggregate Stats rollup (wall clock + timestamp).
+func TestShardedMaintainerForceRebuildStats(t *testing.T) {
+	w := buildWorld(t, 1100, 16, 11)
+	specs, owner, local := buildShardSpecs(t, w, 3, shard.RoundRobin)
+	m, err := NewShardedMaintainer(specs, owner, local, w.prof, candFunc(w.ix), 10,
+		Config{Method: HCO, CacheBytes: 64 << 10, Tau: 6}, MaintainOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	if err := m.ForceShardRebuild(2); err == nil {
+		t.Fatal("ForceShardRebuild with an empty window did not fail")
+	}
+	for _, q := range w.qtest {
+		if _, _, err := m.Search(q, 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := time.Now()
+	if err := m.ForceShardRebuild(2); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	if st.Rebuilds != 1 || st.RebuildErrors != 0 {
+		t.Fatalf("aggregate stats = %+v, want 1 rebuild", st)
+	}
+	if st.LastRebuildWall <= 0 {
+		t.Fatalf("aggregate wall = %v, want > 0", st.LastRebuildWall)
+	}
+	if st.LastRebuildAt.Before(before) {
+		t.Fatalf("aggregate timestamp %v predates the rebuild start %v", st.LastRebuildAt, before)
+	}
+	per := m.ShardStats()
+	if per[2].Rebuilds != 1 || per[0].Rebuilds != 0 || per[1].Rebuilds != 0 {
+		t.Fatalf("per-shard rebuilds = [%d %d %d], want [0 0 1]", per[0].Rebuilds, per[1].Rebuilds, per[2].Rebuilds)
+	}
+	// The rebuilt shard serves from a shard-local histogram, so per-query
+	// stats may shift — but result correctness is non-negotiable.
+	for _, q := range w.qtest {
+		ids, _, err := m.Search(q, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkKNN(t, w, q, ids, 10)
+	}
+}

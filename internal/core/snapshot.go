@@ -13,7 +13,6 @@ import (
 	"exploitbit/internal/disk"
 	"exploitbit/internal/encoding"
 	"exploitbit/internal/histogram"
-	"exploitbit/internal/vec"
 )
 
 // Engine snapshots persist everything the offline pipeline produced — the
@@ -24,9 +23,15 @@ import (
 //
 // The snapshot stores point identifiers, not vectors: the dataset file is
 // the source of truth and cached representations are re-encoded on load.
+// A version-2 snapshot holds a sharded engine: the same magic, version 2, a
+// shard count, then one version-1 body per shard in shard order. Each body
+// is written against the shard's local id space (the MD bucket assignment is
+// localized through the shard's id map), so every shard body round-trips
+// like a standalone engine snapshot.
 const (
-	snapMagic   = 0x4542534e // "EBSN"
-	snapVersion = 1
+	snapMagic          = 0x4542534e // "EBSN"
+	snapVersion        = 1
+	snapVersionSharded = 2
 
 	histNone   = 0
 	histGlobal = 1
@@ -38,6 +43,42 @@ const (
 func (e *Engine) WriteSnapshot(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	le := binary.LittleEndian
+	if err := binary.Write(bw, le, uint32(snapMagic)); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, le, uint32(snapVersion)); err != nil {
+		return err
+	}
+	if err := e.writeSnapshotBody(bw); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WriteSnapshot serializes every shard's cache state as one version-2
+// snapshot. Load it back with LoadShardedEngine over the same shard layout.
+func (se *ShardedEngine) WriteSnapshot(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	le := binary.LittleEndian
+	for _, v := range []uint32{snapMagic, snapVersionSharded, uint32(len(se.units))} {
+		if err := binary.Write(bw, le, v); err != nil {
+			return err
+		}
+	}
+	for s := range se.units {
+		if err := se.Engine(s).writeSnapshotBody(bw); err != nil {
+			return fmt.Errorf("core: writing shard %d snapshot body: %w", s, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// writeSnapshotBody writes the version-1 payload: method, configuration,
+// histogram and cache content. Ids are written in the engine's own (local)
+// id space; the MD bucket assignment is localized via globalID so a shared
+// global MD histogram round-trips as a correct shard-local one.
+func (e *Engine) writeSnapshotBody(bw *bufio.Writer) error {
+	le := binary.LittleEndian
 	write := func(vs ...any) error {
 		for _, v := range vs {
 			if err := binary.Write(bw, le, v); err != nil {
@@ -47,7 +88,7 @@ func (e *Engine) WriteSnapshot(w io.Writer) error {
 		return nil
 	}
 	method := []byte(string(e.cfg.Method))
-	if err := write(uint32(snapMagic), uint32(snapVersion), uint32(len(method))); err != nil {
+	if err := write(uint32(len(method))); err != nil {
 		return err
 	}
 	if _, err := bw.Write(method); err != nil {
@@ -94,7 +135,7 @@ func (e *Engine) WriteSnapshot(w io.Writer) error {
 			return err
 		}
 		for id := 0; id < e.ds.Len(); id++ {
-			if err := write(uint32(e.md.BucketOf(id))); err != nil {
+			if err := write(uint32(e.md.BucketOf(e.globalID(id)))); err != nil {
 				return err
 			}
 		}
@@ -125,13 +166,117 @@ func (e *Engine) WriteSnapshot(w io.Writer) error {
 			return err
 		}
 	}
-	return bw.Flush()
+	return nil
+}
+
+// readSnapshotHeader consumes and validates the magic + version pair.
+func readSnapshotHeader(br *bufio.Reader) (uint32, error) {
+	var magic, version uint32
+	le := binary.LittleEndian
+	if err := binary.Read(br, le, &magic); err != nil {
+		return 0, fmt.Errorf("core: reading snapshot header: %w", err)
+	}
+	if err := binary.Read(br, le, &version); err != nil {
+		return 0, fmt.Errorf("core: reading snapshot header: %w", err)
+	}
+	if magic != snapMagic {
+		return 0, fmt.Errorf("core: not an engine snapshot (magic %#x)", magic)
+	}
+	return version, nil
 }
 
 // LoadEngine reconstructs an engine from a snapshot, the dataset, its point
 // file and a candidate index — no workload needed.
 func LoadEngine(pf *disk.PointFile, ds *dataset.Dataset, cands CandidateFunc, r io.Reader) (*Engine, error) {
 	br := bufio.NewReader(r)
+	version, err := readSnapshotHeader(br)
+	if err != nil {
+		return nil, err
+	}
+	if version == snapVersionSharded {
+		return nil, fmt.Errorf("core: snapshot holds a sharded engine; load it with LoadShardedEngine")
+	}
+	if version != snapVersion {
+		return nil, fmt.Errorf("core: unsupported snapshot version %d", version)
+	}
+	return readSnapshotBody(br, pf, ds, cands)
+}
+
+// LoadShardedEngine reconstructs a sharded engine from a version-2 snapshot
+// over the same shard layout it was written with: specs, owner and local
+// must come from the identical partition (same shard count and membership).
+func LoadShardedEngine(specs []ShardSpec, owner, local []int32, cands CandidateFunc, r io.Reader) (*ShardedEngine, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("core: sharded engine needs at least one shard")
+	}
+	total := 0
+	for s, spec := range specs {
+		if spec.PF == nil || spec.DS == nil {
+			return nil, fmt.Errorf("core: shard %d is missing its point file or dataset", s)
+		}
+		if len(spec.GlobalIDs) != spec.DS.Len() {
+			return nil, fmt.Errorf("core: shard %d id map covers %d of %d points", s, len(spec.GlobalIDs), spec.DS.Len())
+		}
+		total += spec.DS.Len()
+	}
+	if len(owner) != total || len(local) != total {
+		return nil, fmt.Errorf("core: owner/local maps cover %d/%d ids, shards hold %d points", len(owner), len(local), total)
+	}
+
+	br := bufio.NewReader(r)
+	version, err := readSnapshotHeader(br)
+	if err != nil {
+		return nil, err
+	}
+	if version == snapVersion {
+		return nil, fmt.Errorf("core: snapshot holds a single engine; load it with LoadEngine")
+	}
+	if version != snapVersionSharded {
+		return nil, fmt.Errorf("core: unsupported snapshot version %d", version)
+	}
+	var count uint32
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return nil, fmt.Errorf("core: reading snapshot shard count: %w", err)
+	}
+	if int(count) != len(specs) {
+		return nil, fmt.Errorf("core: snapshot holds %d shards, layout has %d", count, len(specs))
+	}
+
+	se := &ShardedEngine{
+		cands:    cands,
+		owner:    owner,
+		local:    local,
+		pagesPer: specs[0].PF.PagesPerPoint(),
+		tio:      specs[0].PF.Tio(),
+	}
+	for s, spec := range specs {
+		e, err := readSnapshotBody(br, spec.PF, spec.DS, se.ShardCandidates(s))
+		if err != nil {
+			return nil, fmt.Errorf("core: reading shard %d snapshot body: %w", s, err)
+		}
+		// The body was written in local id space with a localized MD
+		// assignment, so the loaded engine's model is shard-local and needs
+		// no id translation (globalIDs stays nil).
+		u := &shardUnit{pf: spec.PF, globalIDs: spec.GlobalIDs}
+		u.eng.Store(e)
+		se.units = append(se.units, u)
+	}
+	se.cfg = se.Engine(0).cfg
+
+	se.unitBase = make([]int32, len(specs)+1)
+	for s, spec := range specs {
+		maxPage, err := spec.PF.PageOf(spec.DS.Len() - 1)
+		if err != nil {
+			return nil, err
+		}
+		se.unitBase[s+1] = se.unitBase[s] + int32(maxPage) + 1
+	}
+	se.scratch.New = func() any { return newRouterScratch(se) }
+	return se, nil
+}
+
+// readSnapshotBody reconstructs one engine from a version-1 payload.
+func readSnapshotBody(br *bufio.Reader, pf *disk.PointFile, ds *dataset.Dataset, cands CandidateFunc) (*Engine, error) {
 	le := binary.LittleEndian
 	read := func(vs ...any) error {
 		for _, v := range vs {
@@ -141,15 +286,9 @@ func LoadEngine(pf *disk.PointFile, ds *dataset.Dataset, cands CandidateFunc, r 
 		}
 		return nil
 	}
-	var magic, version, mlen uint32
-	if err := read(&magic, &version, &mlen); err != nil {
-		return nil, fmt.Errorf("core: reading snapshot header: %w", err)
-	}
-	if magic != snapMagic {
-		return nil, fmt.Errorf("core: not an engine snapshot (magic %#x)", magic)
-	}
-	if version != snapVersion {
-		return nil, fmt.Errorf("core: unsupported snapshot version %d", version)
+	var mlen uint32
+	if err := read(&mlen); err != nil {
+		return nil, fmt.Errorf("core: reading snapshot method: %w", err)
 	}
 	if mlen > 64 {
 		return nil, fmt.Errorf("core: implausible method name length %d", mlen)
@@ -329,10 +468,6 @@ func LoadEngine(pf *disk.PointFile, ds *dataset.Dataset, cands CandidateFunc, r 
 			e.approx.FillHFF(keys, e.pointEncoder())
 		}
 	}
-	if e.table != nil {
-		e.lutBuckets = e.table.Buckets()
-	}
-	e.scratch.New = func() any { return newSearchScratch(e) }
-	e.ubTopPool.New = func() any { return vec.NewTopK(1) }
+	e.finalize()
 	return e, nil
 }

@@ -230,6 +230,19 @@ func (pf *PointFile) Dim() int { return pf.dim }
 // attribute I/O deterministically in concurrent settings.
 func (pf *PointFile) PagesPerPoint() int { return pf.pagesPer }
 
+// PointsPerUnit returns how many points share one fetch unit of a point
+// file with the given dimensionality and page size — pageSize/pointSize
+// when a point fits a page, and 1 otherwise (a multi-page point owns its
+// unit alone). The shard partitioner uses it to keep whole fetch units on
+// one shard without building a file first.
+func PointsPerUnit(dim, pageSize int) int {
+	pointSize := 4 * dim
+	if pointSize <= pageSize {
+		return pageSize / pointSize
+	}
+	return 1
+}
+
 // Len returns the number of stored points.
 func (pf *PointFile) Len() int { return pf.n }
 

@@ -131,6 +131,7 @@ type Handler struct {
 	latBatchQuery Histogram // batch wall clock amortized per member query
 
 	rebuildStats func() RebuildStats
+	shardStats   func() []ShardStat
 }
 
 // RebuildStats reports the maintainer's background cache-rebuild activity
@@ -140,11 +141,41 @@ type RebuildStats struct {
 	Rebuilds        int  `json:"rebuilds"`
 	RebuildErrors   int  `json:"rebuild_errors"`
 	RebuildInFlight bool `json:"rebuild_in_flight"`
+
+	// LastRebuildWall is how long the most recent background build took
+	// (nanoseconds); LastRebuildAt is its completion time in RFC 3339. Both
+	// are absent until the first rebuild lands.
+	LastRebuildWall time.Duration `json:"last_rebuild_wall_ns,omitempty"`
+	LastRebuildAt   string        `json:"last_rebuild_at,omitempty"`
 }
 
 // SetRebuildStats registers a snapshot source for maintainer rebuild
 // telemetry; /stats then carries a "maintain" object. Call before serving.
 func (h *Handler) SetRebuildStats(fn func() RebuildStats) { h.rebuildStats = fn }
+
+// ShardStat is one shard's statistics block for /stats and /metrics on a
+// sharded deployment: how the shard's points, cache and query load are
+// distributed, so a hot or cold shard is visible at a glance.
+type ShardStat struct {
+	Shard         int     `json:"shard"`
+	Points        int     `json:"points"`
+	CachedItems   int     `json:"cached_items"`
+	CacheCapacity int     `json:"cache_capacity"`
+	Queries       int64   `json:"queries"`
+	Candidates    int64   `json:"candidates"`
+	Hits          int64   `json:"cache_hits"`
+	HitRatio      float64 `json:"hit_ratio"`
+	Fetched       int64   `json:"fetched"`
+	PageReads     int64   `json:"page_reads"`
+
+	// Maintain carries the shard's own rebuild activity when the sharded
+	// maintainer is running (each shard rebuilds independently).
+	Maintain *RebuildStats `json:"maintain,omitempty"`
+}
+
+// SetShardStats registers a snapshot source for per-shard telemetry; /stats
+// and /metrics then carry a "shards" array. Call before serving.
+func (h *Handler) SetShardStats(fn func() []ShardStat) { h.shardStats = fn }
 
 // New builds the handler.
 func New(s Searcher, cfg Config) *Handler {
@@ -395,6 +426,7 @@ type statsResponse struct {
 	HitRatio    float64       `json:"hit_ratio"`
 	AvgCandSize float64       `json:"avg_candidates"`
 	Maintain    *RebuildStats `json:"maintain,omitempty"`
+	Shards      []ShardStat   `json:"shards,omitempty"`
 }
 
 func (h *Handler) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -413,6 +445,9 @@ func (h *Handler) handleStats(w http.ResponseWriter, r *http.Request) {
 	if h.rebuildStats != nil {
 		rs := h.rebuildStats()
 		resp.Maintain = &rs
+	}
+	if h.shardStats != nil {
+		resp.Shards = h.shardStats()
 	}
 	h.writeJSON(w, http.StatusOK, resp)
 }
@@ -435,9 +470,14 @@ type metricsResponse struct {
 	Canceled       int64          `json:"canceled"`
 	EncodeErrors   int64          `json:"encode_errors"`
 	Latency        latencyMetrics `json:"latency"`
+	Shards         []ShardStat    `json:"shards,omitempty"`
 }
 
 func (h *Handler) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var shards []ShardStat
+	if h.shardStats != nil {
+		shards = h.shardStats()
+	}
 	h.writeJSON(w, http.StatusOK, metricsResponse{
 		Queries:        h.queries.Load(),
 		Batches:        h.batches.Load(),
@@ -454,5 +494,6 @@ func (h *Handler) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			Batch:      h.latBatch.Snapshot(),
 			BatchQuery: h.latBatchQuery.Snapshot(),
 		},
+		Shards: shards,
 	})
 }

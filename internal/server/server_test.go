@@ -585,3 +585,53 @@ func TestBatchCanceledRequestCounted(t *testing.T) {
 		t.Fatal("abandoned batch counted as completed work")
 	}
 }
+
+// TestStatsShardBlock wires a per-shard stats source and checks /stats and
+// /metrics render one block per shard, including the nested maintain block.
+func TestStatsShardBlock(t *testing.T) {
+	h, _ := newTestHandler()
+	h.SetShardStats(func() []ShardStat {
+		return []ShardStat{
+			{Shard: 0, Points: 600, CachedItems: 10, CacheCapacity: 20,
+				Queries: 7, Candidates: 70, Hits: 35, HitRatio: 0.5, Fetched: 21, PageReads: 9},
+			{Shard: 1, Points: 600, CachedItems: 12, CacheCapacity: 20,
+				Queries: 7, Candidates: 65, Hits: 13, HitRatio: 0.2, Fetched: 30, PageReads: 14,
+				Maintain: &RebuildStats{Rebuilds: 2, LastRebuildWall: 3 * time.Millisecond, LastRebuildAt: "2026-08-08T00:00:00Z"}},
+		}
+	})
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+
+	for _, path := range []string{"/stats", "/metrics"} {
+		out := getJSON(t, srv, path)
+		shards, ok := out["shards"].([]any)
+		if !ok || len(shards) != 2 {
+			t.Fatalf("%s: shards block = %v", path, out["shards"])
+		}
+		s0 := shards[0].(map[string]any)
+		if s0["shard"].(float64) != 0 || s0["points"].(float64) != 600 || s0["cache_hits"].(float64) != 35 {
+			t.Fatalf("%s: shard 0 block = %v", path, s0)
+		}
+		if _, has := s0["maintain"]; has {
+			t.Fatalf("%s: shard 0 has a maintain block without a maintainer", path)
+		}
+		s1 := shards[1].(map[string]any)
+		mt, ok := s1["maintain"].(map[string]any)
+		if !ok {
+			t.Fatalf("%s: shard 1 missing maintain block: %v", path, s1)
+		}
+		if mt["rebuilds"].(float64) != 2 || mt["last_rebuild_at"].(string) == "" {
+			t.Fatalf("%s: shard 1 maintain block = %v", path, mt)
+		}
+	}
+}
+
+// TestStatsNoShardBlockUnsharded pins the unsharded response shape: no
+// shards key at all rather than an empty list.
+func TestStatsNoShardBlockUnsharded(t *testing.T) {
+	srv := newTestServer(t)
+	out := getJSON(t, srv, "/stats")
+	if _, has := out["shards"]; has {
+		t.Fatalf("unsharded /stats has a shards block: %v", out["shards"])
+	}
+}

@@ -1,0 +1,226 @@
+// Package shard partitions a dataset into N shard units for the
+// scatter-gather engine. The partitioner is deterministic and — crucially
+// for the bit-identity guarantee — *fetch-unit granular*: points that share
+// one point-file fetch unit (one page, or one multi-page record) are always
+// assigned to the same shard, contiguously and in global order, so a
+// shard's local point file has exactly the same page co-residency as the
+// corresponding region of the unsharded file. Batch refinement therefore
+// coalesces the same point sets into the same number of page reads whether
+// the dataset is sharded or not.
+package shard
+
+import (
+	"fmt"
+	"sort"
+
+	"exploitbit/internal/dataset"
+	"exploitbit/internal/disk"
+	"exploitbit/internal/kmeans"
+	"exploitbit/internal/vec"
+)
+
+// Layout names a deterministic partitioning strategy.
+type Layout string
+
+const (
+	// RoundRobin deals fetch units to shards in turn: shard of unit u is
+	// u mod N. Balanced by construction and oblivious to the data.
+	RoundRobin Layout = "round-robin"
+	// Clustered is the iDistance-flavored layout: fetch units are keyed by
+	// their nearest reference point (k-means over unit centroids, seeded
+	// deterministically), sorted by (reference, distance, unit) and split
+	// into N contiguous runs — each shard holds a spatially coherent slab
+	// of the dataset, the way iDistance assigns points to reference-point
+	// partitions.
+	Clustered Layout = "clustered"
+)
+
+// Validate rejects unknown layout names early.
+func (l Layout) Validate() error {
+	switch l {
+	case RoundRobin, Clustered:
+		return nil
+	}
+	return fmt.Errorf("shard: unknown layout %q (round-robin|clustered)", string(l))
+}
+
+// clusteredRefs is the reference-point count of the Clustered layout and
+// clusteredIters/clusteredSeed pin its k-means run; all three are fixed so
+// the same dataset always partitions the same way.
+const (
+	clusteredRefs  = 16
+	clusteredIters = 8
+	clusteredSeed  = 42
+)
+
+// Partition maps every global point id to its shard and local id, and lists
+// each shard's members in local-id order.
+type Partition struct {
+	N        int
+	Layout   Layout
+	UnitSize int // points per fetch unit (see disk.PointsPerUnit)
+
+	// Owner[g] is the shard of global id g; Local[g] its id inside that
+	// shard. Shards[s][l] is the inverse: the global id of shard s's local
+	// point l.
+	Owner  []int32
+	Local  []int32
+	Shards [][]int32
+}
+
+// Build partitions ds into n shards for point files with the given page
+// size. Whole fetch units are assigned to shards; a partial trailing unit
+// (when the dataset size is not a multiple of the unit size) is placed last
+// in its shard's local order so every full unit starts on a local unit
+// boundary. Build fails when n exceeds the number of fetch units — a shard
+// with no unit could never hold a point.
+func Build(ds *dataset.Dataset, n int, layout Layout, pageSize int) (*Partition, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("shard: shard count %d must be >= 1", n)
+	}
+	if layout == "" {
+		layout = RoundRobin
+	}
+	if err := layout.Validate(); err != nil {
+		return nil, err
+	}
+	unitSize := disk.PointsPerUnit(ds.Dim, pageSize)
+	nPts := ds.Len()
+	units := (nPts + unitSize - 1) / unitSize
+	if n > units {
+		return nil, fmt.Errorf("shard: %d shards exceed %d fetch units (%d points, %d per unit)",
+			n, units, nPts, unitSize)
+	}
+
+	// Per-shard unit lists, in local placement order.
+	var unitsOf [][]int32
+	switch layout {
+	case RoundRobin:
+		unitsOf = roundRobinUnits(units, n)
+	case Clustered:
+		unitsOf = clusteredUnits(ds, units, unitSize, n)
+	}
+
+	// A partial trailing unit must come last locally, or the units after it
+	// would straddle local page boundaries.
+	if nPts%unitSize != 0 {
+		last := int32(units - 1)
+		for s := range unitsOf {
+			moveToEnd(unitsOf[s], last)
+		}
+	}
+
+	p := &Partition{
+		N: n, Layout: layout, UnitSize: unitSize,
+		Owner:  make([]int32, nPts),
+		Local:  make([]int32, nPts),
+		Shards: make([][]int32, n),
+	}
+	for s, us := range unitsOf {
+		var members []int32
+		for _, u := range us {
+			lo := int(u) * unitSize
+			hi := min(lo+unitSize, nPts)
+			for g := lo; g < hi; g++ {
+				p.Owner[g] = int32(s)
+				p.Local[g] = int32(len(members))
+				members = append(members, int32(g))
+			}
+		}
+		p.Shards[s] = members
+	}
+	return p, nil
+}
+
+// roundRobinUnits deals unit ids to shards in turn, ascending per shard.
+func roundRobinUnits(units, n int) [][]int32 {
+	out := make([][]int32, n)
+	for u := 0; u < units; u++ {
+		s := u % n
+		out[s] = append(out[s], int32(u))
+	}
+	return out
+}
+
+// clusteredUnits sorts units by (nearest reference, distance, unit) and
+// splits the order into n contiguous, unit-balanced runs.
+func clusteredUnits(ds *dataset.Dataset, units, unitSize, n int) [][]int32 {
+	// Unit centroids, as a throwaway dataset so kmeans can consume them.
+	dim := ds.Dim
+	cent := make([]float32, units*dim)
+	for u := 0; u < units; u++ {
+		lo := u * unitSize
+		hi := min(lo+unitSize, ds.Len())
+		c := cent[u*dim : (u+1)*dim]
+		for g := lo; g < hi; g++ {
+			p := ds.Point(g)
+			for j := range c {
+				c[j] += p[j]
+			}
+		}
+		inv := float32(1) / float32(hi-lo)
+		for j := range c {
+			c[j] *= inv
+		}
+	}
+	cds := dataset.New("centroids", dim, cent, ds.Domain)
+	k := min(clusteredRefs, units)
+	res := kmeans.Run(cds, k, clusteredIters, clusteredSeed)
+
+	type key struct {
+		ref  int32
+		dist float64
+		unit int32
+	}
+	keys := make([]key, units)
+	for u := 0; u < units; u++ {
+		ref := res.Assign[u]
+		keys[u] = key{ref: ref, dist: vec.SqDist(cds.Point(u), res.Centers[ref]), unit: int32(u)}
+	}
+	// Deterministic total order: sort by (ref, dist, unit); the unit id
+	// breaks distance ties, so equal-distance units never reorder between
+	// runs.
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.ref != b.ref {
+			return a.ref < b.ref
+		}
+		if a.dist != b.dist {
+			return a.dist < b.dist
+		}
+		return a.unit < b.unit
+	})
+
+	out := make([][]int32, n)
+	for s := 0; s < n; s++ {
+		lo, hi := s*units/n, (s+1)*units/n
+		for _, kk := range keys[lo:hi] {
+			out[s] = append(out[s], kk.unit)
+		}
+	}
+	return out
+}
+
+// SubDataset materializes shard s's points, in local-id order, as a
+// standalone dataset over the parent's domain.
+func (p *Partition) SubDataset(ds *dataset.Dataset, s int) *dataset.Dataset {
+	ids := p.Shards[s]
+	dim := ds.Dim
+	data := make([]float32, len(ids)*dim)
+	for l, g := range ids {
+		copy(data[l*dim:(l+1)*dim], ds.Point(int(g)))
+	}
+	return dataset.New(fmt.Sprintf("%s-shard%d", ds.Name, s), dim, data, ds.Domain)
+}
+
+// moveToEnd moves the first occurrence of v to the end of s, preserving the
+// relative order of everything else. A no-op when v is absent.
+func moveToEnd(s []int32, v int32) {
+	for i, x := range s {
+		if x == v {
+			copy(s[i:], s[i+1:])
+			s[len(s)-1] = v
+			return
+		}
+	}
+}

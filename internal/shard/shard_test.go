@@ -1,0 +1,174 @@
+package shard
+
+import (
+	"reflect"
+	"testing"
+
+	"exploitbit/internal/dataset"
+	"exploitbit/internal/disk"
+)
+
+func testDS(t *testing.T, n, dim int) *dataset.Dataset {
+	t.Helper()
+	return dataset.Generate(dataset.Config{
+		Name: "shard-test", N: n, Dim: dim, Clusters: 4, Std: 0.05,
+		Skew: 1.2, Ndom: 256, Seed: 5,
+	})
+}
+
+// checkValid asserts the partition is a bijection: every global id owned by
+// exactly one shard, Local/Shards mutually inverse, sizes summing to n.
+func checkValid(t *testing.T, p *Partition, n int) {
+	t.Helper()
+	if len(p.Owner) != n || len(p.Local) != n {
+		t.Fatalf("owner/local cover %d/%d ids, want %d", len(p.Owner), len(p.Local), n)
+	}
+	total := 0
+	for s, ids := range p.Shards {
+		total += len(ids)
+		for l, g := range ids {
+			if p.Owner[g] != int32(s) {
+				t.Fatalf("shard %d holds global %d but Owner says %d", s, g, p.Owner[g])
+			}
+			if p.Local[g] != int32(l) {
+				t.Fatalf("global %d has local %d, Shards says %d", g, p.Local[g], l)
+			}
+		}
+	}
+	if total != n {
+		t.Fatalf("shards hold %d points, want %d", total, n)
+	}
+}
+
+func TestShardBuildRoundRobinValidAndDeterministic(t *testing.T) {
+	ds := testDS(t, 1203, 16) // 4096/64 = 64 points per unit; 19 units
+	for _, n := range []int{1, 2, 3, 7} {
+		a, err := Build(ds, n, RoundRobin, disk.DefaultPageSize)
+		if err != nil {
+			t.Fatalf("Build(%d): %v", n, err)
+		}
+		checkValid(t, a, ds.Len())
+		b, err := Build(ds, n, RoundRobin, disk.DefaultPageSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("round-robin partition with %d shards is not deterministic", n)
+		}
+	}
+}
+
+func TestShardBuildClusteredValidAndDeterministic(t *testing.T) {
+	ds := testDS(t, 1203, 16)
+	for _, n := range []int{2, 3, 7} {
+		a, err := Build(ds, n, Clustered, disk.DefaultPageSize)
+		if err != nil {
+			t.Fatalf("Build(%d): %v", n, err)
+		}
+		checkValid(t, a, ds.Len())
+		b, err := Build(ds, n, Clustered, disk.DefaultPageSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("clustered partition with %d shards is not deterministic", n)
+		}
+	}
+}
+
+// TestUnitGranularity asserts whole fetch units stay together: all points of
+// a full unit land on the same shard at consecutive local ids, so local page
+// boundaries align with global ones and batch coalescing sees the same page
+// count sharded and unsharded.
+func TestShardUnitGranularity(t *testing.T) {
+	ds := testDS(t, 1203, 16)
+	unitSize := disk.PointsPerUnit(ds.Dim, disk.DefaultPageSize)
+	if unitSize != 64 {
+		t.Fatalf("unit size = %d, want 64 (dim 16, 4096B pages)", unitSize)
+	}
+	for _, layout := range []Layout{RoundRobin, Clustered} {
+		p, err := Build(ds, 3, layout, disk.DefaultPageSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.UnitSize != unitSize {
+			t.Fatalf("%s: partition unit size %d, want %d", layout, p.UnitSize, unitSize)
+		}
+		units := (ds.Len() + unitSize - 1) / unitSize
+		for u := 0; u < units; u++ {
+			lo, hi := u*unitSize, min((u+1)*unitSize, ds.Len())
+			s := p.Owner[lo]
+			for g := lo; g < hi; g++ {
+				if p.Owner[g] != s {
+					t.Fatalf("%s: unit %d split across shards %d and %d", layout, u, s, p.Owner[g])
+				}
+				if g > lo && p.Local[g] != p.Local[g-1]+1 {
+					t.Fatalf("%s: unit %d not at consecutive local ids (%d then %d)",
+						layout, u, p.Local[g-1], p.Local[g])
+				}
+			}
+		}
+	}
+}
+
+// TestPartialUnitLast asserts the trailing partial unit sits at the end of
+// its shard's local order: anywhere else it would shift the start of the
+// next unit off a local page boundary.
+func TestShardPartialUnitLast(t *testing.T) {
+	ds := testDS(t, 1203, 16) // 1203 = 18*64 + 51: unit 18 is partial
+	unitSize := disk.PointsPerUnit(ds.Dim, disk.DefaultPageSize)
+	lastUnitStart := (ds.Len() / unitSize) * unitSize
+	for _, layout := range []Layout{RoundRobin, Clustered} {
+		for _, n := range []int{2, 3, 7} {
+			p, err := Build(ds, n, layout, disk.DefaultPageSize)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := p.Owner[lastUnitStart]
+			want := int32(len(p.Shards[s]) - (ds.Len() - lastUnitStart))
+			if p.Local[lastUnitStart] != want {
+				t.Fatalf("%s/%d shards: partial unit starts at local %d, want %d (end of shard %d)",
+					layout, n, p.Local[lastUnitStart], want, s)
+			}
+		}
+	}
+}
+
+func TestShardBuildErrors(t *testing.T) {
+	ds := testDS(t, 130, 16) // 3 units (64+64+2)
+	if _, err := Build(ds, 0, RoundRobin, disk.DefaultPageSize); err == nil {
+		t.Fatal("Build with 0 shards did not fail")
+	}
+	if _, err := Build(ds, 4, RoundRobin, disk.DefaultPageSize); err == nil {
+		t.Fatal("Build with more shards than fetch units did not fail")
+	}
+	if _, err := Build(ds, 2, Layout("zigzag"), disk.DefaultPageSize); err == nil {
+		t.Fatal("Build with unknown layout did not fail")
+	}
+	if _, err := Build(ds, 3, RoundRobin, disk.DefaultPageSize); err != nil {
+		t.Fatalf("Build with shards == units failed: %v", err)
+	}
+}
+
+func TestShardSubDataset(t *testing.T) {
+	ds := testDS(t, 400, 16)
+	p, err := Build(ds, 3, Clustered, disk.DefaultPageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < p.N; s++ {
+		sub := p.SubDataset(ds, s)
+		if sub.Len() != len(p.Shards[s]) || sub.Dim != ds.Dim {
+			t.Fatalf("shard %d sub-dataset is %dx%d, want %dx%d",
+				s, sub.Len(), sub.Dim, len(p.Shards[s]), ds.Dim)
+		}
+		for l, g := range p.Shards[s] {
+			want, got := ds.Point(int(g)), sub.Point(l)
+			for j := range want {
+				if want[j] != got[j] {
+					t.Fatalf("shard %d local %d differs from global %d at dim %d", s, l, g, j)
+				}
+			}
+		}
+	}
+}

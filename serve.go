@@ -3,6 +3,7 @@ package exploitbit
 import (
 	"context"
 	"net/http"
+	"time"
 
 	"exploitbit/internal/server"
 )
@@ -89,13 +90,84 @@ func ServeMaintained(m *Maintainer, dim int) http.Handler {
 // ServeMaintainedWith is ServeMaintained with explicit lifecycle options.
 func ServeMaintainedWith(m *Maintainer, dim int, opt ServeOptions) http.Handler {
 	h := server.New(engineSearcher{search: m.SearchCtx, batch: m.SearchBatchCtx}, opt.config(dim))
-	h.SetRebuildStats(func() server.RebuildStats {
-		st := m.Stats()
-		return server.RebuildStats{
-			Rebuilds:        st.Rebuilds,
-			RebuildErrors:   st.RebuildErrors,
-			RebuildInFlight: st.RebuildInFlight,
+	h.SetRebuildStats(func() server.RebuildStats { return wireRebuildStats(m.Stats()) })
+	return h
+}
+
+func wireRebuildStats(st MaintainStats) server.RebuildStats {
+	rs := server.RebuildStats{
+		Rebuilds:        st.Rebuilds,
+		RebuildErrors:   st.RebuildErrors,
+		RebuildInFlight: st.RebuildInFlight,
+		LastRebuildWall: st.LastRebuildWall,
+	}
+	if !st.LastRebuildAt.IsZero() {
+		rs.LastRebuildAt = st.LastRebuildAt.Format(time.RFC3339Nano)
+	}
+	return rs
+}
+
+// wireShardStats snapshots a sharded engine's per-shard blocks; maintain is
+// an optional source of per-shard rebuild activity (positional with shards).
+func wireShardStats(se *Sharded, maintain func() []MaintainStats) func() []server.ShardStat {
+	return func() []server.ShardStat {
+		aggs := se.ShardAggregates()
+		var ms []MaintainStats
+		if maintain != nil {
+			ms = maintain()
 		}
-	})
+		out := make([]server.ShardStat, len(aggs))
+		for i, a := range aggs {
+			st := server.ShardStat{
+				Shard:         a.Shard,
+				Points:        a.Points,
+				CachedItems:   a.CachedItems,
+				CacheCapacity: a.CacheCapacity,
+				Queries:       int64(a.Agg.Queries),
+				Candidates:    a.Agg.Candidates,
+				Hits:          a.Agg.Hits,
+				Fetched:       a.Agg.Fetched,
+				PageReads:     a.Agg.PageReads,
+			}
+			if a.Agg.Candidates > 0 {
+				st.HitRatio = float64(a.Agg.Hits) / float64(a.Agg.Candidates)
+			}
+			if i < len(ms) {
+				rs := wireRebuildStats(ms[i])
+				st.Maintain = &rs
+			}
+			out[i] = st
+		}
+		return out
+	}
+}
+
+// ServeSharded is Serve over a scatter-gather sharded engine: results are
+// bit-identical to the unsharded engine, and /stats and /metrics carry a
+// "shards" array with each shard's load, cache fill and I/O.
+func ServeSharded(se *Sharded, dim int) http.Handler {
+	return ServeShardedWith(se, dim, ServeOptions{})
+}
+
+// ServeShardedWith is ServeSharded with explicit lifecycle options.
+func ServeShardedWith(se *Sharded, dim int, opt ServeOptions) http.Handler {
+	h := server.New(engineSearcher{search: se.SearchCtx, batch: se.SearchBatchCtx}, opt.config(dim))
+	h.SetShardStats(wireShardStats(se, nil))
+	return h
+}
+
+// ServeShardedMaintained is ServeSharded over a per-shard self-maintaining
+// engine: each shard's "shards" entry additionally carries its own rebuild
+// activity, and /stats gets the aggregate "maintain" object.
+func ServeShardedMaintained(m *ShardedMaintainer, dim int) http.Handler {
+	return ServeShardedMaintainedWith(m, dim, ServeOptions{})
+}
+
+// ServeShardedMaintainedWith is ServeShardedMaintained with explicit
+// lifecycle options.
+func ServeShardedMaintainedWith(m *ShardedMaintainer, dim int, opt ServeOptions) http.Handler {
+	h := server.New(engineSearcher{search: m.SearchCtx, batch: m.SearchBatchCtx}, opt.config(dim))
+	h.SetRebuildStats(func() server.RebuildStats { return wireRebuildStats(m.Stats()) })
+	h.SetShardStats(wireShardStats(m.Sharded(), m.ShardStats))
 	return h
 }
