@@ -44,6 +44,10 @@ func main() {
 		shards      = flag.Int("shards", 1, "serve through this many scatter-gather shard units (1 = unsharded)")
 		shardLayout = flag.String("shard-layout", string(exploitbit.RoundRobin), "shard partitioning: round-robin or clustered")
 
+		ioRetries      = flag.Int("io-retries", 3, "transient storage read failures retried per page before the error surfaces (0 = no retry)")
+		ioRetryBackoff = flag.Duration("io-retry-backoff", time.Millisecond, "initial retry backoff, doubled per attempt (jittered, capped at 100x)")
+		degradedOK     = flag.Bool("degraded-ok", false, "sharded only: serve around a permanently failed shard (responses flagged degraded) instead of failing queries that need it")
+
 		maxInFlight  = flag.Int("max-inflight", 64, "admission limit: concurrent searches before 503")
 		maxK         = flag.Int("max-k", 1000, "largest k accepted by /search")
 		maxBatch     = flag.Int("max-batch", 64, "largest vector count accepted by /search/batch")
@@ -93,6 +97,17 @@ func main() {
 	}
 	defer sys.Close()
 
+	if *ioRetries > 0 {
+		sys.SetRetry(exploitbit.RetryPolicy{
+			MaxRetries: *ioRetries,
+			Backoff:    *ioRetryBackoff,
+			MaxBackoff: 100 * *ioRetryBackoff,
+		})
+	}
+	if *degradedOK && *shards <= 1 {
+		log.Printf("ebc-serve: -degraded-ok has no effect without -shards > 1")
+	}
+
 	tau := sys.OptimalTau(cs)
 	cfg := core.Config{Method: exploitbit.Method(*method), CacheBytes: cs, Tau: tau, SmoothEps: 0.01}
 	sopt := exploitbit.ServeOptions{MaxK: *maxK, MaxInFlight: *maxInFlight, MaxBatch: *maxBatch}
@@ -104,6 +119,7 @@ func main() {
 		if err != nil {
 			log.Fatal("ebc-serve: ", err)
 		}
+		m.Sharded().SetDegradedOK(*degradedOK)
 		drainMaintainer = m.Close
 		handler = exploitbit.ServeShardedMaintainedWith(m, ds.Dim, sopt)
 	case *shards > 1:
@@ -111,6 +127,7 @@ func main() {
 		if err != nil {
 			log.Fatal("ebc-serve: ", err)
 		}
+		se.SetDegradedOK(*degradedOK)
 		handler = exploitbit.ServeShardedWith(se, ds.Dim, sopt)
 	case *maintain:
 		m, err := sys.Maintained(cfg, exploitbit.MaintainOptions{})

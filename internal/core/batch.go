@@ -115,7 +115,7 @@ func (e *Engine) SearchBatchCtx(ctx context.Context, qs [][]float32, k int) ([][
 		}
 		ids := pageIDs[unit]
 		pts := make([][]float32, len(ids))
-		if err := e.pf.FetchOnPage(int(unit), ids, pts); err != nil {
+		if err := e.pf.FetchOnPageCtx(ctx, int(unit), ids, pts); err != nil {
 			return nil, nil, err
 		}
 		st := &scs[item].st

@@ -412,6 +412,10 @@ func (e *Engine) CacheLen() int {
 	return 0
 }
 
+// DiskStats snapshots the backing point file's device counters, including
+// the fault-handling activity (retries, transient/permanent errors).
+func (e *Engine) DiskStats() disk.Stats { return e.pf.Stats() }
+
 // Aggregate returns the accumulated statistics since the last Reset.
 func (e *Engine) Aggregate() Aggregate { return e.agg.Load() }
 
@@ -667,7 +671,7 @@ func (e *Engine) reduceSerial(ctx context.Context, q []float32, ids []int, cs []
 		if e.scoreCandidate(q, id, &cs[i], lut) {
 			st.Hits++
 		} else if e.cfg.EagerFetchMisses {
-			p, err := e.pf.Fetch(id, sc.fetchBuf)
+			p, err := e.pf.FetchCtx(ctx, id, sc.fetchBuf)
 			if err != nil {
 				return err
 			}

@@ -1,0 +1,30 @@
+// Typed errors of the sharded serving path. A shard-level failure keeps its
+// shard identity and the underlying disk classification as it travels up to
+// the server, so the HTTP layer can answer transient faults with 503 +
+// Retry-After and permanent ones with quarantine/degrade decisions instead of
+// a blanket 500.
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrShardQuarantined marks a query that touched a quarantined shard while
+// degraded serving was disabled: the query is refused rather than silently
+// answered with a partial result set.
+var ErrShardQuarantined = errors.New("core: shard quarantined")
+
+// ShardError attributes a search failure to the shard whose storage produced
+// it. It wraps the underlying error, so disk.IsTransient/IsPermanent and
+// errors.Is(ErrShardQuarantined) keep working through it.
+type ShardError struct {
+	Shard int
+	Err   error
+}
+
+func (e *ShardError) Error() string {
+	return fmt.Sprintf("core: shard %d: %v", e.Shard, e.Err)
+}
+
+func (e *ShardError) Unwrap() error { return e.Err }

@@ -213,6 +213,12 @@ type MaintainStats struct {
 	// rebuild lands.
 	LastRebuildWall time.Duration
 	LastRebuildAt   time.Time
+
+	// Quarantines counts the quarantine-triggered rebuilds launched for the
+	// shard (sharded maintainer only); Quarantined is the shard's current
+	// fault state.
+	Quarantines int
+	Quarantined bool
 }
 
 // NewMaintainer wraps an initial workload into a self-maintaining engine.
@@ -240,6 +246,10 @@ func (m *Maintainer) buildEngine(wl [][]float32, k int) (*Engine, error) {
 
 // Engine returns the currently serving engine (for inspection).
 func (m *Maintainer) Engine() *Engine { return m.eng.Load() }
+
+// DiskStats snapshots the backing point file's device counters, including
+// fault-handling activity.
+func (m *Maintainer) DiskStats() disk.Stats { return m.pf.Stats() }
 
 // Rebuilds reports how many automatic rebuilds have completed.
 func (m *Maintainer) Rebuilds() int { return int(m.rebuilds.Load()) }

@@ -66,7 +66,7 @@ func (sc *searchScratch) fetchPoint(id int) ([]float32, error) {
 		return nil, err
 	}
 	e := sc.eng
-	p, err := e.pf.Fetch(id, sc.fetchBuf)
+	p, err := e.pf.FetchCtx(sc.ctx, id, sc.fetchBuf)
 	if err != nil {
 		return nil, err
 	}

@@ -33,6 +33,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -64,6 +65,13 @@ type shardUnit struct {
 
 	// agg survives engine swaps, unlike the per-engine aggregate.
 	agg atomicAggregate
+
+	// quarantined marks a shard whose storage failed permanently: under
+	// degraded serving its candidates are skipped without touching the file
+	// until a rebuild clears the flag. fetchFailures counts the permanent
+	// fetch failures that put (and keep) it there.
+	quarantined   atomic.Bool
+	fetchFailures atomic.Int64
 }
 
 // shardFanThreshold is the global candidate count above which shard scoring
@@ -88,6 +96,11 @@ type ShardedEngine struct {
 
 	pagesPer int
 	tio      time.Duration
+
+	// degradedOK allows queries to complete over surviving shards when a
+	// shard's storage fails permanently (results flagged Degraded). Off, a
+	// failed shard fails every query that touches it.
+	degradedOK atomic.Bool
 
 	scratch sync.Pool
 	agg     atomicAggregate
@@ -229,6 +242,46 @@ func (se *ShardedEngine) Engine(s int) *Engine { return se.units[s].eng.Load() }
 // sharded maintainer) must build eng over the same point file and id map.
 func (se *ShardedEngine) swapEngine(s int, eng *Engine) { se.units[s].eng.Store(eng) }
 
+// SetDegradedOK enables (or disables) degraded-mode serving: completing
+// queries over surviving shards when a shard's storage fails permanently.
+func (se *ShardedEngine) SetDegradedOK(ok bool) { se.degradedOK.Store(ok) }
+
+// DegradedOK reports whether degraded-mode serving is enabled.
+func (se *ShardedEngine) DegradedOK() bool { return se.degradedOK.Load() }
+
+// Quarantine marks shard s failed: under degraded serving its candidates are
+// skipped without touching its storage.
+func (se *ShardedEngine) Quarantine(s int) { se.units[s].quarantined.Store(true) }
+
+// ClearQuarantine returns shard s to service (after a successful rebuild).
+func (se *ShardedEngine) ClearQuarantine(s int) { se.units[s].quarantined.Store(false) }
+
+// Quarantined reports whether shard s is quarantined.
+func (se *ShardedEngine) Quarantined(s int) bool { return se.units[s].quarantined.Load() }
+
+// SetRetry installs the transient-fault retry policy on every shard's
+// backing device.
+func (se *ShardedEngine) SetRetry(rp disk.RetryPolicy) {
+	for _, u := range se.units {
+		u.pf.SetRetry(rp)
+	}
+}
+
+// DiskStats sums the device counters (including fault-handling activity)
+// across every shard's point file.
+func (se *ShardedEngine) DiskStats() disk.Stats {
+	var t disk.Stats
+	for _, u := range se.units {
+		s := u.pf.Stats()
+		t.PageReads += s.PageReads
+		t.PageWrites += s.PageWrites
+		t.Retries += s.Retries
+		t.TransientErrors += s.TransientErrors
+		t.PermanentErrors += s.PermanentErrors
+	}
+	return t
+}
+
 // CacheCapacity sums the per-shard cache capacities.
 func (se *ShardedEngine) CacheCapacity() int {
 	t := 0
@@ -269,6 +322,11 @@ type ShardAggregate struct {
 	CachedItems   int
 	CacheCapacity int
 	Agg           Aggregate
+
+	// Quarantined reports the shard's current fault state; FetchFailures the
+	// permanent fetch failures observed on it.
+	Quarantined   bool
+	FetchFailures int64
 }
 
 // ShardAggregates snapshots every shard's accumulated statistics.
@@ -282,6 +340,8 @@ func (se *ShardedEngine) ShardAggregates() []ShardAggregate {
 			CachedItems:   e.CacheLen(),
 			CacheCapacity: e.CacheCapacity(),
 			Agg:           u.agg.Load(),
+			Quarantined:   u.quarantined.Load(),
+			FetchFailures: u.fetchFailures.Load(),
 		}
 	}
 	return out
@@ -304,6 +364,14 @@ type routerScratch struct {
 	errs    []error      // per-shard scoring errors
 	xb      crossBound
 
+	// Degraded-mode state, snapshotted per query: quar is each shard's
+	// quarantine flag at scatter time, failed marks shards this query is
+	// serving around (quarantined shards it touched, plus shards that failed
+	// permanently mid-query).
+	degradedOK bool
+	quar       []bool
+	failed     []bool
+
 	fetchBuf []float32
 	codes    []int
 
@@ -324,6 +392,8 @@ func newRouterScratch(se *ShardedEngine) *routerScratch {
 		engs:          make([]*Engine, n),
 		shardSt:       make([]QueryStats, n),
 		errs:          make([]error, n),
+		quar:          make([]bool, n),
+		failed:        make([]bool, n),
 		fetchBuf:      make([]float32, se.units[0].pf.Dim()),
 		codes:         make([]int, se.units[0].pf.Dim()),
 		exactByID:     make(map[int32][]float32),
@@ -341,8 +411,20 @@ func (se *ShardedEngine) putScratch(rs *routerScratch) {
 	se.scratch.Put(rs)
 }
 
+// failShard records a permanent storage failure on shard s: the query serves
+// around it from here on, and the shard is quarantined so later queries skip
+// it without touching the broken file until a rebuild clears the flag.
+func (rs *routerScratch) failShard(s int) {
+	rs.failed[s] = true
+	u := rs.se.units[s]
+	u.fetchFailures.Add(1)
+	u.quarantined.Store(true)
+}
+
 // fetchPoint is the sharded Phase-3 fetch: global ids are routed to the
-// owning shard's file, charging I/O both globally and to the shard.
+// owning shard's file, charging I/O both globally and to the shard. A
+// candidate owned by a failed shard is dropped from the schedule (degraded
+// mode); a fetch that fails permanently fails its shard the same way.
 func (rs *routerScratch) fetchPoint(id int) ([]float32, error) {
 	if len(rs.exactByID) > 0 {
 		if p, ok := rs.exactByID[int32(id)]; ok {
@@ -354,11 +436,18 @@ func (rs *routerScratch) fetchPoint(id int) ([]float32, error) {
 	}
 	se := rs.se
 	s := se.owner[id]
+	if rs.failed[s] {
+		return nil, fmt.Errorf("core: shard %d failed: %w", s, multistep.ErrSkipCandidate)
+	}
 	e := rs.engs[s]
 	lid := int(se.local[id])
-	p, err := e.pf.Fetch(lid, rs.fetchBuf)
+	p, err := e.pf.FetchCtx(rs.ctx, lid, rs.fetchBuf)
 	if err != nil {
-		return nil, err
+		if rs.degradedOK && disk.IsPermanent(err) {
+			rs.failShard(int(s))
+			return nil, fmt.Errorf("core: shard %d failed (%v): %w", s, err, multistep.ErrSkipCandidate)
+		}
+		return nil, &ShardError{Shard: int(s), Err: err}
 	}
 	rs.st.Fetched++
 	rs.st.PageReads += int64(se.pagesPer)
@@ -392,16 +481,33 @@ func (se *ShardedEngine) phase12(ctx context.Context, rs *routerScratch, q []flo
 		rs.pos[s] = rs.pos[s][:0]
 		rs.shardSt[s] = QueryStats{}
 		rs.errs[s] = nil
+		rs.quar[s] = u.quarantined.Load()
+		rs.failed[s] = false
 	}
+	// cs is sized before the scatter so quarantined shards' candidate slots
+	// can be neutralized in place (the scratch is pooled — a stale slot would
+	// otherwise hold a previous query's state).
+	rs.cs = grow(rs.cs, len(ids))
+	inf := math.Inf(1)
 	for i, g := range ids {
 		s := se.owner[g]
+		if rs.quar[s] {
+			// Quarantined owner: refuse the query unless degraded serving is
+			// on; under it, neutralize the candidate (+Inf bounds prune it or
+			// route it to the skip path) and flag the shard as served-around.
+			if !rs.degradedOK {
+				return nil, nil, &ShardError{Shard: int(s), Err: ErrShardQuarantined}
+			}
+			rs.failed[s] = true
+			rs.cs[i] = candState{id: int32(g), leaf: -1, lbSq: inf, ubSq: inf}
+			continue
+		}
 		if len(rs.sids[s]) == 0 {
 			engaged++
 		}
 		rs.sids[s] = append(rs.sids[s], int(se.local[g]))
 		rs.pos[s] = append(rs.pos[s], int32(i))
 	}
-	rs.cs = grow(rs.cs, len(ids))
 	rs.xb.reset()
 
 	run := func(s int) error {
@@ -464,10 +570,21 @@ func (se *ShardedEngine) phase12(ctx context.Context, rs *routerScratch, q []flo
 			rs.errs[s] = run(s)
 		}
 	}
-	for _, err := range rs.errs {
-		if err != nil {
-			return nil, nil, err
+	for s, err := range rs.errs {
+		if err == nil {
+			continue
 		}
+		if rs.degradedOK && disk.IsPermanent(err) {
+			// The shard's storage died mid-scoring (eager-fetch path): fail
+			// it, neutralize its candidate slots, and serve on.
+			rs.failShard(s)
+			for _, p := range rs.pos[s] {
+				rs.cs[p] = candState{id: int32(ids[p]), leaf: -1, lbSq: inf, ubSq: inf}
+			}
+			rs.shardSt[s] = QueryStats{}
+			continue
+		}
+		return nil, nil, &ShardError{Shard: s, Err: err}
 	}
 
 	for s := range se.units {
@@ -538,6 +655,7 @@ func (se *ShardedEngine) searchIntoCtxStats(ctx context.Context, q []float32, k 
 	defer se.putScratch(rs)
 	rs.ctx = ctx
 	rs.st = QueryStats{}
+	rs.degradedOK = se.degradedOK.Load()
 	st := &rs.st
 
 	results, remaining, err := se.phase12(ctx, rs, q, k, dst)
@@ -572,6 +690,12 @@ func (se *ShardedEngine) searchIntoCtxStats(ctx context.Context, q []float32, k 
 	}
 	st.RefineTime = time.Since(t2)
 	st.SimulatedIO = time.Duration(st.PageReads) * se.tio
+	for s := range se.units {
+		if rs.failed[s] {
+			st.Degraded = true
+			st.FailedShards = append(st.FailedShards, s)
+		}
+	}
 
 	se.agg.Add(rs.st)
 	for s := range se.units {
@@ -611,11 +735,13 @@ func (se *ShardedEngine) searchBatchCtxStats(ctx context.Context, qs [][]float32
 		return nil, nil, err
 	}
 	n := len(qs)
+	degradedOK := se.degradedOK.Load()
 	rss := make([]*routerScratch, n)
 	for j := range rss {
 		rss[j] = se.getScratch()
 		rss[j].ctx = ctx
 		rss[j].st = QueryStats{}
+		rss[j].degradedOK = degradedOK
 	}
 	defer func() {
 		for _, rs := range rss {
@@ -646,6 +772,9 @@ func (se *ShardedEngine) searchBatchCtxStats(ctx context.Context, qs [][]float32
 				continue
 			}
 			s := se.owner[c.id]
+			if rss[j].failed[s] {
+				continue // neutralized candidate of a failed shard
+			}
 			lid := int(se.local[c.id])
 			page, err := se.units[s].pf.PageOf(lid)
 			if err != nil {
@@ -669,16 +798,32 @@ func (se *ShardedEngine) searchBatchCtxStats(ctx context.Context, qs [][]float32
 		}
 	}
 
+	// failBatchShard marks shard s failed for every query of the batch: a
+	// unit read serves all demanders, so its failure degrades all of them.
+	failBatchShard := func(s int) {
+		se.units[s].fetchFailures.Add(1)
+		se.units[s].quarantined.Store(true)
+		for _, rs := range rss {
+			rs.failed[s] = true
+		}
+	}
 	fetch := func(unit int32, item int) ([]int32, [][]float32, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, nil, err
 		}
 		s := se.shardOfUnit(unit)
+		if rss[item].failed[s] {
+			return nil, nil, fmt.Errorf("core: shard %d failed: %w", s, multistep.ErrSkipCandidate)
+		}
 		e := rss[item].engs[s]
 		lids := pageIDs[unit]
 		pts := make([][]float32, len(lids))
-		if err := e.pf.FetchOnPage(int(unit-se.unitBase[s]), lids, pts); err != nil {
-			return nil, nil, err
+		if err := e.pf.FetchOnPageCtx(ctx, int(unit-se.unitBase[s]), lids, pts); err != nil {
+			if degradedOK && disk.IsPermanent(err) {
+				failBatchShard(s)
+				return nil, nil, fmt.Errorf("core: shard %d failed (%v): %w", s, err, multistep.ErrSkipCandidate)
+			}
+			return nil, nil, &ShardError{Shard: s, Err: err}
 		}
 		rs := rss[item]
 		rs.st.Fetched += len(lids)
@@ -711,6 +856,12 @@ func (se *ShardedEngine) searchBatchCtxStats(ctx context.Context, qs [][]float32
 		rs := rss[j]
 		rs.st.RefineTime = share
 		rs.st.SimulatedIO = time.Duration(rs.st.PageReads) * se.tio
+		for s := range se.units {
+			if rs.failed[s] {
+				rs.st.Degraded = true
+				rs.st.FailedShards = append(rs.st.FailedShards, s)
+			}
+		}
 		se.agg.Add(rs.st)
 		for s := range se.units {
 			if rs.shardSt[s].Candidates > 0 || rs.shardSt[s].Fetched > 0 {

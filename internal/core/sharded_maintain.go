@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"exploitbit/internal/disk"
 )
 
 // ShardedMaintainer is Section 3.5's maintenance applied per shard: every
@@ -57,6 +59,7 @@ type shardMaintSlot struct {
 	rebuildErrs atomic.Int64
 	lastWallNs  atomic.Int64
 	lastAtNs    atomic.Int64
+	quarantines atomic.Int64 // quarantine-triggered rebuild launches
 }
 
 // NewShardedMaintainer builds the sharded engine and arms one drift
@@ -87,6 +90,9 @@ func (m *ShardedMaintainer) Sharded() *ShardedEngine { return m.se }
 
 // Engine returns shard s's currently serving engine.
 func (m *ShardedMaintainer) Engine(s int) *Engine { return m.se.Engine(s) }
+
+// DiskStats sums device counters across every shard's point file.
+func (m *ShardedMaintainer) DiskStats() disk.Stats { return m.se.DiskStats() }
 
 // buildShard is the default per-shard rebuild: profile the window against
 // the shard's filtered candidate generator and construct a standalone
@@ -132,8 +138,38 @@ func (m *ShardedMaintainer) SearchIntoCtx(ctx context.Context, q []float32, k in
 	if err != nil {
 		return nil, st, err
 	}
+	if st.Degraded {
+		m.noteShardFailures(q, st.FailedShards)
+	}
 	m.recordShards(q, per, k)
 	return ids, st, nil
+}
+
+// noteShardFailures reacts to a degraded query: every shard it served around
+// gets a quarantine rebuild launched (at most one in flight per shard — the
+// rebuilding CAS absorbs the storm of degraded queries that follow a
+// failure). The rebuild runs from the shard's drift window, falling back to
+// the failing query itself when the window is empty, and clears the
+// quarantine only if it succeeds; a failed rebuild leaves the shard
+// quarantined and the next degraded query tries again.
+func (m *ShardedMaintainer) noteShardFailures(q []float32, failed []int) {
+	for _, s := range failed {
+		if !m.se.Quarantined(s) {
+			continue // already rebuilt by the time we got here
+		}
+		slot := m.slots[s]
+		if !slot.rebuilding.CompareAndSwap(false, true) {
+			continue // rebuild already in flight
+		}
+		slot.mu.Lock()
+		wl := slot.drift.snapshot()
+		slot.mu.Unlock()
+		if len(wl) == 0 {
+			wl = [][]float32{append([]float32(nil), q...)}
+		}
+		slot.quarantines.Add(1)
+		m.launchRebuild(s, wl, m.k)
+	}
 }
 
 // SearchBatch is the maintained sharded batch search; see SearchBatchCtx.
@@ -153,6 +189,9 @@ func (m *ShardedMaintainer) SearchBatchCtx(ctx context.Context, qs [][]float32, 
 		return nil, nil, err
 	}
 	for j, q := range qs {
+		if sts[j].Degraded {
+			m.noteShardFailures(q, sts[j].FailedShards)
+		}
 		m.recordShards(q, per[j], k)
 	}
 	return results, sts, nil
@@ -215,11 +254,14 @@ func (m *ShardedMaintainer) backgroundRebuild(s int, wl [][]float32, k int) {
 }
 
 // install publishes shard s's freshly built engine and resets its baseline.
+// A successful install also lifts the shard's quarantine: the rebuilt engine
+// starts with a clean bill until its storage proves otherwise.
 func (m *ShardedMaintainer) install(s int, eng *Engine, wall time.Duration) {
 	slot := m.slots[s]
 	slot.mu.Lock()
 	defer slot.mu.Unlock()
 	m.se.swapEngine(s, eng)
+	m.se.ClearQuarantine(s)
 	slot.rebuilds.Add(1)
 	slot.lastWallNs.Store(int64(wall))
 	slot.lastAtNs.Store(time.Now().UnixNano())
@@ -287,10 +329,12 @@ func (m *ShardedMaintainer) Close() {
 // an OR, and the last-rebuild pair reflects the most recent swap anywhere.
 func (m *ShardedMaintainer) Stats() MaintainStats {
 	var st MaintainStats
-	for _, slot := range m.slots {
+	for s, slot := range m.slots {
 		st.Rebuilds += int(slot.rebuilds.Load())
 		st.RebuildErrors += int(slot.rebuildErrs.Load())
 		st.RebuildInFlight = st.RebuildInFlight || slot.rebuilding.Load()
+		st.Quarantines += int(slot.quarantines.Load())
+		st.Quarantined = st.Quarantined || m.se.Quarantined(s)
 		if at := slot.lastAtNs.Load(); at > m.lastAtNs(st) {
 			st.LastRebuildAt = time.Unix(0, at)
 			st.LastRebuildWall = time.Duration(slot.lastWallNs.Load())
@@ -314,6 +358,8 @@ func (m *ShardedMaintainer) ShardStats() []MaintainStats {
 			Rebuilds:        int(slot.rebuilds.Load()),
 			RebuildErrors:   int(slot.rebuildErrs.Load()),
 			RebuildInFlight: slot.rebuilding.Load(),
+			Quarantines:     int(slot.quarantines.Load()),
+			Quarantined:     m.se.Quarantined(s),
 		}
 		if ns := slot.lastWallNs.Load(); ns > 0 {
 			out[s].LastRebuildWall = time.Duration(ns)

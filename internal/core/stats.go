@@ -32,6 +32,13 @@ type QueryStats struct {
 
 	UsedLUT       bool // Phase 2 went through the per-query ADC lookup table
 	ReduceWorkers int  // goroutines used by Phase 2 (1 = serial)
+
+	// Degraded marks a sharded query answered without one or more shards
+	// (permanent storage failure under degraded-mode serving); FailedShards
+	// lists them. A degraded result is correct over the surviving shards but
+	// may miss true neighbors owned by the failed ones.
+	Degraded     bool
+	FailedShards []int
 }
 
 // ResponseTime is the modeled wall-clock of the query: measured CPU plus
@@ -63,6 +70,7 @@ type Aggregate struct {
 
 	LUTQueries      int64 // queries whose Phase 2 used the ADC lookup table
 	ParallelQueries int64 // queries whose Phase 2 fanned out over workers
+	DegradedQueries int64 // queries answered without one or more failed shards
 }
 
 // Add folds one query's stats into the aggregate.
@@ -85,6 +93,9 @@ func (a *Aggregate) Add(s QueryStats) {
 	if s.ReduceWorkers > 1 {
 		a.ParallelQueries++
 	}
+	if s.Degraded {
+		a.DegradedQueries++
+	}
 }
 
 // atomicAggregate accumulates Aggregate counters with lock-free atomics, so
@@ -95,7 +106,7 @@ func (a *Aggregate) Add(s QueryStats) {
 type atomicAggregate struct {
 	queries, candidates, hits, pruned, trueHits, remaining, fetched,
 	pageReads, simulatedIO, genTime, reduceTime, refineTime,
-	lutQueries, parallelQueries atomic.Int64
+	lutQueries, parallelQueries, degradedQueries atomic.Int64
 }
 
 // Add folds one query's stats into the aggregate without locking.
@@ -118,6 +129,9 @@ func (a *atomicAggregate) Add(s QueryStats) {
 	if s.ReduceWorkers > 1 {
 		a.parallelQueries.Add(1)
 	}
+	if s.Degraded {
+		a.degradedQueries.Add(1)
+	}
 }
 
 // Load snapshots the counters into the exported Aggregate form.
@@ -137,6 +151,7 @@ func (a *atomicAggregate) Load() Aggregate {
 		RefineTime:      time.Duration(a.refineTime.Load()),
 		LUTQueries:      a.lutQueries.Load(),
 		ParallelQueries: a.parallelQueries.Load(),
+		DegradedQueries: a.degradedQueries.Load(),
 	}
 }
 
@@ -156,6 +171,7 @@ func (a *atomicAggregate) Reset() {
 	a.refineTime.Store(0)
 	a.lutQueries.Store(0)
 	a.parallelQueries.Store(0)
+	a.degradedQueries.Store(0)
 }
 
 func (a Aggregate) per(v int64) float64 {

@@ -1,0 +1,146 @@
+package disk
+
+import (
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeHeaderFile writes a file whose page 0 is a point-file header with the
+// given fields, followed by extraPages zero pages.
+func writeHeaderFile(t *testing.T, magic, dim, n, hasPerm uint32, pageSize, extraPages int) string {
+	t.Helper()
+	buf := make([]byte, pageSize*(1+extraPages))
+	le := binary.LittleEndian
+	le.PutUint32(buf[0:], magic)
+	le.PutUint32(buf[4:], dim)
+	le.PutUint32(buf[8:], n)
+	le.PutUint32(buf[12:], hasPerm)
+	path := filepath.Join(t.TempDir(), "pf")
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestOpenPointFileCorruptHeader is the regression suite for satellite 2:
+// corrupt headers must be rejected before computeGeometry/readPerm, not
+// turned into zero-size geometry or multi-GB allocations.
+func TestOpenPointFileCorruptHeader(t *testing.T) {
+	const ps = 256
+	cases := []struct {
+		name          string
+		magic, dim, n uint32
+		hasPerm       uint32
+		extraPages    int
+	}{
+		{name: "dim zero", magic: pfMagic, dim: 0, n: 10, extraPages: 4},
+		{name: "dim negative", magic: pfMagic, dim: ^uint32(0), n: 10, extraPages: 4},
+		{name: "n negative", magic: pfMagic, dim: 4, n: 1 << 31, extraPages: 4},
+		{name: "n beyond device", magic: pfMagic, dim: 4, n: 1 << 20, extraPages: 4},
+		{name: "huge n perm alloc", magic: pfMagic, dim: 4, n: 1<<31 - 1, hasPerm: 1, extraPages: 4},
+		{name: "perm pages beyond device", magic: pfMagic, dim: 4, n: 64, hasPerm: 1, extraPages: 1},
+		{name: "perm flag garbage", magic: pfMagic, dim: 4, n: 8, hasPerm: 7, extraPages: 4},
+		{name: "huge dim", magic: pfMagic, dim: 1 << 30, n: 1, extraPages: 4},
+		{name: "bad magic", magic: 0xDEADBEEF, dim: 4, n: 8, extraPages: 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := writeHeaderFile(t, tc.magic, tc.dim, tc.n, tc.hasPerm, ps, tc.extraPages)
+			pf, err := OpenPointFile(path, ps, 0)
+			if err == nil {
+				pf.Close()
+				t.Fatalf("OpenPointFile accepted corrupt header (dim=%#x n=%#x perm=%d)",
+					tc.dim, tc.n, tc.hasPerm)
+			}
+		})
+	}
+}
+
+// TestOpenPointFileCorruptPerm: a structurally valid header whose permutation
+// pages contain out-of-range slots must be rejected, not dereferenced later.
+func TestOpenPointFileCorruptPerm(t *testing.T) {
+	const ps = 256
+	// dim=4 (16-byte points, 16/page), n=8, hasPerm=1: 1 header + 1 perm +
+	// 1 data page.
+	path := writeHeaderFile(t, pfMagic, 4, 8, 1, ps, 2)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Perm page is page 1; poison entry 3 with an out-of-range slot.
+	binary.LittleEndian.PutUint32(raw[ps+4*3:], 99)
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if pf, err := OpenPointFile(path, ps, 0); err == nil {
+		pf.Close()
+		t.Fatal("OpenPointFile accepted out-of-range perm entry")
+	}
+}
+
+// TestOpenPointFileValidRoundTrip guards against over-tightening: a correct
+// header written by BuildPointFile must still open.
+func TestOpenPointFileValidRoundTrip(t *testing.T) {
+	ds := testDataset(t, 32, 8)
+	path := filepath.Join(t.TempDir(), "pf")
+	pf, err := BuildPointFile(path, ds, nil, 256, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf.Close()
+	pf2, err := OpenPointFile(path, 256, 0)
+	if err != nil {
+		t.Fatalf("valid file rejected: %v", err)
+	}
+	defer pf2.Close()
+	if pf2.Len() != 32 || pf2.Dim() != 8 {
+		t.Fatalf("shape %dx%d", pf2.Len(), pf2.Dim())
+	}
+}
+
+// FuzzOpenPointFile feeds arbitrary bytes as a point-file image. The open
+// path must reject or accept cleanly — no panics, no runaway allocations
+// (huge-n inputs are bounded by the device page count check).
+func FuzzOpenPointFile(f *testing.F) {
+	const ps = 256
+	le := binary.LittleEndian
+	seed := make([]byte, ps*3)
+	le.PutUint32(seed[0:], pfMagic)
+	le.PutUint32(seed[4:], 4)
+	le.PutUint32(seed[8:], 8)
+	le.PutUint32(seed[12:], 0)
+	f.Add(seed)
+	hostile := make([]byte, ps)
+	le.PutUint32(hostile[0:], pfMagic)
+	le.PutUint32(hostile[4:], 1)
+	le.PutUint32(hostile[8:], 1<<31-1)
+	le.PutUint32(hostile[12:], 1)
+	f.Add(hostile)
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 64*ps {
+			return // keep the corpus small; geometry bugs show up well below this
+		}
+		path := filepath.Join(t.TempDir(), "fuzz")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		pf, err := OpenPointFile(path, ps, 0)
+		if err != nil {
+			return
+		}
+		defer pf.Close()
+		// An accepted file must be internally consistent enough to fetch.
+		if pf.Len() > 0 {
+			if _, err := pf.Fetch(0, nil); err != nil {
+				t.Fatalf("accepted file failed Fetch(0): %v", err)
+			}
+			if _, err := pf.PageOf(pf.Len() - 1); err != nil {
+				t.Fatalf("accepted file failed PageOf(last): %v", err)
+			}
+		}
+	})
+}

@@ -8,7 +8,10 @@
 package disk
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"io"
 	"os"
 	"sync/atomic"
 	"time"
@@ -22,10 +25,19 @@ const DefaultPageSize = 4096
 // points it reproduces the paper's ~0.5 s EXACT refinement times.
 const DefaultTio = 5 * time.Millisecond
 
-// Stats is a snapshot of a device's I/O counters.
+// Stats is a snapshot of a device's I/O counters. PageReads counts logical
+// page reads (one per ReadPage call, however many physical attempts it
+// took), so per-query I/O accounting stays exact under retries; Retries and
+// the error counters expose the fault-handling activity separately.
 type Stats struct {
 	PageReads  int64
 	PageWrites int64
+
+	// Retries counts extra physical attempts spent recovering transient
+	// faults; TransientErrors/PermanentErrors count failed attempts by class.
+	Retries         int64
+	TransientErrors int64
+	PermanentErrors int64
 }
 
 // SimulatedIO returns the simulated I/O time for s under latency tio.
@@ -43,6 +55,13 @@ type Device struct {
 	reads  atomic.Int64
 	writes atomic.Int64
 	pages  atomic.Int64 // high-water page count
+
+	retries       atomic.Int64
+	transientErrs atomic.Int64
+	permanentErrs atomic.Int64
+
+	faults atomic.Pointer[Injector]    // nil: no fault injection
+	retry  atomic.Pointer[RetryPolicy] // nil: fail on first error
 }
 
 // Create creates (truncating) a page device at path.
@@ -85,9 +104,42 @@ func (d *Device) Tio() time.Duration { return d.tio }
 // NumPages returns the number of pages ever written.
 func (d *Device) NumPages() int { return int(d.pages.Load()) }
 
-// ReadPage reads page n into buf (len >= PageSize) and counts one physical
-// read. Short pages at the end of file are zero-padded.
+// SetFaults installs (or, with nil, removes) a fault injector on the
+// device's physical read path.
+func (d *Device) SetFaults(in *Injector) { d.faults.Store(in) }
+
+// SetRetry installs the transient-fault retry policy. MaxRetries < 1
+// disables retrying.
+func (d *Device) SetRetry(rp RetryPolicy) {
+	if rp.MaxRetries < 1 {
+		d.retry.Store(nil)
+		return
+	}
+	rp = rp.withDefaults()
+	d.retry.Store(&rp)
+}
+
+// RetryPolicy returns the installed retry policy (zero value when none).
+func (d *Device) RetryPolicy() RetryPolicy {
+	if rp := d.retry.Load(); rp != nil {
+		return *rp
+	}
+	return RetryPolicy{}
+}
+
+// ReadPage reads page n into buf (len >= PageSize) and counts one logical
+// read; see ReadPageCtx.
 func (d *Device) ReadPage(n int, buf []byte) error {
+	return d.ReadPageCtx(context.Background(), n, buf)
+}
+
+// ReadPageCtx is ReadPage under a request context. A short read at the end
+// of the file (io.EOF with a partial count) is a legitimate tail page and is
+// zero-padded; any other partial or failed read surfaces as a *PageError —
+// never as silently zero-filled data. Transient faults are retried per the
+// installed RetryPolicy with exponential backoff; a canceled ctx stops
+// retrying immediately and returns its error.
+func (d *Device) ReadPageCtx(ctx context.Context, n int, buf []byte) error {
 	if len(buf) < d.pageSize {
 		return fmt.Errorf("disk: buffer %d smaller than page %d", len(buf), d.pageSize)
 	}
@@ -95,16 +147,70 @@ func (d *Device) ReadPage(n int, buf []byte) error {
 		return fmt.Errorf("disk: page %d out of range [0,%d)", n, d.NumPages())
 	}
 	d.reads.Add(1)
-	got, err := d.f.ReadAt(buf[:d.pageSize], int64(n)*int64(d.pageSize))
-	if err != nil && got > 0 {
-		// Tail page shorter than pageSize: pad with zeros.
-		for i := got; i < d.pageSize; i++ {
-			buf[i] = 0
+	rp := d.retry.Load()
+	for attempt := 0; ; attempt++ {
+		err := d.readPageOnce(n, buf)
+		if err == nil {
+			return nil
 		}
-		return nil
+		var pe *PageError
+		if !errors.As(err, &pe) {
+			pe = &PageError{Page: n, Op: "read", Err: err}
+			err = pe
+		}
+		if pe.Transient {
+			d.transientErrs.Add(1)
+		} else {
+			d.permanentErrs.Add(1)
+		}
+		if !pe.Transient || rp == nil || attempt >= rp.MaxRetries {
+			return err
+		}
+		if cerr := sleepCtx(ctx, rp.delay(n, attempt)); cerr != nil {
+			return cerr
+		}
+		d.retries.Add(1)
 	}
+}
+
+// readPageOnce is one physical read attempt: fault injection first, then the
+// real ReadAt, with the EOF-only zero-pad rule applied to the outcome.
+func (d *Device) readPageOnce(n int, buf []byte) error {
+	off := int64(n) * int64(d.pageSize)
+	if in := d.faults.Load(); in != nil {
+		if r := in.match(n); r != nil {
+			switch r.Kind {
+			case FaultError:
+				return &PageError{Page: n, Op: "read", Transient: r.Transient, Err: ErrInjected}
+			case FaultTorn:
+				// Deliver a prefix of the page, scribble the rest, and fail
+				// with a non-EOF error: the classic mid-file partial read.
+				torn := r.TornBytes
+				if torn <= 0 || torn >= d.pageSize {
+					torn = d.pageSize / 2
+				}
+				d.f.ReadAt(buf[:torn], off)
+				for i := torn; i < d.pageSize; i++ {
+					buf[i] = 0xEB
+				}
+				return &PageError{Page: n, Op: "read", Transient: r.Transient, Err: ErrTornRead}
+			case FaultLatency:
+				time.Sleep(r.Latency)
+			}
+		}
+	}
+	got, err := d.f.ReadAt(buf[:d.pageSize], off)
 	if err != nil {
-		return fmt.Errorf("disk: read page %d: %w", n, err)
+		if errors.Is(err, io.EOF) && got > 0 {
+			// Tail page shorter than pageSize: pad with zeros. Only an EOF
+			// partial read is a legitimate short page — any other mid-file
+			// short read means lost data and must propagate.
+			for i := got; i < d.pageSize; i++ {
+				buf[i] = 0
+			}
+			return nil
+		}
+		return &PageError{Page: n, Op: "read", Err: err}
 	}
 	return nil
 }
@@ -119,7 +225,8 @@ func (d *Device) WritePage(n int, buf []byte) error {
 	}
 	d.writes.Add(1)
 	if _, err := d.f.WriteAt(buf, int64(n)*int64(d.pageSize)); err != nil {
-		return fmt.Errorf("disk: write page %d: %w", n, err)
+		d.permanentErrs.Add(1)
+		return &PageError{Page: n, Op: "write", Err: err}
 	}
 	for {
 		cur := d.pages.Load()
@@ -134,13 +241,22 @@ func (d *Device) WritePage(n int, buf []byte) error {
 
 // Stats returns a snapshot of the counters.
 func (d *Device) Stats() Stats {
-	return Stats{PageReads: d.reads.Load(), PageWrites: d.writes.Load()}
+	return Stats{
+		PageReads:       d.reads.Load(),
+		PageWrites:      d.writes.Load(),
+		Retries:         d.retries.Load(),
+		TransientErrors: d.transientErrs.Load(),
+		PermanentErrors: d.permanentErrs.Load(),
+	}
 }
 
 // ResetStats zeroes the counters (typically between queries or experiments).
 func (d *Device) ResetStats() {
 	d.reads.Store(0)
 	d.writes.Store(0)
+	d.retries.Store(0)
+	d.transientErrs.Store(0)
+	d.permanentErrs.Store(0)
 }
 
 // Close closes the underlying file.

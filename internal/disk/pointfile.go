@@ -1,6 +1,7 @@
 package disk
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"math"
@@ -140,14 +141,17 @@ func OpenPointFile(path string, pageSize int, tio time.Duration) (*PointFile, er
 		dev.Close()
 		return nil, fmt.Errorf("disk: %s is not a point file", path)
 	}
-	pf := &PointFile{
-		dev: dev,
-		dim: int(le.Uint32(hdr[4:])),
-		n:   int(le.Uint32(hdr[8:])),
+	dim := int(int32(le.Uint32(hdr[4:])))
+	n := int(int32(le.Uint32(hdr[8:])))
+	hasPerm := le.Uint32(hdr[12:])
+	if err := validatePointHeader(dim, n, hasPerm, pageSize, dev.NumPages()); err != nil {
+		dev.Close()
+		return nil, fmt.Errorf("disk: %s: %w", path, err)
 	}
+	pf := &PointFile{dev: dev, dim: dim, n: n}
 	pf.pointSize = 4 * pf.dim
 	pf.computeGeometry()
-	if le.Uint32(hdr[12:]) == 1 {
+	if hasPerm == 1 {
 		if err := pf.readPerm(); err != nil {
 			dev.Close()
 			return nil, err
@@ -156,6 +160,42 @@ func OpenPointFile(path string, pageSize int, tio time.Duration) (*PointFile, er
 	pf.dataStart = 1 + pf.permPages()
 	dev.ResetStats()
 	return pf, nil
+}
+
+// validatePointHeader rejects corrupt headers before any geometry or
+// allocation depends on them: a non-positive dimensionality, a negative
+// count, an out-of-range permutation flag, or a dim/n/perm combination whose
+// page footprint exceeds what the device actually holds. Without the last
+// check a corrupt n either yields zero-size point geometry or drives
+// readPerm into a multi-gigabyte allocation.
+func validatePointHeader(dim, n int, hasPerm uint32, pageSize, numPages int) error {
+	if dim < 1 {
+		return fmt.Errorf("corrupt header: dim %d < 1", dim)
+	}
+	if n < 0 {
+		return fmt.Errorf("corrupt header: n %d < 0", n)
+	}
+	if hasPerm > 1 {
+		return fmt.Errorf("corrupt header: perm flag %d", hasPerm)
+	}
+	ps := int64(pageSize)
+	pointSize := 4 * int64(dim)
+	var dataPages int64
+	if pointSize <= ps {
+		perPage := ps / pointSize
+		dataPages = (int64(n) + perPage - 1) / perPage
+	} else {
+		dataPages = int64(n) * ((pointSize + ps - 1) / ps)
+	}
+	var permPages int64
+	if hasPerm == 1 {
+		permPages = (4*int64(n) + ps - 1) / ps
+	}
+	if need := 1 + permPages + dataPages; need > int64(numPages) {
+		return fmt.Errorf("corrupt header: dim %d, n %d need %d pages, device has %d",
+			dim, n, need, numPages)
+	}
+	return nil
 }
 
 func (pf *PointFile) computeGeometry() {
@@ -202,7 +242,11 @@ func (pf *PointFile) readPerm() error {
 		}
 	}
 	for i := range pf.perm {
-		pf.perm[i] = int32(binary.LittleEndian.Uint32(buf[4*i:]))
+		s := int32(binary.LittleEndian.Uint32(buf[4*i:]))
+		if s < 0 || int(s) >= pf.n {
+			return fmt.Errorf("disk: corrupt perm: slot %d out of range [0,%d) at entry %d", s, pf.n, i)
+		}
+		pf.perm[i] = s
 	}
 	return nil
 }
@@ -250,6 +294,12 @@ func (pf *PointFile) Len() int { return pf.n }
 // one page read per page touched. This is the operation whose count the
 // whole paper is about minimizing.
 func (pf *PointFile) Fetch(id int, dst []float32) ([]float32, error) {
+	return pf.FetchCtx(context.Background(), id, dst)
+}
+
+// FetchCtx is Fetch under a request context: a canceled ctx stops any
+// transient-fault retry backoff immediately.
+func (pf *PointFile) FetchCtx(ctx context.Context, id int, dst []float32) ([]float32, error) {
 	if id < 0 || id >= pf.n {
 		return nil, fmt.Errorf("disk: point id %d out of range [0,%d)", id, pf.n)
 	}
@@ -268,7 +318,7 @@ func (pf *PointFile) Fetch(id int, dst []float32) ([]float32, error) {
 	defer pf.putBuf(buf)
 	if pf.perPage > 0 {
 		page := *buf
-		if err := pf.dev.ReadPage(pf.dataStart+slot/pf.perPage, page); err != nil {
+		if err := pf.dev.ReadPageCtx(ctx, pf.dataStart+slot/pf.perPage, page); err != nil {
 			return nil, err
 		}
 		decodePoint(dst, page[(slot%pf.perPage)*pf.pointSize:])
@@ -276,7 +326,7 @@ func (pf *PointFile) Fetch(id int, dst []float32) ([]float32, error) {
 	}
 	rec := *buf
 	for q := 0; q < pf.pagesPer; q++ {
-		if err := pf.dev.ReadPage(pf.dataStart+slot*pf.pagesPer+q, rec[q*ps:(q+1)*ps]); err != nil {
+		if err := pf.dev.ReadPageCtx(ctx, pf.dataStart+slot*pf.pagesPer+q, rec[q*ps:(q+1)*ps]); err != nil {
 			return nil, err
 		}
 	}
@@ -310,6 +360,12 @@ func (pf *PointFile) PageOf(id int) (int, error) {
 // Every id must live on the given unit, i.e. PageOf(id) == page; an id from
 // another page is an error and nothing is charged for it beyond the one read.
 func (pf *PointFile) FetchOnPage(page int, ids []int, out [][]float32) error {
+	return pf.FetchOnPageCtx(context.Background(), page, ids, out)
+}
+
+// FetchOnPageCtx is FetchOnPage under a request context: a canceled ctx
+// stops any transient-fault retry backoff immediately.
+func (pf *PointFile) FetchOnPageCtx(ctx context.Context, page int, ids []int, out [][]float32) error {
 	if len(ids) != len(out) {
 		return fmt.Errorf("disk: FetchOnPage ids/out length mismatch (%d != %d)", len(ids), len(out))
 	}
@@ -330,7 +386,7 @@ func (pf *PointFile) FetchOnPage(page int, ids []int, out [][]float32) error {
 	defer pf.putBuf(buf)
 	rec := *buf
 	for q := 0; q < pf.pagesPer; q++ {
-		if err := pf.dev.ReadPage(page+q, rec[q*ps:(q+1)*ps]); err != nil {
+		if err := pf.dev.ReadPageCtx(ctx, page+q, rec[q*ps:(q+1)*ps]); err != nil {
 			return err
 		}
 	}
@@ -365,6 +421,16 @@ func (pf *PointFile) getBuf() *[]byte {
 }
 
 func (pf *PointFile) putBuf(b *[]byte) { pf.bufPool.Put(b) }
+
+// SetFaults installs (or, with nil, removes) a fault injector on the
+// backing device.
+func (pf *PointFile) SetFaults(in *Injector) { pf.dev.SetFaults(in) }
+
+// SetRetry installs the transient-fault retry policy on the backing device.
+func (pf *PointFile) SetRetry(rp RetryPolicy) { pf.dev.SetRetry(rp) }
+
+// Device returns the backing device (fault/retry configuration, stats).
+func (pf *PointFile) Device() *Device { return pf.dev }
 
 // Stats exposes the underlying device counters.
 func (pf *PointFile) Stats() Stats { return pf.dev.Stats() }

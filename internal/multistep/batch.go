@@ -22,6 +22,7 @@
 package multistep
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"slices"
@@ -92,9 +93,13 @@ func (it *batchItem) peek() (GroupCandidate, bool) {
 }
 
 // cachedUnit is one fetch unit held in memory for the duration of the batch.
+// failed marks a unit the fetcher dropped with ErrSkipCandidate (degraded
+// mode): every query that demands it skips it without distribution, and the
+// failure is remembered so the unit is attempted only once per batch.
 type cachedUnit struct {
-	ids []int32
-	pts [][]float32
+	ids    []int32
+	pts    [][]float32
+	failed bool
 }
 
 // SearchBatchSq refines a batch of queries to their k nearest, reading each
@@ -153,6 +158,11 @@ func SearchBatchSq(items []BatchQuery, fetch BatchFetch) ([][]Result, int, error
 		if u == nil {
 			ids, pts, err := fetch(bestC.Group, best)
 			if err != nil {
+				if errors.Is(err, ErrSkipCandidate) {
+					units[bestC.Group] = &cachedUnit{failed: true}
+					states[best].processed[bestC.Group] = true
+					continue
+				}
 				return nil, loads, fmt.Errorf("multistep: loading unit %d: %w", bestC.Group, err)
 			}
 			u = &cachedUnit{ids: ids, pts: pts}
@@ -161,6 +171,9 @@ func SearchBatchSq(items []BatchQuery, fetch BatchFetch) ([][]Result, int, error
 		}
 		it := &states[best]
 		it.processed[bestC.Group] = true
+		if u.failed {
+			continue
+		}
 		q := &items[best]
 		for i, id := range u.ids {
 			if q.Skip[id] {

@@ -8,6 +8,7 @@
 package multistep
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"slices"
@@ -97,6 +98,13 @@ func (sc *Scratch) SearchGroupsSq(seeds, pending []GroupCandidate, k int, skip m
 		}
 		ids, sqDists, err := fetch(c.Group)
 		if err != nil {
+			if errors.Is(err, ErrSkipCandidate) {
+				// Group dropped by the fetcher (degraded mode): every member
+				// is unloadable, so remember the group to skip its other
+				// members too. Not counted as a load.
+				sc.loaded[c.Group] = true
+				continue
+			}
 			return dst, loads, fmt.Errorf("multistep: loading group %d: %w", c.Group, err)
 		}
 		sc.loaded[c.Group] = true

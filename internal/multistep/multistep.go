@@ -11,6 +11,7 @@
 package multistep
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"slices"
@@ -18,6 +19,16 @@ import (
 
 	"exploitbit/internal/vec"
 )
+
+// ErrSkipCandidate is a sentinel a Fetch/GroupFetch/BatchFetch implementation
+// returns (possibly wrapped) to drop the demanded candidate or unit from the
+// schedule without aborting the query — the degraded-mode plumbing: a sharded
+// engine serving around a quarantined shard resolves that shard's candidates
+// to this error instead of failing the whole search. A skipped fetch is not
+// counted as refinement I/O. Any other fetch error still aborts: silently
+// continuing past an unclassified failure would surface partial results as
+// complete ones.
+var ErrSkipCandidate = errors.New("multistep: skip candidate")
 
 // Candidate is a refinement candidate: a point identifier with the distance
 // bounds known so far. Uncached candidates carry LB=0, UB=+Inf (Algorithm 1
@@ -61,6 +72,9 @@ func Search(q []float32, cands []Candidate, k int, fetch Fetch) ([]Result, int, 
 		}
 		p, err := fetch(c.ID)
 		if err != nil {
+			if errors.Is(err, ErrSkipCandidate) {
+				continue
+			}
 			return nil, fetched, fmt.Errorf("multistep: fetching candidate %d: %w", c.ID, err)
 		}
 		fetched++
@@ -130,6 +144,9 @@ func (sc *Scratch) SearchSq(q []float32, cands []Candidate, k int, fetch Fetch, 
 		}
 		p, err := fetch(c.ID)
 		if err != nil {
+			if errors.Is(err, ErrSkipCandidate) {
+				continue
+			}
 			return dst, fetched, fmt.Errorf("multistep: fetching candidate %d: %w", c.ID, err)
 		}
 		fetched++

@@ -28,6 +28,8 @@ import (
 	"net/http"
 	"sync/atomic"
 	"time"
+
+	"exploitbit/internal/disk"
 )
 
 // Searcher is the engine-shaped dependency (core.Engine and core.Maintainer
@@ -60,6 +62,13 @@ type Stats struct {
 	GenTime    time.Duration `json:"gen_ns"`
 	ReduceTime time.Duration `json:"reduce_ns"`
 	RefineTime time.Duration `json:"refine_ns"`
+
+	// Degraded marks a query answered without one or more quarantined
+	// shards (see FailedShards): the results are correct over the surviving
+	// shards but may miss neighbors stored on the failed ones. Only set on
+	// sharded deployments serving with -degraded-ok.
+	Degraded     bool  `json:"degraded,omitempty"`
+	FailedShards []int `json:"failed_shards,omitempty"`
 }
 
 // Config sizes and guards the handler.
@@ -121,6 +130,9 @@ type Handler struct {
 	canceled   atomic.Int64 // searches abandoned by client disconnect/deadline
 	encodeErrs atomic.Int64 // response bodies that failed to write (client gone)
 
+	degraded  atomic.Int64 // searches answered without a quarantined shard
+	transient atomic.Int64 // searches failed (then 503'd) on transient I/O errors
+
 	batches   atomic.Int64 // /search/batch requests served
 	batchShed atomic.Int64 // batches refused because the gate lacked slots
 
@@ -132,6 +144,7 @@ type Handler struct {
 
 	rebuildStats func() RebuildStats
 	shardStats   func() []ShardStat
+	ioStats      func() IOStats
 }
 
 // RebuildStats reports the maintainer's background cache-rebuild activity
@@ -168,6 +181,11 @@ type ShardStat struct {
 	Fetched       int64   `json:"fetched"`
 	PageReads     int64   `json:"page_reads"`
 
+	// Quarantined marks a shard currently served around after a permanent
+	// storage failure; FetchFailures counts the failures that put it there.
+	Quarantined   bool  `json:"quarantined,omitempty"`
+	FetchFailures int64 `json:"fetch_failures,omitempty"`
+
 	// Maintain carries the shard's own rebuild activity when the sharded
 	// maintainer is running (each shard rebuilds independently).
 	Maintain *RebuildStats `json:"maintain,omitempty"`
@@ -176,6 +194,20 @@ type ShardStat struct {
 // SetShardStats registers a snapshot source for per-shard telemetry; /stats
 // and /metrics then carry a "shards" array. Call before serving.
 func (h *Handler) SetShardStats(fn func() []ShardStat) { h.shardStats = fn }
+
+// IOStats is the storage-layer fault/retry telemetry for /metrics: retries
+// that recovered transient faults, and the error counts by classification.
+// These are device-level counters — retries do not inflate the logical
+// page_reads the cache model is judged on.
+type IOStats struct {
+	Retries         int64 `json:"io_retries"`
+	TransientErrors int64 `json:"io_errors_transient"`
+	PermanentErrors int64 `json:"io_errors_permanent"`
+}
+
+// SetIOStats registers a snapshot source for storage fault telemetry; /metrics
+// then carries an "io" object. Call before serving.
+func (h *Handler) SetIOStats(fn func() IOStats) { h.ioStats = fn }
 
 // New builds the handler.
 func New(s Searcher, cfg Config) *Handler {
@@ -209,6 +241,10 @@ type searchRequest struct {
 type searchResponse struct {
 	IDs   []int `json:"ids"`
 	Stats Stats `json:"stats"`
+
+	// Degraded mirrors Stats.Degraded at the top level so clients that only
+	// look at ids cannot miss that the answer may be partial.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 type errorResponse struct {
@@ -291,8 +327,20 @@ func (h *Handler) handleSearch(w http.ResponseWriter, r *http.Request) {
 			h.fail(w, statusClientClosedRequest, "search abandoned: %v", err)
 			return
 		}
+		if disk.IsTransient(err) {
+			// A transient storage fault exhausted the retry budget. The
+			// condition is expected to clear, so tell the client to retry
+			// rather than reporting a server fault.
+			h.transient.Add(1)
+			w.Header().Set("Retry-After", "1")
+			h.fail(w, http.StatusServiceUnavailable, "transient storage error, retry: %v", err)
+			return
+		}
 		h.fail(w, http.StatusInternalServerError, "search failed: %v", err)
 		return
+	}
+	if st.Degraded {
+		h.degraded.Add(1)
 	}
 	h.queries.Add(1)
 	h.fetched.Add(int64(st.Fetched))
@@ -302,7 +350,7 @@ func (h *Handler) handleSearch(w http.ResponseWriter, r *http.Request) {
 	h.latReduce.Observe(st.ReduceTime)
 	h.latRefine.Observe(st.RefineTime + st.SimulatedIO)
 
-	h.writeJSON(w, http.StatusOK, searchResponse{IDs: ids, Stats: st})
+	h.writeJSON(w, http.StatusOK, searchResponse{IDs: ids, Stats: st, Degraded: st.Degraded})
 }
 
 type batchSearchRequest struct {
@@ -394,6 +442,12 @@ func (h *Handler) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 			h.fail(w, statusClientClosedRequest, "batch abandoned: %v", err)
 			return
 		}
+		if disk.IsTransient(err) {
+			h.transient.Add(1)
+			w.Header().Set("Retry-After", "1")
+			h.fail(w, http.StatusServiceUnavailable, "transient storage error, retry: %v", err)
+			return
+		}
 		h.fail(w, http.StatusInternalServerError, "batch search failed: %v", err)
 		return
 	}
@@ -407,7 +461,10 @@ func (h *Handler) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	for i := range ids {
 		st := sts[i]
-		resp.Results[i] = searchResponse{IDs: ids[i], Stats: st}
+		resp.Results[i] = searchResponse{IDs: ids[i], Stats: st, Degraded: st.Degraded}
+		if st.Degraded {
+			h.degraded.Add(1)
+		}
 		resp.Batch.PageReads += st.PageReads
 		h.queries.Add(1)
 		h.fetched.Add(int64(st.Fetched))
@@ -461,16 +518,24 @@ type latencyMetrics struct {
 }
 
 type metricsResponse struct {
-	Queries        int64          `json:"queries"`
-	Batches        int64          `json:"batches"`
-	InFlight       int            `json:"in_flight"`
-	AdmissionLimit int            `json:"admission_limit"`
-	Shed           int64          `json:"shed"`
-	BatchShed      int64          `json:"batch_shed"`
-	Canceled       int64          `json:"canceled"`
-	EncodeErrors   int64          `json:"encode_errors"`
-	Latency        latencyMetrics `json:"latency"`
-	Shards         []ShardStat    `json:"shards,omitempty"`
+	Queries        int64 `json:"queries"`
+	Batches        int64 `json:"batches"`
+	InFlight       int   `json:"in_flight"`
+	AdmissionLimit int   `json:"admission_limit"`
+	Shed           int64 `json:"shed"`
+	BatchShed      int64 `json:"batch_shed"`
+	Canceled       int64 `json:"canceled"`
+	EncodeErrors   int64 `json:"encode_errors"`
+
+	// Fault-tolerance counters: searches answered around a quarantined shard,
+	// searches 503'd on an unrecovered transient fault, and (when an IOStats
+	// source is registered) the storage layer's retry/error totals.
+	DegradedSearches  int64    `json:"degraded_searches"`
+	TransientFailures int64    `json:"transient_failures"`
+	IO                *IOStats `json:"io,omitempty"`
+
+	Latency latencyMetrics `json:"latency"`
+	Shards  []ShardStat    `json:"shards,omitempty"`
 }
 
 func (h *Handler) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -478,15 +543,23 @@ func (h *Handler) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if h.shardStats != nil {
 		shards = h.shardStats()
 	}
+	var io *IOStats
+	if h.ioStats != nil {
+		s := h.ioStats()
+		io = &s
+	}
 	h.writeJSON(w, http.StatusOK, metricsResponse{
-		Queries:        h.queries.Load(),
-		Batches:        h.batches.Load(),
-		InFlight:       len(h.gate),
-		AdmissionLimit: cap(h.gate),
-		Shed:           h.shed.Load(),
-		BatchShed:      h.batchShed.Load(),
-		Canceled:       h.canceled.Load(),
-		EncodeErrors:   h.encodeErrs.Load(),
+		Queries:           h.queries.Load(),
+		Batches:           h.batches.Load(),
+		InFlight:          len(h.gate),
+		AdmissionLimit:    cap(h.gate),
+		Shed:              h.shed.Load(),
+		BatchShed:         h.batchShed.Load(),
+		Canceled:          h.canceled.Load(),
+		EncodeErrors:      h.encodeErrs.Load(),
+		DegradedSearches:  h.degraded.Load(),
+		TransientFailures: h.transient.Load(),
+		IO:                io,
 		Latency: latencyMetrics{
 			Total:      h.latTotal.Snapshot(),
 			Reduce:     h.latReduce.Snapshot(),

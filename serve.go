@@ -5,6 +5,7 @@ import (
 	"net/http"
 	"time"
 
+	"exploitbit/internal/disk"
 	"exploitbit/internal/server"
 )
 
@@ -46,6 +47,22 @@ func wireStats(st QueryStats) server.Stats {
 		GenTime:     st.GenTime,
 		ReduceTime:  st.ReduceTime,
 		RefineTime:  st.RefineTime,
+
+		Degraded:     st.Degraded,
+		FailedShards: st.FailedShards,
+	}
+}
+
+// wireIOStats adapts a disk-level stats snapshot source to the handler's
+// /metrics io block.
+func wireIOStats(fn func() disk.Stats) func() server.IOStats {
+	return func() server.IOStats {
+		ds := fn()
+		return server.IOStats{
+			Retries:         ds.Retries,
+			TransientErrors: ds.TransientErrors,
+			PermanentErrors: ds.PermanentErrors,
+		}
 	}
 }
 
@@ -77,7 +94,9 @@ func Serve(eng *Engine, dim int) http.Handler {
 
 // ServeWith is Serve with explicit lifecycle options.
 func ServeWith(eng *Engine, dim int, opt ServeOptions) http.Handler {
-	return server.New(engineSearcher{search: eng.SearchCtx, batch: eng.SearchBatchCtx}, opt.config(dim))
+	h := server.New(engineSearcher{search: eng.SearchCtx, batch: eng.SearchBatchCtx}, opt.config(dim))
+	h.SetIOStats(wireIOStats(eng.DiskStats))
+	return h
 }
 
 // ServeMaintained is Serve over a self-maintaining engine: the cache
@@ -91,6 +110,7 @@ func ServeMaintained(m *Maintainer, dim int) http.Handler {
 func ServeMaintainedWith(m *Maintainer, dim int, opt ServeOptions) http.Handler {
 	h := server.New(engineSearcher{search: m.SearchCtx, batch: m.SearchBatchCtx}, opt.config(dim))
 	h.SetRebuildStats(func() server.RebuildStats { return wireRebuildStats(m.Stats()) })
+	h.SetIOStats(wireIOStats(m.DiskStats))
 	return h
 }
 
@@ -128,6 +148,8 @@ func wireShardStats(se *Sharded, maintain func() []MaintainStats) func() []serve
 				Hits:          a.Agg.Hits,
 				Fetched:       a.Agg.Fetched,
 				PageReads:     a.Agg.PageReads,
+				Quarantined:   a.Quarantined,
+				FetchFailures: a.FetchFailures,
 			}
 			if a.Agg.Candidates > 0 {
 				st.HitRatio = float64(a.Agg.Hits) / float64(a.Agg.Candidates)
@@ -153,6 +175,7 @@ func ServeSharded(se *Sharded, dim int) http.Handler {
 func ServeShardedWith(se *Sharded, dim int, opt ServeOptions) http.Handler {
 	h := server.New(engineSearcher{search: se.SearchCtx, batch: se.SearchBatchCtx}, opt.config(dim))
 	h.SetShardStats(wireShardStats(se, nil))
+	h.SetIOStats(wireIOStats(se.DiskStats))
 	return h
 }
 
@@ -169,5 +192,6 @@ func ServeShardedMaintainedWith(m *ShardedMaintainer, dim int, opt ServeOptions)
 	h := server.New(engineSearcher{search: m.SearchCtx, batch: m.SearchBatchCtx}, opt.config(dim))
 	h.SetRebuildStats(func() server.RebuildStats { return wireRebuildStats(m.Stats()) })
 	h.SetShardStats(wireShardStats(m.Sharded(), m.ShardStats))
+	h.SetIOStats(wireIOStats(m.DiskStats))
 	return h
 }
