@@ -41,6 +41,10 @@ func main() {
 		addr     = flag.String("addr", ":8080", "listen address")
 		maintain = flag.Bool("maintain", false, "enable automatic cache rebuilds under workload drift")
 
+		adaptiveTau     = flag.Bool("adaptive-tau", false, "with -maintain: arm the cost-model drift watchdog, re-tuning tau when the model predicts a cheaper code length for the live workload")
+		retuneThreshold = flag.Float64("retune-threshold", 0.10, "minimum predicted relative C_refine improvement before a window counts toward a retune")
+		retuneWindows   = flag.Int("retune-windows", 3, "consecutive over-threshold windows required before a retune rebuild fires")
+
 		shards      = flag.Int("shards", 1, "serve through this many scatter-gather shard units (1 = unsharded)")
 		shardLayout = flag.String("shard-layout", string(exploitbit.RoundRobin), "shard partitioning: round-robin or clustered")
 
@@ -111,11 +115,19 @@ func main() {
 	tau := sys.OptimalTau(cs)
 	cfg := core.Config{Method: exploitbit.Method(*method), CacheBytes: cs, Tau: tau, SmoothEps: 0.01}
 	sopt := exploitbit.ServeOptions{MaxK: *maxK, MaxInFlight: *maxInFlight, MaxBatch: *maxBatch}
+	if *adaptiveTau && !*maintain {
+		log.Printf("ebc-serve: -adaptive-tau has no effect without -maintain")
+	}
+	mopt := exploitbit.MaintainOptions{
+		AdaptiveTau:     *adaptiveTau,
+		RetuneThreshold: *retuneThreshold,
+		RetuneWindows:   *retuneWindows,
+	}
 	var handler http.Handler
 	var drainMaintainer func() // set when a maintainer needs closing after drain
 	switch {
 	case *shards > 1 && *maintain:
-		m, err := sys.MaintainedSharded(cfg, exploitbit.MaintainOptions{})
+		m, err := sys.MaintainedSharded(cfg, mopt)
 		if err != nil {
 			log.Fatal("ebc-serve: ", err)
 		}
@@ -130,7 +142,7 @@ func main() {
 		se.SetDegradedOK(*degradedOK)
 		handler = exploitbit.ServeShardedWith(se, ds.Dim, sopt)
 	case *maintain:
-		m, err := sys.Maintained(cfg, exploitbit.MaintainOptions{})
+		m, err := sys.Maintained(cfg, mopt)
 		if err != nil {
 			log.Fatal("ebc-serve: ", err)
 		}

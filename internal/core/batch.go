@@ -253,9 +253,14 @@ func (m *Maintainer) SearchBatchCtx(ctx context.Context, qs [][]float32, k int) 
 	}
 	for i, q := range qs {
 		// launchRebuild is CAS-guarded, so repeated triggers within one batch
-		// start at most one rebuild.
-		if wl := m.recordQuery(q, sts[i]); wl != nil {
-			m.launchRebuild(wl, k)
+		// start at most one rebuild (and launchEvaluate at most one window
+		// evaluation).
+		sig := m.recordQuery(q, sts[i])
+		if sig.rebuildWL != nil {
+			m.launchRebuild(sig.rebuildWL, k, m.curTau(), false)
+		}
+		if sig.evalWL != nil {
+			m.launchEvaluate(sig.obsHit, sig.obsRefine, sig.evalWL, k)
 		}
 	}
 	return results, sts, nil

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"exploitbit/internal/costmodel"
 	"exploitbit/internal/dataset"
 	"exploitbit/internal/disk"
 )
@@ -36,9 +37,21 @@ type Maintainer struct {
 	// under mu when a rebuild completes.
 	eng atomic.Pointer[Engine]
 
-	// build constructs a replacement engine from a window of queries. It is
-	// a field so tests can inject failures; the default is buildEngine.
-	build func(wl [][]float32, k int) (*Engine, error)
+	// build constructs a replacement engine from a window of queries at a
+	// code length. It is a field so tests can inject failures; the default
+	// is buildEngine.
+	build func(wl [][]float32, k, tau int) (*Engine, error)
+
+	// tau is the code length of the serving engine. Drift and quarantine
+	// rebuilds preserve it; only a watchdog retune moves it.
+	tau     atomic.Int64
+	retunes atomic.Int64
+
+	// monitor is the Section 4 drift watchdog; nil unless AdaptiveTau. One
+	// background window evaluation runs at a time (evaluating CAS) — a slow
+	// re-profile simply skips windows instead of piling up goroutines.
+	monitor    *costmodel.Monitor
+	evaluating atomic.Bool
 
 	// rebuildMu serializes rebuild *execution* (profile + engine build),
 	// never searches. rebuilding is the launch guard: only one background
@@ -69,6 +82,66 @@ type Maintainer struct {
 	// for a few counter updates per query, never across a search or a build.
 	mu    sync.Mutex
 	drift driftState
+	adapt adaptWindow
+}
+
+// adaptWindow accumulates one watchdog window's candidate-weighted observed
+// ratios. The owner provides the locking.
+type adaptWindow struct {
+	hits, cands, remaining int64
+	n, size                int
+}
+
+// add folds one served query. When the window completes it returns the
+// observed (ρ_hit, ρ_refine) and resets; a window that saw no candidates is
+// discarded (nothing to compare the model against).
+func (w *adaptWindow) add(st QueryStats) (float64, float64, bool) {
+	if w.size <= 0 {
+		return 0, 0, false
+	}
+	w.hits += int64(st.Hits)
+	w.cands += int64(st.Candidates)
+	w.remaining += int64(st.Remaining)
+	w.n++
+	if w.n < w.size {
+		return 0, 0, false
+	}
+	hits, cands, rem := w.hits, w.cands, w.remaining
+	w.reset()
+	if cands == 0 {
+		return 0, 0, false
+	}
+	return float64(hits) / float64(cands), float64(rem) / float64(cands), true
+}
+
+func (w *adaptWindow) reset() {
+	w.hits, w.cands, w.remaining = 0, 0, 0
+	w.n = 0
+}
+
+// maintSignal is what one recorded query asks the maintainer to launch:
+// a drift rebuild (the one-window countdown expired), an adaptive window
+// evaluation, or neither.
+type maintSignal struct {
+	rebuildWL [][]float32 // non-nil: launch a drift rebuild from this window
+	evalWL    [][]float32 // non-nil: evaluate this window against the model
+
+	obsHit, obsRefine float64 // observed ratios of the completed window
+}
+
+// adaptInputs assembles the Section 4 model inputs from a freshly profiled
+// window and the engine's geometry, mirroring System.CostInputs.
+func adaptInputs(prof *Profile, ds *dataset.Dataset, budget int64) costmodel.Inputs {
+	return costmodel.Inputs{
+		AvgCandSize: prof.AvgCandSize,
+		FreqSorted:  prof.FreqSorted(),
+		BudgetBytes: budget,
+		Dim:         ds.Dim,
+		DomainWidth: ds.Domain.Hi - ds.Domain.Lo,
+		Ndom:        ds.Domain.Ndom,
+		Dmax:        prof.AvgDmax,
+		Lvalue:      32,
+	}
 }
 
 // driftState is the drift detector of one maintained engine: the sliding
@@ -186,6 +259,22 @@ type MaintainOptions struct {
 	// rebuild in flight while exercising searches, shutdown and /stats
 	// against it. Production configurations leave it nil.
 	RebuildGate chan struct{}
+
+	// AdaptiveTau arms the Section 4 drift watchdog: every WindowSize served
+	// queries the maintainer re-profiles the window off the search path,
+	// feeds the observed ρ_hit/ρ_refine and the model's predictions for the
+	// serving τ into a costmodel.Monitor, and — when the predicted C_refine
+	// improvement of the recommended τ stays above RetuneThreshold for
+	// RetuneWindows consecutive windows — launches a retune rebuild at that
+	// τ through the same RCU machinery as drift rebuilds. Off by default:
+	// the engine then behaves bit-identically to a non-adaptive one.
+	AdaptiveTau bool
+	// RetuneThreshold is the minimum predicted relative C_refine improvement
+	// that counts a window as drifted (default 0.10).
+	RetuneThreshold float64
+	// RetuneWindows is how many consecutive over-threshold windows must
+	// accumulate before a retune fires (default 3).
+	RetuneWindows int
 }
 
 func (o MaintainOptions) withDefaults() MaintainOptions {
@@ -219,6 +308,12 @@ type MaintainStats struct {
 	// fault state.
 	Quarantines int
 	Quarantined bool
+
+	// Retunes counts watchdog-triggered τ retune rebuilds that swapped in;
+	// Tau is the serving engine's code length (for a sharded aggregate, the
+	// shards' τ when they all agree and 0 when they have diverged).
+	Retunes int
+	Tau     int
 }
 
 // NewMaintainer wraps an initial workload into a self-maintaining engine.
@@ -230,7 +325,16 @@ func NewMaintainer(pf *disk.PointFile, ds *dataset.Dataset, cands CandidateFunc,
 		rebuildGate: opt.RebuildGate,
 	}
 	m.build = m.buildEngine
-	eng, err := m.buildEngine(initialWL, k)
+	tau := cfg.withDefaults().Tau
+	m.tau.Store(int64(tau))
+	if opt.AdaptiveTau {
+		m.adapt.size = opt.WindowSize
+		m.monitor = costmodel.NewMonitor(tau, costmodel.MonitorConfig{
+			Threshold: opt.RetuneThreshold,
+			Windows:   opt.RetuneWindows,
+		})
+	}
+	eng, err := m.buildEngine(initialWL, k, tau)
 	if err != nil {
 		return nil, fmt.Errorf("core: initial maintained engine: %w", err)
 	}
@@ -238,11 +342,17 @@ func NewMaintainer(pf *disk.PointFile, ds *dataset.Dataset, cands CandidateFunc,
 	return m, nil
 }
 
-// buildEngine is the default build: profile the window, construct the engine.
-func (m *Maintainer) buildEngine(wl [][]float32, k int) (*Engine, error) {
+// buildEngine is the default build: profile the window, construct the engine
+// at the requested code length.
+func (m *Maintainer) buildEngine(wl [][]float32, k, tau int) (*Engine, error) {
 	prof := BuildProfile(m.ds, m.cands, wl, k)
-	return NewEngine(m.pf, prof, m.cands, m.cfg)
+	cfg := m.cfg
+	cfg.Tau = tau
+	return NewEngine(m.pf, prof, m.cands, cfg)
 }
+
+// curTau returns the serving engine's code length.
+func (m *Maintainer) curTau() int { return int(m.tau.Load()) }
 
 // Engine returns the currently serving engine (for inspection).
 func (m *Maintainer) Engine() *Engine { return m.eng.Load() }
@@ -260,6 +370,8 @@ func (m *Maintainer) Stats() MaintainStats {
 		Rebuilds:        int(m.rebuilds.Load()),
 		RebuildErrors:   int(m.rebuildErrs.Load()),
 		RebuildInFlight: m.rebuilding.Load(),
+		Retunes:         int(m.retunes.Load()),
+		Tau:             m.curTau(),
 	}
 	if ns := m.lastWallNs.Load(); ns > 0 {
 		st.LastRebuildWall = time.Duration(ns)
@@ -299,26 +411,81 @@ func (m *Maintainer) SearchIntoCtx(ctx context.Context, q []float32, k int, dst 
 		return nil, st, err
 	}
 
-	if wl := m.recordQuery(q, st); wl != nil {
-		m.launchRebuild(wl, k)
+	sig := m.recordQuery(q, st)
+	if sig.rebuildWL != nil {
+		m.launchRebuild(sig.rebuildWL, k, m.curTau(), false)
+	}
+	if sig.evalWL != nil {
+		m.launchEvaluate(sig.obsHit, sig.obsRefine, sig.evalWL, k)
 	}
 	return ids, st, nil
 }
 
-// recordQuery folds one served query into the drift window. When drift is
-// detected (and no rebuild is already in flight) it arms a one-window
-// countdown; once the window holds only post-detection queries it snapshots
-// and returns the rebuild workload. Otherwise it returns nil.
-func (m *Maintainer) recordQuery(q []float32, st QueryStats) [][]float32 {
+// recordQuery folds one served query into the drift window and, when
+// adaptive, the watchdog window. When drift is detected (and no rebuild is
+// already in flight) it arms a one-window countdown; once the window holds
+// only post-detection queries it snapshots and returns the rebuild workload.
+// A completed watchdog window returns its observed ratios and a snapshot to
+// evaluate.
+func (m *Maintainer) recordQuery(q []float32, st QueryStats) maintSignal {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.drift.record(q, st, func() bool { return m.rebuilding.CompareAndSwap(false, true) })
+	var sig maintSignal
+	sig.rebuildWL = m.drift.record(q, st, func() bool { return m.rebuilding.CompareAndSwap(false, true) })
+	if m.monitor != nil {
+		if hit, ref, done := m.adapt.add(st); done {
+			sig.obsHit, sig.obsRefine = hit, ref
+			sig.evalWL = m.drift.snapshot()
+		}
+	}
+	return sig
 }
 
-// launchRebuild starts the background rebuild for a window snapshot. The
-// caller must have won the m.rebuilding CAS. After Close the launch is
-// refused (releasing the CAS) instead of racing the shutdown.
-func (m *Maintainer) launchRebuild(wl [][]float32, k int) {
+// launchEvaluate runs one watchdog window evaluation in the background: it
+// re-profiles the window (Phase 1 only — the serving engine and its stats
+// are untouched, so a never-retuning adaptive engine stays bit-identical to
+// a non-adaptive one), asks the monitor to compare observed ratios against
+// the model, and on a retune decision launches a rebuild at the recommended
+// τ through the ordinary rebuild CAS. At most one evaluation runs at a time;
+// windows that complete while one is in flight are skipped, not queued.
+func (m *Maintainer) launchEvaluate(obsHit, obsRefine float64, wl [][]float32, k int) {
+	if !m.evaluating.CompareAndSwap(false, true) {
+		return
+	}
+	m.lifeMu.Lock()
+	if m.closed {
+		m.lifeMu.Unlock()
+		m.evaluating.Store(false)
+		return
+	}
+	m.wg.Add(1)
+	m.lifeMu.Unlock()
+	go func() {
+		defer m.wg.Done()
+		defer m.evaluating.Store(false)
+		prof := BuildProfile(m.ds, m.cands, wl, k)
+		in := adaptInputs(prof, m.ds, m.cfg.CacheBytes)
+		d := m.monitor.Observe(obsHit, obsRefine, in)
+		if d.Retune && m.rebuilding.CompareAndSwap(false, true) {
+			m.launchRebuild(wl, k, d.Tau, true)
+		}
+	}()
+}
+
+// CostModel snapshots the drift watchdog's telemetry; ok is false when the
+// maintainer is not adaptive.
+func (m *Maintainer) CostModel() (costmodel.MonitorSnapshot, bool) {
+	if m.monitor == nil {
+		return costmodel.MonitorSnapshot{}, false
+	}
+	return m.monitor.Snapshot(), true
+}
+
+// launchRebuild starts the background rebuild for a window snapshot at code
+// length tau (retuned marks a watchdog-triggered retune). The caller must
+// have won the m.rebuilding CAS. After Close the launch is refused
+// (releasing the CAS) instead of racing the shutdown.
+func (m *Maintainer) launchRebuild(wl [][]float32, k, tau int, retuned bool) {
 	m.lifeMu.Lock()
 	if m.closed {
 		m.lifeMu.Unlock()
@@ -329,7 +496,7 @@ func (m *Maintainer) launchRebuild(wl [][]float32, k int) {
 	m.lifeMu.Unlock()
 	go func() {
 		defer m.wg.Done()
-		m.backgroundRebuild(wl, k)
+		m.backgroundRebuild(wl, k, tau, retuned)
 	}()
 }
 
@@ -367,14 +534,14 @@ func (m *Maintainer) RebuildAsync(k int) bool {
 		m.rebuilding.Store(false)
 		return false
 	}
-	m.launchRebuild(wl, k)
+	m.launchRebuild(wl, k, m.curTau(), false)
 	return true
 }
 
 // backgroundRebuild builds a replacement engine off the search path and
 // swaps it in. A failed build only bumps RebuildErrors: the previous engine
 // keeps serving and in-flight searches never observe the failure.
-func (m *Maintainer) backgroundRebuild(wl [][]float32, k int) {
+func (m *Maintainer) backgroundRebuild(wl [][]float32, k, tau int, retuned bool) {
 	defer m.rebuilding.Store(false)
 	m.rebuildMu.Lock()
 	defer m.rebuildMu.Unlock()
@@ -382,24 +549,33 @@ func (m *Maintainer) backgroundRebuild(wl [][]float32, k int) {
 		<-m.rebuildGate
 	}
 	start := time.Now()
-	eng, err := m.build(wl, k)
+	eng, err := m.build(wl, k, tau)
 	if err != nil {
 		m.rebuildErrs.Add(1)
 		return
 	}
-	m.install(eng, time.Since(start))
+	m.install(eng, time.Since(start), tau, retuned)
 }
 
 // install publishes a freshly built engine, records the rebuild timing and
-// resets the drift baseline.
-func (m *Maintainer) install(eng *Engine, wall time.Duration) {
+// resets the drift baseline and the watchdog window — the fresh cache's
+// behavior is what both detectors must judge from now on.
+func (m *Maintainer) install(eng *Engine, wall time.Duration, tau int, retuned bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.eng.Store(eng)
 	m.rebuilds.Add(1)
+	m.tau.Store(int64(tau))
+	if retuned {
+		m.retunes.Add(1)
+	}
 	m.lastWallNs.Store(int64(wall))
 	m.lastAtNs.Store(time.Now().UnixNano())
 	m.drift.resetAfterInstall()
+	m.adapt.reset()
+	if m.monitor != nil {
+		m.monitor.NoteInstall(tau, retuned)
+	}
 }
 
 // ForceRebuild rebuilds synchronously from the current window (the paper's
@@ -415,11 +591,11 @@ func (m *Maintainer) ForceRebuild(k int) error {
 	m.rebuildMu.Lock()
 	defer m.rebuildMu.Unlock()
 	start := time.Now()
-	eng, err := m.build(wl, k)
+	eng, err := m.build(wl, k, m.curTau())
 	if err != nil {
 		m.rebuildErrs.Add(1)
 		return err
 	}
-	m.install(eng, time.Since(start))
+	m.install(eng, time.Since(start), m.curTau(), false)
 	return nil
 }

@@ -174,7 +174,7 @@ func TestMaintainerRebuildFailureKeepsServing(t *testing.T) {
 		}
 	}
 
-	m.build = func([][]float32, int) (*Engine, error) {
+	m.build = func([][]float32, int, int) (*Engine, error) {
 		return nil, errors.New("injected build failure")
 	}
 	before := m.Engine()

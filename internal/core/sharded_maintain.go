@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"exploitbit/internal/costmodel"
 	"exploitbit/internal/disk"
 )
 
@@ -33,8 +34,9 @@ type ShardedMaintainer struct {
 	specs []ShardSpec
 
 	// build constructs shard s's replacement engine from a window of
-	// queries. A field so tests can inject failures; default buildShard.
-	build func(s int, wl [][]float32, k int) (*Engine, error)
+	// queries at a code length. A field so tests can inject failures;
+	// default buildShard.
+	build func(s int, wl [][]float32, k, tau int) (*Engine, error)
 
 	slots []*shardMaintSlot
 
@@ -52,6 +54,7 @@ type ShardedMaintainer struct {
 type shardMaintSlot struct {
 	mu    sync.Mutex
 	drift driftState
+	adapt adaptWindow
 
 	rebuilding  atomic.Bool
 	rebuildMu   sync.Mutex
@@ -60,6 +63,16 @@ type shardMaintSlot struct {
 	lastWallNs  atomic.Int64
 	lastAtNs    atomic.Int64
 	quarantines atomic.Int64 // quarantine-triggered rebuild launches
+
+	// Adaptive-τ state, mirroring Maintainer: tau is this shard's serving
+	// code length, monitor its own drift watchdog (nil unless adaptive), and
+	// evaluating its one-at-a-time background evaluation guard. Shards drift
+	// — and retune — independently; a hot shard can move to a different τ
+	// while the cold ones keep theirs.
+	tau        atomic.Int64
+	retunes    atomic.Int64
+	monitor    *costmodel.Monitor
+	evaluating atomic.Bool
 }
 
 // NewShardedMaintainer builds the sharded engine and arms one drift
@@ -76,8 +89,17 @@ func NewShardedMaintainer(specs []ShardSpec, owner, local []int32, prof *Profile
 		rebuildGate: opt.RebuildGate,
 	}
 	m.build = m.buildShard
+	tau := cfg.withDefaults().Tau
 	for range specs {
 		slot := &shardMaintSlot{drift: newDriftState(opt)}
+		slot.tau.Store(int64(tau))
+		if opt.AdaptiveTau {
+			slot.adapt.size = opt.WindowSize
+			slot.monitor = costmodel.NewMonitor(tau, costmodel.MonitorConfig{
+				Threshold: opt.RetuneThreshold,
+				Windows:   opt.RetuneWindows,
+			})
+		}
 		m.slots = append(m.slots, slot)
 	}
 	m.perShard.New = func() any { return make([]QueryStats, len(specs)) }
@@ -100,17 +122,26 @@ func (m *ShardedMaintainer) DiskStats() disk.Stats { return m.se.DiskStats() }
 // cache budget. The replacement builds its own shard-local histogram — the
 // global model describes the workload the system started with, while the
 // rebuild's whole point is to follow what this shard serves now.
-func (m *ShardedMaintainer) buildShard(s int, wl [][]float32, k int) (*Engine, error) {
+func (m *ShardedMaintainer) buildShard(s int, wl [][]float32, k, tau int) (*Engine, error) {
 	spec := m.specs[s]
 	scands := m.se.ShardCandidates(s)
 	prof := BuildProfile(spec.DS, scands, wl, k)
 	cfg := m.cfg
-	cfg.CacheBytes = m.cfg.CacheBytes * int64(spec.DS.Len()) / int64(len(m.se.owner))
+	cfg.Tau = tau
+	cfg.CacheBytes = m.shardBudget(s)
 	// The replacement's model is shard-local (profile over the shard
 	// dataset), so its bucket lookups expect local ids: globalIDs stays
 	// nil, unlike the shared-model engines NewShardedEngine builds.
 	return NewEngine(spec.PF, prof, scands, cfg)
 }
+
+// shardBudget is shard s's proportional slice of the cache budget.
+func (m *ShardedMaintainer) shardBudget(s int) int64 {
+	return m.cfg.CacheBytes * int64(m.specs[s].DS.Len()) / int64(len(m.se.owner))
+}
+
+// shardTau returns shard s's serving code length.
+func (m *ShardedMaintainer) shardTau(s int) int { return int(m.slots[s].tau.Load()) }
 
 // Search serves one query; see SearchIntoCtx.
 func (m *ShardedMaintainer) Search(q []float32, k int) ([]int, QueryStats, error) {
@@ -168,7 +199,7 @@ func (m *ShardedMaintainer) noteShardFailures(q []float32, failed []int) {
 			wl = [][]float32{append([]float32(nil), q...)}
 		}
 		slot.quarantines.Add(1)
-		m.launchRebuild(s, wl, m.k)
+		m.launchRebuild(s, wl, m.k, m.shardTau(s), false)
 	}
 }
 
@@ -198,7 +229,8 @@ func (m *ShardedMaintainer) SearchBatchCtx(ctx context.Context, qs [][]float32, 
 }
 
 // recordShards feeds one query's per-shard statistics into the drift
-// detectors of the shards that served it.
+// detectors — and, when adaptive, the watchdog windows — of the shards that
+// served it.
 func (m *ShardedMaintainer) recordShards(q []float32, per []QueryStats, k int) {
 	for s, ps := range per {
 		if ps.Candidates == 0 && ps.Fetched == 0 {
@@ -207,16 +239,73 @@ func (m *ShardedMaintainer) recordShards(q []float32, per []QueryStats, k int) {
 		slot := m.slots[s]
 		slot.mu.Lock()
 		wl := slot.drift.record(q, ps, func() bool { return slot.rebuilding.CompareAndSwap(false, true) })
+		var sig maintSignal
+		if slot.monitor != nil {
+			if hit, ref, done := slot.adapt.add(ps); done {
+				sig.obsHit, sig.obsRefine = hit, ref
+				sig.evalWL = slot.drift.snapshot()
+			}
+		}
 		slot.mu.Unlock()
 		if wl != nil {
-			m.launchRebuild(s, wl, k)
+			m.launchRebuild(s, wl, k, m.shardTau(s), false)
+		}
+		if sig.evalWL != nil {
+			m.launchEvaluate(s, sig.obsHit, sig.obsRefine, sig.evalWL)
 		}
 	}
 }
 
-// launchRebuild starts shard s's background rebuild. The caller must have
-// won that shard's rebuilding CAS; after Close the launch is refused.
-func (m *ShardedMaintainer) launchRebuild(s int, wl [][]float32, k int) {
+// launchEvaluate runs shard s's watchdog window evaluation in the
+// background, mirroring Maintainer.launchEvaluate: re-profile the window
+// against the shard-filtered candidate generator, fold into the shard's
+// monitor, and launch a retune rebuild at the recommended τ when the
+// decision fires. One evaluation per shard at a time; completed windows are
+// skipped while one is in flight.
+func (m *ShardedMaintainer) launchEvaluate(s int, obsHit, obsRefine float64, wl [][]float32) {
+	slot := m.slots[s]
+	if !slot.evaluating.CompareAndSwap(false, true) {
+		return
+	}
+	m.lifeMu.Lock()
+	if m.closed {
+		m.lifeMu.Unlock()
+		slot.evaluating.Store(false)
+		return
+	}
+	m.wg.Add(1)
+	m.lifeMu.Unlock()
+	go func() {
+		defer m.wg.Done()
+		defer slot.evaluating.Store(false)
+		spec := m.specs[s]
+		prof := BuildProfile(spec.DS, m.se.ShardCandidates(s), wl, m.k)
+		in := adaptInputs(prof, spec.DS, m.shardBudget(s))
+		d := slot.monitor.Observe(obsHit, obsRefine, in)
+		if d.Retune && slot.rebuilding.CompareAndSwap(false, true) {
+			m.launchRebuild(s, wl, m.k, d.Tau, true)
+		}
+	}()
+}
+
+// CostModels snapshots every adaptive shard's watchdog telemetry; entries
+// are nil for shards without a monitor (non-adaptive maintainers return a
+// slice of nils).
+func (m *ShardedMaintainer) CostModels() []*costmodel.MonitorSnapshot {
+	out := make([]*costmodel.MonitorSnapshot, len(m.slots))
+	for s, slot := range m.slots {
+		if slot.monitor != nil {
+			snap := slot.monitor.Snapshot()
+			out[s] = &snap
+		}
+	}
+	return out
+}
+
+// launchRebuild starts shard s's background rebuild at code length tau
+// (retuned marks a watchdog retune). The caller must have won that shard's
+// rebuilding CAS; after Close the launch is refused.
+func (m *ShardedMaintainer) launchRebuild(s int, wl [][]float32, k, tau int, retuned bool) {
 	m.lifeMu.Lock()
 	if m.closed {
 		m.lifeMu.Unlock()
@@ -227,7 +316,7 @@ func (m *ShardedMaintainer) launchRebuild(s int, wl [][]float32, k int) {
 	m.lifeMu.Unlock()
 	go func() {
 		defer m.wg.Done()
-		m.backgroundRebuild(s, wl, k)
+		m.backgroundRebuild(s, wl, k, tau, retuned)
 	}()
 }
 
@@ -236,7 +325,7 @@ func (m *ShardedMaintainer) launchRebuild(s int, wl [][]float32, k int) {
 // and every in-flight query (which snapshotted its engines at entry) are
 // untouched. A failed build bumps the shard's error counter and keeps the
 // old engine serving.
-func (m *ShardedMaintainer) backgroundRebuild(s int, wl [][]float32, k int) {
+func (m *ShardedMaintainer) backgroundRebuild(s int, wl [][]float32, k, tau int, retuned bool) {
 	slot := m.slots[s]
 	defer slot.rebuilding.Store(false)
 	slot.rebuildMu.Lock()
@@ -245,27 +334,35 @@ func (m *ShardedMaintainer) backgroundRebuild(s int, wl [][]float32, k int) {
 		<-m.rebuildGate
 	}
 	start := time.Now()
-	eng, err := m.build(s, wl, k)
+	eng, err := m.build(s, wl, k, tau)
 	if err != nil {
 		slot.rebuildErrs.Add(1)
 		return
 	}
-	m.install(s, eng, time.Since(start))
+	m.install(s, eng, time.Since(start), tau, retuned)
 }
 
 // install publishes shard s's freshly built engine and resets its baseline.
 // A successful install also lifts the shard's quarantine: the rebuilt engine
 // starts with a clean bill until its storage proves otherwise.
-func (m *ShardedMaintainer) install(s int, eng *Engine, wall time.Duration) {
+func (m *ShardedMaintainer) install(s int, eng *Engine, wall time.Duration, tau int, retuned bool) {
 	slot := m.slots[s]
 	slot.mu.Lock()
 	defer slot.mu.Unlock()
 	m.se.swapEngine(s, eng)
 	m.se.ClearQuarantine(s)
 	slot.rebuilds.Add(1)
+	slot.tau.Store(int64(tau))
+	if retuned {
+		slot.retunes.Add(1)
+	}
 	slot.lastWallNs.Store(int64(wall))
 	slot.lastAtNs.Store(time.Now().UnixNano())
 	slot.drift.resetAfterInstall()
+	slot.adapt.reset()
+	if slot.monitor != nil {
+		slot.monitor.NoteInstall(tau, retuned)
+	}
 }
 
 // ForceShardRebuild rebuilds shard s synchronously from its current drift
@@ -281,12 +378,12 @@ func (m *ShardedMaintainer) ForceShardRebuild(s int) error {
 	slot.rebuildMu.Lock()
 	defer slot.rebuildMu.Unlock()
 	start := time.Now()
-	eng, err := m.build(s, wl, m.k)
+	eng, err := m.build(s, wl, m.k, m.shardTau(s))
 	if err != nil {
 		slot.rebuildErrs.Add(1)
 		return err
 	}
-	m.install(s, eng, time.Since(start))
+	m.install(s, eng, time.Since(start), m.shardTau(s), false)
 	return nil
 }
 
@@ -311,7 +408,7 @@ func (m *ShardedMaintainer) RebuildShardAsync(s int) bool {
 		slot.rebuilding.Store(false)
 		return false
 	}
-	m.launchRebuild(s, wl, m.k)
+	m.launchRebuild(s, wl, m.k, m.shardTau(s), false)
 	return true
 }
 
@@ -335,6 +432,12 @@ func (m *ShardedMaintainer) Stats() MaintainStats {
 		st.RebuildInFlight = st.RebuildInFlight || slot.rebuilding.Load()
 		st.Quarantines += int(slot.quarantines.Load())
 		st.Quarantined = st.Quarantined || m.se.Quarantined(s)
+		st.Retunes += int(slot.retunes.Load())
+		if tau := m.shardTau(s); s == 0 {
+			st.Tau = tau
+		} else if st.Tau != tau {
+			st.Tau = 0 // shards have retuned apart; per-shard stats disagree
+		}
 		if at := slot.lastAtNs.Load(); at > m.lastAtNs(st) {
 			st.LastRebuildAt = time.Unix(0, at)
 			st.LastRebuildWall = time.Duration(slot.lastWallNs.Load())
@@ -360,6 +463,8 @@ func (m *ShardedMaintainer) ShardStats() []MaintainStats {
 			RebuildInFlight: slot.rebuilding.Load(),
 			Quarantines:     int(slot.quarantines.Load()),
 			Quarantined:     m.se.Quarantined(s),
+			Retunes:         int(slot.retunes.Load()),
+			Tau:             m.shardTau(s),
 		}
 		if ns := slot.lastWallNs.Load(); ns > 0 {
 			out[s].LastRebuildWall = time.Duration(ns)

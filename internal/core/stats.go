@@ -8,6 +8,7 @@
 package core
 
 import (
+	"math"
 	"sync/atomic"
 	"time"
 )
@@ -41,6 +42,25 @@ type QueryStats struct {
 	FailedShards []int
 }
 
+// RhoHit is this query's observed cache-hit ratio — the live counterpart of
+// the cost model's ρ_hit (Theorem 1). Zero-candidate queries report 0.
+func (s QueryStats) RhoHit() float64 {
+	if s.Candidates == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Candidates)
+}
+
+// RhoRefine is this query's observed refinement ratio — candidates that
+// survived Phase 2 into refinement, the live counterpart of the model's
+// ρ_refine bound (Theorems 2–3). Zero-candidate queries report 0.
+func (s QueryStats) RhoRefine() float64 {
+	if s.Candidates == 0 {
+		return 0
+	}
+	return float64(s.Remaining) / float64(s.Candidates)
+}
+
 // ResponseTime is the modeled wall-clock of the query: measured CPU plus
 // simulated I/O latency.
 func (s QueryStats) ResponseTime() time.Duration {
@@ -71,6 +91,28 @@ type Aggregate struct {
 	LUTQueries      int64 // queries whose Phase 2 used the ADC lookup table
 	ParallelQueries int64 // queries whose Phase 2 fanned out over workers
 	DegradedQueries int64 // queries answered without one or more failed shards
+
+	// EwmaRhoHit / EwmaRhoRefine are exponentially weighted moving averages
+	// of the per-query observed ρ_hit and ρ_refine (ratioEWMAAlpha), so the
+	// drift watchdog and /metrics see where the ratios are *now* rather than
+	// a since-startup mean that old traffic anchors forever. Zero until the
+	// first query with candidates lands.
+	EwmaRhoHit    float64
+	EwmaRhoRefine float64
+}
+
+// ratioEWMAAlpha weights the per-query ratio EWMAs: the most recent ~20
+// queries dominate, which tracks a shifting hot set within a drift window
+// without jittering on a single unlucky query.
+const ratioEWMAAlpha = 0.05
+
+// ewmaFold advances an EWMA that uses "exactly 0" as its unseeded state (a
+// genuine first sample of 0 seeds to 0, which is the same value).
+func ewmaFold(prev, x float64) float64 {
+	if prev == 0 {
+		return x
+	}
+	return prev + ratioEWMAAlpha*(x-prev)
 }
 
 // Add folds one query's stats into the aggregate.
@@ -96,6 +138,10 @@ func (a *Aggregate) Add(s QueryStats) {
 	if s.Degraded {
 		a.DegradedQueries++
 	}
+	if s.Candidates > 0 {
+		a.EwmaRhoHit = ewmaFold(a.EwmaRhoHit, s.RhoHit())
+		a.EwmaRhoRefine = ewmaFold(a.EwmaRhoRefine, s.RhoRefine())
+	}
 }
 
 // atomicAggregate accumulates Aggregate counters with lock-free atomics, so
@@ -107,6 +153,29 @@ type atomicAggregate struct {
 	queries, candidates, hits, pruned, trueHits, remaining, fetched,
 	pageReads, simulatedIO, genTime, reduceTime, refineTime,
 	lutQueries, parallelQueries, degradedQueries atomic.Int64
+
+	// ewmaRhoHit / ewmaRhoRefine hold math.Float64bits of the ratio EWMAs
+	// (0 = unseeded), folded with a CAS loop. Under concurrent writers the
+	// fold order is scheduler-dependent, which perturbs only the smoothing —
+	// acceptable for telemetry, and deterministic for serial replays.
+	ewmaRhoHit, ewmaRhoRefine atomic.Uint64
+}
+
+// foldRatio CAS-advances one packed EWMA cell.
+func foldRatio(cell *atomic.Uint64, x float64) {
+	for {
+		old := cell.Load()
+		var next float64
+		if old == 0 {
+			next = x
+		} else {
+			prev := math.Float64frombits(old)
+			next = prev + ratioEWMAAlpha*(x-prev)
+		}
+		if cell.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
 }
 
 // Add folds one query's stats into the aggregate without locking.
@@ -132,6 +201,10 @@ func (a *atomicAggregate) Add(s QueryStats) {
 	if s.Degraded {
 		a.degradedQueries.Add(1)
 	}
+	if s.Candidates > 0 {
+		foldRatio(&a.ewmaRhoHit, s.RhoHit())
+		foldRatio(&a.ewmaRhoRefine, s.RhoRefine())
+	}
 }
 
 // Load snapshots the counters into the exported Aggregate form.
@@ -152,6 +225,8 @@ func (a *atomicAggregate) Load() Aggregate {
 		LUTQueries:      a.lutQueries.Load(),
 		ParallelQueries: a.parallelQueries.Load(),
 		DegradedQueries: a.degradedQueries.Load(),
+		EwmaRhoHit:      math.Float64frombits(a.ewmaRhoHit.Load()),
+		EwmaRhoRefine:   math.Float64frombits(a.ewmaRhoRefine.Load()),
 	}
 }
 
@@ -172,6 +247,8 @@ func (a *atomicAggregate) Reset() {
 	a.lutQueries.Store(0)
 	a.parallelQueries.Store(0)
 	a.degradedQueries.Store(0)
+	a.ewmaRhoHit.Store(0)
+	a.ewmaRhoRefine.Store(0)
 }
 
 func (a Aggregate) per(v int64) float64 {

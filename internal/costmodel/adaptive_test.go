@@ -1,0 +1,258 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+)
+
+// TestCapacitySaturationInvariance pins the overflow fix: budgets at and past
+// 2^60 bytes used to overflow budget*8 negative and clamp capacity to zero,
+// so the model predicted ρ_hit = 0 exactly where it should predict ρ_hit = 1.
+// With the checked math, every such budget yields a huge positive capacity
+// (monotone in the budget), a hit ratio of exactly 1, and therefore the same
+// C_refine estimate — invariant under the budget.
+func TestCapacitySaturationInvariance(t *testing.T) {
+	in := testInputs()
+	budgets := []int64{1 << 60, 1 << 62, math.MaxInt64}
+	for tau := 1; tau <= 32; tau++ {
+		var ref float64
+		prevCap := 0
+		for bi, b := range budgets {
+			huge := in
+			huge.BudgetBytes = b
+			c := huge.CapacityForTau(tau)
+			if c <= 0 {
+				t.Fatalf("budget %d, tau %d: capacity %d — the pre-fix overflow is back", b, tau, c)
+			}
+			if c < prevCap {
+				t.Fatalf("budget %d, tau %d: capacity %d shrank below %d", b, tau, c, prevCap)
+			}
+			prevCap = c
+			if c < len(huge.FreqSorted) {
+				t.Fatalf("budget %d, tau %d: capacity %d below the workload's %d items", b, tau, c, len(huge.FreqSorted))
+			}
+			if h := huge.HitRatioForTau(tau); h != 1 {
+				t.Fatalf("budget %d, tau %d: hit ratio %v, want 1", b, tau, h)
+			}
+			est := huge.EstimatedCrefine(tau)
+			// With ρ_hit = 1 the estimate collapses to the refine-ratio floor.
+			want := huge.RefineRatioForTau(tau) * huge.AvgCandSize
+			if math.Abs(est-want) > 1e-9 {
+				t.Fatalf("budget %d, tau %d: C_refine %v, want floor %v", b, tau, est, want)
+			}
+			if bi == 0 {
+				ref = est
+			} else if est != ref {
+				t.Fatalf("tau %d: C_refine varies across saturating budgets: %v vs %v", tau, est, ref)
+			}
+		}
+	}
+}
+
+// TestCapacityForTauBoundaries covers the non-saturating edges of the checked
+// arithmetic.
+func TestCapacityForTauBoundaries(t *testing.T) {
+	in := testInputs()
+	in.BudgetBytes = 0
+	if c := in.CapacityForTau(8); c != 0 {
+		t.Fatalf("zero budget: capacity %d", c)
+	}
+	in.BudgetBytes = -5
+	if c := in.CapacityForTau(8); c != 0 {
+		t.Fatalf("negative budget: capacity %d", c)
+	}
+	// Just below the old overflow cliff the exact quotient must survive.
+	in.BudgetBytes = (1 << 60) - 1
+	itemBits := int64(1536) // d=150, τ=10 → word-packed 1536 bits
+	want := ((1<<60 - 1) * 8) / itemBits
+	if int64(in.CapacityForTau(10)) != want && in.CapacityForTau(10) != math.MaxInt {
+		t.Fatalf("pre-cliff budget: capacity %d, want %d", in.CapacityForTau(10), want)
+	}
+}
+
+// TestOptimalTauNeverDominated is the regression pin for the sweep-cap fix:
+// the returned τ* must never have its estimate matched or beaten by a smaller
+// τ (ties break toward the smaller τ, which buys strictly more capacity), and
+// must never exceed MaxUsefulTau (past ⌈log₂ Ndom⌉ the bound quality is flat
+// while items keep growing — every such τ is dominated).
+func TestOptimalTauNeverDominated(t *testing.T) {
+	base := testInputs()
+	for _, budget := range []int64{0, 1 << 10, 64 << 10, 1 << 20, 1 << 40, 1 << 60, math.MaxInt64} {
+		for _, ndom := range []int{2, 16, 256, 1024, 1 << 20} {
+			for _, dmax := range []float64{0, 0.01, 2.5, 1e6} {
+				in := base
+				in.BudgetBytes = budget
+				in.Ndom = ndom
+				in.Dmax = dmax
+				tauStar, est := in.OptimalTau()
+				if max := in.MaxUsefulTau(); tauStar > max {
+					t.Fatalf("budget=%d ndom=%d dmax=%v: τ*=%d beyond MaxUsefulTau %d",
+						budget, ndom, dmax, tauStar, max)
+				}
+				for tau := 1; tau < tauStar; tau++ {
+					if est[tau-1] <= est[tauStar-1] {
+						t.Fatalf("budget=%d ndom=%d dmax=%v: τ*=%d (C=%v) dominated by τ=%d (C=%v)",
+							budget, ndom, dmax, tauStar, est[tauStar-1], tau, est[tau-1])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestOptimalTauSweepCapTies: with a saturating budget the capacity term is
+// flat, so every τ past ⌈log₂ Ndom⌉ ties the cap exactly — the old unbounded
+// sweep could hand the win to a dominated τ on such ties. The estimates slice
+// keeps its full Lvalue length for Figure 12-style consumers.
+func TestOptimalTauSweepCapTies(t *testing.T) {
+	in := testInputs()
+	in.BudgetBytes = 1 << 61 // saturates: ρ_hit = 1 at every τ
+	in.Ndom = 16             // MaxUsefulTau = 4
+	tauStar, est := in.OptimalTau()
+	if len(est) != 32 {
+		t.Fatalf("estimates length %d, want 32", len(est))
+	}
+	if want := in.MaxUsefulTau(); want != 4 {
+		t.Fatalf("MaxUsefulTau = %d, want 4", want)
+	}
+	if tauStar != 4 {
+		t.Fatalf("τ* = %d, want the cap 4 (smallest of the tied minima)", tauStar)
+	}
+	for tau := 5; tau <= 32; tau++ {
+		if est[tau-1] != est[3] {
+			t.Fatalf("τ=%d estimate %v differs from the saturated floor %v", tau, est[tau-1], est[3])
+		}
+	}
+}
+
+func TestMaxUsefulTau(t *testing.T) {
+	in := testInputs()
+	cases := []struct{ ndom, lvalue, want int }{
+		{1024, 32, 10},
+		{1023, 32, 10},
+		{1025, 32, 11},
+		{2, 32, 1},
+		{1 << 30, 32, 30},
+		{0, 32, 32},  // degenerate domain: fall back to Lvalue
+		{1024, 8, 8}, // Lvalue smaller than log2(Ndom)
+		{1024, 0, 10},
+	}
+	for _, c := range cases {
+		in.Ndom = c.ndom
+		in.Lvalue = c.lvalue
+		if got := in.MaxUsefulTau(); got != c.want {
+			t.Fatalf("ndom=%d lvalue=%d: MaxUsefulTau = %d, want %d", c.ndom, c.lvalue, got, c.want)
+		}
+	}
+}
+
+// retuneInputs yields a model state whose optimum (τ = 10 under a saturating
+// budget) is far from the given active τ, with a large predicted improvement.
+func retuneInputs() Inputs {
+	in := testInputs()
+	in.BudgetBytes = 1 << 40 // ρ_hit ≈ 1 everywhere: estimate follows the bound
+	return in
+}
+
+func TestMonitorFiresAfterConsecutiveWindows(t *testing.T) {
+	in := retuneInputs()
+	m := NewMonitor(2, MonitorConfig{Threshold: 0.10, Windows: 3})
+	for i := 1; i <= 2; i++ {
+		d := m.Observe(0.9, 0.5, in)
+		if d.Retune {
+			t.Fatalf("window %d: fired before %d windows accumulated", i, 3)
+		}
+		if d.Improvement < 0.10 {
+			t.Fatalf("window %d: improvement %v below threshold — fixture broken", i, d.Improvement)
+		}
+		if snap := m.Snapshot(); snap.PendingWindows != i {
+			t.Fatalf("window %d: pending = %d", i, snap.PendingWindows)
+		}
+	}
+	d := m.Observe(0.9, 0.5, in)
+	if !d.Retune {
+		t.Fatal("third consecutive over-threshold window did not fire")
+	}
+	if d.Tau == 2 {
+		t.Fatal("retune decision recommends the active τ")
+	}
+	// Firing resets the streak: the next window starts from scratch instead of
+	// re-firing into a busy rebuilder.
+	if snap := m.Snapshot(); snap.PendingWindows != 0 {
+		t.Fatalf("pending = %d after firing, want 0", snap.PendingWindows)
+	}
+	if d2 := m.Observe(0.9, 0.5, in); d2.Retune {
+		t.Fatal("fired again immediately after firing")
+	}
+}
+
+func TestMonitorNoFireWhenRecommendedEqualsActive(t *testing.T) {
+	in := retuneInputs()
+	rec, _ := in.OptimalTau()
+	m := NewMonitor(rec, MonitorConfig{Threshold: 0.10, Windows: 1})
+	for i := 0; i < 5; i++ {
+		if d := m.Observe(0.9, 0.5, in); d.Retune {
+			t.Fatal("fired while serving the recommended τ")
+		}
+	}
+	if snap := m.Snapshot(); snap.PendingWindows != 0 || snap.Windows != 5 {
+		t.Fatalf("snapshot: %+v", snap)
+	}
+}
+
+func TestMonitorNoteInstallResetsStreakAndCounts(t *testing.T) {
+	in := retuneInputs()
+	m := NewMonitor(2, MonitorConfig{Threshold: 0.10, Windows: 3})
+	m.Observe(0.9, 0.5, in)
+	m.Observe(0.9, 0.5, in)
+	if snap := m.Snapshot(); snap.PendingWindows != 2 {
+		t.Fatalf("pending = %d, want 2", snap.PendingWindows)
+	}
+
+	// A drift rebuild (same τ) resets the streak but is not a retune.
+	m.NoteInstall(2, false)
+	snap := m.Snapshot()
+	if snap.PendingWindows != 0 || snap.Retunes != 0 || snap.Tau != 2 {
+		t.Fatalf("after drift install: %+v", snap)
+	}
+
+	// A retune install moves τ and is counted.
+	m.NoteInstall(10, true)
+	snap = m.Snapshot()
+	if snap.Tau != 10 || snap.Retunes != 1 {
+		t.Fatalf("after retune install: %+v", snap)
+	}
+	if m.Tau() != 10 {
+		t.Fatalf("Tau() = %d", m.Tau())
+	}
+	// Serving the optimum now: the monitor must go quiet.
+	for i := 0; i < 4; i++ {
+		if d := m.Observe(0.9, 0.5, in); d.Retune {
+			t.Fatal("fired after installing the recommended τ")
+		}
+	}
+}
+
+func TestMonitorObservedEWMA(t *testing.T) {
+	in := retuneInputs()
+	m := NewMonitor(2, MonitorConfig{Alpha: 0.5, Windows: 100})
+	m.Observe(0.4, 0.8, in) // seeds
+	m.Observe(0.8, 0.4, in) // folds at α=0.5
+	snap := m.Snapshot()
+	if math.Abs(snap.ObservedRhoHit-0.6) > 1e-12 || math.Abs(snap.ObservedRhoRefine-0.6) > 1e-12 {
+		t.Fatalf("EWMA: hit %v refine %v, want 0.6 0.6", snap.ObservedRhoHit, snap.ObservedRhoRefine)
+	}
+	if snap.PredictedRhoHit != in.HitRatioForTau(2) ||
+		snap.PredictedRhoRefine != in.RefineRatioForTau(2) ||
+		snap.PredictedCrefine != in.EstimatedCrefine(2) {
+		t.Fatalf("predictions not published: %+v", snap)
+	}
+	rec, est := in.OptimalTau()
+	if snap.RecommendedTau != rec || snap.BestCrefine != est[rec-1] {
+		t.Fatalf("recommendation not published: %+v", snap)
+	}
+	wantImp := (snap.PredictedCrefine - snap.BestCrefine) / snap.PredictedCrefine
+	if math.Abs(snap.Improvement-wantImp) > 1e-12 {
+		t.Fatalf("improvement %v, want %v", snap.Improvement, wantImp)
+	}
+}

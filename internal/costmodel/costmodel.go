@@ -15,6 +15,7 @@ package costmodel
 
 import (
 	"math"
+	"math/bits"
 
 	"exploitbit/internal/encoding"
 )
@@ -63,14 +64,29 @@ func HitRatio(freqSorted []int, capacity int) float64 {
 }
 
 // CapacityForTau returns how many τ-bit-encoded points fit the budget,
-// using the word-packed item size of footnote 5.
+// using the word-packed item size of footnote 5. The arithmetic mirrors
+// cache.CapacityForBudget's checked math: budget*8 overflows int64 for
+// budgets of 2^60 bytes and beyond, and the naive expression turned such
+// budgets into a negative — i.e. zero — capacity, silently predicting
+// ρ_hit = 0 exactly where the model should predict ρ_hit = 1. Capacity
+// saturates at math.MaxInt instead (which also guards the int narrowing on
+// 32-bit platforms).
 func (in Inputs) CapacityForTau(tau int) int {
 	itemBits := encoding.NewCodec(in.Dim, tau).ItemBits()
-	c := in.BudgetBytes * 8 / int64(itemBits)
-	if c < 0 {
+	if in.BudgetBytes <= 0 {
 		return 0
 	}
-	return int(c)
+	hi, lo := bits.Mul64(uint64(in.BudgetBytes), 8)
+	if hi >= uint64(itemBits) {
+		// The quotient would not fit in 64 bits (bits.Div64 panics on
+		// hi >= divisor); any such capacity saturates anyway.
+		return math.MaxInt
+	}
+	quo, _ := bits.Div64(hi, lo, uint64(itemBits))
+	if quo > uint64(math.MaxInt) {
+		return math.MaxInt
+	}
+	return int(quo)
 }
 
 // HitRatioForTau estimates ρ_hit at code length τ.
@@ -112,9 +128,34 @@ func (in Inputs) EstimatedCrefine(tau int) float64 {
 	return (1 - hit*prune) * in.AvgCandSize
 }
 
-// OptimalTau sweeps τ ∈ [1, Lvalue] (Section 4.2.2) and returns the τ with
-// the lowest estimated C_refine, together with the per-τ estimates (indexed
-// τ−1) for Figure 12-style comparisons.
+// MaxUsefulTau is the largest code length worth sweeping: min(Lvalue,
+// ⌈log₂ Ndom⌉). Past ⌈log₂ Ndom⌉ the bucket count clamps at Ndom, so
+// BucketWidthForTau stops shrinking while the per-item size keeps growing —
+// every such τ is dominated by the cap (same ρ_refine, no larger capacity).
+func (in Inputs) MaxUsefulTau() int {
+	lv := in.Lvalue
+	if lv < 1 {
+		lv = 32
+	}
+	if lv > 32 {
+		lv = 32
+	}
+	if in.Ndom > 1 {
+		// Smallest τ with 2^τ ≥ Ndom.
+		if c := bits.Len(uint(in.Ndom - 1)); c < lv {
+			return c
+		}
+	}
+	return lv
+}
+
+// OptimalTau sweeps τ (Section 4.2.2) and returns the τ with the lowest
+// estimated C_refine, together with the per-τ estimates for τ ∈ [1, Lvalue]
+// (indexed τ−1) for Figure 12-style comparisons. The selection sweep is
+// capped at MaxUsefulTau — beyond ⌈log₂ Ndom⌉ the bound quality saturates
+// while the item size keeps growing, so those τ are dominated and must not
+// win on float ties — and exact-cost ties break toward the smaller τ (the
+// larger capacity).
 func (in Inputs) OptimalTau() (int, []float64) {
 	lv := in.Lvalue
 	if lv < 1 {
@@ -123,11 +164,12 @@ func (in Inputs) OptimalTau() (int, []float64) {
 	if lv > 32 {
 		lv = 32
 	}
+	sweep := in.MaxUsefulTau()
 	best, bestTau := -1.0, 1
 	est := make([]float64, lv)
 	for tau := 1; tau <= lv; tau++ {
 		est[tau-1] = in.EstimatedCrefine(tau)
-		if best < 0 || est[tau-1] < best {
+		if tau <= sweep && (best < 0 || est[tau-1] < best) {
 			best, bestTau = est[tau-1], tau
 		}
 	}

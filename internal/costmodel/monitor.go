@@ -1,0 +1,190 @@
+package costmodel
+
+import "sync"
+
+// MonitorConfig tunes the drift watchdog.
+type MonitorConfig struct {
+	// Threshold is the minimum predicted relative C_refine improvement
+	// (est(τ_now) − est(τ*)) / est(τ_now) that counts a window as drifted
+	// (default 0.10).
+	Threshold float64
+	// Windows is the number of consecutive over-threshold windows required
+	// before a retune fires (default 3). One noisy window must not churn the
+	// cache; M windows in a row is a regime, not a blip.
+	Windows int
+	// Alpha is the EWMA smoothing factor for the observed ratios
+	// (default 0.3: the last ~3 windows dominate the estimate).
+	Alpha float64
+}
+
+func (c MonitorConfig) withDefaults() MonitorConfig {
+	if c.Threshold <= 0 {
+		c.Threshold = 0.10
+	}
+	if c.Windows < 1 {
+		c.Windows = 3
+	}
+	if c.Alpha <= 0 || c.Alpha > 1 {
+		c.Alpha = 0.3
+	}
+	return c
+}
+
+// Decision is the outcome of one window evaluation.
+type Decision struct {
+	// Retune is set when the predicted improvement has held above the
+	// threshold for the configured number of consecutive windows. The caller
+	// owns acting on it (launching a rebuild at Tau) and must report the
+	// installed engine back through NoteInstall.
+	Retune bool
+	// Tau is the recommended code length for the evaluated window's profile.
+	Tau int
+	// Improvement is the predicted relative C_refine gain of moving from the
+	// active τ to Tau under the window's profile.
+	Improvement float64
+}
+
+// MonitorSnapshot is the watchdog's telemetry block: observed vs predicted
+// ratios, the active and recommended τ, and the retune counters. All model
+// quantities reflect the most recently evaluated window.
+type MonitorSnapshot struct {
+	Tau            int // τ the serving engine was built with
+	RecommendedTau int // OptimalTau of the last evaluated window's profile
+
+	ObservedRhoHit    float64 // EWMA of measured Hits / Candidates
+	ObservedRhoRefine float64 // EWMA of measured Remaining / Candidates
+
+	PredictedRhoHit    float64 // model's ρ_hit at the active τ, last window's profile
+	PredictedRhoRefine float64 // model's ρ_refine bound at the active τ
+
+	PredictedCrefine float64 // model's C_refine at the active τ
+	BestCrefine      float64 // model's C_refine at the recommended τ
+	Improvement      float64 // (PredictedCrefine − BestCrefine) / PredictedCrefine
+
+	PendingWindows int   // consecutive over-threshold windows so far
+	Windows        int64 // windows evaluated since construction
+	Retunes        int64 // retune rebuilds installed
+}
+
+// Monitor is the drift watchdog closing the Section 4 loop: the offline cost
+// model predicted ρ_hit/ρ_refine for the τ the cache was built with, and the
+// serving stack feeds the observed ratios and a fresh window profile back in.
+// When the model — evaluated on live traffic — says a different τ would cut
+// C_refine by at least the threshold for M consecutive windows, Observe
+// returns a retune decision; the owner rebuilds and reports the installed τ
+// through NoteInstall.
+//
+// The monitor is deliberately pure bookkeeping: it never builds engines and
+// holds no references into the serving stack, so it is trivially testable
+// and shareable (one per maintained engine, one per shard slot).
+type Monitor struct {
+	mu  sync.Mutex
+	cfg MonitorConfig
+
+	tau    int
+	seeded bool
+
+	obsHit, obsRefine   float64
+	predHit, predRefine float64
+	predC, bestC        float64
+	improvement         float64
+	recTau              int
+
+	pending int
+	windows int64
+	retunes int64
+}
+
+// NewMonitor arms a watchdog for an engine serving at code length tau.
+func NewMonitor(tau int, cfg MonitorConfig) *Monitor {
+	return &Monitor{cfg: cfg.withDefaults(), tau: tau, recTau: tau}
+}
+
+// Tau returns the τ the monitor believes is serving.
+func (m *Monitor) Tau() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.tau
+}
+
+// Observe folds one completed window into the watchdog: the observed
+// candidate-weighted ρ_hit and ρ_refine of the window's queries, and the
+// model inputs assembled from the window's profile. It returns the retune
+// decision for this window.
+func (m *Monitor) Observe(obsHit, obsRefine float64, in Inputs) Decision {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.windows++
+
+	if !m.seeded {
+		m.obsHit, m.obsRefine = obsHit, obsRefine
+		m.seeded = true
+	} else {
+		a := m.cfg.Alpha
+		m.obsHit += a * (obsHit - m.obsHit)
+		m.obsRefine += a * (obsRefine - m.obsRefine)
+	}
+
+	m.predHit = in.HitRatioForTau(m.tau)
+	m.predRefine = in.RefineRatioForTau(m.tau)
+	m.predC = in.EstimatedCrefine(m.tau)
+	rec, est := in.OptimalTau()
+	m.recTau = rec
+	m.bestC = est[rec-1]
+
+	m.improvement = 0
+	if m.predC > 0 && m.bestC < m.predC {
+		m.improvement = (m.predC - m.bestC) / m.predC
+	}
+
+	if rec != m.tau && m.improvement >= m.cfg.Threshold {
+		m.pending++
+	} else {
+		m.pending = 0
+	}
+
+	d := Decision{Tau: rec, Improvement: m.improvement}
+	if m.pending >= m.cfg.Windows {
+		// Fire once and restart the count: if the caller loses its rebuild
+		// race (one already in flight) the evidence re-accumulates instead
+		// of every subsequent window re-firing into a busy rebuilder.
+		d.Retune = true
+		m.pending = 0
+	}
+	return d
+}
+
+// NoteInstall records that a rebuilt engine swapped in at code length tau.
+// Retuned distinguishes a watchdog-triggered rebuild (counted) from a drift
+// or quarantine rebuild that kept its τ; either way the pending streak
+// resets — the cache content was just refreshed, so the old evidence
+// describes an engine that no longer serves.
+func (m *Monitor) NoteInstall(tau int, retuned bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.tau = tau
+	m.pending = 0
+	if retuned {
+		m.retunes++
+	}
+}
+
+// Snapshot returns the telemetry block for /metrics.
+func (m *Monitor) Snapshot() MonitorSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return MonitorSnapshot{
+		Tau:                m.tau,
+		RecommendedTau:     m.recTau,
+		ObservedRhoHit:     m.obsHit,
+		ObservedRhoRefine:  m.obsRefine,
+		PredictedRhoHit:    m.predHit,
+		PredictedRhoRefine: m.predRefine,
+		PredictedCrefine:   m.predC,
+		BestCrefine:        m.bestC,
+		Improvement:        m.improvement,
+		PendingWindows:     m.pending,
+		Windows:            m.windows,
+		Retunes:            m.retunes,
+	}
+}

@@ -54,6 +54,7 @@ type Stats struct {
 	Hits        int           `json:"cache_hits"`
 	Pruned      int           `json:"pruned"`
 	TrueHits    int           `json:"true_hits"`
+	Remaining   int           `json:"remaining"`
 	Fetched     int           `json:"fetched"`
 	PageReads   int64         `json:"page_reads"`
 	SimulatedIO time.Duration `json:"simulated_io_ns"`
@@ -121,10 +122,11 @@ type Handler struct {
 	// is the live queue depth.
 	gate chan struct{}
 
-	queries atomic.Int64
-	fetched atomic.Int64
-	hits    atomic.Int64
-	cands   atomic.Int64
+	queries   atomic.Int64
+	fetched   atomic.Int64
+	hits      atomic.Int64
+	cands     atomic.Int64
+	remaining atomic.Int64
 
 	shed       atomic.Int64 // searches refused by the admission gate
 	canceled   atomic.Int64 // searches abandoned by client disconnect/deadline
@@ -142,9 +144,10 @@ type Handler struct {
 	latBatch      Histogram // wall clock of one whole batch request
 	latBatchQuery Histogram // batch wall clock amortized per member query
 
-	rebuildStats func() RebuildStats
-	shardStats   func() []ShardStat
-	ioStats      func() IOStats
+	rebuildStats   func() RebuildStats
+	shardStats     func() []ShardStat
+	ioStats        func() IOStats
+	costModelStats func() CostModelStats
 }
 
 // RebuildStats reports the maintainer's background cache-rebuild activity
@@ -160,6 +163,12 @@ type RebuildStats struct {
 	// are absent until the first rebuild lands.
 	LastRebuildWall time.Duration `json:"last_rebuild_wall_ns,omitempty"`
 	LastRebuildAt   string        `json:"last_rebuild_at,omitempty"`
+
+	// Retunes counts adaptive-τ retune rebuilds (a subset of Rebuilds); Tau
+	// is the serving engine's code length. Tau is 0 on a sharded aggregate
+	// whose shards have retuned to different code lengths.
+	Retunes int `json:"retunes"`
+	Tau     int `json:"tau,omitempty"`
 }
 
 // SetRebuildStats registers a snapshot source for maintainer rebuild
@@ -178,8 +187,16 @@ type ShardStat struct {
 	Candidates    int64   `json:"candidates"`
 	Hits          int64   `json:"cache_hits"`
 	HitRatio      float64 `json:"hit_ratio"`
+	Remaining     int64   `json:"remaining"`
+	RefineRatio   float64 `json:"refine_ratio"`
 	Fetched       int64   `json:"fetched"`
 	PageReads     int64   `json:"page_reads"`
+
+	// RhoHitEwma / RhoRefineEwma are the shard's exponentially weighted
+	// observed ratios — where the shard's traffic is *now*, versus the
+	// since-startup HitRatio/RefineRatio means above.
+	RhoHitEwma    float64 `json:"rho_hit_ewma"`
+	RhoRefineEwma float64 `json:"rho_refine_ewma"`
 
 	// Quarantined marks a shard currently served around after a permanent
 	// storage failure; FetchFailures counts the failures that put it there.
@@ -189,6 +206,10 @@ type ShardStat struct {
 	// Maintain carries the shard's own rebuild activity when the sharded
 	// maintainer is running (each shard rebuilds independently).
 	Maintain *RebuildStats `json:"maintain,omitempty"`
+
+	// CostModel carries the shard's drift-watchdog telemetry when adaptive
+	// τ re-tuning is armed (each shard retunes independently).
+	CostModel *CostModelStats `json:"costmodel,omitempty"`
 }
 
 // SetShardStats registers a snapshot source for per-shard telemetry; /stats
@@ -208,6 +229,33 @@ type IOStats struct {
 // SetIOStats registers a snapshot source for storage fault telemetry; /metrics
 // then carries an "io" object. Call before serving.
 func (h *Handler) SetIOStats(fn func() IOStats) { h.ioStats = fn }
+
+// CostModelStats is the drift watchdog's telemetry block for /metrics:
+// observed vs model-predicted ρ_hit/ρ_refine, the serving and recommended
+// code lengths, and the retune counters. All model quantities reflect the
+// most recently evaluated drift window.
+type CostModelStats struct {
+	Tau            int `json:"tau"`
+	RecommendedTau int `json:"recommended_tau"`
+
+	ObservedRhoHit    float64 `json:"observed_rho_hit"`
+	ObservedRhoRefine float64 `json:"observed_rho_refine"`
+
+	PredictedRhoHit    float64 `json:"predicted_rho_hit"`
+	PredictedRhoRefine float64 `json:"predicted_rho_refine"`
+
+	PredictedCrefine float64 `json:"predicted_crefine"`
+	BestCrefine      float64 `json:"best_crefine"`
+	Improvement      float64 `json:"improvement"`
+
+	PendingWindows int   `json:"pending_windows"`
+	Windows        int64 `json:"windows"`
+	Retunes        int64 `json:"retunes"`
+}
+
+// SetCostModelStats registers a snapshot source for the adaptive-τ watchdog;
+// /metrics then carries a "costmodel" object. Call before serving.
+func (h *Handler) SetCostModelStats(fn func() CostModelStats) { h.costModelStats = fn }
 
 // New builds the handler.
 func New(s Searcher, cfg Config) *Handler {
@@ -346,6 +394,7 @@ func (h *Handler) handleSearch(w http.ResponseWriter, r *http.Request) {
 	h.fetched.Add(int64(st.Fetched))
 	h.hits.Add(int64(st.Hits))
 	h.cands.Add(int64(st.Candidates))
+	h.remaining.Add(int64(st.Remaining))
 	h.latTotal.Observe(time.Since(start))
 	h.latReduce.Observe(st.ReduceTime)
 	h.latRefine.Observe(st.RefineTime + st.SimulatedIO)
@@ -470,6 +519,7 @@ func (h *Handler) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 		h.fetched.Add(int64(st.Fetched))
 		h.hits.Add(int64(st.Hits))
 		h.cands.Add(int64(st.Candidates))
+		h.remaining.Add(int64(st.Remaining))
 		h.latBatchQuery.Observe(perQuery)
 		h.latReduce.Observe(st.ReduceTime)
 		h.latRefine.Observe(st.RefineTime + st.SimulatedIO)
@@ -481,6 +531,7 @@ type statsResponse struct {
 	Queries     int64         `json:"queries"`
 	AvgFetched  float64       `json:"avg_fetched"`
 	HitRatio    float64       `json:"hit_ratio"`
+	RefineRatio float64       `json:"refine_ratio"`
 	AvgCandSize float64       `json:"avg_candidates"`
 	Maintain    *RebuildStats `json:"maintain,omitempty"`
 	Shards      []ShardStat   `json:"shards,omitempty"`
@@ -491,6 +542,7 @@ func (h *Handler) handleStats(w http.ResponseWriter, r *http.Request) {
 	fetched := h.fetched.Load()
 	hits := h.hits.Load()
 	cands := h.cands.Load()
+	remaining := h.remaining.Load()
 	resp := statsResponse{Queries: queries}
 	if queries > 0 {
 		resp.AvgFetched = float64(fetched) / float64(queries)
@@ -498,6 +550,7 @@ func (h *Handler) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	if cands > 0 {
 		resp.HitRatio = float64(hits) / float64(cands)
+		resp.RefineRatio = float64(remaining) / float64(cands)
 	}
 	if h.rebuildStats != nil {
 		rs := h.rebuildStats()
@@ -534,6 +587,12 @@ type metricsResponse struct {
 	TransientFailures int64    `json:"transient_failures"`
 	IO                *IOStats `json:"io,omitempty"`
 
+	// CostModel is the adaptive-τ watchdog block (observed vs predicted
+	// ratios, recommended τ, retune counts), present when a source is
+	// registered; on sharded deployments each shards[] entry additionally
+	// carries its own block.
+	CostModel *CostModelStats `json:"costmodel,omitempty"`
+
 	Latency latencyMetrics `json:"latency"`
 	Shards  []ShardStat    `json:"shards,omitempty"`
 }
@@ -548,6 +607,11 @@ func (h *Handler) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		s := h.ioStats()
 		io = &s
 	}
+	var cm *CostModelStats
+	if h.costModelStats != nil {
+		s := h.costModelStats()
+		cm = &s
+	}
 	h.writeJSON(w, http.StatusOK, metricsResponse{
 		Queries:           h.queries.Load(),
 		Batches:           h.batches.Load(),
@@ -560,6 +624,7 @@ func (h *Handler) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		DegradedSearches:  h.degraded.Load(),
 		TransientFailures: h.transient.Load(),
 		IO:                io,
+		CostModel:         cm,
 		Latency: latencyMetrics{
 			Total:      h.latTotal.Snapshot(),
 			Reduce:     h.latReduce.Snapshot(),

@@ -5,6 +5,7 @@ import (
 	"net/http"
 	"time"
 
+	"exploitbit/internal/costmodel"
 	"exploitbit/internal/disk"
 	"exploitbit/internal/server"
 )
@@ -41,6 +42,7 @@ func wireStats(st QueryStats) server.Stats {
 		Hits:        st.Hits,
 		Pruned:      st.Pruned,
 		TrueHits:    st.TrueHits,
+		Remaining:   st.Remaining,
 		Fetched:     st.Fetched,
 		PageReads:   st.PageReads,
 		SimulatedIO: st.SimulatedIO,
@@ -111,6 +113,12 @@ func ServeMaintainedWith(m *Maintainer, dim int, opt ServeOptions) http.Handler 
 	h := server.New(engineSearcher{search: m.SearchCtx, batch: m.SearchBatchCtx}, opt.config(dim))
 	h.SetRebuildStats(func() server.RebuildStats { return wireRebuildStats(m.Stats()) })
 	h.SetIOStats(wireIOStats(m.DiskStats))
+	if _, ok := m.CostModel(); ok {
+		h.SetCostModelStats(func() server.CostModelStats {
+			snap, _ := m.CostModel()
+			return wireCostModel(snap)
+		})
+	}
 	return h
 }
 
@@ -120,6 +128,8 @@ func wireRebuildStats(st MaintainStats) server.RebuildStats {
 		RebuildErrors:   st.RebuildErrors,
 		RebuildInFlight: st.RebuildInFlight,
 		LastRebuildWall: st.LastRebuildWall,
+		Retunes:         st.Retunes,
+		Tau:             st.Tau,
 	}
 	if !st.LastRebuildAt.IsZero() {
 		rs.LastRebuildAt = st.LastRebuildAt.Format(time.RFC3339Nano)
@@ -127,14 +137,37 @@ func wireRebuildStats(st MaintainStats) server.RebuildStats {
 	return rs
 }
 
-// wireShardStats snapshots a sharded engine's per-shard blocks; maintain is
-// an optional source of per-shard rebuild activity (positional with shards).
-func wireShardStats(se *Sharded, maintain func() []MaintainStats) func() []server.ShardStat {
+// wireCostModel adapts a drift-watchdog snapshot to the /metrics block.
+func wireCostModel(s costmodel.MonitorSnapshot) server.CostModelStats {
+	return server.CostModelStats{
+		Tau:                s.Tau,
+		RecommendedTau:     s.RecommendedTau,
+		ObservedRhoHit:     s.ObservedRhoHit,
+		ObservedRhoRefine:  s.ObservedRhoRefine,
+		PredictedRhoHit:    s.PredictedRhoHit,
+		PredictedRhoRefine: s.PredictedRhoRefine,
+		PredictedCrefine:   s.PredictedCrefine,
+		BestCrefine:        s.BestCrefine,
+		Improvement:        s.Improvement,
+		PendingWindows:     s.PendingWindows,
+		Windows:            s.Windows,
+		Retunes:            s.Retunes,
+	}
+}
+
+// wireShardStats snapshots a sharded engine's per-shard blocks; maintain and
+// costModels are optional sources of per-shard rebuild activity and
+// drift-watchdog telemetry (both positional with shards).
+func wireShardStats(se *Sharded, maintain func() []MaintainStats, costModels func() []*costmodel.MonitorSnapshot) func() []server.ShardStat {
 	return func() []server.ShardStat {
 		aggs := se.ShardAggregates()
 		var ms []MaintainStats
 		if maintain != nil {
 			ms = maintain()
+		}
+		var cms []*costmodel.MonitorSnapshot
+		if costModels != nil {
+			cms = costModels()
 		}
 		out := make([]server.ShardStat, len(aggs))
 		for i, a := range aggs {
@@ -146,17 +179,25 @@ func wireShardStats(se *Sharded, maintain func() []MaintainStats) func() []serve
 				Queries:       int64(a.Agg.Queries),
 				Candidates:    a.Agg.Candidates,
 				Hits:          a.Agg.Hits,
+				Remaining:     a.Agg.Remaining,
 				Fetched:       a.Agg.Fetched,
 				PageReads:     a.Agg.PageReads,
+				RhoHitEwma:    a.Agg.EwmaRhoHit,
+				RhoRefineEwma: a.Agg.EwmaRhoRefine,
 				Quarantined:   a.Quarantined,
 				FetchFailures: a.FetchFailures,
 			}
 			if a.Agg.Candidates > 0 {
 				st.HitRatio = float64(a.Agg.Hits) / float64(a.Agg.Candidates)
+				st.RefineRatio = float64(a.Agg.Remaining) / float64(a.Agg.Candidates)
 			}
 			if i < len(ms) {
 				rs := wireRebuildStats(ms[i])
 				st.Maintain = &rs
+			}
+			if i < len(cms) && cms[i] != nil {
+				cm := wireCostModel(*cms[i])
+				st.CostModel = &cm
 			}
 			out[i] = st
 		}
@@ -174,7 +215,7 @@ func ServeSharded(se *Sharded, dim int) http.Handler {
 // ServeShardedWith is ServeSharded with explicit lifecycle options.
 func ServeShardedWith(se *Sharded, dim int, opt ServeOptions) http.Handler {
 	h := server.New(engineSearcher{search: se.SearchCtx, batch: se.SearchBatchCtx}, opt.config(dim))
-	h.SetShardStats(wireShardStats(se, nil))
+	h.SetShardStats(wireShardStats(se, nil, nil))
 	h.SetIOStats(wireIOStats(se.DiskStats))
 	return h
 }
@@ -191,7 +232,61 @@ func ServeShardedMaintained(m *ShardedMaintainer, dim int) http.Handler {
 func ServeShardedMaintainedWith(m *ShardedMaintainer, dim int, opt ServeOptions) http.Handler {
 	h := server.New(engineSearcher{search: m.SearchCtx, batch: m.SearchBatchCtx}, opt.config(dim))
 	h.SetRebuildStats(func() server.RebuildStats { return wireRebuildStats(m.Stats()) })
-	h.SetShardStats(wireShardStats(m.Sharded(), m.ShardStats))
+	h.SetShardStats(wireShardStats(m.Sharded(), m.ShardStats, m.CostModels))
 	h.SetIOStats(wireIOStats(m.DiskStats))
+	if adaptive := m.CostModels(); len(adaptive) > 0 && adaptive[0] != nil {
+		// Top-level block: a cross-shard summary (counters summed, ratios
+		// averaged over adaptive shards, τ zeroed when shards disagree); the
+		// authoritative per-shard telemetry rides in the shards array.
+		h.SetCostModelStats(func() server.CostModelStats {
+			return mergeShardCostModels(m.CostModels())
+		})
+	}
 	return h
+}
+
+// mergeShardCostModels folds per-shard watchdog snapshots into one summary
+// block for the top-level /metrics costmodel object.
+func mergeShardCostModels(cms []*costmodel.MonitorSnapshot) server.CostModelStats {
+	var out server.CostModelStats
+	n := 0
+	for _, s := range cms {
+		if s == nil {
+			continue
+		}
+		cm := wireCostModel(*s)
+		if n == 0 {
+			out.Tau = cm.Tau
+			out.RecommendedTau = cm.RecommendedTau
+		} else {
+			if out.Tau != cm.Tau {
+				out.Tau = 0
+			}
+			if out.RecommendedTau != cm.RecommendedTau {
+				out.RecommendedTau = 0
+			}
+		}
+		out.ObservedRhoHit += cm.ObservedRhoHit
+		out.ObservedRhoRefine += cm.ObservedRhoRefine
+		out.PredictedRhoHit += cm.PredictedRhoHit
+		out.PredictedRhoRefine += cm.PredictedRhoRefine
+		out.PredictedCrefine += cm.PredictedCrefine
+		out.BestCrefine += cm.BestCrefine
+		out.Improvement += cm.Improvement
+		out.PendingWindows += cm.PendingWindows
+		out.Windows += cm.Windows
+		out.Retunes += cm.Retunes
+		n++
+	}
+	if n > 1 {
+		f := float64(n)
+		out.ObservedRhoHit /= f
+		out.ObservedRhoRefine /= f
+		out.PredictedRhoHit /= f
+		out.PredictedRhoRefine /= f
+		out.PredictedCrefine /= f
+		out.BestCrefine /= f
+		out.Improvement /= f
+	}
+	return out
 }
