@@ -48,6 +48,10 @@ func main() {
 		shards      = flag.Int("shards", 1, "serve through this many scatter-gather shard units (1 = unsharded)")
 		shardLayout = flag.String("shard-layout", string(exploitbit.RoundRobin), "shard partitioning: round-robin or clustered")
 
+		walDir           = flag.String("wal-dir", "", "enable live ingest: write-ahead log directory for POST /insert and /delete (replayed at startup; implies -maintain when unsharded)")
+		walFsync         = flag.String("wal-fsync", "always", "WAL durability: always (fsync per record) or none")
+		compactThreshold = flag.Int("compact-threshold", 4096, "delta points that trigger background compaction into the point file (unsharded live ingest only)")
+
 		ioRetries      = flag.Int("io-retries", 3, "transient storage read failures retried per page before the error surfaces (0 = no retry)")
 		ioRetryBackoff = flag.Duration("io-retry-backoff", time.Millisecond, "initial retry backoff, doubled per attempt (jittered, capped at 100x)")
 		degradedOK     = flag.Bool("degraded-ok", false, "sharded only: serve around a permanently failed shard (responses flagged degraded) instead of failing queries that need it")
@@ -91,69 +95,108 @@ func main() {
 		wl = qlog.Queries()
 	}
 
-	log.Printf("ebc-serve: dataset %q (%d x %d-d); building index and profiling %d workload queries…",
-		ds.Name, ds.Len(), ds.Dim, len(wl))
-	sys, err := exploitbit.Open(ds, wl, exploitbit.Options{
+	opt := exploitbit.Options{
 		WorkloadK: *k, Shards: *shards, ShardLayout: exploitbit.ShardLayout(*shardLayout),
-	})
-	if err != nil {
-		log.Fatal("ebc-serve: ", err)
 	}
-	defer sys.Close()
-
+	rp := exploitbit.RetryPolicy{}
 	if *ioRetries > 0 {
-		sys.SetRetry(exploitbit.RetryPolicy{
+		rp = exploitbit.RetryPolicy{
 			MaxRetries: *ioRetries,
 			Backoff:    *ioRetryBackoff,
 			MaxBackoff: 100 * *ioRetryBackoff,
-		})
+		}
 	}
 	if *degradedOK && *shards <= 1 {
 		log.Printf("ebc-serve: -degraded-ok has no effect without -shards > 1")
 	}
-
-	tau := sys.OptimalTau(cs)
-	cfg := core.Config{Method: exploitbit.Method(*method), CacheBytes: cs, Tau: tau, SmoothEps: 0.01}
-	sopt := exploitbit.ServeOptions{MaxK: *maxK, MaxInFlight: *maxInFlight, MaxBatch: *maxBatch}
 	if *adaptiveTau && !*maintain {
 		log.Printf("ebc-serve: -adaptive-tau has no effect without -maintain")
 	}
+	sopt := exploitbit.ServeOptions{MaxK: *maxK, MaxInFlight: *maxInFlight, MaxBatch: *maxBatch}
 	mopt := exploitbit.MaintainOptions{
 		AdaptiveTau:     *adaptiveTau,
 		RetuneThreshold: *retuneThreshold,
 		RetuneWindows:   *retuneWindows,
 	}
+
 	var handler http.Handler
 	var drainMaintainer func() // set when a maintainer needs closing after drain
-	switch {
-	case *shards > 1 && *maintain:
-		m, err := sys.MaintainedSharded(cfg, mopt)
+	var tau int
+	if *walDir != "" {
+		// Live ingest: recover the WAL, open over the folded dataset, serve
+		// writes alongside merged searches.
+		fsync, err := exploitbit.ParseFsyncMode(*walFsync)
+		if err != nil {
+			log.Fatal("ebc-serve: bad -wal-fsync: ", err)
+		}
+		if *shards > 1 {
+			log.Printf("ebc-serve: sharded live ingest serves writes and merged searches, but background compaction is disabled (restart recovery folds the WAL instead)")
+		} else if !*maintain {
+			log.Printf("ebc-serve: -wal-dir implies -maintain (compaction folds the delta through the maintainer's background rebuild)")
+		}
+		log.Printf("ebc-serve: dataset %q (%d x %d-d); recovering WAL %q, building index and profiling %d workload queries…",
+			ds.Name, ds.Len(), ds.Dim, *walDir, len(wl))
+		cfg := core.Config{Method: exploitbit.Method(*method), CacheBytes: cs, SmoothEps: 0.01}
+		ls, err := exploitbit.OpenLive(ds, wl, opt, cfg, mopt, exploitbit.LiveOptions{
+			WalDir:           *walDir,
+			Fsync:            fsync,
+			CompactThreshold: *compactThreshold,
+		})
 		if err != nil {
 			log.Fatal("ebc-serve: ", err)
 		}
-		m.Sharded().SetDegradedOK(*degradedOK)
-		drainMaintainer = m.Close
-		handler = exploitbit.ServeShardedMaintainedWith(m, ds.Dim, sopt)
-	case *shards > 1:
-		se, err := sys.ShardedEngineWith(cfg)
+		ls.Sys.SetRetry(rp)
+		if rec := ls.Recovery; rec.Records > 0 || rec.CheckpointPoints > 0 {
+			log.Printf("ebc-serve: recovered %d checkpoint points + %d WAL records (%d tombstones, %d bytes torn tail truncated)",
+				rec.CheckpointPoints, rec.Records, len(rec.Tombs), rec.TruncatedBytes)
+		}
+		if ls.ShardedMaintainer != nil {
+			ls.ShardedMaintainer.Sharded().SetDegradedOK(*degradedOK)
+		}
+		drainMaintainer = func() { ls.Close() }
+		handler = exploitbit.ServeLive(ls, sopt)
+	} else {
+		log.Printf("ebc-serve: dataset %q (%d x %d-d); building index and profiling %d workload queries…",
+			ds.Name, ds.Len(), ds.Dim, len(wl))
+		sys, err := exploitbit.Open(ds, wl, opt)
 		if err != nil {
 			log.Fatal("ebc-serve: ", err)
 		}
-		se.SetDegradedOK(*degradedOK)
-		handler = exploitbit.ServeShardedWith(se, ds.Dim, sopt)
-	case *maintain:
-		m, err := sys.Maintained(cfg, mopt)
-		if err != nil {
-			log.Fatal("ebc-serve: ", err)
+		defer sys.Close()
+		sys.SetRetry(rp)
+
+		tau = sys.OptimalTau(cs)
+		cfg := core.Config{Method: exploitbit.Method(*method), CacheBytes: cs, Tau: tau, SmoothEps: 0.01}
+		switch {
+		case *shards > 1 && *maintain:
+			m, err := sys.MaintainedSharded(cfg, mopt)
+			if err != nil {
+				log.Fatal("ebc-serve: ", err)
+			}
+			m.Sharded().SetDegradedOK(*degradedOK)
+			drainMaintainer = m.Close
+			handler = exploitbit.ServeShardedMaintainedWith(m, ds.Dim, sopt)
+		case *shards > 1:
+			se, err := sys.ShardedEngineWith(cfg)
+			if err != nil {
+				log.Fatal("ebc-serve: ", err)
+			}
+			se.SetDegradedOK(*degradedOK)
+			handler = exploitbit.ServeShardedWith(se, ds.Dim, sopt)
+		case *maintain:
+			m, err := sys.Maintained(cfg, mopt)
+			if err != nil {
+				log.Fatal("ebc-serve: ", err)
+			}
+			drainMaintainer = m.Close
+			handler = exploitbit.ServeMaintainedWith(m, ds.Dim, sopt)
+		default:
+			eng, err := sys.Engine(exploitbit.Method(*method), cs, tau)
+			if err != nil {
+				log.Fatal("ebc-serve: ", err)
+			}
+			handler = exploitbit.ServeWith(eng, ds.Dim, sopt)
 		}
-		drainMaintainer = m.Close
-		handler = exploitbit.ServeMaintainedWith(m, ds.Dim, sopt)
-	default:
-		eng, err := sys.Engine(exploitbit.Method(*method), cs, tau)
-		if err != nil {
-			log.Fatal("ebc-serve: ", err)
-		}
-		handler = exploitbit.ServeWith(eng, ds.Dim, sopt)
 	}
 
 	srv := &http.Server{
@@ -187,8 +230,13 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("ebc-serve: %s cache, %s budget, tau=%d, %d shard(s); listening on %s (max %d in-flight searches)",
-		*method, *cacheSz, tau, sys.Shards(), *addr, *maxInFlight)
+	if *walDir != "" {
+		log.Printf("ebc-serve: %s cache, %s budget, %d shard(s), live ingest on %q; listening on %s (max %d in-flight requests)",
+			*method, *cacheSz, *shards, *walDir, *addr, *maxInFlight)
+	} else {
+		log.Printf("ebc-serve: %s cache, %s budget, tau=%d, %d shard(s); listening on %s (max %d in-flight searches)",
+			*method, *cacheSz, tau, *shards, *addr, *maxInFlight)
+	}
 
 	select {
 	case err := <-errc:

@@ -1,0 +1,204 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"exploitbit"
+	"exploitbit/internal/core"
+)
+
+// IngestReport records the mixed read/write scenario (BENCH_7.json): a live
+// system serves a steady search workload while points stream in and out
+// through the WAL-backed write path, crossing at least one background
+// compaction. The rows measure search cost before ingest (clean base),
+// during ingest (delta overlay live, compaction racing the reads), and after
+// the writes drain (delta folded) — steady search latency across the three
+// phases is the scenario's claim.
+type IngestReport struct {
+	GeneratedAt string `json:"generated_at"`
+	K           int    `json:"k"`
+	BaseN       int    `json:"base_points"`
+
+	Inserts     int64 `json:"inserts"`
+	Deletes     int64 `json:"deletes"`
+	Compactions int64 `json:"compactions"`
+	WalBytes    int64 `json:"final_wal_bytes"`
+	DeltaLeft   int   `json:"final_delta_points"`
+
+	Rows []IngestRow `json:"rows"`
+}
+
+// IngestRow is one phase's measured search cost.
+type IngestRow struct {
+	Phase        string  `json:"phase"`
+	Queries      int     `json:"queries"`
+	AvgWallUs    float64 `json:"avg_wall_us"`
+	AvgPageReads float64 `json:"avg_page_reads"`
+	AvgRemaining float64 `json:"avg_remaining"`
+}
+
+// RunIngest measures search cost through a burst of live writes and writes
+// the report as indented JSON to jsonPath (skipped when empty), echoing a
+// summary to w.
+func RunIngest(w io.Writer, env *Env, jsonPath string) (*IngestReport, error) {
+	const k = 5
+	const budget = int64(8 << 10)
+	const nInsert = 600
+	const nDelete = 120
+
+	ds := exploitbit.Generate(exploitbit.DatasetConfig{
+		Name: "ingest-mix", N: 3000, Dim: 12, Clusters: 10, Std: 0.03,
+		Ndom: 256, Seed: 31, ValueCoherence: 0.7,
+	})
+	qlog := exploitbit.GenLog(ds, exploitbit.LogConfig{
+		PoolSize: 200, Length: 800, ZipfS: 1.2, Perturb: 0.005, Seed: 32,
+	})
+	wl := qlog.Queries()
+	pool := qlog.Pool
+
+	walRoot, err := os.MkdirTemp(env.Dir, "ingest-bench-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(walRoot)
+
+	ls, err := exploitbit.OpenLive(ds, wl,
+		exploitbit.Options{Dir: env.Dir, Tio: env.Tio, WorkloadK: k},
+		core.Config{Method: exploitbit.HCO, CacheBytes: budget},
+		exploitbit.MaintainOptions{WindowSize: 1 << 20}, // no drift rebuilds: isolate compaction
+		exploitbit.LiveOptions{
+			WalDir:           filepath.Join(walRoot, "wal"),
+			Fsync:            exploitbit.FsyncNone,
+			CompactThreshold: nInsert / 2, // cross the threshold mid-burst
+		})
+	if err != nil {
+		return nil, err
+	}
+	defer ls.Close()
+	ctx := context.Background()
+
+	measure := func(phase string, n int) (IngestRow, error) {
+		var agg core.Aggregate
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			_, st, err := ls.Search(ctx, pool[i%len(pool)], k, nil)
+			if err != nil {
+				return IngestRow{}, err
+			}
+			agg.Add(st)
+		}
+		wall := time.Since(start)
+		return IngestRow{
+			Phase:        phase,
+			Queries:      n,
+			AvgWallUs:    float64(wall.Microseconds()) / float64(n),
+			AvgPageReads: agg.AvgPageReads(),
+			AvgRemaining: agg.AvgRemaining(),
+		}, nil
+	}
+
+	rep := &IngestReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		K:           k,
+		BaseN:       ds.Len(),
+	}
+	row, err := measure("before", 64)
+	if err != nil {
+		return nil, err
+	}
+	rep.Rows = append(rep.Rows, row)
+
+	// Mixed phase: writes interleave with searches. Every 8th write is a
+	// delete of an earlier point; every 4th operation runs a search between
+	// writes so the overlay and compaction race live reads.
+	var agg core.Aggregate
+	searches := 0
+	wallDuring := time.Duration(0)
+	deleted := 0
+	for i := 0; i < nInsert; i++ {
+		v := ds.Point(i % ds.Len())
+		id, err := ls.Insert(ctx, v)
+		if err != nil {
+			return nil, err
+		}
+		if deleted < nDelete && i%8 == 7 {
+			if err := ls.Delete(ctx, id); err != nil {
+				return nil, err
+			}
+			deleted++
+		}
+		if i%4 == 3 {
+			t := time.Now()
+			_, st, err := ls.Search(ctx, pool[i%len(pool)], k, nil)
+			if err != nil {
+				return nil, err
+			}
+			wallDuring += time.Since(t)
+			agg.Add(st)
+			searches++
+		}
+	}
+	rep.Rows = append(rep.Rows, IngestRow{
+		Phase:        "during",
+		Queries:      searches,
+		AvgWallUs:    float64(wallDuring.Microseconds()) / float64(searches),
+		AvgPageReads: agg.AvgPageReads(),
+		AvgRemaining: agg.AvgRemaining(),
+	})
+
+	// Drain: the threshold fired mid-burst; wait for the compaction to land.
+	deadline := time.Now().Add(60 * time.Second)
+	for ls.Stats().Compactions == 0 {
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("bench: no compaction landed (stats %+v)", ls.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for ls.Stats().CompactInFlight {
+		time.Sleep(time.Millisecond)
+	}
+
+	row, err = measure("after", 64)
+	if err != nil {
+		return nil, err
+	}
+	rep.Rows = append(rep.Rows, row)
+
+	st := ls.Stats()
+	rep.Inserts = st.Inserts
+	rep.Deletes = st.Deletes
+	rep.Compactions = st.Compactions
+	rep.WalBytes = st.WalBytes
+	rep.DeltaLeft = st.DeltaPoints
+
+	for _, r := range rep.Rows {
+		fmt.Fprintf(w, "ingest: %-7s %3d queries  %8.1f µs/q  %6.1f pages/q  %6.1f C_refine\n",
+			r.Phase, r.Queries, r.AvgWallUs, r.AvgPageReads, r.AvgRemaining)
+	}
+	fmt.Fprintf(w, "ingest: %d inserts, %d deletes, %d compaction(s), %d delta points left, %d WAL bytes retained\n",
+		st.Inserts, st.Deletes, st.Compactions, st.DeltaPoints, st.WalBytes)
+
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return nil, err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := f.Close(); err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(w, "ingest: report written to %s\n", jsonPath)
+	}
+	return rep, nil
+}

@@ -65,7 +65,7 @@ func (e *Engine) SearchBatchCtx(ctx context.Context, qs [][]float32, k int) ([][
 	remainings := make([][]candState, n)
 	if err := batchFan(n, func(j int) error {
 		var err error
-		results[j], remainings[j], err = e.phase12(ctx, scs[j], qs[j], k, nil)
+		results[j], remainings[j], err = e.phase12(ctx, scs[j], qs[j], k, nil, nil)
 		return err
 	}); err != nil {
 		return nil, nil, err

@@ -455,23 +455,50 @@ func (e *Engine) SearchInto(q []float32, k int, dst []int) ([]int, QueryStats, e
 // partition) for one query on scratch sc. True-hit identifiers are appended
 // to dst; the surviving candidate states are compacted into sc.cs and
 // returned. Both the single-query search and the batch pipeline start here.
-func (e *Engine) phase12(ctx context.Context, sc *searchScratch, q []float32, k int, dst []int) ([]int, []candState, error) {
+//
+// A non-nil mg folds the live-ingest overlay in: tombstoned base candidates
+// are masked before scoring, and surviving delta points are scored exactly
+// and enter the same k-th-bound selection. Masking only shrinks the
+// candidate set and extras only lower ub_k, so the slab kernel's
+// early-abandonment argument (thr ≥ ub_k) is untouched.
+func (e *Engine) phase12(ctx context.Context, sc *searchScratch, q []float32, k int, dst []int, mg *Merge) ([]int, []candState, error) {
 	st := &sc.st
 
 	// Phase 1: candidate generation.
 	t0 := time.Now()
 	ids, dmax := e.cands(q, k)
 	st.GenTime = time.Since(t0)
-	st.Candidates = len(ids)
 	st.Dmax = dmax
+
+	nExtra := 0
+	if mg != nil {
+		if mg.Deleted != nil {
+			// Filter into dedicated scratch: candidate funcs may return
+			// shared slices, so the returned ids are never edited in place.
+			sc.mergeIDs = sc.mergeIDs[:0]
+			for _, id := range ids {
+				if !mg.Deleted(int32(id)) {
+					sc.mergeIDs = append(sc.mergeIDs, id)
+				}
+			}
+			ids = sc.mergeIDs
+		}
+		horizon := int32(e.ds.Len())
+		for i := range mg.Extra {
+			if mg.extraLive(&mg.Extra[i], horizon) {
+				nExtra++
+			}
+		}
+	}
+	st.Candidates = len(ids) + nExtra
 
 	// Phase 2: candidate reduction — no I/O by construction (unless
 	// EagerFetchMisses). The ADC lookup table replaces per-candidate edge
 	// math when the candidate set amortizes its build; above the parallel
 	// threshold the scan fans out over contiguous chunks.
 	t1 := time.Now()
-	sc.cs = grow(sc.cs, len(ids))
-	cs := sc.cs
+	sc.cs = grow(sc.cs, len(ids)+nExtra)
+	cs := sc.cs[:len(ids)]
 	lut := e.queryLUT(q, len(ids), sc)
 	st.UsedLUT = lut != nil
 	workers := e.reduceWorkers(len(ids))
@@ -492,6 +519,25 @@ func (e *Engine) phase12(ctx context.Context, sc *searchScratch, q []float32, k 
 			return nil, nil, err
 		}
 	}
+	cs = sc.cs[:len(ids)+nExtra]
+	if nExtra > 0 {
+		// Delta points: exact distance in RAM, lb = ub = d², no I/O. Each is
+		// a candidate and a cache hit — exactly what the point would cost in
+		// an engine rebuilt over the folded dataset with the point resident
+		// in an exact cache.
+		horizon := int32(e.ds.Len())
+		j := len(ids)
+		for i := range mg.Extra {
+			ex := &mg.Extra[i]
+			if !mg.extraLive(ex, horizon) {
+				continue
+			}
+			d2 := vec.SqDist(q, ex.Vec)
+			cs[j] = candState{id: ex.ID, leaf: -1, lbSq: d2, ubSq: d2, exactPt: ex.Vec}
+			j++
+		}
+		st.Hits += nExtra
+	}
 	lbkSq, ubkSq := sc.kthBoundsSq(cs, k)
 
 	// true results detected without I/O come first
@@ -504,6 +550,12 @@ func (e *Engine) phase12(ctx context.Context, sc *searchScratch, q []float32, k 
 // SearchIntoCtx is SearchInto under a request context; see SearchCtx for
 // the cancellation semantics.
 func (e *Engine) SearchIntoCtx(ctx context.Context, q []float32, k int, dst []int) ([]int, QueryStats, error) {
+	return e.searchIntoCtx(ctx, q, k, dst, nil)
+}
+
+// searchIntoCtx is the full Algorithm 1 pipeline with an optional
+// live-ingest overlay (nil mg = plain search); see SearchMergedIntoCtx.
+func (e *Engine) searchIntoCtx(ctx context.Context, q []float32, k int, dst []int, mg *Merge) ([]int, QueryStats, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, QueryStats{}, err
 	}
@@ -513,7 +565,7 @@ func (e *Engine) SearchIntoCtx(ctx context.Context, q []float32, k int, dst []in
 	sc.st = QueryStats{}
 	st := &sc.st
 
-	results, remaining, err := e.phase12(ctx, sc, q, k, dst)
+	results, remaining, err := e.phase12(ctx, sc, q, k, dst, mg)
 	if err != nil {
 		return nil, sc.st, err
 	}

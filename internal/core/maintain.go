@@ -27,11 +27,21 @@ import (
 // using the old engine; a failed rebuild is recorded and the old engine
 // keeps serving.
 type Maintainer struct {
-	pf    *disk.PointFile
-	ds    *dataset.Dataset
-	cands CandidateFunc
-	cfg   Config
-	opt   MaintainOptions
+	pf  *disk.PointFile
+	cfg Config
+	opt MaintainOptions
+
+	// fold is the dataset + Phase-1 candidate generator the maintainer
+	// profiles and builds engines from. It lives behind an atomic pointer
+	// because a live-ingest compaction (CompactRebuild) swaps both together
+	// after folding delta points into the base, while buildEngine and the
+	// watchdog's evaluation goroutine read them outside any rebuild lock.
+	fold atomic.Pointer[foldState]
+
+	// initialWL is the workload the maintainer was constructed from, retained
+	// as the profiling fallback for a compaction that lands before the drift
+	// window has recorded anything.
+	initialWL [][]float32
 
 	// eng is the serving engine. Loaded lock-free on every search; stored
 	// under mu when a rebuild completes.
@@ -316,14 +326,23 @@ type MaintainStats struct {
 	Tau     int
 }
 
+// foldState pairs the dataset with its Phase-1 candidate generator; see
+// Maintainer.fold.
+type foldState struct {
+	ds    *dataset.Dataset
+	cands CandidateFunc
+}
+
 // NewMaintainer wraps an initial workload into a self-maintaining engine.
 func NewMaintainer(pf *disk.PointFile, ds *dataset.Dataset, cands CandidateFunc, initialWL [][]float32, k int, cfg Config, opt MaintainOptions) (*Maintainer, error) {
 	opt = opt.withDefaults()
 	m := &Maintainer{
-		pf: pf, ds: ds, cands: cands, cfg: cfg, opt: opt,
+		pf: pf, cfg: cfg, opt: opt,
+		initialWL:   initialWL,
 		drift:       newDriftState(opt),
 		rebuildGate: opt.RebuildGate,
 	}
+	m.fold.Store(&foldState{ds: ds, cands: cands})
 	m.build = m.buildEngine
 	tau := cfg.withDefaults().Tau
 	m.tau.Store(int64(tau))
@@ -343,12 +362,14 @@ func NewMaintainer(pf *disk.PointFile, ds *dataset.Dataset, cands CandidateFunc,
 }
 
 // buildEngine is the default build: profile the window, construct the engine
-// at the requested code length.
+// at the requested code length, both over the current fold (which a
+// compaction may have extended since the last rebuild).
 func (m *Maintainer) buildEngine(wl [][]float32, k, tau int) (*Engine, error) {
-	prof := BuildProfile(m.ds, m.cands, wl, k)
+	fs := m.fold.Load()
+	prof := BuildProfile(fs.ds, fs.cands, wl, k)
 	cfg := m.cfg
 	cfg.Tau = tau
-	return NewEngine(m.pf, prof, m.cands, cfg)
+	return NewEngine(m.pf, prof, fs.cands, cfg)
 }
 
 // curTau returns the serving engine's code length.
@@ -406,7 +427,15 @@ func (m *Maintainer) SearchInto(q []float32, k int, dst []int) ([]int, QueryStat
 
 // SearchIntoCtx is SearchInto under a request context; see SearchCtx.
 func (m *Maintainer) SearchIntoCtx(ctx context.Context, q []float32, k int, dst []int) ([]int, QueryStats, error) {
-	ids, st, err := m.eng.Load().SearchIntoCtx(ctx, q, k, dst)
+	return m.SearchMergedIntoCtx(ctx, q, k, dst, nil)
+}
+
+// SearchMergedIntoCtx is SearchIntoCtx with the live-ingest overlay folded
+// into the serving engine's search (see Merge). Merged queries enter the
+// drift window like plain ones: the delta's contribution to hit ratios is
+// what the rebuilt cache will actually serve.
+func (m *Maintainer) SearchMergedIntoCtx(ctx context.Context, q []float32, k int, dst []int, mg *Merge) ([]int, QueryStats, error) {
+	ids, st, err := m.eng.Load().SearchMergedIntoCtx(ctx, q, k, dst, mg)
 	if err != nil {
 		return nil, st, err
 	}
@@ -463,8 +492,9 @@ func (m *Maintainer) launchEvaluate(obsHit, obsRefine float64, wl [][]float32, k
 	go func() {
 		defer m.wg.Done()
 		defer m.evaluating.Store(false)
-		prof := BuildProfile(m.ds, m.cands, wl, k)
-		in := adaptInputs(prof, m.ds, m.cfg.CacheBytes)
+		fs := m.fold.Load()
+		prof := BuildProfile(fs.ds, fs.cands, wl, k)
+		in := adaptInputs(prof, fs.ds, m.cfg.CacheBytes)
 		d := m.monitor.Observe(obsHit, obsRefine, in)
 		if d.Retune && m.rebuilding.CompareAndSwap(false, true) {
 			m.launchRebuild(wl, k, d.Tau, true)
@@ -535,6 +565,80 @@ func (m *Maintainer) RebuildAsync(k int) bool {
 		return false
 	}
 	m.launchRebuild(wl, k, m.curTau(), false)
+	return true
+}
+
+// CompactRebuild folds a live-ingest delta into the base through one
+// ordinary non-blocking RCU rebuild. prepare runs inside the background
+// rebuild goroutine — under rebuildMu, off the search path — and performs
+// the compactor's heavy lifting: extending the point file, building the
+// folded dataset and its Phase-1 candidate generator. On success the fold is
+// swapped, a fresh engine is profiled from the current drift window (or the
+// initial workload when the window is empty) at the serving τ, and the
+// engine is installed like any drift rebuild. onDone (optional) reports
+// whether an engine was installed, after the swap is visible.
+//
+// CompactRebuild contends on the same launch CAS as drift, retune and
+// quarantine rebuilds — one rebuild queue. It returns false without calling
+// prepare when another rebuild is queued or running (the compactor simply
+// retries on a later trigger) or when the maintainer is closed. The CAS is
+// won before prepare runs, so a compaction never mutates the point file
+// concurrently with another rebuild's profile or build.
+func (m *Maintainer) CompactRebuild(k int, prepare func() (*dataset.Dataset, CandidateFunc, error), onDone func(installed bool)) bool {
+	if !m.rebuilding.CompareAndSwap(false, true) {
+		return false
+	}
+	m.lifeMu.Lock()
+	if m.closed {
+		m.lifeMu.Unlock()
+		m.rebuilding.Store(false)
+		return false
+	}
+	m.wg.Add(1)
+	m.lifeMu.Unlock()
+
+	m.mu.Lock()
+	wl := m.drift.snapshot()
+	m.mu.Unlock()
+	if len(wl) == 0 {
+		wl = m.initialWL
+	}
+	tau := m.curTau()
+
+	go func() {
+		defer m.wg.Done()
+		defer m.rebuilding.Store(false)
+		m.rebuildMu.Lock()
+		defer m.rebuildMu.Unlock()
+		if m.rebuildGate != nil {
+			<-m.rebuildGate
+		}
+		fail := func() {
+			m.rebuildErrs.Add(1)
+			if onDone != nil {
+				onDone(false)
+			}
+		}
+		start := time.Now()
+		ds, cands, err := prepare()
+		if err != nil {
+			fail()
+			return
+		}
+		prof := BuildProfile(ds, cands, wl, k)
+		cfg := m.cfg
+		cfg.Tau = tau
+		eng, err := NewEngine(m.pf, prof, cands, cfg)
+		if err != nil {
+			fail()
+			return
+		}
+		m.fold.Store(&foldState{ds: ds, cands: cands})
+		m.install(eng, time.Since(start), tau, false)
+		if onDone != nil {
+			onDone(true)
+		}
+	}()
 	return true
 }
 

@@ -1,0 +1,73 @@
+package core
+
+import "context"
+
+// MergePoint is one delta-index point folded into a merged search: a point
+// inserted after the engine was built, carried with its exact vector. ID is
+// the dataset-global identifier the point will keep after compaction, so
+// merged results are id-identical to an engine rebuilt over the folded
+// dataset.
+type MergePoint struct {
+	ID  int32
+	Vec []float32
+}
+
+// Merge is the live-ingest overlay of a merged search: a tombstone mask over
+// base ids and the delta points to fold into the reduction. The engine
+// applies it inside Algorithm 1 — tombstoned base candidates are masked
+// before Phase 2, delta points are scored exactly (lb = ub = d², zero I/O)
+// and compete in the same k-th-bound selection, pruning and refinement as
+// the base candidates.
+//
+// Extras whose ID is below the engine's point horizon are skipped: after a
+// compaction the freshly built engine already contains those points, and the
+// skip makes the overlay safe to use across an RCU engine swap without any
+// coordination beyond reading the new engine's length.
+//
+// Deleted must be safe for concurrent use and stable for the duration of one
+// search; Extra and the vectors it references must not be mutated while a
+// search using them is in flight.
+type Merge struct {
+	Deleted func(id int32) bool
+	Extra   []MergePoint
+}
+
+// extraLive reports whether extra ex survives the overlay's own masking for
+// an engine holding horizon base points.
+func (mg *Merge) extraLive(ex *MergePoint, horizon int32) bool {
+	if ex.ID < horizon {
+		return false
+	}
+	return mg.Deleted == nil || !mg.Deleted(ex.ID)
+}
+
+// SearchMerged is SearchMergedIntoCtx with a background context and a fresh
+// result slice.
+func (e *Engine) SearchMerged(q []float32, k int, mg *Merge) ([]int, QueryStats, error) {
+	return e.SearchMergedIntoCtx(context.Background(), q, k, nil, mg)
+}
+
+// SearchMergedIntoCtx runs Algorithm 1 over the base candidates with the
+// live-ingest overlay folded in; a nil mg degenerates to SearchIntoCtx. See
+// Merge for the exact masking and scoring semantics.
+func (e *Engine) SearchMergedIntoCtx(ctx context.Context, q []float32, k int, dst []int, mg *Merge) ([]int, QueryStats, error) {
+	return e.searchIntoCtx(ctx, q, k, dst, mg)
+}
+
+// NumPoints returns the number of base points the engine was built over —
+// the horizon below which merged-search extras are treated as already
+// compacted.
+func (e *Engine) NumPoints() int { return e.ds.Len() }
+
+// EncodePoint quantizes p through the engine's live histogram into a packed
+// HFF code, or returns nil when the method keeps no per-point codes
+// (NoCache, Exact, mHC-R). The delta index records these codes so that a
+// freshly ingested point carries the same representation a cached base point
+// would.
+func (e *Engine) EncodePoint(p []float32) []uint64 {
+	if e.codec.Dim() == 0 { // zero-value codec: method keeps no codes
+		return nil
+	}
+	codes := make([]int, e.ds.Dim)
+	return e.encodeVector(p, codes, nil)
+}

@@ -29,6 +29,11 @@ type searchScratch struct {
 	fetchBuf []float32
 	codes    []int
 
+	// mergeIDs holds the tombstone-filtered Phase-1 ids of a merged search;
+	// candidate funcs may return shared slices, so filtering never happens in
+	// place.
+	mergeIDs []int
+
 	mcands    []multistep.Candidate
 	rbuf      []multistep.Result
 	msc       multistep.Scratch

@@ -43,6 +43,7 @@ import (
 	"exploitbit/internal/dataset"
 	"exploitbit/internal/disk"
 	"exploitbit/internal/multistep"
+	"exploitbit/internal/vec"
 )
 
 // ShardSpec describes one shard unit to the sharded constructors: its point
@@ -375,6 +376,11 @@ type routerScratch struct {
 	fetchBuf []float32
 	codes    []int
 
+	// mergeIDs holds the tombstone-filtered Phase-1 ids of a merged search;
+	// candidate funcs may return shared slices, so filtering never happens in
+	// place.
+	mergeIDs []int
+
 	mcands    []multistep.Candidate
 	rbuf      []multistep.Result
 	msc       multistep.Scratch
@@ -461,8 +467,11 @@ func (rs *routerScratch) fetchPoint(id int) ([]float32, error) {
 
 // phase12 is the scatter-gather counterpart of Engine.phase12: one global
 // Phase 1, concurrent per-shard Phase-2 scoring with bound exchange, then
-// global selection and partition over the gathered states.
-func (se *ShardedEngine) phase12(ctx context.Context, rs *routerScratch, q []float32, k int, dst []int) ([]int, []candState, error) {
+// global selection and partition over the gathered states. A non-nil mg
+// folds the live-ingest overlay in exactly as Engine.phase12 does: masked
+// base candidates never scatter, and surviving delta points are scored
+// exactly into the tail of the global candidate states.
+func (se *ShardedEngine) phase12(ctx context.Context, rs *routerScratch, q []float32, k int, dst []int, mg *Merge) ([]int, []candState, error) {
 	st := &rs.st
 
 	// Phase 1 once, globally: every shard prunes against candidates of the
@@ -470,8 +479,27 @@ func (se *ShardedEngine) phase12(ctx context.Context, rs *routerScratch, q []flo
 	t0 := time.Now()
 	ids, dmax := se.cands(q, k)
 	st.GenTime = time.Since(t0)
-	st.Candidates = len(ids)
 	st.Dmax = dmax
+
+	nExtra := 0
+	if mg != nil {
+		if mg.Deleted != nil {
+			rs.mergeIDs = rs.mergeIDs[:0]
+			for _, id := range ids {
+				if !mg.Deleted(int32(id)) {
+					rs.mergeIDs = append(rs.mergeIDs, id)
+				}
+			}
+			ids = rs.mergeIDs
+		}
+		horizon := int32(len(se.owner))
+		for i := range mg.Extra {
+			if mg.extraLive(&mg.Extra[i], horizon) {
+				nExtra++
+			}
+		}
+	}
+	st.Candidates = len(ids) + nExtra
 
 	t1 := time.Now()
 	engaged := 0
@@ -486,8 +514,9 @@ func (se *ShardedEngine) phase12(ctx context.Context, rs *routerScratch, q []flo
 	}
 	// cs is sized before the scatter so quarantined shards' candidate slots
 	// can be neutralized in place (the scratch is pooled — a stale slot would
-	// otherwise hold a previous query's state).
-	rs.cs = grow(rs.cs, len(ids))
+	// otherwise hold a previous query's state). Delta extras fill the tail
+	// beyond the scattered base candidates.
+	rs.cs = grow(rs.cs, len(ids)+nExtra)
 	inf := math.Inf(1)
 	for i, g := range ids {
 		s := se.owner[g]
@@ -597,14 +626,34 @@ func (se *ShardedEngine) phase12(ctx context.Context, rs *routerScratch, q []flo
 	}
 	st.ReduceWorkers = engaged
 
+	if nExtra > 0 {
+		// Delta points: exact distance in RAM, lb = ub = d², no I/O, no
+		// owning shard yet — they join the global selection but are excluded
+		// from the per-shard attribution below (their ids lie beyond the
+		// owner map).
+		horizon := int32(len(se.owner))
+		j := len(ids)
+		for i := range mg.Extra {
+			ex := &mg.Extra[i]
+			if !mg.extraLive(ex, horizon) {
+				continue
+			}
+			d2 := vec.SqDist(q, ex.Vec)
+			rs.cs[j] = candState{id: ex.ID, leaf: -1, lbSq: d2, ubSq: d2, exactPt: ex.Vec}
+			j++
+		}
+		st.Hits += nExtra
+	}
+
 	// Global selection over the gathered states — the same values in the
 	// same order as the unsharded engine's kthBoundsSq sees.
-	cs := rs.cs
+	cs := rs.cs[:len(ids)+nExtra]
 	lbkSq, ubkSq := rs.kthBoundsSq(cs, k)
 
 	// Attribute the partition per shard before partitionCandidates compacts
-	// cs in place, using the same predicates in the same order.
-	for i := range cs {
+	// cs in place, using the same predicates in the same order. Only base
+	// candidates attribute — extras carry ids outside the owner map.
+	for i := range cs[:len(ids)] {
 		c := &cs[i]
 		sst := &rs.shardSt[se.owner[c.id]]
 		switch {
@@ -641,13 +690,25 @@ func (se *ShardedEngine) SearchInto(q []float32, k int, dst []int) ([]int, Query
 // SearchIntoCtx is the sharded SearchInto under a request context. Results
 // are bit-identical to the unsharded engine's.
 func (se *ShardedEngine) SearchIntoCtx(ctx context.Context, q []float32, k int, dst []int) ([]int, QueryStats, error) {
-	return se.searchIntoCtxStats(ctx, q, k, dst, nil)
+	return se.searchMergedIntoCtxStats(ctx, q, k, dst, nil, nil)
+}
+
+// SearchMergedIntoCtx is SearchIntoCtx with the live-ingest overlay folded
+// into the scatter-gather pipeline; see Merge.
+func (se *ShardedEngine) SearchMergedIntoCtx(ctx context.Context, q []float32, k int, dst []int, mg *Merge) ([]int, QueryStats, error) {
+	return se.searchMergedIntoCtxStats(ctx, q, k, dst, nil, mg)
 }
 
 // searchIntoCtxStats is SearchIntoCtx that additionally copies the query's
 // per-shard statistics into perShard (len Shards()) when non-nil — the
 // sharded maintainer feeds its per-shard drift windows from them.
 func (se *ShardedEngine) searchIntoCtxStats(ctx context.Context, q []float32, k int, dst []int, perShard []QueryStats) ([]int, QueryStats, error) {
+	return se.searchMergedIntoCtxStats(ctx, q, k, dst, perShard, nil)
+}
+
+// searchMergedIntoCtxStats is the full scatter-gather pipeline with both the
+// per-shard statistics sink and the optional live-ingest overlay.
+func (se *ShardedEngine) searchMergedIntoCtxStats(ctx context.Context, q []float32, k int, dst []int, perShard []QueryStats, mg *Merge) ([]int, QueryStats, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, QueryStats{}, err
 	}
@@ -658,7 +719,7 @@ func (se *ShardedEngine) searchIntoCtxStats(ctx context.Context, q []float32, k 
 	rs.degradedOK = se.degradedOK.Load()
 	st := &rs.st
 
-	results, remaining, err := se.phase12(ctx, rs, q, k, dst)
+	results, remaining, err := se.phase12(ctx, rs, q, k, dst, mg)
 	if err != nil {
 		return nil, rs.st, err
 	}
@@ -753,7 +814,7 @@ func (se *ShardedEngine) searchBatchCtxStats(ctx context.Context, qs [][]float32
 	remainings := make([][]candState, n)
 	if err := batchFan(n, func(j int) error {
 		var err error
-		results[j], remainings[j], err = se.phase12(ctx, rss[j], qs[j], k, nil)
+		results[j], remainings[j], err = se.phase12(ctx, rss[j], qs[j], k, nil, nil)
 		return err
 	}); err != nil {
 		return nil, nil, err

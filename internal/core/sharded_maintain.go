@@ -163,9 +163,16 @@ func (m *ShardedMaintainer) SearchInto(q []float32, k int, dst []int) ([]int, Qu
 // launching that shard's background rebuild when its window trips.
 // Abandoned queries never enter any window.
 func (m *ShardedMaintainer) SearchIntoCtx(ctx context.Context, q []float32, k int, dst []int) ([]int, QueryStats, error) {
+	return m.SearchMergedIntoCtx(ctx, q, k, dst, nil)
+}
+
+// SearchMergedIntoCtx is SearchIntoCtx with the live-ingest overlay folded
+// into the scatter-gather search (see Merge). Merged queries feed the
+// per-shard drift windows like plain ones.
+func (m *ShardedMaintainer) SearchMergedIntoCtx(ctx context.Context, q []float32, k int, dst []int, mg *Merge) ([]int, QueryStats, error) {
 	per := m.perShard.Get().([]QueryStats)
 	defer m.perShard.Put(per)
-	ids, st, err := m.se.searchIntoCtxStats(ctx, q, k, dst, per)
+	ids, st, err := m.se.searchMergedIntoCtxStats(ctx, q, k, dst, per, mg)
 	if err != nil {
 		return nil, st, err
 	}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"exploitbit/internal/dataset"
@@ -27,7 +28,7 @@ type PointFile struct {
 	dev *Device
 
 	dim       int
-	n         int
+	n         atomic.Int64 // point count; atomic so Append can extend the file under live readers
 	pointSize int
 	perPage   int // points per page (0 when multi-page points)
 	pagesPer  int // pages per point (1 when perPage > 0)
@@ -51,7 +52,9 @@ func BuildPointFile(path string, ds *dataset.Dataset, perm []int, pageSize int, 
 	if err != nil {
 		return nil, err
 	}
-	pf := &PointFile{dev: dev, dim: ds.Dim, n: ds.Len(), pointSize: 4 * ds.Dim}
+	n := ds.Len()
+	pf := &PointFile{dev: dev, dim: ds.Dim, pointSize: 4 * ds.Dim}
+	pf.n.Store(int64(n))
 	pf.computeGeometry()
 
 	// Header page.
@@ -59,7 +62,7 @@ func BuildPointFile(path string, ds *dataset.Dataset, perm []int, pageSize int, 
 	le := binary.LittleEndian
 	le.PutUint32(hdr[0:], pfMagic)
 	le.PutUint32(hdr[4:], uint32(pf.dim))
-	le.PutUint32(hdr[8:], uint32(pf.n))
+	le.PutUint32(hdr[8:], uint32(n))
 	hasPerm := uint32(0)
 	if perm != nil {
 		hasPerm = 1
@@ -72,10 +75,10 @@ func BuildPointFile(path string, ds *dataset.Dataset, perm []int, pageSize int, 
 
 	// Permutation pages.
 	if perm != nil {
-		pf.perm = make([]int32, pf.n)
-		seen := make([]bool, pf.n)
+		pf.perm = make([]int32, n)
+		seen := make([]bool, n)
 		for i, s := range perm {
-			if s < 0 || s >= pf.n || seen[s] {
+			if s < 0 || s >= n || seen[s] {
 				dev.Close()
 				return nil, fmt.Errorf("disk: perm is not a permutation (slot %d at %d)", s, i)
 			}
@@ -91,13 +94,13 @@ func BuildPointFile(path string, ds *dataset.Dataset, perm []int, pageSize int, 
 
 	// Data pages: place each point at its slot.
 	if pf.perPage > 0 {
-		nPages := (pf.n + pf.perPage - 1) / pf.perPage
+		nPages := (n + pf.perPage - 1) / pf.perPage
 		page := make([]byte, pageSize)
 		for p := 0; p < nPages; p++ {
 			for i := range page {
 				page[i] = 0
 			}
-			for s := p * pf.perPage; s < (p+1)*pf.perPage && s < pf.n; s++ {
+			for s := p * pf.perPage; s < (p+1)*pf.perPage && s < n; s++ {
 				id := pf.idAtSlot(s)
 				encodePoint(page[(s%pf.perPage)*pf.pointSize:], ds.Point(id))
 			}
@@ -108,7 +111,7 @@ func BuildPointFile(path string, ds *dataset.Dataset, perm []int, pageSize int, 
 		}
 	} else {
 		rec := make([]byte, pf.pagesPer*pageSize)
-		for s := 0; s < pf.n; s++ {
+		for s := 0; s < n; s++ {
 			for i := range rec {
 				rec[i] = 0
 			}
@@ -148,7 +151,8 @@ func OpenPointFile(path string, pageSize int, tio time.Duration) (*PointFile, er
 		dev.Close()
 		return nil, fmt.Errorf("disk: %s: %w", path, err)
 	}
-	pf := &PointFile{dev: dev, dim: dim, n: n}
+	pf := &PointFile{dev: dev, dim: dim}
+	pf.n.Store(int64(n))
 	pf.pointSize = 4 * pf.dim
 	pf.computeGeometry()
 	if hasPerm == 1 {
@@ -214,7 +218,7 @@ func (pf *PointFile) permPages() int {
 		return 0
 	}
 	ps := pf.dev.PageSize()
-	return (4*pf.n + ps - 1) / ps
+	return (4*len(pf.perm) + ps - 1) / ps
 }
 
 func (pf *PointFile) writePerm() error {
@@ -232,7 +236,8 @@ func (pf *PointFile) writePerm() error {
 }
 
 func (pf *PointFile) readPerm() error {
-	pf.perm = make([]int32, pf.n)
+	n := pf.Len()
+	pf.perm = make([]int32, n)
 	ps := pf.dev.PageSize()
 	np := pf.permPages()
 	buf := make([]byte, np*ps)
@@ -243,8 +248,8 @@ func (pf *PointFile) readPerm() error {
 	}
 	for i := range pf.perm {
 		s := int32(binary.LittleEndian.Uint32(buf[4*i:]))
-		if s < 0 || int(s) >= pf.n {
-			return fmt.Errorf("disk: corrupt perm: slot %d out of range [0,%d) at entry %d", s, pf.n, i)
+		if s < 0 || int(s) >= n {
+			return fmt.Errorf("disk: corrupt perm: slot %d out of range [0,%d) at entry %d", s, n, i)
 		}
 		pf.perm[i] = s
 	}
@@ -258,7 +263,7 @@ func (pf *PointFile) idAtSlot(s int) int {
 		return s
 	}
 	if pf.inv == nil {
-		pf.inv = make([]int32, pf.n)
+		pf.inv = make([]int32, len(pf.perm))
 		for id, slot := range pf.perm {
 			pf.inv[slot] = int32(id)
 		}
@@ -288,7 +293,7 @@ func PointsPerUnit(dim, pageSize int) int {
 }
 
 // Len returns the number of stored points.
-func (pf *PointFile) Len() int { return pf.n }
+func (pf *PointFile) Len() int { return int(pf.n.Load()) }
 
 // Fetch reads point id from disk into dst (len Dim; nil allocates), charging
 // one page read per page touched. This is the operation whose count the
@@ -300,8 +305,8 @@ func (pf *PointFile) Fetch(id int, dst []float32) ([]float32, error) {
 // FetchCtx is Fetch under a request context: a canceled ctx stops any
 // transient-fault retry backoff immediately.
 func (pf *PointFile) FetchCtx(ctx context.Context, id int, dst []float32) ([]float32, error) {
-	if id < 0 || id >= pf.n {
-		return nil, fmt.Errorf("disk: point id %d out of range [0,%d)", id, pf.n)
+	if n := pf.Len(); id < 0 || id >= n {
+		return nil, fmt.Errorf("disk: point id %d out of range [0,%d)", id, n)
 	}
 	if dst == nil {
 		dst = make([]float32, pf.dim)
@@ -340,8 +345,8 @@ func (pf *PointFile) FetchCtx(ctx context.Context, id int, dst []float32) ([]flo
 // page, and pagesPer consecutive pages holding exactly one point otherwise),
 // so batch refinement can group candidates by PageOf and read each unit once.
 func (pf *PointFile) PageOf(id int) (int, error) {
-	if id < 0 || id >= pf.n {
-		return 0, fmt.Errorf("disk: point id %d out of range [0,%d)", id, pf.n)
+	if n := pf.Len(); id < 0 || id >= n {
+		return 0, fmt.Errorf("disk: point id %d out of range [0,%d)", id, n)
 	}
 	slot := id
 	if pf.perm != nil {
@@ -406,6 +411,102 @@ func (pf *PointFile) FetchOnPageCtx(ctx context.Context, page int, ids []int, ou
 			decodePoint(out[i], rec)
 		}
 	}
+	return nil
+}
+
+// Append extends the point file with pts starting at point position at,
+// without rewriting existing data. at must satisfy at <= Len(); passing an
+// explicit position (rather than always Len()) lets a compactor retried
+// after a mid-append failure overwrite its own orphan records, preserving
+// the id == slot invariant. The final count at+len(pts) must not shrink the
+// file — concurrent readers hold ids below the current Len().
+//
+// Appending is only supported on writable (freshly built) files without a
+// physical permutation: new points always land at the tail in id order.
+//
+// Write order is crash- and concurrency-safe with respect to readers: data
+// pages are written first (a shared tail page is read-modify-written, with
+// the bytes of already-visible points unchanged), the header is rewritten
+// next, and the in-memory count is published last — so a reader never
+// observes an id it could not fetch. The tail-page read is charged to the
+// device's read counters like any other page read.
+func (pf *PointFile) Append(at int, pts [][]float32) error {
+	if pf.perm != nil {
+		return fmt.Errorf("disk: append unsupported on permuted point file")
+	}
+	n := pf.Len()
+	if at < 0 || at > n {
+		return fmt.Errorf("disk: append position %d out of range [0,%d]", at, n)
+	}
+	for i, p := range pts {
+		if len(p) != pf.dim {
+			return fmt.Errorf("disk: append point %d has dim %d, want %d", i, len(p), pf.dim)
+		}
+	}
+	newN := at + len(pts)
+	if newN < n {
+		return fmt.Errorf("disk: append would shrink file from %d to %d points", n, newN)
+	}
+	if newN == n && len(pts) == 0 {
+		return nil
+	}
+
+	ps := pf.dev.PageSize()
+	if pf.perPage > 0 {
+		firstPage := at / pf.perPage
+		lastPage := (newN - 1) / pf.perPage
+		page := make([]byte, ps)
+		for p := firstPage; p <= lastPage; p++ {
+			lo := p * pf.perPage // first point slot on this page
+			if p == firstPage && at%pf.perPage != 0 {
+				// Shared tail page: merge behind the existing points. Their
+				// bytes are rewritten identically, so a racing reader of this
+				// page sees consistent data either way.
+				if err := pf.dev.ReadPage(pf.dataStart+p, page); err != nil {
+					return fmt.Errorf("disk: append read tail page: %w", err)
+				}
+			} else {
+				for i := range page {
+					page[i] = 0
+				}
+			}
+			for s := max(lo, at); s < lo+pf.perPage && s < newN; s++ {
+				encodePoint(page[(s%pf.perPage)*pf.pointSize:], pts[s-at])
+			}
+			if err := pf.dev.WritePage(pf.dataStart+p, page); err != nil {
+				return fmt.Errorf("disk: append data page %d: %w", p, err)
+			}
+		}
+	} else {
+		rec := make([]byte, pf.pagesPer*ps)
+		for i, p := range pts {
+			for j := range rec {
+				rec[j] = 0
+			}
+			encodePoint(rec, p)
+			s := at + i
+			for q := 0; q < pf.pagesPer; q++ {
+				if err := pf.dev.WritePage(pf.dataStart+s*pf.pagesPer+q, rec[q*ps:(q+1)*ps]); err != nil {
+					return fmt.Errorf("disk: append data page: %w", err)
+				}
+			}
+		}
+	}
+
+	// Header after data, count after header: ordering is the publication.
+	hdr := make([]byte, ps)
+	le := binary.LittleEndian
+	le.PutUint32(hdr[0:], pfMagic)
+	le.PutUint32(hdr[4:], uint32(pf.dim))
+	le.PutUint32(hdr[8:], uint32(newN))
+	le.PutUint32(hdr[12:], 0)
+	if err := pf.dev.WritePage(0, hdr); err != nil {
+		return fmt.Errorf("disk: append header: %w", err)
+	}
+	if err := validatePointHeader(pf.dim, newN, 0, ps, pf.dev.NumPages()); err != nil {
+		return fmt.Errorf("disk: append left invalid geometry: %w", err)
+	}
+	pf.n.Store(int64(newN))
 	return nil
 }
 

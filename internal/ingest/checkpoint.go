@@ -1,0 +1,162 @@
+// Compaction checkpoints. A checkpoint is the cumulative durable image of
+// everything the live system has folded beyond the base dataset file: every
+// point appended since the base (tombstoned ones included, so identifiers
+// stay dense and equal to point-file slots), every tombstone ever taken, and
+// the WAL sequence horizon the image covers. Recovery loads the checkpoint,
+// replays only the segments past its horizon, and arrives at exactly the
+// pre-crash fold.
+//
+// The file is written whole to a temp name and renamed into place, with a
+// CRC32 trailer over the full contents; a missing or invalid checkpoint is
+// ignored (replay then starts from the oldest retained segment), never
+// trusted partially.
+
+package ingest
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"exploitbit/internal/core"
+	"exploitbit/internal/dataset"
+)
+
+// CheckpointName is the checkpoint's file name inside the WAL directory.
+const CheckpointName = "checkpoint.ebc"
+
+const (
+	ckptMagic      = 'E' | 'B'<<8 | 'C'<<16 | 'K'<<24
+	ckptVersion    = 1
+	ckptHeaderSize = 48
+)
+
+// writeCheckpoint persists the cumulative fold image: points are rows
+// [baseN, fold.Len()) of the folded dataset, tombs is the full tombstone set,
+// and coveredSeq is the sealed WAL horizon the image includes.
+func writeCheckpoint(dir string, fold *dataset.Dataset, baseN int, tombs map[int64]struct{}, coveredSeq uint64) error {
+	n := fold.Len()
+	dim := fold.Dim
+	if baseN < 0 || baseN > n {
+		return fmt.Errorf("ingest: checkpoint baseN %d out of range [0,%d]", baseN, n)
+	}
+	extra := n - baseN
+	buf := make([]byte, 0, ckptHeaderSize+extra*(8+4*dim)+8*len(tombs)+4)
+	var scratch [8]byte
+	le := binary.LittleEndian
+	u32 := func(v uint32) {
+		le.PutUint32(scratch[:4], v)
+		buf = append(buf, scratch[:4]...)
+	}
+	u64 := func(v uint64) {
+		le.PutUint64(scratch[:8], v)
+		buf = append(buf, scratch[:8]...)
+	}
+	u32(ckptMagic)
+	u32(ckptVersion)
+	u32(uint32(dim))
+	u32(0) // reserved
+	u64(coveredSeq)
+	u64(uint64(baseN))
+	u64(uint64(extra))
+	u64(uint64(len(tombs)))
+	for i := baseN; i < n; i++ {
+		u64(uint64(i))
+		for _, v := range fold.Point(i) {
+			u32(math.Float32bits(v))
+		}
+	}
+	ids := make([]int64, 0, len(tombs))
+	for id := range tombs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		u64(uint64(id))
+	}
+	u32(crc32.ChecksumIEEE(buf))
+
+	tmp := filepath.Join(dir, CheckpointName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("ingest: create checkpoint: %w", err)
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("ingest: write checkpoint: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("ingest: sync checkpoint: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("ingest: close checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, CheckpointName)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("ingest: install checkpoint: %w", err)
+	}
+	return nil
+}
+
+// readCheckpoint loads and validates the directory's checkpoint. ok is false
+// — with everything else zero — when the file is missing or fails any
+// validation; recovery then replays all retained segments instead.
+func readCheckpoint(dir string, baseN, dim int) (pts []core.MergePoint, tombs map[int64]struct{}, coveredSeq uint64, ok bool) {
+	buf, err := os.ReadFile(filepath.Join(dir, CheckpointName))
+	if err != nil || len(buf) < ckptHeaderSize+4 {
+		return nil, nil, 0, false
+	}
+	le := binary.LittleEndian
+	body, trailer := buf[:len(buf)-4], le.Uint32(buf[len(buf)-4:])
+	if crc32.ChecksumIEEE(body) != trailer {
+		return nil, nil, 0, false
+	}
+	if le.Uint32(body[0:]) != ckptMagic || le.Uint32(body[4:]) != ckptVersion || int(le.Uint32(body[8:])) != dim {
+		return nil, nil, 0, false
+	}
+	coveredSeq = le.Uint64(body[16:])
+	ckBase := le.Uint64(body[24:])
+	extra := le.Uint64(body[32:])
+	nTombs := le.Uint64(body[40:])
+	if int(ckBase) != baseN {
+		return nil, nil, 0, false
+	}
+	want := ckptHeaderSize + int(extra)*(8+4*dim) + 8*int(nTombs)
+	if len(body) != want {
+		return nil, nil, 0, false
+	}
+	off := ckptHeaderSize
+	pts = make([]core.MergePoint, 0, extra)
+	for i := 0; i < int(extra); i++ {
+		id := le.Uint64(body[off:])
+		off += 8
+		// Identifiers must be dense from the base: id == slot, always.
+		if id != uint64(baseN+i) {
+			return nil, nil, 0, false
+		}
+		vec := make([]float32, dim)
+		for j := range vec {
+			vec[j] = math.Float32frombits(le.Uint32(body[off:]))
+			off += 4
+		}
+		pts = append(pts, core.MergePoint{ID: int32(id), Vec: vec})
+	}
+	tombs = make(map[int64]struct{}, nTombs)
+	for i := 0; i < int(nTombs); i++ {
+		id := le.Uint64(body[off:])
+		off += 8
+		if id >= uint64(baseN)+extra {
+			return nil, nil, 0, false
+		}
+		tombs[int64(id)] = struct{}{}
+	}
+	return pts, tombs, coveredSeq, true
+}

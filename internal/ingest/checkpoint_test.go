@@ -1,0 +1,94 @@
+package ingest
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"exploitbit/internal/dataset"
+	"exploitbit/internal/vec"
+)
+
+// foldFixture builds a small folded dataset: baseN base points plus extra
+// appended points, dim 2.
+func foldFixture(baseN, extra int) *dataset.Dataset {
+	dim := 2
+	data := make([]float32, 0, (baseN+extra)*dim)
+	for i := 0; i < baseN+extra; i++ {
+		data = append(data, float32(i), float32(-i)/2)
+	}
+	return dataset.New("ckpt", dim, data, vec.NewDomain(-64, 64, 16))
+}
+
+func TestCheckpointRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	fold := foldFixture(2, 3)
+	tombs := map[int64]struct{}{1: {}, 3: {}}
+	if err := writeCheckpoint(dir, fold, 2, tombs, 7); err != nil {
+		t.Fatal(err)
+	}
+	pts, gotTombs, covered, ok := readCheckpoint(dir, 2, 2)
+	if !ok {
+		t.Fatal("checkpoint did not read back")
+	}
+	if covered != 7 {
+		t.Fatalf("covered seq %d, want 7", covered)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("%d points, want 3", len(pts))
+	}
+	for i, p := range pts {
+		if int(p.ID) != 2+i || !reflect.DeepEqual(p.Vec, fold.Point(2+i)) {
+			t.Fatalf("point %d: id %d vec %v, want id %d vec %v", i, p.ID, p.Vec, 2+i, fold.Point(2+i))
+		}
+	}
+	if !reflect.DeepEqual(gotTombs, tombs) {
+		t.Fatalf("tombs %v, want %v", gotTombs, tombs)
+	}
+}
+
+func TestCheckpointRejectsMismatchAndCorruption(t *testing.T) {
+	dir := t.TempDir()
+	fold := foldFixture(2, 3)
+	if err := writeCheckpoint(dir, fold, 2, map[int64]struct{}{4: {}}, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, ok := readCheckpoint(dir, 3, 2); ok {
+		t.Fatal("accepted wrong baseN")
+	}
+	if _, _, _, ok := readCheckpoint(dir, 2, 5); ok {
+		t.Fatal("accepted wrong dim")
+	}
+	if _, _, _, ok := readCheckpoint(t.TempDir(), 2, 2); ok {
+		t.Fatal("accepted missing checkpoint")
+	}
+
+	// Every single-byte flip must invalidate the file wholesale: either the
+	// CRC trailer catches it, or (for flips inside the trailer itself) the
+	// trailer no longer matches the body.
+	path := filepath.Join(dir, CheckpointName)
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range orig {
+		mut := append([]byte(nil), orig...)
+		mut[i] ^= 0x40
+		if err := os.WriteFile(path, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, _, ok := readCheckpoint(dir, 2, 2); ok {
+			t.Fatalf("accepted checkpoint with byte %d flipped", i)
+		}
+	}
+	// Truncations are rejected too.
+	for _, cut := range []int{0, 1, ckptHeaderSize, len(orig) - 1} {
+		if err := os.WriteFile(path, orig[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, _, ok := readCheckpoint(dir, 2, 2); ok {
+			t.Fatalf("accepted checkpoint truncated to %d bytes", cut)
+		}
+	}
+}

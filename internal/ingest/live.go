@@ -1,0 +1,423 @@
+// Live ties the write path together: validated, clamped inserts and
+// idempotent deletes go WAL-first then into the delta index; searches run
+// merged Algorithm 1 over the base engine with the delta folded in; and a
+// background compactor folds the delta into the append-extended point file
+// through one ordinary RCU rebuild — the same non-blocking queue drift
+// rebuilds, adaptive-τ retunes and quarantine recoveries go through.
+
+package ingest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"exploitbit/internal/core"
+	"exploitbit/internal/dataset"
+	"exploitbit/internal/disk"
+	"exploitbit/internal/vec"
+)
+
+// ErrUnknownID marks a delete of an identifier no insert ever produced.
+var ErrUnknownID = errors.New("ingest: unknown point id")
+
+// Searcher is the read side Live serves through: any engine that can run a
+// merged Algorithm 1 search. *core.Engine, *core.Maintainer,
+// *core.ShardedEngine and *core.ShardedMaintainer all implement it.
+type Searcher interface {
+	SearchMergedIntoCtx(ctx context.Context, q []float32, k int, dst []int, mg *core.Merge) ([]int, core.QueryStats, error)
+}
+
+// Compactor launches one non-blocking RCU rebuild over a folded dataset.
+// *core.Maintainer implements it; a nil Compactor disables compaction (the
+// delta and WAL then grow until restart — the sharded deployment's mode, see
+// DESIGN.md §16).
+type Compactor interface {
+	CompactRebuild(k int, prepare func() (*dataset.Dataset, core.CandidateFunc, error), onDone func(installed bool)) bool
+}
+
+// Config assembles a Live system.
+type Config struct {
+	// Dir is the WAL directory (segments + checkpoint).
+	Dir string
+	// Fsync is the WAL durability policy (default FsyncAlways).
+	Fsync FsyncMode
+	// Searcher serves merged searches. Required.
+	Searcher Searcher
+	// Compactor runs compaction rebuilds; nil disables compaction.
+	Compactor Compactor
+	// PF is the base point file compaction appends to. Required when
+	// Compactor is set.
+	PF *disk.PointFile
+	// Fold is the current folded dataset (base file + recovered points) the
+	// searcher was built over. Required.
+	Fold *dataset.Dataset
+	// BaseN is the length of the immutable base dataset file — constant
+	// across restarts, the id origin of every checkpoint. Required
+	// (0 is valid only for an empty base).
+	BaseN int
+	// BuildCands rebuilds the Phase-1 candidate index over a folded dataset
+	// during compaction. Required when Compactor is set.
+	BuildCands func(ds *dataset.Dataset) core.CandidateFunc
+	// Encode quantizes a new point through the live engine's histogram into
+	// an HFF code for the delta index; nil (or a nil return) records no code.
+	Encode func(p []float32) []uint64
+	// K is the workload-profile k compaction rebuilds use (default 10).
+	K int
+	// CompactThreshold is the delta point count that triggers compaction
+	// (default 4096; ignored without a Compactor).
+	CompactThreshold int
+	// TombstoneRatio triggers compaction when tombstones taken since the
+	// last compaction exceed this fraction of the fold (default 0.25).
+	TombstoneRatio float64
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.Fsync == "" {
+		cfg.Fsync = FsyncAlways
+	}
+	if cfg.K <= 0 {
+		cfg.K = 10
+	}
+	if cfg.CompactThreshold <= 0 {
+		cfg.CompactThreshold = 4096
+	}
+	if cfg.TombstoneRatio <= 0 {
+		cfg.TombstoneRatio = 0.25
+	}
+	return cfg
+}
+
+// Stats snapshots the live write path for /stats, /metrics and benchmarks.
+type Stats struct {
+	WalBytes             int64 `json:"wal_bytes"`
+	WalSegments          int   `json:"wal_segments"`
+	DeltaPoints          int   `json:"delta_points"`
+	Tombstones           int   `json:"tombstones"`
+	Points               int   `json:"points"` // live points: folded + delta − tombstones
+	Inserts              int64 `json:"inserts"`
+	Deletes              int64 `json:"deletes"`
+	Compactions          int64 `json:"compactions"`
+	CompactionErrors     int64 `json:"compaction_errors"`
+	CompactInFlight      bool  `json:"compact_in_flight"`
+	ReplayedRecords      int   `json:"replayed_records"`
+	ReplayTruncatedBytes int64 `json:"replay_truncated_bytes"`
+}
+
+// compactSnap carries one compaction's prepared state from prepare to onDone.
+// At most one compaction is in flight (the maintainer's rebuild CAS), so a
+// single slot suffices.
+type compactSnap struct {
+	newFold    *dataset.Dataset
+	coveredSeq uint64
+	tombsAtCut int64
+}
+
+// Live is the live-ingest subsystem over one searcher.
+type Live struct {
+	cfg   Config
+	dom   vec.Domain
+	wal   *WAL
+	delta *Delta
+
+	// mu serializes writes so WAL record order equals identifier order.
+	mu           sync.Mutex
+	nextID       int64
+	pendingTombs int64 // deletes since the last successful compaction
+
+	// fold is the current folded dataset; touched only by the compaction
+	// chain (prepare → onDone), which the rebuild CAS serializes.
+	fold  *dataset.Dataset
+	foldN atomic.Int64
+	snap  *compactSnap
+
+	inserts     atomic.Int64
+	deletes     atomic.Int64
+	compactions atomic.Int64
+	compactErrs atomic.Int64
+	compacting  atomic.Bool
+
+	replayRecords   int
+	replayTruncated int64
+
+	closed atomic.Bool
+}
+
+// Open wires a Live over an already recovered and constructed system: call
+// Recover first, build the fold and the searcher over it, then Open with the
+// RecoverResult (nil means a fresh directory was already confirmed empty).
+func Open(cfg Config, rec *RecoverResult) (*Live, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Searcher == nil {
+		return nil, fmt.Errorf("ingest: Config.Searcher is required")
+	}
+	if cfg.Fold == nil {
+		return nil, fmt.Errorf("ingest: Config.Fold is required")
+	}
+	if cfg.Compactor != nil && (cfg.PF == nil || cfg.BuildCands == nil) {
+		return nil, fmt.Errorf("ingest: Compactor requires PF and BuildCands")
+	}
+	if cfg.BaseN < 0 || cfg.BaseN > cfg.Fold.Len() {
+		return nil, fmt.Errorf("ingest: BaseN %d out of range [0,%d]", cfg.BaseN, cfg.Fold.Len())
+	}
+	var tombs map[int64]struct{}
+	startSeq := uint64(1)
+	if rec != nil {
+		if cfg.BaseN+len(rec.Points) != cfg.Fold.Len() {
+			return nil, fmt.Errorf("ingest: fold has %d points, recovery says %d", cfg.Fold.Len(), cfg.BaseN+len(rec.Points))
+		}
+		tombs = rec.Tombs
+		startSeq = rec.NextSeq
+	}
+	wal, err := OpenWAL(cfg.Dir, cfg.Fold.Dim, startSeq, cfg.Fsync)
+	if err != nil {
+		return nil, err
+	}
+	l := &Live{
+		cfg:   cfg,
+		dom:   cfg.Fold.Domain,
+		wal:   wal,
+		delta: NewDelta(tombs),
+		fold:  cfg.Fold,
+	}
+	l.nextID = int64(cfg.Fold.Len())
+	l.foldN.Store(int64(cfg.Fold.Len()))
+	if rec != nil {
+		l.replayRecords = rec.Records
+		l.replayTruncated = rec.TruncatedBytes
+	}
+	return l, nil
+}
+
+// Insert admits one point: the vector is copied, clamped into the dataset's
+// value domain (out-of-domain coordinates land on boundary buckets, so HFF
+// codes stay valid and bounds conservative), logged, and added to the delta
+// index. Returns the point's permanent identifier.
+func (l *Live) Insert(ctx context.Context, v []float32) (int, error) {
+	if l.closed.Load() {
+		return 0, fmt.Errorf("ingest: closed")
+	}
+	if len(v) != l.fold.Dim {
+		return 0, fmt.Errorf("ingest: insert dim %d, dataset dim %d", len(v), l.fold.Dim)
+	}
+	p := make([]float32, len(v))
+	copy(p, v)
+	l.dom.ClampPoint(p)
+	var code []uint64
+	if l.cfg.Encode != nil {
+		code = l.cfg.Encode(p)
+	}
+	l.mu.Lock()
+	id := l.nextID
+	if err := l.wal.AppendInsert(uint64(id), p); err != nil {
+		l.mu.Unlock()
+		return 0, err
+	}
+	l.delta.Add(int32(id), p, code)
+	l.nextID++
+	l.inserts.Add(1)
+	l.maybeCompactLocked()
+	l.mu.Unlock()
+	return int(id), nil
+}
+
+// Delete tombstones a point. Idempotent: deleting an already deleted point
+// succeeds without touching the WAL. Deleting an identifier no insert ever
+// produced fails with ErrUnknownID.
+func (l *Live) Delete(ctx context.Context, id int) error {
+	if l.closed.Load() {
+		return fmt.Errorf("ingest: closed")
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if id < 0 || int64(id) >= l.nextID {
+		return fmt.Errorf("%w: %d", ErrUnknownID, id)
+	}
+	if l.delta.Deleted(int32(id)) {
+		return nil
+	}
+	if err := l.wal.AppendDelete(uint64(id)); err != nil {
+		return err
+	}
+	l.delta.Delete(int64(id))
+	l.deletes.Add(1)
+	l.pendingTombs++
+	l.maybeCompactLocked()
+	return nil
+}
+
+// Search runs a merged Algorithm 1 search: base candidates with tombstones
+// masked, delta points scored exactly, one shared k-th-bound reduction.
+// Results are id-identical to an engine rebuilt over the folded dataset.
+func (l *Live) Search(ctx context.Context, q []float32, k int, dst []int) ([]int, core.QueryStats, error) {
+	return l.cfg.Searcher.SearchMergedIntoCtx(ctx, q, k, dst, l.overlay())
+}
+
+// overlay builds the merge overlay for one search, or nil when the delta is
+// empty and nothing is tombstoned (the exact base fast path).
+func (l *Live) overlay() *core.Merge {
+	extra := l.delta.Snapshot()
+	if len(extra) == 0 && l.delta.Tombstones() == 0 {
+		return nil
+	}
+	return &core.Merge{Deleted: l.delta.Deleted, Extra: extra}
+}
+
+// maybeCompactLocked launches a compaction when the delta or the tombstone
+// backlog crosses its threshold. Caller holds l.mu. Losing the rebuild CAS
+// (a drift rebuild or retune is running) is fine: the next write retries.
+func (l *Live) maybeCompactLocked() {
+	if l.cfg.Compactor == nil || l.compacting.Load() {
+		return
+	}
+	dp := l.delta.Len()
+	tombTrig := float64(l.pendingTombs) >= l.cfg.TombstoneRatio*float64(l.foldN.Load())
+	if dp < l.cfg.CompactThreshold && !(l.pendingTombs > 0 && tombTrig) {
+		return
+	}
+	if l.cfg.Compactor.CompactRebuild(l.cfg.K, l.prepare, l.onDone) {
+		l.compacting.Store(true)
+	}
+}
+
+// prepare runs on the maintainer's rebuild goroutine, off the search and
+// write paths: cut a consistent snapshot (delta prefix + sealed WAL horizon),
+// extend the point file, assemble the folded dataset, persist the cumulative
+// checkpoint, and rebuild the candidate index.
+func (l *Live) prepare() (*dataset.Dataset, core.CandidateFunc, error) {
+	l.mu.Lock()
+	pts := l.delta.Snapshot()
+	tombs := l.delta.TombSet()
+	tombsAtCut := l.pendingTombs
+	covered, err := l.wal.Rotate()
+	l.mu.Unlock()
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Append at the fold's current end. A compaction that failed after the
+	// append left orphan slots past the fold; retrying at the same position
+	// overwrites them, keeping id == slot.
+	at := l.fold.Len()
+	vecs := make([][]float32, len(pts))
+	for i := range pts {
+		if int(pts[i].ID) != at+i {
+			return nil, nil, fmt.Errorf("ingest: delta id %d at snapshot index %d, want %d", pts[i].ID, i, at+i)
+		}
+		vecs[i] = pts[i].Vec
+	}
+	if err := l.cfg.PF.Append(at, vecs); err != nil {
+		return nil, nil, fmt.Errorf("ingest: compaction append: %w", err)
+	}
+
+	data := make([]float32, 0, (at+len(pts))*l.fold.Dim)
+	data = append(data, l.fold.Data()...)
+	for _, p := range pts {
+		data = append(data, p.Vec...)
+	}
+	newFold := dataset.New(l.fold.Name, l.fold.Dim, data, l.dom)
+
+	// Durability order: checkpoint first, segment retirement later (onDone).
+	// A crash in between replays covered segments as no-ops (they are
+	// skipped wholesale by their sequence numbers).
+	if err := writeCheckpoint(l.cfg.Dir, newFold, l.cfg.BaseN, tombs, covered); err != nil {
+		return nil, nil, err
+	}
+	cands := l.cfg.BuildCands(newFold)
+	if cands == nil {
+		return nil, nil, fmt.Errorf("ingest: candidate index rebuild over %d-point fold failed", newFold.Len())
+	}
+	l.snap = &compactSnap{newFold: newFold, coveredSeq: covered, tombsAtCut: tombsAtCut}
+	return newFold, cands, nil
+}
+
+// onDone finishes a compaction after the maintainer installed (or failed to
+// build) the new engine. On install the delta prefix the new engine now owns
+// is pruned and the covered WAL segments are retired; merged searches racing
+// the swap stay correct either way, because extras below the new engine's
+// horizon are skipped inside the engine.
+func (l *Live) onDone(installed bool) {
+	snap := l.snap
+	l.snap = nil
+	defer l.compacting.Store(false)
+	if !installed || snap == nil {
+		l.compactErrs.Add(1)
+		return
+	}
+	horizon := int32(snap.newFold.Len())
+	l.mu.Lock()
+	l.fold = snap.newFold
+	l.foldN.Store(int64(snap.newFold.Len()))
+	l.delta.Prune(horizon)
+	l.pendingTombs -= snap.tombsAtCut
+	l.mu.Unlock()
+	if err := l.wal.RemoveThrough(snap.coveredSeq); err != nil {
+		// The checkpoint covers these segments; leaving them behind costs
+		// only disk space and a skip at the next recovery.
+		l.compactErrs.Add(1)
+		return
+	}
+	l.compactions.Add(1)
+}
+
+// NumPoints reports the current live point count (fold + delta − tombstones).
+func (l *Live) NumPoints() int {
+	l.mu.Lock()
+	n := l.nextID
+	l.mu.Unlock()
+	return int(n) - l.delta.Tombstones()
+}
+
+// Stats snapshots the write path.
+func (l *Live) Stats() Stats {
+	bytes, segs := l.wal.Stats()
+	l.mu.Lock()
+	next := l.nextID
+	l.mu.Unlock()
+	return Stats{
+		WalBytes:             bytes,
+		WalSegments:          segs,
+		DeltaPoints:          l.delta.Len(),
+		Tombstones:           l.delta.Tombstones(),
+		Points:               int(next) - l.delta.Tombstones(),
+		Inserts:              l.inserts.Load(),
+		Deletes:              l.deletes.Load(),
+		Compactions:          l.compactions.Load(),
+		CompactionErrors:     l.compactErrs.Load(),
+		CompactInFlight:      l.compacting.Load(),
+		ReplayedRecords:      l.replayRecords,
+		ReplayTruncatedBytes: l.replayTruncated,
+	}
+}
+
+// ForceCompact launches a compaction regardless of thresholds (test and
+// operations hook). Returns false when compaction is disabled or a rebuild
+// is already running.
+func (l *Live) ForceCompact() bool {
+	if l.cfg.Compactor == nil {
+		return false
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.compacting.Load() {
+		return false
+	}
+	if l.cfg.Compactor.CompactRebuild(l.cfg.K, l.prepare, l.onDone) {
+		l.compacting.Store(true)
+		return true
+	}
+	return false
+}
+
+// Close stops admitting writes and closes the WAL. The caller drains the
+// maintainer (and any in-flight compaction with it) separately.
+func (l *Live) Close() error {
+	if !l.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.wal.Close()
+}

@@ -1,0 +1,168 @@
+// Crash recovery. Recover reconstructs the durable write state of a log
+// directory: the checkpoint's cumulative fold image plus a strict in-order
+// replay of every WAL segment past the checkpoint's coverage horizon. The
+// result is deterministic — two recoveries of the same directory produce the
+// same fold, bit for bit — because identifiers are assigned densely at insert
+// time and validated densely at replay time.
+
+package ingest
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+
+	"exploitbit/internal/core"
+)
+
+// RecoverResult is the durable state replayed from a WAL directory.
+type RecoverResult struct {
+	// Points holds every point beyond the base dataset, in identifier order
+	// (Points[i].ID == BaseN+i), tombstoned points included: fold them all so
+	// identifiers keep matching point-file slots.
+	Points []core.MergePoint
+	// Tombs is the cumulative tombstone set.
+	Tombs map[int64]struct{}
+	// NextSeq is the segment sequence a reopened WAL must start at.
+	NextSeq uint64
+	// Records is the number of WAL records replayed (checkpoint excluded).
+	Records int
+	// TruncatedBytes is the size of the torn tail dropped from the newest
+	// segment, 0 for a clean shutdown.
+	TruncatedBytes int64
+	// CheckpointSeq is the WAL horizon the loaded checkpoint covered (0 when
+	// no valid checkpoint was found).
+	CheckpointSeq uint64
+	// CheckpointPoints is how many points came from the checkpoint rather
+	// than replay.
+	CheckpointPoints int
+	// BaseN is the base dataset length recovery was run against.
+	BaseN int
+}
+
+// Recover loads the checkpoint (if valid) and replays the WAL segments it
+// does not cover. baseN and dim describe the immutable base dataset file.
+// A missing or empty directory recovers to the empty state. Corruption in the
+// newest segment's tail is truncated in place; corruption anywhere else is an
+// error.
+func Recover(dir string, baseN, dim int) (*RecoverResult, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("ingest: create wal dir: %w", err)
+	}
+	res := &RecoverResult{Tombs: map[int64]struct{}{}, NextSeq: 1, BaseN: baseN}
+	if pts, tombs, covered, ok := readCheckpoint(dir, baseN, dim); ok {
+		res.Points = pts
+		res.Tombs = tombs
+		res.CheckpointSeq = covered
+		res.CheckpointPoints = len(pts)
+		res.NextSeq = covered + 1
+	}
+	seqs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	for i, seq := range seqs {
+		if seq >= res.NextSeq {
+			res.NextSeq = seq + 1
+		}
+		if seq <= res.CheckpointSeq {
+			// Covered by the checkpoint (crash landed between checkpoint
+			// install and segment retirement). Skip; the next compaction's
+			// RemoveThrough retires it.
+			continue
+		}
+		if err := res.replaySegment(dir, seq, dim, i == len(seqs)-1); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// replaySegment applies one segment's records to res. last marks the newest
+// segment, the only one whose torn tail is forgiven (and truncated away).
+func (res *RecoverResult) replaySegment(dir string, seq uint64, dim int, last bool) error {
+	name := segmentName(seq)
+	path := filepath.Join(dir, name)
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("ingest: read segment %s: %w", name, err)
+	}
+	le := binary.LittleEndian
+	torn := func(off int) error {
+		if !last {
+			return fmt.Errorf("ingest: segment %s corrupt at offset %d (not the newest segment; refusing to truncate)", name, off)
+		}
+		res.TruncatedBytes += int64(len(buf) - off)
+		if err := os.Truncate(path, int64(off)); err != nil {
+			return fmt.Errorf("ingest: truncate torn tail of %s: %w", name, err)
+		}
+		return nil
+	}
+	if len(buf) < walHeaderSize {
+		return torn(0)
+	}
+	if le.Uint32(buf[0:]) != walMagic || le.Uint32(buf[4:]) != walVersion {
+		return fmt.Errorf("ingest: segment %s has bad header", name)
+	}
+	if int(le.Uint32(buf[8:])) != dim {
+		return fmt.Errorf("ingest: segment %s has dim %d, want %d", name, le.Uint32(buf[8:]), dim)
+	}
+	maxPayload := 9 + 4*dim
+	off := walHeaderSize
+	for off < len(buf) {
+		if off+8 > len(buf) {
+			return torn(off)
+		}
+		n := int(le.Uint32(buf[off:]))
+		sum := le.Uint32(buf[off+4:])
+		if n < 9 || n > maxPayload || off+8+n > len(buf) {
+			return torn(off)
+		}
+		payload := buf[off+8 : off+8+n]
+		if crc32.ChecksumIEEE(payload) != sum {
+			return torn(off)
+		}
+		if err := res.apply(payload, dim, name, off); err != nil {
+			return err
+		}
+		res.Records++
+		off += 8 + n
+	}
+	return nil
+}
+
+// apply folds one validated record into the result, enforcing dense
+// identifier assignment.
+func (res *RecoverResult) apply(payload []byte, dim int, name string, off int) error {
+	le := binary.LittleEndian
+	id := le.Uint64(payload[1:])
+	next := uint64(res.BaseN + len(res.Points))
+	switch payload[0] {
+	case opInsert:
+		if len(payload) != 9+4*dim {
+			return fmt.Errorf("ingest: segment %s insert record at %d has %d payload bytes, want %d", name, off, len(payload), 9+4*dim)
+		}
+		if id != next {
+			return fmt.Errorf("ingest: segment %s insert id %d at %d, expected %d (identifier gap)", name, id, off, next)
+		}
+		vec := make([]float32, dim)
+		for j := range vec {
+			vec[j] = math.Float32frombits(le.Uint32(payload[9+4*j:]))
+		}
+		res.Points = append(res.Points, core.MergePoint{ID: int32(id), Vec: vec})
+	case opDelete:
+		if len(payload) != 9 {
+			return fmt.Errorf("ingest: segment %s delete record at %d has %d payload bytes, want 9", name, off, len(payload))
+		}
+		if id >= next {
+			return fmt.Errorf("ingest: segment %s deletes unknown id %d at %d (only %d points exist)", name, id, off, next)
+		}
+		res.Tombs[int64(id)] = struct{}{}
+	default:
+		return fmt.Errorf("ingest: segment %s has unknown op %d at %d", name, payload[0], off)
+	}
+	return nil
+}

@@ -148,6 +148,10 @@ type Handler struct {
 	shardStats     func() []ShardStat
 	ioStats        func() IOStats
 	costModelStats func() CostModelStats
+
+	// ingest is the live write path (endpoints + telemetry), nil until
+	// SetIngestor or SetIngestStats wires it.
+	ingest *ingestState
 }
 
 // RebuildStats reports the maintainer's background cache-rebuild activity
@@ -534,6 +538,7 @@ type statsResponse struct {
 	RefineRatio float64       `json:"refine_ratio"`
 	AvgCandSize float64       `json:"avg_candidates"`
 	Maintain    *RebuildStats `json:"maintain,omitempty"`
+	Ingest      *IngestStats  `json:"ingest,omitempty"`
 	Shards      []ShardStat   `json:"shards,omitempty"`
 }
 
@@ -556,6 +561,7 @@ func (h *Handler) handleStats(w http.ResponseWriter, r *http.Request) {
 		rs := h.rebuildStats()
 		resp.Maintain = &rs
 	}
+	resp.Ingest = h.ingestStatsBlock()
 	if h.shardStats != nil {
 		resp.Shards = h.shardStats()
 	}
@@ -593,6 +599,10 @@ type metricsResponse struct {
 	// carries its own block.
 	CostModel *CostModelStats `json:"costmodel,omitempty"`
 
+	// Ingest is the live write-path block (WAL, delta, compactions, request
+	// counters), present when an ingestor or its stats source is registered.
+	Ingest *ingestMetrics `json:"ingest,omitempty"`
+
 	Latency latencyMetrics `json:"latency"`
 	Shards  []ShardStat    `json:"shards,omitempty"`
 }
@@ -625,6 +635,7 @@ func (h *Handler) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		TransientFailures: h.transient.Load(),
 		IO:                io,
 		CostModel:         cm,
+		Ingest:            h.ingestMetricsBlock(),
 		Latency: latencyMetrics{
 			Total:      h.latTotal.Snapshot(),
 			Reduce:     h.latReduce.Snapshot(),

@@ -1,0 +1,77 @@
+package vec
+
+import (
+	"math"
+	"testing"
+)
+
+// TestBinOutOfDomainClampsToBoundary is the live-ingest regression: inserted
+// points may carry coordinates outside the profiled domain, and their HFF
+// codes must land in the boundary buckets rather than index out of range.
+func TestBinOutOfDomainClampsToBoundary(t *testing.T) {
+	d := NewDomain(0, 10, 16)
+	cases := []struct {
+		v    float64
+		want int
+	}{
+		{-0.001, 0},
+		{-1e30, 0},
+		{math.Inf(-1), 0},
+		{math.NaN(), 0},
+		{10.0, 15},
+		{10.5, 15},
+		{1e30, 15},
+		{math.Inf(1), 15},
+	}
+	for _, tc := range cases {
+		if got := d.Bin(tc.v); got != tc.want {
+			t.Errorf("Bin(%v) = %d, want %d", tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestClampPinsIntoDomain(t *testing.T) {
+	d := NewDomain(-2, 3, 8)
+	cases := []struct {
+		v, want float64
+	}{
+		{-5, -2},
+		{-2, -2},
+		{0.5, 0.5},
+		{3, 3},
+		{7, 3},
+		{math.Inf(1), 3},
+		{math.Inf(-1), -2},
+		{math.NaN(), -2},
+	}
+	for _, tc := range cases {
+		if got := d.Clamp(tc.v); got != tc.want {
+			t.Errorf("Clamp(%v) = %v, want %v", tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestClampPoint(t *testing.T) {
+	d := NewDomain(0, 1, 4)
+	p := []float32{0.25, -3, 0.75, 9, float32(math.NaN())}
+	if !d.ClampPoint(p) {
+		t.Fatal("ClampPoint reported no change")
+	}
+	want := []float32{0.25, 0, 0.75, 1, 0}
+	for i := range want {
+		if p[i] != want[i] {
+			t.Errorf("coordinate %d: %v, want %v", i, p[i], want[i])
+		}
+	}
+	// Every clamped coordinate now bins inside the domain, the guarantee the
+	// conservative distance bounds rest on.
+	for _, v := range p {
+		if b := d.Bin(float64(v)); b < 0 || b >= d.Ndom {
+			t.Fatalf("Bin(%v) = %d outside [0,%d)", v, b, d.Ndom)
+		}
+	}
+	q := []float32{0.1, 0.9}
+	if d.ClampPoint(q) {
+		t.Fatal("ClampPoint changed an in-domain point")
+	}
+}

@@ -89,10 +89,23 @@ func NewDomain(lo, hi float64, ndom int) Domain {
 
 // Bin returns the discrete value for real coordinate v, clamped into
 // [0, Ndom-1] so that out-of-domain values degrade gracefully instead of
-// corrupting histogram lookups.
+// corrupting histogram lookups. NaN maps to bin 0: int(NaN) is
+// implementation-defined in Go, so it is rejected before the conversion.
 func (d Domain) Bin(v float64) int {
 	if d.width <= 0 {
 		panic("vec: use of zero-value Domain")
+	}
+	if v != v { // NaN never equals itself
+		return 0
+	}
+	// Range-check before the int conversion: a far-out coordinate (live
+	// inserts can carry anything) would overflow the conversion, which is
+	// implementation-defined in Go and lands nowhere near a boundary bucket.
+	if v <= d.Lo {
+		return 0
+	}
+	if v >= d.Hi {
+		return d.Ndom - 1
 	}
 	b := int((v - d.Lo) / d.width)
 	if b < 0 {
@@ -102,6 +115,38 @@ func (d Domain) Bin(v float64) int {
 		return d.Ndom - 1
 	}
 	return b
+}
+
+// Clamp pins real coordinate v into the closed interval [Lo, Hi], with NaN
+// mapping to Lo. Live inserts may carry coordinates outside the profiled
+// histogram domain; clamping the stored vector guarantees Bin's boundary
+// bucket actually contains the coordinate, which is what keeps the derived
+// lower/upper distance bounds conservative.
+func (d Domain) Clamp(v float64) float64 {
+	if d.width <= 0 {
+		panic("vec: use of zero-value Domain")
+	}
+	if !(v >= d.Lo) { // catches v < Lo and NaN
+		return d.Lo
+	}
+	if v > d.Hi {
+		return d.Hi
+	}
+	return v
+}
+
+// ClampPoint clamps every coordinate of p into the domain in place and
+// returns whether any coordinate changed.
+func (d Domain) ClampPoint(p []float32) bool {
+	changed := false
+	for i, v := range p {
+		c := d.Clamp(float64(v))
+		if float32(c) != v || v != v { // v != v: NaN never equals itself
+			p[i] = float32(c)
+			changed = true
+		}
+	}
+	return changed
 }
 
 // BinLo returns the inclusive real lower edge of discrete value bin.

@@ -1,0 +1,375 @@
+// Live-ingest facade: recovery-aware construction of a system that accepts
+// inserts and deletes while serving, and the HTTP wiring that exposes the
+// write path. The lifecycle is
+//
+//	fold, rec, _ := exploitbit.RecoverFold(ds, walDir)   // replay WAL
+//	ls, _ := exploitbit.OpenLive(ds, wl, opt, cfg, mopt, lopt)
+//	h := exploitbit.ServeLive(ls, exploitbit.ServeOptions{})
+//
+// (OpenLive performs the RecoverFold itself; the standalone helper exists for
+// tests and tooling that inspect recovery without serving.)
+//
+// Unsharded deployments get the full loop: WAL-durable writes, merged
+// searches, and background compaction folding the delta into the point file
+// through the maintainer's ordinary RCU rebuild. Sharded deployments get
+// durable writes and merged searches with writes routed to owning shards for
+// accounting, but compaction stays disabled — the physical fold would have to
+// re-partition every shard file; restart recovery folds the WAL instead. See
+// DESIGN.md §16.
+
+package exploitbit
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+
+	"exploitbit/internal/core"
+	"exploitbit/internal/dataset"
+	"exploitbit/internal/ingest"
+	"exploitbit/internal/server"
+)
+
+// Live-ingest types re-exported through the facade vocabulary.
+type (
+	// LiveStats snapshots the write path (WAL, delta, compactions, replay).
+	LiveStats = ingest.Stats
+	// RecoverResult is the durable state replayed from a WAL directory.
+	RecoverResult = ingest.RecoverResult
+	// FsyncMode selects the WAL durability policy.
+	FsyncMode = ingest.FsyncMode
+)
+
+// WAL fsync policies for LiveOptions.Fsync.
+const (
+	FsyncAlways = ingest.FsyncAlways
+	FsyncNone   = ingest.FsyncNone
+)
+
+// ParseFsyncMode validates a -wal-fsync flag value.
+var ParseFsyncMode = ingest.ParseFsyncMode
+
+// ErrUnknownID marks a delete of an identifier no insert ever produced.
+var ErrUnknownID = ingest.ErrUnknownID
+
+// LiveOptions configures the live write path.
+type LiveOptions struct {
+	// WalDir is the write-ahead log directory (segments + checkpoint).
+	// Required.
+	WalDir string
+	// Fsync is the WAL durability policy (default FsyncAlways).
+	Fsync FsyncMode
+	// CompactThreshold is the delta point count that triggers background
+	// compaction (default 4096; compaction only runs unsharded).
+	CompactThreshold int
+	// TombstoneRatio triggers compaction when tombstones taken since the
+	// last one exceed this fraction of the fold (default 0.25).
+	TombstoneRatio float64
+}
+
+// RecoverFold replays the WAL directory against the base dataset and returns
+// the folded dataset (base plus every recovered point, identifiers dense in
+// insertion order) together with the recovery record. A fresh directory folds
+// to the base dataset itself.
+func RecoverFold(ds *Dataset, walDir string) (*Dataset, *RecoverResult, error) {
+	rec, err := ingest.Recover(walDir, ds.Len(), ds.Dim)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(rec.Points) == 0 {
+		return ds, rec, nil
+	}
+	data := make([]float32, 0, (ds.Len()+len(rec.Points))*ds.Dim)
+	data = append(data, ds.Data()...)
+	for _, p := range rec.Points {
+		data = append(data, p.Vec...)
+	}
+	return dataset.New(ds.Name, ds.Dim, data, ds.Domain), rec, nil
+}
+
+// shardWrites tallies write routing on sharded deployments.
+type shardWrites struct {
+	inserts []atomic.Int64
+	deletes []atomic.Int64
+}
+
+// LiveSystem is a System serving reads and writes: the searcher (maintained,
+// sharded or both), the ingest write path, and the recovery record of the
+// startup replay.
+type LiveSystem struct {
+	Sys  *System
+	Live *ingest.Live
+	// Maintainer is the serving maintainer on unsharded deployments (also
+	// the compactor), nil when sharded.
+	Maintainer *Maintainer
+	// ShardedMaintainer is the serving maintainer on sharded deployments,
+	// nil when unsharded.
+	ShardedMaintainer *ShardedMaintainer
+	// Recovery records what startup replay found.
+	Recovery *RecoverResult
+
+	baseN  int
+	writes *shardWrites // nil when unsharded
+}
+
+// OpenLive recovers the WAL directory, opens the system over the folded
+// dataset, builds the maintained engine (sharded when opt.Shards > 1), and
+// wires the live write path over it. cfg and mopt configure the maintainer
+// exactly as Maintained/MaintainedSharded would.
+func OpenLive(ds *Dataset, wl [][]float32, opt Options, cfg core.Config, mopt MaintainOptions, lopt LiveOptions) (*LiveSystem, error) {
+	if lopt.WalDir == "" {
+		return nil, fmt.Errorf("exploitbit: LiveOptions.WalDir is required")
+	}
+	fold, rec, err := RecoverFold(ds, lopt.WalDir)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := Open(fold, wl, opt)
+	if err != nil {
+		return nil, err
+	}
+	fail := func(err error) (*LiveSystem, error) {
+		sys.Close()
+		return nil, err
+	}
+	if cfg.Tau == 0 && cfg.CacheBytes > 0 {
+		// Auto-tune the code length over the folded dataset, exactly as the
+		// non-live serving path does over the base.
+		cfg.Tau = sys.OptimalTau(cfg.CacheBytes)
+	}
+	ls := &LiveSystem{Sys: sys, Recovery: rec, baseN: ds.Len()}
+	icfg := ingest.Config{
+		Dir:              lopt.WalDir,
+		Fsync:            lopt.Fsync,
+		Fold:             fold,
+		BaseN:            ds.Len(),
+		K:                sys.Profile.K,
+		CompactThreshold: lopt.CompactThreshold,
+		TombstoneRatio:   lopt.TombstoneRatio,
+	}
+	if opt.Shards > 1 {
+		sm, err := sys.MaintainedSharded(cfg, mopt)
+		if err != nil {
+			return fail(err)
+		}
+		ls.ShardedMaintainer = sm
+		ls.writes = &shardWrites{
+			inserts: make([]atomic.Int64, sys.Shards()),
+			deletes: make([]atomic.Int64, sys.Shards()),
+		}
+		icfg.Searcher = sm
+		// Compaction stays off: folding the delta would re-partition every
+		// shard file. Recovery folds the WAL at the next restart instead.
+	} else {
+		m, err := sys.Maintained(cfg, mopt)
+		if err != nil {
+			return fail(err)
+		}
+		ls.Maintainer = m
+		icfg.Searcher = m
+		icfg.Compactor = m
+		icfg.PF = sys.PF
+		icfg.BuildCands = func(fds *dataset.Dataset) core.CandidateFunc {
+			cands, err := buildCandidates(fds, sys.opt)
+			if err != nil {
+				// Construction already validated Options.Index; only an
+				// index-build failure over the fold lands here, and a nil
+				// CandidateFunc fails the rebuild cleanly.
+				return nil
+			}
+			return cands
+		}
+		icfg.Encode = func(p []float32) []uint64 { return m.Engine().EncodePoint(p) }
+	}
+	live, err := ingest.Open(icfg, rec)
+	if err != nil {
+		ls.closeSearcher()
+		return fail(err)
+	}
+	ls.Live = live
+	return ls, nil
+}
+
+// Insert admits one point through the live write path, attributing it to its
+// home shard on sharded deployments.
+func (ls *LiveSystem) Insert(ctx context.Context, vec []float32) (int, error) {
+	id, err := ls.Live.Insert(ctx, vec)
+	if err == nil && ls.writes != nil {
+		ls.writes.inserts[ls.homeShard(id)].Add(1)
+	}
+	return id, err
+}
+
+// Delete tombstones one point, attributing the write to the shard that owns
+// it on sharded deployments.
+func (ls *LiveSystem) Delete(ctx context.Context, id int) error {
+	err := ls.Live.Delete(ctx, id)
+	if err == nil && ls.writes != nil {
+		ls.writes.deletes[ls.homeShard(id)].Add(1)
+	}
+	return err
+}
+
+// homeShard routes an identifier to its owning shard: base points belong to
+// the shard holding their slot, delta points to the shard that will receive
+// them round-robin when a future fold re-partitions.
+func (ls *LiveSystem) homeShard(id int) int {
+	p := ls.Sys.partition
+	if p == nil {
+		return 0
+	}
+	if id >= 0 && id < len(p.Owner) {
+		return int(p.Owner[id])
+	}
+	return id % p.N
+}
+
+// Search serves one merged query through the live overlay.
+func (ls *LiveSystem) Search(ctx context.Context, q []float32, k int, dst []int) ([]int, QueryStats, error) {
+	return ls.Live.Search(ctx, q, k, dst)
+}
+
+// Stats snapshots the write path, with per-shard routing tallies on sharded
+// deployments.
+func (ls *LiveSystem) Stats() LiveStats { return ls.Live.Stats() }
+
+// closeSearcher drains whichever maintainer is serving.
+func (ls *LiveSystem) closeSearcher() {
+	if ls.Maintainer != nil {
+		ls.Maintainer.Close()
+	}
+	if ls.ShardedMaintainer != nil {
+		ls.ShardedMaintainer.Close()
+	}
+}
+
+// Close shuts the write path, drains the maintainer (any in-flight compaction
+// completes or aborts with it), and releases the system.
+func (ls *LiveSystem) Close() error {
+	var err error
+	if ls.Live != nil {
+		err = ls.Live.Close()
+	}
+	ls.closeSearcher()
+	if cErr := ls.Sys.Close(); err == nil {
+		err = cErr
+	}
+	return err
+}
+
+// liveIngestor adapts LiveSystem to the HTTP handler's write interface,
+// translating the ingest sentinel to the server's 404.
+type liveIngestor struct{ ls *LiveSystem }
+
+func (li liveIngestor) Insert(ctx context.Context, vec []float32) (int, error) {
+	return li.ls.Insert(ctx, vec)
+}
+
+func (li liveIngestor) Delete(ctx context.Context, id int) error {
+	if err := li.ls.Delete(ctx, id); err != nil {
+		if errors.Is(err, ingest.ErrUnknownID) {
+			return fmt.Errorf("%w (id %d)", server.ErrUnknownID, id)
+		}
+		return err
+	}
+	return nil
+}
+
+// wireIngestStats adapts the write-path snapshot (plus shard routing tallies)
+// to the handler's ingest block.
+func wireIngestStats(ls *LiveSystem) func() server.IngestStats {
+	return func() server.IngestStats {
+		s := ls.Live.Stats()
+		out := server.IngestStats{
+			WalBytes:             s.WalBytes,
+			WalSegments:          s.WalSegments,
+			DeltaPoints:          s.DeltaPoints,
+			Tombstones:           s.Tombstones,
+			Points:               s.Points,
+			Inserts:              s.Inserts,
+			Deletes:              s.Deletes,
+			Compactions:          s.Compactions,
+			CompactionErrors:     s.CompactionErrors,
+			CompactInFlight:      s.CompactInFlight,
+			ReplayedRecords:      s.ReplayedRecords,
+			ReplayTruncatedBytes: s.ReplayTruncatedBytes,
+		}
+		if w := ls.writes; w != nil {
+			out.ShardWrites = make([]server.ShardWriteStat, len(w.inserts))
+			for i := range w.inserts {
+				out.ShardWrites[i] = server.ShardWriteStat{
+					Shard:   i,
+					Inserts: w.inserts[i].Load(),
+					Deletes: w.deletes[i].Load(),
+				}
+			}
+		}
+		return out
+	}
+}
+
+// ServeLive exposes a live system over HTTP: everything the maintained (or
+// sharded-maintained) handler serves, plus POST /insert and POST /delete and
+// the ingest telemetry block on /stats and /metrics. Searches go through the
+// merged overlay, so freshly inserted points are visible and deleted points
+// masked immediately.
+func ServeLive(ls *LiveSystem, opt ServeOptions) http.Handler {
+	dim := ls.Sys.DS.Dim
+	var h *server.Handler
+	if ls.ShardedMaintainer != nil {
+		sm := ls.ShardedMaintainer
+		h = server.New(engineSearcher{search: ls.searchCtx, batch: ls.batchCtx(sm.SearchBatchCtx)}, opt.config(dim))
+		h.SetRebuildStats(func() server.RebuildStats { return wireRebuildStats(sm.Stats()) })
+		h.SetShardStats(wireShardStats(sm.Sharded(), sm.ShardStats, sm.CostModels))
+		h.SetIOStats(wireIOStats(sm.DiskStats))
+		if adaptive := sm.CostModels(); len(adaptive) > 0 && adaptive[0] != nil {
+			h.SetCostModelStats(func() server.CostModelStats {
+				return mergeShardCostModels(sm.CostModels())
+			})
+		}
+	} else {
+		m := ls.Maintainer
+		h = server.New(engineSearcher{search: ls.searchCtx, batch: ls.batchCtx(m.SearchBatchCtx)}, opt.config(dim))
+		h.SetRebuildStats(func() server.RebuildStats { return wireRebuildStats(m.Stats()) })
+		h.SetIOStats(wireIOStats(m.DiskStats))
+		if _, ok := m.CostModel(); ok {
+			h.SetCostModelStats(func() server.CostModelStats {
+				snap, _ := m.CostModel()
+				return wireCostModel(snap)
+			})
+		}
+	}
+	h.SetIngestor(liveIngestor{ls})
+	h.SetIngestStats(wireIngestStats(ls))
+	return h
+}
+
+// searchCtx is the engineSearcher-shaped merged search.
+func (ls *LiveSystem) searchCtx(ctx context.Context, q []float32, k int) ([]int, QueryStats, error) {
+	return ls.Live.Search(ctx, q, k, nil)
+}
+
+// batchCtx wraps the underlying coalesced batch search with overlay
+// awareness: with an empty overlay the coalesced path runs untouched; with
+// live delta points or tombstones the batch degrades to per-query merged
+// searches, trading coalesced refinement I/O for correct merged results.
+func (ls *LiveSystem) batchCtx(coalesced func(ctx context.Context, qs [][]float32, k int) ([][]int, []QueryStats, error)) func(ctx context.Context, qs [][]float32, k int) ([][]int, []QueryStats, error) {
+	return func(ctx context.Context, qs [][]float32, k int) ([][]int, []QueryStats, error) {
+		s := ls.Live.Stats()
+		if s.DeltaPoints == 0 && s.Tombstones == 0 {
+			return coalesced(ctx, qs, k)
+		}
+		ids := make([][]int, len(qs))
+		sts := make([]QueryStats, len(qs))
+		for i, q := range qs {
+			var err error
+			ids[i], sts[i], err = ls.Live.Search(ctx, q, k, nil)
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+		return ids, sts, nil
+	}
+}
