@@ -103,7 +103,10 @@ func writeCheckpoint(dir string, fold *dataset.Dataset, baseN int, tombs map[int
 		os.Remove(tmp)
 		return fmt.Errorf("ingest: install checkpoint: %w", err)
 	}
-	return nil
+	// The rename itself must be durable before the caller may retire the WAL
+	// segments this checkpoint covers; otherwise a power loss can persist the
+	// segment unlinks while the rename is still unpublished, losing the fold.
+	return syncDir(dir)
 }
 
 // readCheckpoint loads and validates the directory's checkpoint. ok is false
@@ -131,6 +134,10 @@ func readCheckpoint(dir string, baseN, dim int) (pts []core.MergePoint, tombs ma
 	}
 	want := ckptHeaderSize + int(extra)*(8+4*dim) + 8*int(nTombs)
 	if len(body) != want {
+		return nil, nil, 0, false
+	}
+	// Every recovered id must fit the engine's int32 id space.
+	if uint64(baseN)+extra > uint64(math.MaxInt32)+1 {
 		return nil, nil, 0, false
 	}
 	off := ckptHeaderSize

@@ -11,6 +11,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 
@@ -211,6 +212,10 @@ func (l *Live) Insert(ctx context.Context, v []float32) (int, error) {
 	}
 	l.mu.Lock()
 	id := l.nextID
+	if id > math.MaxInt32 {
+		l.mu.Unlock()
+		return 0, fmt.Errorf("ingest: point id space exhausted (%d ids, max %d)", id, math.MaxInt32)
+	}
 	if err := l.wal.AppendInsert(uint64(id), p); err != nil {
 		l.mu.Unlock()
 		return 0, err
@@ -256,13 +261,22 @@ func (l *Live) Search(ctx context.Context, q []float32, k int, dst []int) ([]int
 }
 
 // overlay builds the merge overlay for one search, or nil when the delta is
-// empty and nothing is tombstoned (the exact base fast path).
+// empty and nothing is tombstoned (the exact base fast path). The tombstone
+// set is snapshotted once: Merge.Deleted must stay stable for the duration of
+// the search (the engine counts surviving extras in one pass and fills them
+// in another), and the copy-on-write map a Delete published in between would
+// make the two passes disagree.
 func (l *Live) overlay() *core.Merge {
 	extra := l.delta.Snapshot()
-	if len(extra) == 0 && l.delta.Tombstones() == 0 {
+	tombs := l.delta.TombSet()
+	if len(extra) == 0 && len(tombs) == 0 {
 		return nil
 	}
-	return &core.Merge{Deleted: l.delta.Deleted, Extra: extra}
+	deleted := func(id int32) bool {
+		_, dead := tombs[int64(id)]
+		return dead
+	}
+	return &core.Merge{Deleted: deleted, Extra: extra}
 }
 
 // maybeCompactLocked launches a compaction when the delta or the tombstone

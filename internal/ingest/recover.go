@@ -102,7 +102,18 @@ func (res *RecoverResult) replaySegment(dir string, seq uint64, dim int, last bo
 		return nil
 	}
 	if len(buf) < walHeaderSize {
-		return torn(0)
+		// A crash during openSegment's header write (likely with -wal-fsync
+		// none) leaves a segment shorter than its own header. No record was
+		// ever appended to it, so it is valid-empty regardless of position —
+		// a restart after the crash may already have opened a higher-numbered
+		// segment, making this one no longer the newest. Remove the file so
+		// it never resurfaces (a truncated-to-zero leftover would otherwise
+		// fail every future recovery once it stops being the newest segment).
+		res.TruncatedBytes += int64(len(buf))
+		if err := os.Remove(path); err != nil {
+			return fmt.Errorf("ingest: remove torn segment %s: %w", name, err)
+		}
+		return nil
 	}
 	if le.Uint32(buf[0:]) != walMagic || le.Uint32(buf[4:]) != walVersion {
 		return fmt.Errorf("ingest: segment %s has bad header", name)
@@ -147,6 +158,9 @@ func (res *RecoverResult) apply(payload []byte, dim int, name string, off int) e
 		}
 		if id != next {
 			return fmt.Errorf("ingest: segment %s insert id %d at %d, expected %d (identifier gap)", name, id, off, next)
+		}
+		if id > math.MaxInt32 {
+			return fmt.Errorf("ingest: segment %s insert id %d at %d exceeds the id space (max %d)", name, id, off, math.MaxInt32)
 		}
 		vec := make([]float32, dim)
 		for j := range vec {

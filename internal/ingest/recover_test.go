@@ -80,6 +80,89 @@ func TestRecoverRefusesCorruptionInOlderSegment(t *testing.T) {
 	}
 }
 
+// TestRecoverTornSegmentHeaderSurvivesRestarts simulates a crash during
+// segment creation (torn header, likely with -wal-fsync none): recovery must
+// treat the sub-header segment as valid-empty and remove it, so that after
+// the restart opens a higher-numbered segment a second recovery — where the
+// torn segment would no longer be the newest — still succeeds.
+func TestRecoverTornSegmentHeaderSurvivesRestarts(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(dir, 2, 1, FsyncNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendInsert(0, []float32{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	tornPath := filepath.Join(dir, segmentName(2))
+	if err := os.WriteFile(tornPath, []byte("EBW"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rec, err := Recover(dir, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Points) != 1 || rec.TruncatedBytes != 3 || rec.NextSeq != 3 {
+		t.Fatalf("recovery %+v, want 1 point, 3 truncated bytes, next seq 3", rec)
+	}
+	if _, err := os.Stat(tornPath); !os.IsNotExist(err) {
+		t.Fatalf("torn segment still on disk (stat err %v); it must be removed", err)
+	}
+
+	// Restart: open past the torn segment, write, crash, recover again.
+	w2, err := OpenWAL(dir, 2, rec.NextSeq, FsyncNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.AppendInsert(1, []float32{3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	w2.Close()
+	rec2, err := Recover(dir, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec2.Points) != 2 || rec2.TruncatedBytes != 0 {
+		t.Fatalf("second recovery %+v, want 2 points and no truncation", rec2)
+	}
+}
+
+// TestRecoverTornSegmentHeaderNotNewest pins the regression directly: a
+// sub-header segment sandwiched between valid ones (the state the old
+// truncate-to-zero behavior left behind) must not fail recovery.
+func TestRecoverTornSegmentHeaderNotNewest(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(dir, 2, 1, FsyncNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendInsert(0, []float32{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	if err := os.WriteFile(filepath.Join(dir, segmentName(2)), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w3, err := OpenWAL(dir, 2, 3, FsyncNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w3.AppendInsert(1, []float32{3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	w3.Close()
+
+	rec, err := Recover(dir, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Points) != 2 || rec.Records != 2 || rec.NextSeq != 4 {
+		t.Fatalf("recovery %+v, want 2 points from 2 records, next seq 4", rec)
+	}
+}
+
 func TestRecoverRejectsDimMismatch(t *testing.T) {
 	dir := t.TempDir()
 	w, err := OpenWAL(dir, 3, 1, FsyncNone)

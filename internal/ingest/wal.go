@@ -70,6 +70,26 @@ const (
 	opDelete byte = 2
 )
 
+// syncDir fsyncs a directory so the metadata changes inside it — file
+// creation, rename, unlink — survive a power loss. Without it a crash can
+// persist a segment's records but not the segment's directory entry, or
+// persist retired-segment unlinks while an earlier checkpoint rename is
+// still unpublished, breaking the checkpoint-before-retirement ordering.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("ingest: open wal dir for sync: %w", err)
+	}
+	err = d.Sync()
+	if cErr := d.Close(); err == nil {
+		err = cErr
+	}
+	if err != nil {
+		return fmt.Errorf("ingest: sync wal dir: %w", err)
+	}
+	return nil
+}
+
 // segmentName formats the file name of segment seq.
 func segmentName(seq uint64) string { return fmt.Sprintf("wal-%08d.log", seq) }
 
@@ -180,6 +200,12 @@ func (w *WAL) openSegment(seq uint64) error {
 			f.Close()
 			return fmt.Errorf("ingest: sync segment header: %w", err)
 		}
+		// Make the segment's directory entry durable too: record fsyncs are
+		// worthless if a power loss forgets the file ever existed.
+		if err := syncDir(w.dir); err != nil {
+			f.Close()
+			return err
+		}
 	}
 	w.f = f
 	w.seq = seq
@@ -282,6 +308,7 @@ func (w *WAL) RemoveThrough(seq uint64) error {
 	if err != nil {
 		return err
 	}
+	removed := false
 	for _, s := range seqs {
 		if s > seq || s == w.seq {
 			continue
@@ -296,6 +323,10 @@ func (w *WAL) RemoveThrough(seq uint64) error {
 		}
 		w.liveBytes -= fi.Size()
 		w.segments--
+		removed = true
+	}
+	if removed {
+		return syncDir(w.dir)
 	}
 	return nil
 }
